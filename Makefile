@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench vet fmt cover experiments clean
+
+all: vet test build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/core/ ./internal/strategy/ ./internal/server/ ./internal/baseline/
+
+bench:
+	go test -run=XXX -bench=. -benchmem .
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+cover:
+	go test ./... -coverprofile=cover.out && go tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	go run ./cmd/experiments -scale 0.3 -max-users 400
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,158 @@
+package goalrec
+
+import (
+	"fmt"
+
+	"goalrec/internal/baseline"
+	"goalrec/internal/core"
+	"goalrec/internal/hybrid"
+)
+
+// Corpus holds historical user activities (implicit feedback) expressed over
+// a Library's action vocabulary, and fits the standard recommenders the
+// paper compares against. A Corpus is immutable after construction.
+type Corpus struct {
+	lib *Library
+	in  *baseline.Interactions
+}
+
+// NewCorpus builds a corpus from user activities. Action names unknown to
+// the library are dropped (they cannot be recommended against the library
+// anyway).
+func (l *Library) NewCorpus(activities [][]string) *Corpus {
+	idActs := make([][]core.ActionID, len(activities))
+	for i, h := range activities {
+		idActs[i] = l.resolve(h)
+	}
+	return &Corpus{lib: l, in: baseline.NewInteractions(idActs, l.lib.NumActions())}
+}
+
+// NumUsers returns the number of historical users.
+func (c *Corpus) NumUsers() int { return c.in.NumUsers() }
+
+// Popularity returns how many corpus users performed the action.
+func (c *Corpus) Popularity(action string) int {
+	id, ok := c.lib.vocab.Actions.Lookup(action)
+	if !ok {
+		return 0
+	}
+	return c.in.ActionCount(core.ActionID(id))
+}
+
+// KNNRecommender returns a user-based nearest-neighbour collaborative
+// filter with Tanimoto neighbourhoods of the given size (≤ 0 selects the
+// default of 20) — the paper's "CF KNN".
+func (c *Corpus) KNNRecommender(neighbors int) Recommender {
+	return &namedRecommender{rec: baseline.NewKNN(c.in, neighbors), lib: c.lib}
+}
+
+// MFConfig sizes the matrix-factorization baseline; zero values select
+// defaults (16 factors, 10 iterations, λ = 0.05, α = 40).
+type MFConfig struct {
+	Factors    int
+	Iterations int
+	Lambda     float64
+	Alpha      float64
+	Seed       uint64
+}
+
+// MFRecommender trains and returns the ALS-WR matrix-factorization
+// collaborative filter — the paper's "CF MF".
+func (c *Corpus) MFRecommender(cfg MFConfig) (Recommender, error) {
+	als, err := baseline.FitALS(c.in, baseline.ALSConfig{
+		Factors:    cfg.Factors,
+		Iterations: cfg.Iterations,
+		Lambda:     cfg.Lambda,
+		Alpha:      cfg.Alpha,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("goalrec: training matrix factorization: %w", err)
+	}
+	return &namedRecommender{rec: als, lib: c.lib}, nil
+}
+
+// PopularityRecommender returns the most-popular-first baseline.
+func (c *Corpus) PopularityRecommender() Recommender {
+	return &namedRecommender{rec: baseline.NewPopularity(c.in), lib: c.lib}
+}
+
+// AssocRulesRecommender returns the pairwise association-rule baseline with
+// the given absolute minimum support (≤ 0 selects the default of 2).
+func (c *Corpus) AssocRulesRecommender(minSupport int) Recommender {
+	return &namedRecommender{rec: baseline.NewAssocRules(c.in, minSupport), lib: c.lib}
+}
+
+// BPRConfig sizes the Bayesian Personalized Ranking baseline; zero values
+// select defaults (16 factors, 20 epochs, lr 0.05, λ 0.01).
+type BPRConfig struct {
+	Factors      int
+	Epochs       int
+	LearningRate float64
+	Lambda       float64
+	Seed         uint64
+}
+
+// BPRRecommender trains and returns a Bayesian Personalized Ranking model —
+// pairwise-ranking matrix factorization, the other classical implicit-MF
+// formulation next to ALS-WR.
+func (c *Corpus) BPRRecommender(cfg BPRConfig) Recommender {
+	bpr := baseline.FitBPR(c.in, baseline.BPRConfig{
+		Factors:      cfg.Factors,
+		Epochs:       cfg.Epochs,
+		LearningRate: cfg.LearningRate,
+		Lambda:       cfg.Lambda,
+		Seed:         cfg.Seed,
+	})
+	return &namedRecommender{rec: bpr, lib: c.lib}
+}
+
+// ItemKNNRecommender returns item-based collaborative filtering: candidates
+// score by their co-consumption similarity (Tanimoto over user sets) to the
+// query activity's actions, using per-item neighbourhoods of the given size
+// (≤ 0 selects the default of 20).
+func (c *Corpus) ItemKNNRecommender(neighbors int) Recommender {
+	return &namedRecommender{rec: baseline.NewItemKNN(c.in, neighbors), lib: c.lib}
+}
+
+// buildFeatures converts a name-keyed feature map into the id-level feature
+// table the content and hybrid recommenders share.
+func (l *Library) buildFeatures(features map[string][]string) *baseline.Features {
+	featIDs := core.NewInterner(16)
+	perAction := make([][]baseline.FeatureID, l.lib.NumActions())
+	for name, feats := range features {
+		id, ok := l.vocab.Actions.Lookup(name)
+		if !ok {
+			continue
+		}
+		row := make([]baseline.FeatureID, len(feats))
+		for i, f := range feats {
+			row[i] = featIDs.Intern(f)
+		}
+		perAction[id] = row
+	}
+	return baseline.NewFeatures(perAction, featIDs.Len())
+}
+
+// ContentRecommender returns the content-based baseline over action
+// features: features maps an action name to its feature labels (for the
+// paper's grocery scenario, the product's category). Actions absent from the
+// map have no features and are never recommended by this method.
+func (l *Library) ContentRecommender(features map[string][]string) Recommender {
+	return &namedRecommender{rec: baseline.NewContent(l.buildFeatures(features)), lib: l}
+}
+
+// HybridRecommender blends a goal-based strategy with content similarity —
+// the paper's future-work direction (Section 7). alpha ∈ [0, 1] weights the
+// goal-based score; 1−alpha weights the cosine similarity of a candidate's
+// features to the activity's feature profile. The candidate pool is always
+// the goal-based one, so the result stays goal-aware at every alpha.
+func (l *Library) HybridRecommender(s Strategy, features map[string][]string, alpha float64, opts ...RecommenderOption) (Recommender, error) {
+	inner, err := l.Recommender(s, opts...)
+	if err != nil {
+		return nil, err
+	}
+	goalRec := inner.(*namedRecommender).rec
+	rec := hybrid.New(goalRec, l.buildFeatures(features), alpha)
+	return &namedRecommender{rec: rec, lib: l}, nil
+}

@@ -1,0 +1,251 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md's per-experiment index). Each benchmark measures the cost
+// of computing one experiment's statistics over prepared environments;
+// dataset generation, splitting and model fitting happen once per process.
+//
+//	go test -bench=. -benchmem
+package goalrec_test
+
+import (
+	"sync"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/eval"
+	"goalrec/internal/experiments"
+	"goalrec/internal/strategy"
+)
+
+// benchConfig keeps the benchmark datasets small enough for iteration while
+// preserving both connectivity regimes.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Scale:         0.1,
+		K:             10,
+		KeepFrac:      0.3,
+		MaxUsers:      150,
+		Seed:          1,
+		ALSFactors:    8,
+		ALSIterations: 4,
+	}
+}
+
+var (
+	envOnce sync.Once
+	foodEnv *experiments.Env
+	lifeEnv *experiments.Env
+	envErr  error
+)
+
+func envs(b *testing.B) (*experiments.Env, *experiments.Env) {
+	envOnce.Do(func() {
+		foodEnv, envErr = experiments.NewFoodMartEnv(benchConfig())
+		if envErr == nil {
+			lifeEnv, envErr = experiments.NewFortyThreeEnv(benchConfig())
+		}
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return foodEnv, lifeEnv
+}
+
+// BenchmarkTable2ResultOverlap regenerates Table 2 (overlap of goal-based vs
+// standard top-10 lists) on both datasets.
+func BenchmarkTable2ResultOverlap(b *testing.B) {
+	food, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(food)
+		experiments.Table2(life)
+	}
+}
+
+// BenchmarkTable3PopularityCorrelation regenerates Table 3 (Pearson
+// correlation of recommendations with the top-20 popular actions).
+func BenchmarkTable3PopularityCorrelation(b *testing.B) {
+	food, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(food)
+		experiments.Table3(life)
+	}
+}
+
+// BenchmarkTable4Completeness regenerates Table 4 / Figure 3 (goal
+// completeness after following the recommendations).
+func BenchmarkTable4Completeness(b *testing.B) {
+	food, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(food)
+		experiments.Table4(life)
+	}
+}
+
+// BenchmarkTable5PairwiseSimilarity regenerates Table 5 (pairwise feature
+// similarity inside each list; foodmart only, as in the paper).
+func BenchmarkTable5PairwiseSimilarity(b *testing.B) {
+	food, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table5(food)
+	}
+}
+
+// BenchmarkFigure4AvgTPR regenerates Figure 4 (average TPR at top-5 and
+// top-10).
+func BenchmarkFigure4AvgTPR(b *testing.B) {
+	food, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4(food)
+		experiments.Figure4(life)
+	}
+}
+
+// BenchmarkFigure5ListFrequency regenerates Figure 5 (frequency of retrieved
+// actions across recommendation lists).
+func BenchmarkFigure5ListFrequency(b *testing.B) {
+	food, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5(food)
+	}
+}
+
+// BenchmarkFigure6LibraryFrequency regenerates Figure 6 (library frequency
+// of retrieved actions).
+func BenchmarkFigure6LibraryFrequency(b *testing.B) {
+	food, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure6(food)
+	}
+}
+
+// BenchmarkTable6GoalMethodOverlap regenerates Table 6 (overlap among the
+// goal-based methods).
+func BenchmarkTable6GoalMethodOverlap(b *testing.B) {
+	food, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Table6(food)
+		experiments.Table6(life)
+	}
+}
+
+// BenchmarkFigure7Scalability runs one cell of the Figure 7 latency sweep
+// (library construction + timed queries per strategy).
+func BenchmarkFigure7Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Scalability(experiments.ScalabilityConfig{
+			Sizes: []int{5000}, Actions: 1500, Queries: 20, Seed: uint64(i),
+		})
+	}
+}
+
+// BenchmarkAblationBreadthVariants runs the Breadth weighting ablation (A1).
+func BenchmarkAblationBreadthVariants(b *testing.B) {
+	_, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationBreadth(life)
+	}
+}
+
+// BenchmarkAblationBestMatchDistances runs the Best Match metric ablation
+// (A2).
+func BenchmarkAblationBestMatchDistances(b *testing.B) {
+	_, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationBestMatch(life)
+	}
+}
+
+// BenchmarkBeyondAccuracy runs the beyond-accuracy metric suite (B1).
+func BenchmarkBeyondAccuracy(b *testing.B) {
+	food, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.BeyondAccuracy(food)
+	}
+}
+
+// BenchmarkRankingAccuracy runs the classical ranking metrics suite (B2).
+func BenchmarkRankingAccuracy(b *testing.B) {
+	food, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RankingAccuracy(food)
+		experiments.RankingAccuracy(life)
+	}
+}
+
+// BenchmarkSignificance runs the paired-bootstrap significance suite (B4).
+func BenchmarkSignificance(b *testing.B) {
+	_, life := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.SignificanceVsBaselines(life)
+	}
+}
+
+// BenchmarkAblationHybridBlend runs the hybrid goal+content α sweep (A3).
+func BenchmarkAblationHybridBlend(b *testing.B) {
+	food, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationHybrid(food)
+	}
+}
+
+// Per-strategy micro-benchmarks: the cost of a single top-10 query against
+// the high-connectivity (foodmart-like) library.
+
+func benchStrategy(b *testing.B, mk func(*core.Library) strategy.Recommender) {
+	food, _ := envs(b)
+	lib := food.Dataset.Library
+	rec := mk(lib)
+	inputs := food.Inputs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Recommend(inputs[i%len(inputs)], 10)
+	}
+}
+
+func BenchmarkStrategyFocusCompleteness(b *testing.B) {
+	benchStrategy(b, func(l *core.Library) strategy.Recommender {
+		return strategy.NewFocus(l, strategy.Completeness)
+	})
+}
+
+func BenchmarkStrategyFocusCloseness(b *testing.B) {
+	benchStrategy(b, func(l *core.Library) strategy.Recommender {
+		return strategy.NewFocus(l, strategy.Closeness)
+	})
+}
+
+func BenchmarkStrategyBreadth(b *testing.B) {
+	benchStrategy(b, func(l *core.Library) strategy.Recommender {
+		return strategy.NewBreadth(l)
+	})
+}
+
+func BenchmarkStrategyBestMatch(b *testing.B) {
+	benchStrategy(b, func(l *core.Library) strategy.Recommender {
+		return strategy.NewBestMatch(l)
+	})
+}
+
+// BenchmarkCollectParallel measures the parallel evaluation loop the
+// experiment harness uses.
+func BenchmarkCollectParallel(b *testing.B) {
+	food, _ := envs(b)
+	rec := food.Methods["breadth"].Rec
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Collect(rec, food.Inputs, 10)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("5000, 20000,80000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{5000, 20000, 80000}) {
+		t.Errorf("parseSizes = %v", got)
+	}
+	for _, bad := range []string{"", "x", "-5", "0", ","} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command goalgen synthesizes the paper's two evaluation scenarios and
+// writes them to disk for offline experimentation:
+//
+//	goalgen -dataset foodmart -scale 0.1 -out ./data/foodmart
+//	goalgen -dataset 43things -scale 1.0 -out ./data/43things
+//
+// Each run produces, inside the output directory:
+//
+//	library.bin     — the goal-implementation library (binary snapshot)
+//	activities.csv  — one evaluation activity per line (numeric action ids)
+//	sequences.csv   — the same activities in performed order (for
+//	                  order-sensitive comparators)
+//	stats.txt       — the library's summary statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"goalrec/internal/core"
+	"goalrec/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "goalgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("dataset", "foodmart", "foodmart | 43things | curriculum")
+	scale := flag.Float64("scale", 0.1, "dataset scale (1.0 = the paper's full size)")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	out := flag.String("out", ".", "output directory (created if missing)")
+	flag.Parse()
+
+	var (
+		ds  *dataset.Dataset
+		err error
+	)
+	switch *name {
+	case "foodmart":
+		ds, err = dataset.GenerateFoodMart(dataset.FoodMartConfig{Scale: *scale, Seed: *seed})
+	case "43things":
+		ds, err = dataset.GenerateFortyThreeThings(dataset.FortyThreeThingsConfig{Scale: *scale, Seed: *seed})
+	case "curriculum":
+		cfg := dataset.CurriculumConfig{Seed: *seed}
+		cfg.Students = int(500 * *scale)
+		ds, err = dataset.GenerateCurriculum(cfg)
+	default:
+		return fmt.Errorf("unknown dataset %q (want foodmart, 43things or curriculum)", *name)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(*out, "library.bin"), func(f *os.File) error {
+		return core.WriteBinary(f, ds.Library)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(*out, "activities.csv"), func(f *os.File) error {
+		return dataset.WriteActivityIDsCSV(f, ds.Activities())
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(*out, "sequences.csv"), func(f *os.File) error {
+		return dataset.WriteActivityIDsCSV(f, ds.Sequences())
+	}); err != nil {
+		return err
+	}
+	stats := ds.Library.Stats()
+	if err := writeFile(filepath.Join(*out, "stats.txt"), func(f *os.File) error {
+		_, err := fmt.Fprintf(f, "%s\nusers=%d\n", stats, len(ds.Users))
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s dataset to %s\n  %s\n  users=%d\n", ds.Name, *out, stats, len(ds.Users))
+	return nil
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

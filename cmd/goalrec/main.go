@@ -1,0 +1,180 @@
+// Command goalrec recommends actions from a goal-implementation library.
+//
+// Usage:
+//
+//	goalrec stats     -library lib.jsonl
+//	goalrec spaces    -library lib.jsonl -activity "potatoes,carrots"
+//	goalrec recommend -library lib.jsonl -activity "potatoes,carrots" [-strategy breadth] [-k 10]
+//	goalrec graph     -library lib.jsonl [-max-impls 100] > model.dot
+//	goalrec dedupe    -library lib.jsonl [-threshold 0.8] > deduped.jsonl
+//	goalrec extract   -stories stories.jsonl -out lib.jsonl
+//
+// The library file is JSON lines: one {"goal": ..., "actions": [...]} object
+// per line. The activity is a comma-separated list of action names. Story
+// files are JSON lines of {"goal": ..., "text": ...} objects; extract runs
+// the text-to-implementation pipeline over them.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"goalrec"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "goalrec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: goalrec <stats|spaces|recommend|extract> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	if cmd == "extract" {
+		return runExtract(rest)
+	}
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	libPath := fs.String("library", "", "path to the JSON-lines library file")
+	activity := fs.String("activity", "", "comma-separated action names (the user activity)")
+	strategyName := fs.String("strategy", "breadth", "focus-cmp | focus-cl | breadth | best-match")
+	metric := fs.String("metric", "cosine", "best-match distance: cosine | euclidean | manhattan | jaccard")
+	k := fs.Int("k", 10, "recommendation list length")
+	maxImpls := fs.Int("max-impls", 100, "graph: cap on rendered implementations (0 = all)")
+	threshold := fs.Float64("threshold", 1, "dedupe: Jaccard threshold (1 = exact duplicates only)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *libPath == "" {
+		return fmt.Errorf("%s: -library is required", cmd)
+	}
+	lib, err := goalrec.LoadLibraryFile(*libPath)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "stats":
+		fmt.Println(lib.Stats())
+		return nil
+	case "graph":
+		return lib.ExportDOT(os.Stdout, *maxImpls)
+	case "dedupe":
+		out, stats := lib.Deduplicate(*threshold)
+		fmt.Fprintf(os.Stderr, "kept %d, dropped %d exact and %d near duplicates\n",
+			stats.Kept, stats.ExactDuplicates, stats.NearDuplicates)
+		return out.SaveJSON(os.Stdout)
+	case "spaces":
+		acts := splitActivity(*activity)
+		if len(acts) == 0 {
+			return fmt.Errorf("spaces: -activity is required")
+		}
+		fmt.Println("goal space:")
+		progress := lib.GoalProgress(acts)
+		goals := lib.GoalSpace(acts)
+		for _, g := range goals {
+			fmt.Printf("  %-40s %5.1f%% complete\n", g, 100*progress[g])
+		}
+		fmt.Println("action space:")
+		for _, a := range lib.ActionSpace(acts) {
+			fmt.Printf("  %s\n", a)
+		}
+		return nil
+	case "recommend":
+		acts := splitActivity(*activity)
+		if len(acts) == 0 {
+			return fmt.Errorf("recommend: -activity is required")
+		}
+		rec, err := lib.Recommender(goalrec.Strategy(*strategyName), goalrec.WithDistanceMetric(*metric))
+		if err != nil {
+			return err
+		}
+		list := rec.Recommend(acts, *k)
+		if len(list) == 0 {
+			fmt.Println("no recommendations: the activity matches no goal implementation")
+			return nil
+		}
+		for i, r := range list {
+			fmt.Printf("%2d. %-40s score=%.4f\n", i+1, r.Action, r.Score)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want stats, spaces, recommend, graph, dedupe or extract)", cmd)
+	}
+}
+
+// runExtract turns a JSON-lines story file into a JSON-lines library.
+func runExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ContinueOnError)
+	storiesPath := fs.String("stories", "", "path to the JSON-lines stories file ({\"goal\", \"text\"} per line)")
+	outPath := fs.String("out", "", "output library path (default: stdout)")
+	keepVerbless := fs.Bool("keep-verbless", false, "also keep steps without a recognized verb")
+	maxWords := fs.Int("max-phrase-words", 4, "canonical action phrase length cap")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storiesPath == "" {
+		return errors.New("extract: -stories is required")
+	}
+	f, err := os.Open(*storiesPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var stories []goalrec.Story
+	dec := json.NewDecoder(f)
+	for {
+		var s struct {
+			Goal string `json:"goal"`
+			Text string `json:"text"`
+		}
+		if err := dec.Decode(&s); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return fmt.Errorf("extract: parsing story %d: %w", len(stories), err)
+		}
+		stories = append(stories, goalrec.Story{Goal: s.Goal, Text: s.Text})
+	}
+
+	lib, kept := goalrec.BuildFromStories(stories, goalrec.ExtractOptions{
+		MaxPhraseWords:    *maxWords,
+		KeepVerblessSteps: *keepVerbless,
+	})
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		g, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		out = g
+	}
+	if err := lib.SaveJSON(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "extracted %d/%d stories: %s\n", kept, len(stories), lib.Stats())
+	return nil
+}
+
+func splitActivity(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitActivity(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"potatoes,carrots", []string{"carrots", "potatoes"}},
+		{" a , b ,", []string{"a", "b"}},
+		{"", nil},
+		{",,", nil},
+	}
+	for _, tt := range tests {
+		if got := splitActivity(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("splitActivity(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus", "-library", "x"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"stats"}); err == nil {
+		t.Error("missing -library accepted")
+	}
+	if err := run([]string{"recommend", "-library", "/does/not/exist"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	libPath := filepath.Join(dir, "lib.jsonl")
+	lib := `{"goal":"olivier salad","actions":["potatoes","carrots","pickles"]}
+{"goal":"mashed potatoes","actions":["potatoes","nutmeg"]}
+`
+	if err := os.WriteFile(libPath, []byte(lib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"stats", "-library", libPath},
+		{"spaces", "-library", libPath, "-activity", "potatoes"},
+		{"recommend", "-library", libPath, "-activity", "potatoes,carrots", "-strategy", "focus-cmp", "-k", "3"},
+		{"recommend", "-library", libPath, "-activity", "potatoes", "-strategy", "best-match", "-metric", "euclidean"},
+		{"graph", "-library", libPath, "-max-impls", "1"},
+		{"dedupe", "-library", libPath, "-threshold", "0.9"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	// Validation errors.
+	if err := run([]string{"recommend", "-library", libPath}); err == nil {
+		t.Error("missing -activity accepted")
+	}
+	if err := run([]string{"recommend", "-library", libPath, "-activity", "x", "-strategy", "magic"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunExtract(t *testing.T) {
+	dir := t.TempDir()
+	storiesPath := filepath.Join(dir, "stories.jsonl")
+	outPath := filepath.Join(dir, "lib.jsonl")
+	stories := `{"goal":"get fit","text":"I joined a gym. I started jogging."}
+{"goal":"quiet","text":"nothing at all"}
+`
+	if err := os.WriteFile(storiesPath, []byte(stories), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExtract([]string{"-stories", storiesPath, "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "get fit") {
+		t.Errorf("extracted library missing goal: %s", data)
+	}
+	if err := runExtract(nil); err == nil {
+		t.Error("missing -stories accepted")
+	}
+	if err := runExtract([]string{"-stories", "/does/not/exist"}); err == nil {
+		t.Error("missing stories file accepted")
+	}
+	// Malformed JSON must be rejected.
+	badPath := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(badPath, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExtract([]string{"-stories", badPath}); err == nil {
+		t.Error("malformed stories accepted")
+	}
+}

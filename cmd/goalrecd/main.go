@@ -1,0 +1,91 @@
+// Command goalrecd serves goal-based recommendations over HTTP.
+//
+//	goalrecd -library recipes.jsonl -addr :8080
+//
+// Endpoints (JSON):
+//
+//	GET  /healthz
+//	GET  /v1/stats
+//	GET  /v1/metrics     per-endpoint request/error counters
+//	POST /v1/recommend   {"activity": ["potatoes"], "strategy": "breadth", "k": 10}
+//	POST /v1/spaces      {"activity": ["potatoes"]}
+//	POST /v1/explain     {"activity": ["potatoes"], "action": "pickles"}
+//
+// The process shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"goalrec"
+	"goalrec/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "goalrecd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	libPath := flag.String("library", "", "path to the JSON-lines library file")
+	addr := flag.String("addr", ":8080", "listen address")
+	quiet := flag.Bool("quiet", false, "disable request logging")
+	flag.Parse()
+	if *libPath == "" {
+		return errors.New("-library is required")
+	}
+
+	lib, err := goalrec.LoadLibraryFile(*libPath)
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "goalrecd: ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	logger.Printf("loaded library: %s", lib.Stats())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(lib, reqLogger),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		logger.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-errCh
+	}
+}

@@ -1,0 +1,144 @@
+// Command loadgen load-tests a running goalrecd instance: it replays
+// recommendation requests drawn from a library file and reports throughput
+// and latency percentiles.
+//
+//	goalrecd -library recipes.jsonl -addr :8080 &
+//	loadgen -url http://localhost:8080 -library recipes.jsonl \
+//	        -concurrency 8 -requests 2000 -strategy breadth
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"goalrec"
+	"goalrec/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type result struct {
+	latency time.Duration
+	status  int
+	err     error
+}
+
+func run() error {
+	url := flag.String("url", "http://localhost:8080", "goalrecd base URL")
+	libPath := flag.String("library", "", "library file used to sample query activities")
+	strategyName := flag.String("strategy", "breadth", "strategy to request")
+	k := flag.Int("k", 10, "list length to request")
+	concurrency := flag.Int("concurrency", 4, "parallel clients")
+	requests := flag.Int("requests", 1000, "total requests to send")
+	activityLen := flag.Int("activity-len", 3, "actions per sampled query")
+	seed := flag.Uint64("seed", 1, "sampling seed")
+	flag.Parse()
+	if *libPath == "" {
+		return fmt.Errorf("-library is required")
+	}
+	lib, err := goalrec.LoadLibraryFile(*libPath)
+	if err != nil {
+		return err
+	}
+	actions := lib.Actions()
+	if len(actions) == 0 {
+		return fmt.Errorf("library has no actions")
+	}
+
+	// Pre-build the request bodies deterministically.
+	rng := xrand.New(*seed)
+	bodies := make([][]byte, *requests)
+	for i := range bodies {
+		n := *activityLen
+		if n > len(actions) {
+			n = len(actions)
+		}
+		activity := make([]string, 0, n)
+		for _, idx := range rng.SampleInt32(int32(len(actions)), n) {
+			activity = append(activity, actions[idx])
+		}
+		body, err := json.Marshal(map[string]interface{}{
+			"activity": activity, "strategy": *strategyName, "k": *k,
+		})
+		if err != nil {
+			return err
+		}
+		bodies[i] = body
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	jobs := make(chan []byte)
+	results := make([]result, 0, *requests)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(*url+"/v1/recommend", "application/json", bytes.NewReader(body))
+				r := result{latency: time.Since(t0), err: err}
+				if err == nil {
+					r.status = resp.StatusCode
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range bodies {
+		jobs <- b
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var latencies []time.Duration
+	errors, non200 := 0, 0
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			errors++
+		case r.status != http.StatusOK:
+			non200++
+		default:
+			latencies = append(latencies, r.latency)
+		}
+	}
+	fmt.Printf("requests: %d  ok: %d  non-200: %d  errors: %d\n",
+		len(results), len(latencies), non200, errors)
+	fmt.Printf("elapsed: %v  throughput: %.1f req/s\n",
+		elapsed.Round(time.Millisecond), float64(len(results))/elapsed.Seconds())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i]
+		}
+		fmt.Printf("latency: p50=%v p90=%v p95=%v p99=%v max=%v\n",
+			pct(0.50), pct(0.90), pct(0.95), pct(0.99), latencies[len(latencies)-1])
+	}
+	if errors > 0 || non200 > 0 {
+		return fmt.Errorf("%d transport errors, %d non-200 responses", errors, non200)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+// Package goalrec implements goal-based recommendation as introduced in
+// "Modeling and Exploiting Goal and Action Associations for Recommendations"
+// (Papadimitriou, Velegrakis, Koutrika — EDBT 2018).
+//
+// Instead of recommending items similar to a user's past (content-based
+// filtering) or to the past of similar users (collaborative filtering),
+// goal-based recommendation models a library of goal implementations —
+// pairs of a goal and the set of actions that fulfill it, such as a recipe
+// and its ingredients — and recommends the actions that best advance the
+// goals a user's activity already points at.
+//
+// # Building a library
+//
+// A Library is assembled from (goal, action-set) implementations:
+//
+//	b := goalrec.NewBuilder()
+//	b.AddImplementation("olivier salad", "potatoes", "carrots", "pickles")
+//	b.AddImplementation("mashed potatoes", "potatoes", "nutmeg", "butter")
+//	lib := b.Build()
+//
+// Libraries can also be loaded from JSON-lines files (LoadLibraryJSON) or
+// extracted from free-text success stories (BuildFromStories).
+//
+// # Recommending
+//
+// Four ranking strategies from the paper are available, each implementing a
+// different user policy:
+//
+//   - FocusCompleteness — finish the goal that is closest to done
+//   - FocusCloseness — finish the goal that needs the fewest extra actions
+//   - Breadth — advance as many goals as possible at once
+//   - BestMatch — match the user's per-goal effort profile
+//
+// For example:
+//
+//	rec, _ := lib.Recommender(goalrec.Breadth)
+//	for _, r := range rec.Recommend([]string{"potatoes", "carrots"}, 10) {
+//		fmt.Println(r.Action, r.Score)
+//	}
+//
+// # Baselines
+//
+// For comparison, the package bundles the standard recommenders the paper
+// evaluates against: user-kNN collaborative filtering, ALS-WR matrix
+// factorization, content-based filtering over action features, popularity,
+// and association rules. See Corpus.
+//
+// The internal packages carry the full id-level machinery (indexes,
+// evaluation protocol, experiment harness, synthetic dataset generators);
+// cmd/experiments regenerates every table and figure of the paper.
+package goalrec

@@ -1,0 +1,90 @@
+package goalrec_test
+
+import (
+	"fmt"
+
+	"goalrec"
+)
+
+func buildExampleLibrary() *goalrec.Library {
+	b := goalrec.NewBuilder()
+	// Errors are impossible for these literals; a real caller checks them.
+	_ = b.AddImplementation("olivier salad", "potatoes", "carrots", "pickles")
+	_ = b.AddImplementation("mashed potatoes", "potatoes", "nutmeg", "butter")
+	_ = b.AddImplementation("pan-fried carrots", "carrots", "nutmeg")
+	return b.Build()
+}
+
+func Example() {
+	lib := buildExampleLibrary()
+	rec, _ := lib.Recommender(goalrec.Breadth)
+	for _, r := range rec.Recommend([]string{"potatoes", "carrots"}, 3) {
+		fmt.Printf("%s %.0f\n", r.Action, r.Score)
+	}
+	// Output:
+	// pickles 2
+	// nutmeg 2
+	// butter 1
+}
+
+func ExampleLibrary_GoalSpace() {
+	lib := buildExampleLibrary()
+	fmt.Println(lib.GoalSpace([]string{"nutmeg"}))
+	// Output:
+	// [mashed potatoes pan-fried carrots]
+}
+
+func ExampleLibrary_TopGoals() {
+	lib := buildExampleLibrary()
+	for _, g := range lib.TopGoals([]string{"potatoes", "carrots"}, 2) {
+		fmt.Printf("%s %.2f (support %d)\n", g.Goal, g.Progress, g.Support)
+	}
+	// Output:
+	// olivier salad 0.67 (support 2)
+	// pan-fried carrots 0.50 (support 1)
+}
+
+func ExampleLibrary_Recommender_focus() {
+	lib := buildExampleLibrary()
+	rec, _ := lib.Recommender(goalrec.FocusCompleteness)
+	for _, r := range rec.Recommend([]string{"potatoes", "carrots"}, 2) {
+		fmt.Println(r.Action)
+	}
+	// Output:
+	// pickles
+	// nutmeg
+}
+
+func ExampleLibrary_Explain() {
+	lib := buildExampleLibrary()
+	for _, e := range lib.Explain([]string{"potatoes", "carrots"}, "pickles") {
+		fmt.Printf("%s: %.2f -> %.2f\n", e.Goal, e.ProgressBefore, e.ProgressAfter)
+	}
+	// Output:
+	// olivier salad: 0.67 -> 1.00
+}
+
+func ExampleCorpus_KNNRecommender() {
+	lib := buildExampleLibrary()
+	corpus := lib.NewCorpus([][]string{
+		{"potatoes", "carrots", "pickles"},
+		{"potatoes", "carrots", "nutmeg"},
+		{"butter", "nutmeg"},
+	})
+	rec := corpus.KNNRecommender(2)
+	for _, r := range rec.Recommend([]string{"potatoes", "carrots"}, 2) {
+		fmt.Println(r.Action)
+	}
+	// Output:
+	// pickles
+	// nutmeg
+}
+
+func ExampleBuildFromStories() {
+	lib, kept := goalrec.BuildFromStories([]goalrec.Story{
+		{Goal: "get fit", Text: "I joined a gym. I started jogging."},
+	}, goalrec.ExtractOptions{})
+	fmt.Println(kept, lib.NumActions())
+	// Output:
+	// 1 2
+}

@@ -1,0 +1,47 @@
+// Dynamic: ingest goal implementations incrementally and recommend from
+// consistent snapshots — the pattern for a service whose library grows (new
+// recipes, new outfits) while queries keep flowing. This example uses the
+// id-level core API directly; see examples/quickstart for the name-level
+// façade.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goalrec/internal/core"
+	"goalrec/internal/strategy"
+)
+
+func main() {
+	dyn := core.NewDynamicLibrary()
+
+	// Initial batch: two recipes over actions 0..4.
+	mustAdd(dyn, 0, 0, 1, 2) // goal 0 = {a0, a1, a2}
+	mustAdd(dyn, 1, 0, 3)    // goal 1 = {a0, a3}
+
+	snap := dyn.Snapshot()
+	fmt.Println("after batch 1:", snap.Stats())
+	rec := strategy.NewBreadth(snap)
+	fmt.Println("recommendations for {a0}:", strategy.Actions(rec.Recommend([]core.ActionID{0}, 5)))
+
+	// A sync later, more implementations arrive. Existing snapshots (and any
+	// recommender built on them) keep serving unchanged.
+	mustAdd(dyn, 2, 1, 4)
+	mustAdd(dyn, 0, 0, 2, 4) // a second implementation of goal 0
+
+	fresh := dyn.Snapshot()
+	fmt.Println("after batch 2:", fresh.Stats())
+	fmt.Println("old snapshot still:", snap.Stats())
+
+	rec2 := strategy.NewBreadth(fresh)
+	fmt.Println("recommendations for {a0} now:", strategy.Actions(rec2.Recommend([]core.ActionID{0}, 5)))
+}
+
+func mustAdd(d *core.DynamicLibrary, goal core.GoalID, actions ...core.ActionID) {
+	if _, err := d.Add(goal, actions); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Lifegoals: reproduce the paper's 43Things scenario end to end — extract
+// goal implementations from free-text success stories, then recommend the
+// next actions for a user who has started working on their goals.
+//
+//	go run ./examples/lifegoals
+package main
+
+import (
+	"fmt"
+
+	"goalrec"
+)
+
+// stories are user-generated descriptions of how goals were achieved, the
+// raw material the paper's 43Things dataset was extracted from.
+var stories = []goalrec.Story{
+	{Goal: "lose weight", Text: "I started jogging every morning. I cut sugar completely. Then I tracked calories in a journal."},
+	{Goal: "lose weight", Text: "1. joined a gym\n2. cut sugar\n3. cooked at home instead of eating out"},
+	{Goal: "lose weight", Text: "I drank more water and walked to work every day."},
+	{Goal: "get fit", Text: "joined a gym; started jogging every morning; stretched daily"},
+	{Goal: "get fit", Text: "I lifted weights three times a week. I tracked calories."},
+	{Goal: "learn english", Text: "I enrolled in an evening class. I read books in english. I watched movies with subtitles."},
+	{Goal: "learn english", Text: "practiced speaking with a friend. read books in english."},
+	{Goal: "save money", Text: "I canceled unused subscriptions. I cooked at home instead of eating out. I tracked spending in a budget."},
+	{Goal: "save money", Text: "set a monthly budget. stopped buying coffee outside."},
+	{Goal: "run a marathon", Text: "I started jogging every morning. Then I joined a running club and trained on weekends."},
+	{Goal: "sleep better", Text: "I stopped drinking coffee after noon. I walked to work every day."},
+}
+
+func main() {
+	lib, kept := goalrec.BuildFromStories(stories, goalrec.ExtractOptions{})
+	fmt.Printf("extracted %d implementations from %d stories\n", kept, len(stories))
+	fmt.Println("library:", lib.Stats())
+
+	// Peek at what extraction produced for one story.
+	fmt.Printf("\nstory %q became actions %v\n",
+		stories[0].Goal, goalrec.ExtractActions(stories[0], goalrec.ExtractOptions{}))
+
+	// A user has performed two actions so far. Which goals does that point
+	// at, and what should they do next under each policy?
+	activity := []string{"start jog morn", "cut sugar"}
+	fmt.Printf("\nuser activity: %v\n", activity)
+	progress := lib.GoalProgress(activity)
+	fmt.Println("goal space:")
+	for _, g := range lib.GoalSpace(activity) {
+		fmt.Printf("  %-15s %4.0f%% complete\n", g, 100*progress[g])
+	}
+
+	fmt.Println("\nnext actions:")
+	for _, s := range goalrec.Strategies() {
+		rec := lib.MustRecommender(s)
+		fmt.Printf("  %-11s", rec.Name())
+		for _, r := range rec.Recommend(activity, 3) {
+			fmt.Printf("  %q", r.Action)
+		}
+		fmt.Println()
+	}
+}

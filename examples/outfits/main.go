@@ -1,0 +1,70 @@
+// Outfits: the clothing-store scenario of the paper's Figure 1. Outfits are
+// goal implementations labelled with their purpose ("meeting friends",
+// "going to the office", "be warm"); purchased items are the user activity;
+// the recommender proposes items that complete outfits the wardrobe can
+// already support.
+//
+//	go run ./examples/outfits
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goalrec"
+)
+
+func main() {
+	b := goalrec.NewBuilder()
+	// Several outfits can implement the same purpose — exactly the
+	// many-implementations-per-goal structure of the model.
+	outfits := []struct {
+		purpose string
+		items   []string
+	}{
+		{"meeting friends", []string{"jeans", "white shirt", "sneakers"}},
+		{"meeting friends", []string{"chinos", "polo shirt", "loafers"}},
+		{"going to the office", []string{"suit trousers", "white shirt", "oxford shoes", "blazer"}},
+		{"going to the office", []string{"chinos", "blazer", "loafers"}},
+		{"be warm", []string{"wool coat", "scarf", "beanie", "jeans"}},
+		{"be warm", []string{"puffer jacket", "beanie", "boots"}},
+		{"hiking trip", []string{"hiking boots", "rain jacket", "cargo pants"}},
+	}
+	for _, o := range outfits {
+		if err := b.AddImplementation(o.purpose, o.items...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lib := b.Build()
+
+	wardrobe := []string{"jeans", "white shirt"}
+	fmt.Printf("wardrobe so far: %v\n\n", wardrobe)
+
+	fmt.Println("outfit purposes the wardrobe can serve:")
+	progress := lib.GoalProgress(wardrobe)
+	for _, g := range lib.GoalSpace(wardrobe) {
+		fmt.Printf("  %-20s %4.0f%% complete\n", g, 100*progress[g])
+	}
+
+	// Focus: finish the nearest outfit ("meeting friends" needs only
+	// sneakers).
+	focus := lib.MustRecommender(goalrec.FocusCloseness)
+	fmt.Println("\nfinish one outfit first (focus-cl):")
+	for _, r := range focus.Recommend(wardrobe, 4) {
+		fmt.Printf("  buy %-14s (score %.2f)\n", r.Action, r.Score)
+	}
+
+	// Breadth: items useful across several purposes at once.
+	breadth := lib.MustRecommender(goalrec.Breadth)
+	fmt.Println("\nkeep several outfits in play (breadth):")
+	for _, r := range breadth.Recommend(wardrobe, 4) {
+		fmt.Printf("  buy %-14s (score %.2f)\n", r.Action, r.Score)
+	}
+
+	// Best Match: follow the purposes the wardrobe already leans towards.
+	best := lib.MustRecommender(goalrec.BestMatch)
+	fmt.Println("\nmatch the wardrobe's profile (best-match):")
+	for _, r := range best.Recommend(wardrobe, 4) {
+		fmt.Printf("  buy %-14s (distance %.2f)\n", r.Action, -r.Score)
+	}
+}

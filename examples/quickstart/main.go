@@ -1,0 +1,62 @@
+// Quickstart: build a small goal-implementation library, inspect a user's
+// goal space, and compare the four goal-based recommendation strategies.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goalrec"
+)
+
+func main() {
+	// A library is a set of goal implementations: a goal plus the actions
+	// that fulfill it. Here: recipes and their ingredients, the running
+	// example of the paper's introduction.
+	b := goalrec.NewBuilder()
+	recipes := []struct {
+		goal        string
+		ingredients []string
+	}{
+		{"olivier salad", []string{"potatoes", "carrots", "pickles", "mayonnaise"}},
+		{"mashed potatoes", []string{"potatoes", "butter", "nutmeg", "milk"}},
+		{"pan-fried carrots", []string{"carrots", "butter", "nutmeg"}},
+		{"carrot cake", []string{"carrots", "flour", "eggs", "sugar"}},
+		{"pancakes", []string{"flour", "eggs", "milk", "butter"}},
+		{"pickled vegetables", []string{"pickles", "vinegar", "sugar"}},
+	}
+	for _, r := range recipes {
+		if err := b.AddImplementation(r.goal, r.ingredients...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lib := b.Build()
+	fmt.Println("library:", lib.Stats())
+
+	// The customer's cart so far.
+	cart := []string{"potatoes", "carrots"}
+
+	// Which goals could this cart be heading towards, and how far along is
+	// each one?
+	fmt.Printf("\ncart %v opens these goals:\n", cart)
+	progress := lib.GoalProgress(cart)
+	for _, g := range lib.GoalSpace(cart) {
+		fmt.Printf("  %-20s %4.0f%% complete\n", g, 100*progress[g])
+	}
+
+	// Each strategy implements a different policy for what to do next.
+	fmt.Println("\ntop-3 recommendations per strategy:")
+	for _, s := range goalrec.Strategies() {
+		rec, err := lib.Recommender(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s", rec.Name())
+		for _, r := range rec.Recommend(cart, 3) {
+			fmt.Printf("  %s (%.2f)", r.Action, r.Score)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,77 @@
+// Service: embed the recommendation HTTP service in a program, then act as
+// its own client — the integration pattern for serving a goal library in
+// production. (cmd/goalrecd is the standalone equivalent.)
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+
+	"goalrec"
+	"goalrec/internal/server"
+)
+
+func main() {
+	// Build the library that the service will answer from.
+	b := goalrec.NewBuilder()
+	recipes := map[string][]string{
+		"olivier salad":     {"potatoes", "carrots", "pickles", "mayonnaise"},
+		"mashed potatoes":   {"potatoes", "butter", "nutmeg", "milk"},
+		"pan-fried carrots": {"carrots", "butter", "nutmeg"},
+	}
+	// Insert in sorted order so interned ids (and tie-breaks) are stable
+	// across runs.
+	goalNames := make([]string, 0, len(recipes))
+	for goal := range recipes {
+		goalNames = append(goalNames, goal)
+	}
+	sort.Strings(goalNames)
+	for _, goal := range goalNames {
+		if err := b.AddImplementation(goal, recipes[goal]...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lib := b.Build()
+
+	// Mount the service. In production this handler goes into
+	// http.Server{Addr: ":8080", Handler: handler}; the test server keeps
+	// this example self-contained.
+	handler := server.New(lib, nil)
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	fmt.Println("service listening at", ts.URL)
+
+	// Query it like any client would.
+	reqBody, _ := json.Marshal(map[string]interface{}{
+		"activity": []string{"potatoes", "carrots"},
+		"strategy": "breadth",
+		"k":        5,
+	})
+	resp, err := http.Post(ts.URL+"/v1/recommend", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var out struct {
+		Strategy        string `json:"strategy"`
+		Recommendations []struct {
+			Action string  `json:"action"`
+			Score  float64 `json:"score"`
+		} `json:"recommendations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy %s recommends:\n", out.Strategy)
+	for i, r := range out.Recommendations {
+		fmt.Printf("  %d. %-12s %.3f\n", i+1, r.Action, r.Score)
+	}
+}

@@ -1,0 +1,3 @@
+module goalrec
+
+go 1.22

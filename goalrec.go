@@ -1,0 +1,660 @@
+package goalrec
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+	"goalrec/internal/vectorspace"
+)
+
+// Stats summarizes a library's shape; see the embedded field docs in
+// internal/core. Connectivity (mean implementations per action) is the
+// number the paper's complexity analysis pivots on.
+type Stats = core.Stats
+
+// Builder accumulates goal implementations by name and freezes them into a
+// Library. The zero value is ready to use.
+type Builder struct {
+	b     core.Builder
+	vocab *core.Vocabulary
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{vocab: core.NewVocabulary()}
+}
+
+func (b *Builder) init() {
+	if b.vocab == nil {
+		b.vocab = core.NewVocabulary()
+	}
+}
+
+// AddImplementation records one goal implementation: the goal and the
+// actions that jointly fulfill it. Duplicate actions are merged; an
+// implementation needs at least one action.
+func (b *Builder) AddImplementation(goal string, actions ...string) error {
+	b.init()
+	if goal == "" {
+		return errors.New("goalrec: empty goal name")
+	}
+	ids := make([]core.ActionID, len(actions))
+	for i, a := range actions {
+		if a == "" {
+			return fmt.Errorf("goalrec: implementation of %q has an empty action name", goal)
+		}
+		ids[i] = core.ActionID(b.vocab.Actions.Intern(a))
+	}
+	g := core.GoalID(b.vocab.Goals.Intern(goal))
+	if _, err := b.b.Add(g, ids); err != nil {
+		return fmt.Errorf("goalrec: adding implementation of %q: %w", goal, err)
+	}
+	return nil
+}
+
+// Len returns the number of implementations added.
+func (b *Builder) Len() int { return b.b.Len() }
+
+// Build freezes the implementations into an immutable Library. The Builder
+// remains usable; later Adds do not affect the built Library.
+func (b *Builder) Build() *Library {
+	b.init()
+	return &Library{lib: b.b.Build(), vocab: b.vocab}
+}
+
+// Library is an immutable goal-implementation set with its name dictionary.
+// It is safe for concurrent use.
+type Library struct {
+	lib   *core.Library
+	vocab *core.Vocabulary
+}
+
+// NumImplementations returns the number of goal implementations.
+func (l *Library) NumImplementations() int { return l.lib.NumImplementations() }
+
+// NumActions returns the number of distinct actions.
+func (l *Library) NumActions() int { return l.vocab.Actions.Len() }
+
+// NumGoals returns the number of distinct goals.
+func (l *Library) NumGoals() int { return l.vocab.Goals.Len() }
+
+// Stats scans the library and returns its summary statistics.
+func (l *Library) Stats() Stats { return l.lib.Stats() }
+
+// Actions returns all known action names, sorted.
+func (l *Library) Actions() []string {
+	out := append([]string(nil), l.vocab.Actions.Names()...)
+	sort.Strings(out)
+	return out
+}
+
+// Goals returns all known goal names, sorted.
+func (l *Library) Goals() []string {
+	out := append([]string(nil), l.vocab.Goals.Names()...)
+	sort.Strings(out)
+	return out
+}
+
+// resolve maps action names to ids, silently dropping unknown names (an
+// unknown action cannot contribute to any goal).
+func (l *Library) resolve(actions []string) []core.ActionID {
+	ids := make([]core.ActionID, 0, len(actions))
+	for _, a := range actions {
+		if id, ok := l.vocab.Actions.Lookup(a); ok {
+			ids = append(ids, core.ActionID(id))
+		}
+	}
+	return ids
+}
+
+// GoalSpace returns the names of the goals associated with the activity
+// through at least one implementation — the paper's GS(H).
+func (l *Library) GoalSpace(activity []string) []string {
+	gs := l.lib.GoalSpace(l.resolve(activity))
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = l.vocab.GoalName(g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActionSpace returns the names of the actions co-participating with the
+// activity in some implementation — the paper's AS(H).
+func (l *Library) ActionSpace(activity []string) []string {
+	as := l.lib.ActionSpace(l.resolve(activity))
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = l.vocab.ActionName(a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Implementation is one goal implementation by name.
+type Implementation struct {
+	Goal    string
+	Actions []string
+}
+
+// ImplementationsOf returns every implementation of the named goal, in
+// insertion order. Unknown goals yield nil.
+func (l *Library) ImplementationsOf(goal string) []Implementation {
+	gid, ok := l.vocab.Goals.Lookup(goal)
+	if !ok {
+		return nil
+	}
+	var out []Implementation
+	for _, p := range l.lib.ImplsOfGoal(core.GoalID(gid)) {
+		out = append(out, l.implementation(p))
+	}
+	return out
+}
+
+// ImplementationsWith returns every implementation containing the named
+// action, in insertion order — the paper's implementation space IS(a).
+// Unknown actions yield nil.
+func (l *Library) ImplementationsWith(action string) []Implementation {
+	aid, ok := l.vocab.Actions.Lookup(action)
+	if !ok {
+		return nil
+	}
+	var out []Implementation
+	for _, p := range l.lib.ImplsOfAction(core.ActionID(aid)) {
+		out = append(out, l.implementation(p))
+	}
+	return out
+}
+
+func (l *Library) implementation(p core.ImplID) Implementation {
+	impl := Implementation{Goal: l.vocab.GoalName(l.lib.Goal(p))}
+	for _, a := range l.lib.Actions(p) {
+		impl.Actions = append(impl.Actions, l.vocab.ActionName(a))
+	}
+	return impl
+}
+
+// GoalProgress reports, for every goal in the activity's goal space, the
+// completeness of its best implementation: 1.0 means some implementation of
+// the goal is fully covered by the activity.
+func (l *Library) GoalProgress(activity []string) map[string]float64 {
+	h := normalizeIDs(l.resolve(activity))
+	out := make(map[string]float64)
+	for _, g := range l.lib.GoalSpace(h) {
+		out[l.vocab.GoalName(g)] = l.lib.GoalCompleteness(g, h, nil)
+	}
+	return out
+}
+
+// GoalMatch is one inferred goal: how far its best implementation has
+// progressed under the activity, and how many of the activity's actions
+// contribute to it.
+type GoalMatch struct {
+	// Goal is the goal's name.
+	Goal string
+	// Progress is the completeness of the goal's best implementation
+	// (1.0 = some implementation fully covered).
+	Progress float64
+	// Support is the number of distinct activity actions contributing to
+	// the goal through at least one implementation.
+	Support int
+}
+
+// TopGoals infers the k goals the activity most plausibly aims at, ranked by
+// progress (descending), then support, then name. k < 0 returns the whole
+// goal space. This is the "recognize the intended user goals" step of the
+// paper's Section 1 made directly available.
+func (l *Library) TopGoals(activity []string, k int) []GoalMatch {
+	if k == 0 {
+		return nil
+	}
+	h := normalizeIDs(l.resolve(activity))
+	out := make([]GoalMatch, 0, 16)
+	for _, g := range l.lib.GoalSpace(h) {
+		support := 0
+		for _, a := range h {
+			for _, p := range l.lib.ImplsOfAction(a) {
+				if l.lib.Goal(p) == g {
+					support++
+					break
+				}
+			}
+		}
+		out = append(out, GoalMatch{
+			Goal:     l.vocab.GoalName(g),
+			Progress: l.lib.GoalCompleteness(g, h, nil),
+			Support:  support,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Progress != out[j].Progress {
+			return out[i].Progress > out[j].Progress
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Goal < out[j].Goal
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Explanation justifies recommending one action for an activity: the goals
+// the action contributes to (restricted to the activity's goal space) and
+// the progress each goal would make if the action were performed.
+type Explanation struct {
+	// Goal is the goal's name.
+	Goal string
+	// Implementations is the number of the goal's implementations the
+	// action contributes through.
+	Implementations int
+	// ProgressBefore is the goal's best-implementation completeness under
+	// the activity alone.
+	ProgressBefore float64
+	// ProgressAfter is the completeness once the action is added.
+	ProgressAfter float64
+}
+
+// Explain reports why action is (or would be) a goal-based recommendation
+// for the activity: every goal of the activity's goal space the action
+// contributes to, with before/after progress, ordered by after-progress. An
+// empty result means the action serves no goal the activity points at.
+func (l *Library) Explain(activity []string, action string) []Explanation {
+	aid, ok := l.vocab.Actions.Lookup(action)
+	if !ok {
+		return nil
+	}
+	h := normalizeIDs(l.resolve(activity))
+	goalSpace := l.lib.GoalSpace(h)
+	extra := []core.ActionID{core.ActionID(aid)}
+	var out []Explanation
+	for _, g := range goalSpace {
+		n := 0
+		for _, p := range l.lib.ImplsOfAction(core.ActionID(aid)) {
+			if l.lib.Goal(p) == g {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out, Explanation{
+			Goal:            l.vocab.GoalName(g),
+			Implementations: n,
+			ProgressBefore:  l.lib.GoalCompleteness(g, h, nil),
+			ProgressAfter:   l.lib.GoalCompleteness(g, h, extra),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ProgressAfter != out[j].ProgressAfter {
+			return out[i].ProgressAfter > out[j].ProgressAfter
+		}
+		return out[i].Goal < out[j].Goal
+	})
+	return out
+}
+
+// Strategy selects one of the paper's ranking policies.
+type Strategy string
+
+// The four goal-based strategies of Sections 5.1–5.3.
+const (
+	// FocusCompleteness ranks implementations by the fraction of their
+	// actions already performed and recommends the missing pieces of the
+	// most complete ones.
+	FocusCompleteness Strategy = "focus-cmp"
+	// FocusCloseness ranks implementations by how few actions they still
+	// need.
+	FocusCloseness Strategy = "focus-cl"
+	// Breadth scores each candidate action across every implementation it
+	// shares with the user's activity, favoring actions that advance many
+	// goals at once.
+	Breadth Strategy = "breadth"
+	// BestMatch builds a per-goal effort profile of the user and recommends
+	// the actions whose goal-contribution vectors lie closest to it.
+	BestMatch Strategy = "best-match"
+)
+
+// Strategies lists all goal-based strategies in presentation order.
+func Strategies() []Strategy {
+	return []Strategy{FocusCompleteness, FocusCloseness, Breadth, BestMatch}
+}
+
+// RecommenderOption customizes strategy construction.
+type RecommenderOption func(*recOptions)
+
+type recOptions struct {
+	metric    vectorspace.Metric
+	weighting strategy.BreadthWeighting
+	cacheSize int
+}
+
+// WithDistanceMetric selects the Best Match distance: "cosine" (default),
+// "euclidean", "manhattan" or "jaccard". It is ignored by other strategies.
+func WithDistanceMetric(name string) RecommenderOption {
+	return func(o *recOptions) {
+		if m, err := vectorspace.ParseMetric(name); err == nil {
+			o.metric = m
+		}
+	}
+}
+
+// WithBreadthWeighting selects the Breadth per-implementation weight:
+// "overlap" (default), "count" or "union". It is ignored by other
+// strategies.
+func WithBreadthWeighting(name string) RecommenderOption {
+	return func(o *recOptions) {
+		switch name {
+		case "count":
+			o.weighting = strategy.Count
+		case "union":
+			o.weighting = strategy.Union
+		default:
+			o.weighting = strategy.Overlap
+		}
+	}
+}
+
+// WithCache wraps the recommender in an LRU cache of the given entry
+// capacity (≤ 0 selects 1024). Strategies are deterministic over an
+// immutable library, so caching only trades memory for latency on repeated
+// activities.
+func WithCache(entries int) RecommenderOption {
+	return func(o *recOptions) {
+		if entries <= 0 {
+			entries = 1024
+		}
+		o.cacheSize = entries
+	}
+}
+
+// Recommendation is one ranked suggestion.
+type Recommendation struct {
+	// Action is the recommended action's name.
+	Action string
+	// Score is the strategy's ranking score; higher is better. For
+	// BestMatch the score is the negated profile distance.
+	Score float64
+}
+
+// Recommender ranks candidate actions for an activity. Implementations are
+// safe for concurrent use.
+type Recommender interface {
+	// Name identifies the method ("breadth", "cf-knn", ...).
+	Name() string
+	// Recommend returns up to k actions the user has not performed, ranked
+	// best-first. Unknown action names in the activity are ignored.
+	Recommend(activity []string, k int) []Recommendation
+}
+
+// namedRecommender adapts an id-level recommender to the string API.
+type namedRecommender struct {
+	rec strategy.Recommender
+	lib *Library
+}
+
+func (n *namedRecommender) Name() string { return n.rec.Name() }
+
+func (n *namedRecommender) Recommend(activity []string, k int) []Recommendation {
+	ids := n.lib.resolve(activity)
+	scored := n.rec.Recommend(ids, k)
+	out := make([]Recommendation, len(scored))
+	for i, s := range scored {
+		out[i] = Recommendation{Action: n.lib.vocab.ActionName(s.Action), Score: s.Score}
+	}
+	return out
+}
+
+// Recommender constructs a goal-based recommender over the library.
+func (l *Library) Recommender(s Strategy, opts ...RecommenderOption) (Recommender, error) {
+	o := recOptions{metric: vectorspace.Cosine, weighting: strategy.Overlap}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var rec strategy.Recommender
+	switch s {
+	case FocusCompleteness:
+		rec = strategy.NewFocus(l.lib, strategy.Completeness)
+	case FocusCloseness:
+		rec = strategy.NewFocus(l.lib, strategy.Closeness)
+	case Breadth:
+		rec = strategy.NewBreadthWeighted(l.lib, o.weighting)
+	case BestMatch:
+		rec = strategy.NewBestMatchMetric(l.lib, o.metric)
+	default:
+		return nil, fmt.Errorf("goalrec: unknown strategy %q", s)
+	}
+	if o.cacheSize > 0 {
+		rec = strategy.NewCached(rec, o.cacheSize)
+	}
+	return &namedRecommender{rec: rec, lib: l}, nil
+}
+
+// RecommendBatch runs the recommender over many activities in parallel
+// (bounded by GOMAXPROCS) and returns the lists in input order. Recommenders
+// from this package are safe for concurrent use, so this is the throughput
+// path for offline scoring jobs.
+func RecommendBatch(rec Recommender, activities [][]string, k int) [][]Recommendation {
+	out := make([][]Recommendation, len(activities))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(activities) {
+		workers = len(activities)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = rec.Recommend(activities[i], k)
+			}
+		}()
+	}
+	for i := range activities {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// MustRecommender is Recommender for the package's own strategy constants;
+// it panics on an unknown strategy.
+func (l *Library) MustRecommender(s Strategy, opts ...RecommenderOption) Recommender {
+	rec, err := l.Recommender(s, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}
+
+// SaveJSON writes the library as JSON lines (one implementation per line),
+// the format LoadLibraryJSON reads.
+func (l *Library) SaveJSON(w io.Writer) error {
+	return core.WriteJSONLines(w, l.lib, l.vocab)
+}
+
+// LoadLibraryJSON reads a JSON-lines library: one object per line with the
+// shape {"goal": "...", "actions": ["...", ...]}.
+func LoadLibraryJSON(r io.Reader) (*Library, error) {
+	lib, vocab, err := core.ReadJSONLines(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Library{lib: lib, vocab: vocab}, nil
+}
+
+// SaveBinary writes the library and its vocabulary in the compact binary
+// snapshot format, which loads much faster than JSON lines for large
+// libraries.
+func (l *Library) SaveBinary(w io.Writer) error {
+	return core.WriteNamedBinary(w, l.lib, l.vocab)
+}
+
+// LoadLibraryBinary reads a snapshot written by SaveBinary.
+func LoadLibraryBinary(r io.Reader) (*Library, error) {
+	lib, vocab, err := core.ReadNamedBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Library{lib: lib, vocab: vocab}, nil
+}
+
+// RelatedGoal is one goal associated with a reference goal through shared
+// actions — the latent goal-goal associations the model captures.
+type RelatedGoal struct {
+	// Goal is the related goal's name.
+	Goal string
+	// SharedActions is the number of distinct actions the two goals'
+	// implementations share.
+	SharedActions int
+	// Similarity is the Jaccard coefficient of the two goals' action sets
+	// (union over their implementations).
+	Similarity float64
+}
+
+// RelatedGoals returns the k goals whose implementations share the most
+// actions with the named goal, ranked by Jaccard similarity of their action
+// sets (ties by shared-action count, then name). k < 0 returns all related
+// goals. Unknown goals yield nil.
+func (l *Library) RelatedGoals(goal string, k int) []RelatedGoal {
+	gid, ok := l.vocab.Goals.Lookup(goal)
+	if !ok || k == 0 {
+		return nil
+	}
+	ref := l.goalActions(core.GoalID(gid))
+	if len(ref) == 0 {
+		return nil
+	}
+	// Candidate goals: those reachable through the reference actions.
+	seen := map[core.GoalID]bool{core.GoalID(gid): true}
+	var out []RelatedGoal
+	for _, g := range l.lib.GoalSpace(ref) {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		other := l.goalActions(g)
+		shared := intset.IntersectionLen(ref, other)
+		if shared == 0 {
+			continue
+		}
+		out = append(out, RelatedGoal{
+			Goal:          l.vocab.GoalName(g),
+			SharedActions: shared,
+			Similarity:    float64(shared) / float64(len(ref)+len(other)-shared),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		if out[i].SharedActions != out[j].SharedActions {
+			return out[i].SharedActions > out[j].SharedActions
+		}
+		return out[i].Goal < out[j].Goal
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// goalActions returns the union of the goal's implementations' actions,
+// sorted.
+func (l *Library) goalActions(g core.GoalID) []core.ActionID {
+	var all []core.ActionID
+	for _, p := range l.lib.ImplsOfGoal(g) {
+		all = append(all, l.lib.Actions(p)...)
+	}
+	return normalizeIDs(all)
+}
+
+// MergeLibraries combines several libraries into one: implementations are
+// concatenated in argument order and identical names unify onto shared ids,
+// so goal/action spaces span all sources. Use Deduplicate afterwards when
+// the sources overlap. Merging no libraries yields an empty library.
+func MergeLibraries(libs ...*Library) *Library {
+	out := NewBuilder()
+	for _, l := range libs {
+		for p := 0; p < l.lib.NumImplementations(); p++ {
+			id := core.ImplID(p)
+			goal := l.vocab.GoalName(l.lib.Goal(id))
+			actions := make([]string, 0, l.lib.ImplLen(id))
+			for _, a := range l.lib.Actions(id) {
+				actions = append(actions, l.vocab.ActionName(a))
+			}
+			// The source library guarantees valid implementations.
+			_ = out.AddImplementation(goal, actions...)
+		}
+	}
+	return out.Build()
+}
+
+// DedupeStats reports what Deduplicate removed.
+type DedupeStats = core.DedupeStats
+
+// Deduplicate returns a copy of the library with duplicate implementations
+// of the same goal removed: an implementation is dropped when an earlier
+// implementation of the same goal overlaps it with Jaccard ≥ threshold
+// (1 removes only exact duplicates). Useful after BuildFromStories, where
+// many authors describe the same action set for one goal.
+func (l *Library) Deduplicate(threshold float64) (*Library, DedupeStats) {
+	lib, stats := core.Deduplicate(l.lib, threshold)
+	return &Library{lib: lib, vocab: l.vocab}, stats
+}
+
+// ExportDOT renders the association-based goal model (the paper's Figure 2)
+// as a Graphviz graph: implementations as goal-labelled boxes connected to
+// the actions they contain. maxImpls caps the rendered implementations
+// (≤ 0 renders everything).
+func (l *Library) ExportDOT(w io.Writer, maxImpls int) error {
+	return core.WriteDOT(w, l.lib, l.vocab, maxImpls)
+}
+
+// LoadLibraryFile opens path and loads it with the format sniffed from the
+// first byte: '{' selects JSON lines, anything else the binary snapshot.
+func LoadLibraryFile(path string) (*Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("goalrec: reading %s: %w", path, err)
+	}
+	if head[0] == '{' {
+		return LoadLibraryJSON(br)
+	}
+	return LoadLibraryBinary(br)
+}
+
+func normalizeIDs(ids []core.ActionID) []core.ActionID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	var prev core.ActionID = -1
+	for _, v := range ids {
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}

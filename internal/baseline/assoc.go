@@ -1,0 +1,106 @@
+package baseline
+
+import (
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+)
+
+// AssocRules is the association-rule comparator discussed in the paper's
+// related work (Section 2): it mines pairwise co-occurrence rules b → a from
+// the historical activities and scores a candidate a for activity H by the
+// summed confidence of the rules fired by H's actions. The paper argues this
+// popularity-driven signal cannot reproduce goal-based recommendations; the
+// experiment harness uses this implementation to demonstrate it.
+type AssocRules struct {
+	in         *Interactions
+	minSupport int
+
+	// pair[b] maps co-occurring action a to count(a, b) for pairs meeting
+	// the support threshold.
+	pair []map[core.ActionID]int
+}
+
+// NewAssocRules mines pairwise rules with the given absolute minimum support
+// (non-positive defaults to 2 users).
+func NewAssocRules(in *Interactions, minSupport int) *AssocRules {
+	if minSupport <= 0 {
+		minSupport = 2
+	}
+	ar := &AssocRules{
+		in:         in,
+		minSupport: minSupport,
+		pair:       make([]map[core.ActionID]int, in.NumActions()),
+	}
+	for u := 0; u < in.NumUsers(); u++ {
+		h := in.User(u)
+		for i, b := range h {
+			for j, a := range h {
+				if i == j {
+					continue
+				}
+				if ar.pair[b] == nil {
+					ar.pair[b] = make(map[core.ActionID]int)
+				}
+				ar.pair[b][a]++
+			}
+		}
+	}
+	// Prune below-support pairs so scoring sees only real rules.
+	for b := range ar.pair {
+		for a, c := range ar.pair[b] {
+			if c < minSupport {
+				delete(ar.pair[b], a)
+			}
+		}
+	}
+	return ar
+}
+
+// Name implements strategy.Recommender.
+func (ar *AssocRules) Name() string { return "assoc-rules" }
+
+// Confidence returns conf(b → a) = count(a, b) / count(b), or 0 when the
+// pair is below support.
+func (ar *AssocRules) Confidence(b, a core.ActionID) float64 {
+	if b < 0 || int(b) >= len(ar.pair) || ar.pair[b] == nil {
+		return 0
+	}
+	n := ar.in.ActionCount(b)
+	if n == 0 {
+		return 0
+	}
+	return float64(ar.pair[b][a]) / float64(n)
+}
+
+// Recommend implements strategy.Recommender.
+func (ar *AssocRules) Recommend(activity []core.ActionID, n int) []strategy.ScoredAction {
+	if n == 0 {
+		return nil
+	}
+	h := normalizeActivity(activity)
+	if len(h) == 0 {
+		return nil
+	}
+	scores := make(map[core.ActionID]float64)
+	for _, b := range h {
+		if int(b) >= len(ar.pair) || ar.pair[b] == nil {
+			continue
+		}
+		cnt := ar.in.ActionCount(b)
+		if cnt == 0 {
+			continue
+		}
+		for a, c := range ar.pair[b] {
+			if intset.Contains(h, a) {
+				continue
+			}
+			scores[a] += float64(c) / float64(cnt)
+		}
+	}
+	scored := make([]strategy.ScoredAction, 0, len(scores))
+	for a, s := range scores {
+		scored = append(scored, strategy.ScoredAction{Action: a, Score: s})
+	}
+	return strategy.TopK(scored, n)
+}

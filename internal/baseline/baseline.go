@@ -1,0 +1,99 @@
+// Package baseline implements the comparison recommenders of the paper's
+// evaluation (Section 6): a user-based nearest-neighbour collaborative
+// filter with Tanimoto neighbourhoods (CF KNN), an ALS matrix-factorization
+// collaborative filter with weighted-λ-regularization (CF MF, the Mahout
+// ALS-WR configuration), a content-based recommender over domain features,
+// and two additional comparators discussed in the paper's related work:
+// plain popularity and association rules.
+//
+// Every baseline is fit on a set of historical user activities (implicit
+// feedback) and then ranks candidate actions for a query activity through
+// the same strategy.Recommender interface the goal-based methods implement.
+package baseline
+
+import (
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+// Interactions is the implicit-feedback user-action matrix: one sorted
+// action set per historical user. It also carries the inverted action→users
+// index the neighbourhood methods need. Interactions is immutable after
+// construction and safe for concurrent readers.
+type Interactions struct {
+	users      [][]core.ActionID // sorted per user
+	numActions int
+
+	actOff   []int32 // CSR offsets into actUsers, len numActions+1
+	actUsers []int32 // user ids per action, ascending
+}
+
+// NewInteractions builds the matrix from raw user activities. Activities are
+// normalized (sorted, deduplicated); empty activities are kept so user ids
+// stay aligned with the caller's numbering. numActions fixes the action id
+// space; actions outside [0, numActions) are dropped.
+func NewInteractions(activities [][]core.ActionID, numActions int) *Interactions {
+	in := &Interactions{
+		users:      make([][]core.ActionID, len(activities)),
+		numActions: numActions,
+	}
+	counts := make([]int32, numActions+1)
+	for u, raw := range activities {
+		h := intset.FromUnsorted(intset.Clone(raw))
+		// Drop out-of-range ids.
+		filtered := h[:0]
+		for _, a := range h {
+			if a >= 0 && int(a) < numActions {
+				filtered = append(filtered, a)
+			}
+		}
+		in.users[u] = filtered
+		for _, a := range filtered {
+			counts[a+1]++
+		}
+	}
+	for i := 1; i <= numActions; i++ {
+		counts[i] += counts[i-1]
+	}
+	in.actOff = counts
+	total := counts[numActions]
+	in.actUsers = make([]int32, total)
+	cursor := append([]int32(nil), counts[:numActions]...)
+	for u, h := range in.users {
+		for _, a := range h {
+			in.actUsers[cursor[a]] = int32(u)
+			cursor[a]++
+		}
+	}
+	return in
+}
+
+// NumUsers returns the number of historical users.
+func (in *Interactions) NumUsers() int { return len(in.users) }
+
+// NumActions returns the size of the action id space.
+func (in *Interactions) NumActions() int { return in.numActions }
+
+// User returns user u's sorted action set. The slice is a view and must not
+// be modified.
+func (in *Interactions) User(u int) []core.ActionID { return in.users[u] }
+
+// UsersOfAction returns the ascending user ids who performed action a. The
+// slice is a view and must not be modified.
+func (in *Interactions) UsersOfAction(a core.ActionID) []int32 {
+	if a < 0 || int(a) >= in.numActions {
+		return nil
+	}
+	return in.actUsers[in.actOff[a]:in.actOff[a+1]]
+}
+
+// ActionCount returns the number of users who performed a: the popularity
+// statistic of the paper's Table 3 analysis.
+func (in *Interactions) ActionCount(a core.ActionID) int {
+	return len(in.UsersOfAction(a))
+}
+
+// normalizeActivity sorts and deduplicates a query activity.
+func normalizeActivity(activity []core.ActionID) []core.ActionID {
+	return intset.FromUnsorted(intset.Clone(activity))
+}

@@ -1,0 +1,343 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+)
+
+func acts(v ...core.ActionID) []core.ActionID { return v }
+
+// smallInteractions is a 5-user, 6-action matrix used across baseline
+// tests:
+//
+//	u0: {0, 1, 2}
+//	u1: {0, 1, 3}
+//	u2: {0, 4}
+//	u3: {5}
+//	u4: {1, 2, 3}
+func smallInteractions() *Interactions {
+	return NewInteractions([][]core.ActionID{
+		acts(0, 1, 2),
+		acts(0, 1, 3),
+		acts(0, 4),
+		acts(5),
+		acts(1, 2, 3),
+	}, 6)
+}
+
+func TestInteractionsIndexes(t *testing.T) {
+	in := smallInteractions()
+	if in.NumUsers() != 5 || in.NumActions() != 6 {
+		t.Fatalf("dimensions: %d users, %d actions", in.NumUsers(), in.NumActions())
+	}
+	if got := in.UsersOfAction(0); !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Errorf("UsersOfAction(0) = %v", got)
+	}
+	if got := in.UsersOfAction(5); !reflect.DeepEqual(got, []int32{3}) {
+		t.Errorf("UsersOfAction(5) = %v", got)
+	}
+	if in.ActionCount(1) != 3 {
+		t.Errorf("ActionCount(1) = %d, want 3", in.ActionCount(1))
+	}
+	if got := in.UsersOfAction(99); got != nil {
+		t.Errorf("out-of-range action returned %v", got)
+	}
+	if got := in.UsersOfAction(-1); got != nil {
+		t.Errorf("negative action returned %v", got)
+	}
+}
+
+func TestInteractionsNormalizesAndFilters(t *testing.T) {
+	in := NewInteractions([][]core.ActionID{
+		acts(3, 1, 3, 99, -1), // dup, out of range
+		nil,                   // empty user preserved
+	}, 5)
+	if got := in.User(0); !reflect.DeepEqual(got, acts(1, 3)) {
+		t.Errorf("User(0) = %v, want [1 3]", got)
+	}
+	if got := in.User(1); len(got) != 0 {
+		t.Errorf("User(1) = %v, want empty", got)
+	}
+	if in.NumUsers() != 2 {
+		t.Errorf("NumUsers = %d, want 2", in.NumUsers())
+	}
+}
+
+func TestKNNBasic(t *testing.T) {
+	in := smallInteractions()
+	knn := NewKNN(in, 3)
+	if knn.Name() != "cf-knn" {
+		t.Errorf("Name = %q", knn.Name())
+	}
+
+	// Query {0,1}: most similar users are u0 and u1 (Jaccard 2/3), then u4
+	// (1/4), u2 (1/3). Top-3 = u0, u1, u2 by sim (2/3, 2/3, 1/3).
+	// Votes: u0 → a2 (2/3); u1 → a3 (2/3); u2 → a4 (1/3).
+	got := knn.Recommend(acts(0, 1), 10)
+	want := []core.ActionID{2, 3, 4}
+	if !reflect.DeepEqual(strategy.Actions(got), want) {
+		t.Errorf("Recommend = %v, want %v", strategy.Actions(got), want)
+	}
+	// No recommendation may be part of the query.
+	for _, s := range got {
+		if s.Action == 0 || s.Action == 1 {
+			t.Errorf("query action recommended: %v", s)
+		}
+	}
+}
+
+func TestKNNNeighborLimit(t *testing.T) {
+	in := smallInteractions()
+	// With a single neighbour, only u0's actions can be recommended
+	// (u0 ties with u1 at 2/3 and wins the deterministic tie-break).
+	knn := NewKNN(in, 1)
+	got := strategy.Actions(knn.Recommend(acts(0, 1), 10))
+	if !reflect.DeepEqual(got, acts(2)) {
+		t.Errorf("Recommend = %v, want [2]", got)
+	}
+}
+
+func TestKNNEmptyCases(t *testing.T) {
+	in := smallInteractions()
+	knn := NewKNN(in, 0) // default neighbours
+	if got := knn.Recommend(nil, 5); got != nil {
+		t.Errorf("empty query produced %v", got)
+	}
+	if got := knn.Recommend(acts(0), 0); got != nil {
+		t.Errorf("k=0 produced %v", got)
+	}
+	// An action nobody performed yields no neighbours.
+	in2 := NewInteractions([][]core.ActionID{acts(1)}, 10)
+	if got := NewKNN(in2, 5).Recommend(acts(7), 5); got != nil {
+		t.Errorf("isolated query produced %v", got)
+	}
+}
+
+func TestPopularity(t *testing.T) {
+	in := smallInteractions()
+	p := NewPopularity(in)
+	if p.Name() != "popularity" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	// Counts: a0=3, a1=3, a2=2, a3=2, a4=1, a5=1.
+	got := p.Recommend(acts(0), 3)
+	want := []core.ActionID{1, 2, 3}
+	if !reflect.DeepEqual(strategy.Actions(got), want) {
+		t.Errorf("Recommend = %v, want %v", strategy.Actions(got), want)
+	}
+	if got[0].Score != 3 {
+		t.Errorf("top score = %v, want 3", got[0].Score)
+	}
+}
+
+func TestAssocRules(t *testing.T) {
+	in := smallInteractions()
+	ar := NewAssocRules(in, 2)
+	if ar.Name() != "assoc-rules" {
+		t.Errorf("Name = %q", ar.Name())
+	}
+	// count(0,1) = 2 (u0, u1) meets support; count(0,4) = 1 pruned.
+	if got := ar.Confidence(0, 1); got != 2.0/3.0 {
+		t.Errorf("conf(0→1) = %v, want 2/3", got)
+	}
+	if got := ar.Confidence(0, 4); got != 0 {
+		t.Errorf("conf(0→4) = %v, want 0 (below support)", got)
+	}
+	if got := ar.Confidence(99, 1); got != 0 {
+		t.Errorf("conf out of range = %v", got)
+	}
+
+	// Query {0}: rules 0→1 (2/3), 0→2 (pruned? count(0,2)=1 only u0 → pruned),
+	// 0→3 (count 1, pruned). So only a1 recommended.
+	got := strategy.Actions(ar.Recommend(acts(0), 5))
+	if !reflect.DeepEqual(got, acts(1)) {
+		t.Errorf("Recommend = %v, want [1]", got)
+	}
+	if r := ar.Recommend(nil, 5); r != nil {
+		t.Errorf("empty query produced %v", r)
+	}
+}
+
+func TestContentFeaturesAndSimilarity(t *testing.T) {
+	// 4 actions, 3 features. a0, a1 share feature 0; a2 has feature 1;
+	// a3 has features 1 and 2.
+	feats := NewFeatures([][]FeatureID{
+		{0}, {0}, {1}, {1, 2},
+	}, 3)
+	if feats.NumActions() != 4 || feats.NumFeatures() != 3 {
+		t.Fatalf("dimensions wrong: %d, %d", feats.NumActions(), feats.NumFeatures())
+	}
+	if got := feats.ActionsWithFeature(0); !reflect.DeepEqual(got, acts(0, 1)) {
+		t.Errorf("ActionsWithFeature(0) = %v", got)
+	}
+	if got := feats.Similarity(0, 1); got != 1 {
+		t.Errorf("sim(a0,a1) = %v, want 1", got)
+	}
+	if got := feats.Similarity(0, 2); got != 0 {
+		t.Errorf("sim(a0,a2) = %v, want 0", got)
+	}
+	if feats.Vector(99).Len() != 0 {
+		t.Error("unknown action should have zero vector")
+	}
+
+	if got := feats.ActionsWithFeature(-1); got != nil {
+		t.Errorf("negative feature = %v", got)
+	}
+	if got := feats.ActionsWithFeature(99); got != nil {
+		t.Errorf("out-of-range feature = %v", got)
+	}
+
+	c := NewContent(feats)
+	if c.Name() != "content" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	// Profile of {a2} = feature 1 → candidates a3 (sim 1/√2).
+	got := c.Recommend(acts(2), 5)
+	if len(got) != 1 || got[0].Action != 3 {
+		t.Fatalf("Recommend = %v, want only a3", got)
+	}
+	// Actions with disjoint features never appear.
+	for _, s := range c.Recommend(acts(0), 5) {
+		if s.Action == 2 || s.Action == 3 {
+			t.Errorf("feature-disjoint action recommended: %v", s)
+		}
+	}
+	if got := c.Recommend(nil, 5); got != nil {
+		t.Errorf("empty query produced %v", got)
+	}
+	if got := c.Recommend(acts(99), 5); got != nil {
+		t.Errorf("featureless query produced %v", got)
+	}
+}
+
+func TestALSTrainsAndRecommends(t *testing.T) {
+	in := smallInteractions()
+	als, err := FitALS(in, ALSConfig{Factors: 8, Iterations: 6, Lambda: 0.1, Alpha: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if als.Name() != "cf-mf" {
+		t.Errorf("Name = %q", als.Name())
+	}
+	got := als.Recommend(acts(0, 1), 3)
+	if len(got) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, s := range got {
+		if s.Action == 0 || s.Action == 1 {
+			t.Errorf("query action recommended: %v", s)
+		}
+	}
+	// The co-consumption structure puts a2/a3 (bought with 0 and 1) above the
+	// isolated a5.
+	top := got[0].Action
+	if top != 2 && top != 3 {
+		t.Errorf("top recommendation = %v, want a2 or a3", top)
+	}
+	if r := als.Recommend(nil, 3); r != nil {
+		t.Errorf("empty query produced %v", r)
+	}
+	if r := als.Recommend(acts(0), 0); r != nil {
+		t.Errorf("k=0 produced %v", r)
+	}
+}
+
+func TestALSDefaults(t *testing.T) {
+	in := NewInteractions([][]core.ActionID{acts(0, 1), acts(1, 2)}, 3)
+	als, err := FitALS(in, ALSConfig{}) // all defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := als.Recommend(acts(0), 2); len(got) == 0 {
+		t.Error("default-config ALS produced nothing")
+	}
+}
+
+func TestALSLossDecreases(t *testing.T) {
+	in := smallInteractions()
+	short, err := FitALS(in, ALSConfig{Factors: 4, Iterations: 1, Lambda: 0.1, Alpha: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := FitALS(in, ALSConfig{Factors: 4, Iterations: 12, Lambda: 0.1, Alpha: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Loss() > short.Loss()*1.0001 {
+		t.Errorf("loss grew with iterations: %v -> %v", short.Loss(), long.Loss())
+	}
+}
+
+func TestALSDeterministic(t *testing.T) {
+	in := smallInteractions()
+	cfg := ALSConfig{Factors: 4, Iterations: 3, Lambda: 0.1, Alpha: 10, Seed: 7}
+	a1, err := FitALS(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := FitALS(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := a1.Recommend(acts(0, 1), 4)
+	r2 := a2.Recommend(acts(0, 1), 4)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("same seed produced different lists:\n%v\n%v", r1, r2)
+	}
+}
+
+// TestBaselineInvariants checks the shared recommender contract on random
+// interaction matrices for all baselines.
+func TestBaselineInvariants(t *testing.T) {
+	mk := map[string]func(*Interactions) strategy.Recommender{
+		"knn":   func(in *Interactions) strategy.Recommender { return NewKNN(in, 5) },
+		"pop":   func(in *Interactions) strategy.Recommender { return NewPopularity(in) },
+		"assoc": func(in *Interactions) strategy.Recommender { return NewAssocRules(in, 1) },
+	}
+	for name, f := range mk {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			cfg := &quick.Config{
+				MaxCount: 40,
+				Values: func(v []reflect.Value, r *rand.Rand) {
+					users := make([][]core.ActionID, 2+r.Intn(20))
+					for u := range users {
+						h := make([]core.ActionID, 1+r.Intn(6))
+						for i := range h {
+							h[i] = core.ActionID(r.Intn(15))
+						}
+						users[u] = h
+					}
+					v[0] = reflect.ValueOf(NewInteractions(users, 15))
+					v[1] = reflect.ValueOf(users[r.Intn(len(users))])
+					v[2] = reflect.ValueOf(1 + r.Intn(8))
+				},
+			}
+			prop := func(in *Interactions, q []core.ActionID, k int) bool {
+				rec := f(in)
+				got := rec.Recommend(q, k)
+				if len(got) > k {
+					return false
+				}
+				h := intset.FromUnsorted(intset.Clone(q))
+				seen := map[core.ActionID]bool{}
+				for _, s := range got {
+					if intset.Contains(h, s.Action) || seen[s.Action] {
+						return false
+					}
+					seen[s.Action] = true
+				}
+				return reflect.DeepEqual(got, rec.Recommend(q, k))
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

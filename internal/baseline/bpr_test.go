@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/xrand"
+)
+
+// structuredInteractions builds a matrix with two disjoint taste groups:
+// users 0..9 consume actions 0..4, users 10..19 consume actions 5..9.
+func structuredInteractions() *Interactions {
+	rng := xrand.New(42)
+	users := make([][]core.ActionID, 20)
+	for u := 0; u < 10; u++ {
+		for _, idx := range rng.SampleInt32(5, 3) {
+			users[u] = append(users[u], core.ActionID(idx))
+		}
+	}
+	for u := 10; u < 20; u++ {
+		for _, idx := range rng.SampleInt32(5, 3) {
+			users[u] = append(users[u], core.ActionID(5+idx))
+		}
+	}
+	return NewInteractions(users, 10)
+}
+
+func TestBPRLearnsStructure(t *testing.T) {
+	in := structuredInteractions()
+	b := FitBPR(in, BPRConfig{Factors: 8, Epochs: 30, Seed: 1})
+	if b.Name() != "cf-bpr" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	// The trained model must rank observed far above unobserved.
+	if auc := b.AUC(2000, 2); auc < 0.8 {
+		t.Errorf("AUC = %v, want > 0.8 after training", auc)
+	}
+	// A group-A query must prefer group-A actions.
+	got := b.Recommend([]core.ActionID{0, 1}, 3)
+	if len(got) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, s := range got {
+		if s.Action >= 5 {
+			t.Errorf("cross-group recommendation %v in top-3", s)
+		}
+	}
+}
+
+func TestBPRUntrainedAUC(t *testing.T) {
+	in := structuredInteractions()
+	b := FitBPR(in, BPRConfig{Factors: 8, Epochs: 1, LearningRate: 1e-9, Seed: 3})
+	auc := b.AUC(2000, 4)
+	if auc < 0.3 || auc > 0.7 {
+		t.Errorf("near-untrained AUC = %v, want ≈0.5", auc)
+	}
+}
+
+func TestBPRDeterministic(t *testing.T) {
+	in := structuredInteractions()
+	cfg := BPRConfig{Factors: 4, Epochs: 5, Seed: 9}
+	r1 := FitBPR(in, cfg).Recommend([]core.ActionID{0}, 5)
+	r2 := FitBPR(in, cfg).Recommend([]core.ActionID{0}, 5)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("same seed produced different models")
+	}
+}
+
+func TestBPREmptyCases(t *testing.T) {
+	empty := NewInteractions(nil, 5)
+	b := FitBPR(empty, BPRConfig{Factors: 4, Epochs: 2, Seed: 1})
+	if got := b.Recommend([]core.ActionID{0}, 5); got != nil {
+		t.Errorf("empty-matrix model produced %v", got)
+	}
+	if auc := b.AUC(100, 1); auc != 0.5 {
+		t.Errorf("empty-matrix AUC = %v, want 0.5", auc)
+	}
+
+	in := structuredInteractions()
+	trained := FitBPR(in, BPRConfig{Factors: 4, Epochs: 2, Seed: 1})
+	if got := trained.Recommend(nil, 5); got != nil {
+		t.Errorf("empty query produced %v", got)
+	}
+	if got := trained.Recommend([]core.ActionID{0}, 0); got != nil {
+		t.Errorf("k=0 produced %v", got)
+	}
+	if got := trained.Recommend([]core.ActionID{99}, 5); got != nil {
+		t.Errorf("out-of-range query produced %v", got)
+	}
+	// Query actions never recommended.
+	for _, s := range trained.Recommend([]core.ActionID{0, 1, 2}, 10) {
+		if s.Action <= 2 {
+			t.Errorf("query action recommended: %v", s)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/linalg"
+	"goalrec/internal/strategy"
+	"goalrec/internal/xrand"
+)
+
+// ALSConfig parameterizes the matrix-factorization baseline.
+type ALSConfig struct {
+	// Factors is the latent dimensionality (default 16).
+	Factors int
+	// Iterations is the number of alternating sweeps (default 10).
+	Iterations int
+	// Lambda is the regularization weight; it is scaled per row by the
+	// row's interaction count — the "weighted-λ-regularization" of ALS-WR
+	// (default 0.05).
+	Lambda float64
+	// Alpha converts implicit feedback into confidence c = 1 + Alpha
+	// (default 40, following Hu/Koren/Volinsky, the implicit formulation
+	// Mahout's ALS uses for selection/non-selection data).
+	Alpha float64
+	// Seed drives factor initialization.
+	Seed uint64
+}
+
+func (c *ALSConfig) fill() {
+	if c.Factors <= 0 {
+		c.Factors = 16
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 10
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.05
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 40
+	}
+}
+
+// ALS is the paper's "CF MF" comparator: alternating least squares with
+// weighted-λ-regularization over the implicit user-action matrix. Query
+// activities (which are generally not training users) are folded in by
+// solving the user-factor normal equations for the query's action set, then
+// every action is scored by the inner product of the folded user factor and
+// its item factor.
+type ALS struct {
+	in   *Interactions
+	cfg  ALSConfig
+	item [][]float64 // item factors, numActions × Factors
+	user [][]float64 // user factors, kept for loss reporting / tests
+	gram *linalg.Matrix
+}
+
+// FitALS trains item and user factors on the interaction matrix. It returns
+// an error only if the normal equations become singular, which the λ ridge
+// prevents for any λ > 0.
+func FitALS(in *Interactions, cfg ALSConfig) (*ALS, error) {
+	cfg.fill()
+	rng := xrand.New(cfg.Seed)
+	f := cfg.Factors
+
+	initFactors := func(n int) [][]float64 {
+		m := make([][]float64, n)
+		for i := range m {
+			row := make([]float64, f)
+			for j := range row {
+				row[j] = 0.1 * rng.NormFloat64()
+			}
+			m[i] = row
+		}
+		return m
+	}
+	a := &ALS{
+		in:   in,
+		cfg:  cfg,
+		item: initFactors(in.NumActions()),
+		user: initFactors(in.NumUsers()),
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := a.sweepUsers(); err != nil {
+			return nil, fmt.Errorf("baseline: ALS user sweep %d: %w", iter, err)
+		}
+		if err := a.sweepItems(); err != nil {
+			return nil, fmt.Errorf("baseline: ALS item sweep %d: %w", iter, err)
+		}
+	}
+	a.gram = gramMatrix(a.item, f)
+	return a, nil
+}
+
+// gramMatrix returns Σ v·vᵀ over the factor rows.
+func gramMatrix(rows [][]float64, f int) *linalg.Matrix {
+	g := linalg.NewMatrix(f)
+	for _, v := range rows {
+		g.AddOuter(v, 1)
+	}
+	return g
+}
+
+// solveImplicit computes the implicit-ALS closed form for one row:
+//
+//	x = (YᵀY + α Σ_{i∈obs} y_i y_iᵀ + λ·n·I)⁻¹ · (1+α) Σ_{i∈obs} y_i
+//
+// where Y are the opposite side's factors, obs the observed interactions and
+// n = |obs| the ALS-WR weighting of λ.
+func (a *ALS) solveImplicit(gram *linalg.Matrix, other [][]float64, obs []int32) ([]float64, error) {
+	f := a.cfg.Factors
+	m := gram.Clone()
+	rhs := make([]float64, f)
+	for _, i := range obs {
+		y := other[i]
+		m.AddOuter(y, a.cfg.Alpha)
+		for j, v := range y {
+			rhs[j] += (1 + a.cfg.Alpha) * v
+		}
+	}
+	m.AddDiagonal(a.cfg.Lambda * float64(len(obs)+1))
+	return linalg.SolveSPD(m, rhs)
+}
+
+func (a *ALS) sweepUsers() error {
+	gram := gramMatrix(a.item, a.cfg.Factors)
+	for u := 0; u < a.in.NumUsers(); u++ {
+		obs := actionsToInts(a.in.User(u))
+		x, err := a.solveImplicit(gram, a.item, obs)
+		if err != nil {
+			return err
+		}
+		a.user[u] = x
+	}
+	return nil
+}
+
+func (a *ALS) sweepItems() error {
+	gram := gramMatrix(a.user, a.cfg.Factors)
+	for i := 0; i < a.in.NumActions(); i++ {
+		obs := a.in.UsersOfAction(core.ActionID(i))
+		x, err := a.solveImplicit(gram, a.user, obs)
+		if err != nil {
+			return err
+		}
+		a.item[i] = x
+	}
+	return nil
+}
+
+func actionsToInts(h []core.ActionID) []int32 {
+	out := make([]int32, len(h))
+	for i, a := range h {
+		out[i] = int32(a)
+	}
+	return out
+}
+
+// Name implements strategy.Recommender.
+func (a *ALS) Name() string { return "cf-mf" }
+
+// FoldIn solves the user factor for an arbitrary activity without touching
+// the trained item factors.
+func (a *ALS) FoldIn(activity []core.ActionID) ([]float64, error) {
+	h := normalizeActivity(activity)
+	obs := make([]int32, 0, len(h))
+	for _, act := range h {
+		if int(act) < a.in.NumActions() {
+			obs = append(obs, int32(act))
+		}
+	}
+	return a.solveImplicit(a.gram, a.item, obs)
+}
+
+// Recommend implements strategy.Recommender.
+func (a *ALS) Recommend(activity []core.ActionID, n int) []strategy.ScoredAction {
+	if n == 0 {
+		return nil
+	}
+	h := normalizeActivity(activity)
+	if len(h) == 0 {
+		return nil
+	}
+	uf, err := a.FoldIn(h)
+	if err != nil {
+		return nil
+	}
+	scored := make([]strategy.ScoredAction, 0, a.in.NumActions())
+	for i := 0; i < a.in.NumActions(); i++ {
+		act := core.ActionID(i)
+		if intset.Contains(h, act) {
+			continue
+		}
+		if a.in.ActionCount(act) == 0 {
+			continue // never observed; its factor is pure regularization noise
+		}
+		scored = append(scored, strategy.ScoredAction{Action: act, Score: linalg.Dot(uf, a.item[i])})
+	}
+	return strategy.TopK(scored, n)
+}
+
+// Loss returns the implicit-feedback objective over the training matrix:
+// Σ_u Σ_i c_ui (p_ui − x_u·y_i)² + λ Σ n|x|². Tests use it to assert that
+// alternating sweeps do not diverge.
+func (a *ALS) Loss() float64 {
+	loss := 0.0
+	for u := 0; u < a.in.NumUsers(); u++ {
+		h := a.in.User(u)
+		for i := 0; i < a.in.NumActions(); i++ {
+			pred := linalg.Dot(a.user[u], a.item[i])
+			if intset.Contains(h, core.ActionID(i)) {
+				loss += (1 + a.cfg.Alpha) * (1 - pred) * (1 - pred)
+			} else {
+				loss += pred * pred
+			}
+		}
+		loss += a.cfg.Lambda * float64(len(h)+1) * linalg.Dot(a.user[u], a.user[u])
+	}
+	for i := 0; i < a.in.NumActions(); i++ {
+		n := a.in.ActionCount(core.ActionID(i))
+		loss += a.cfg.Lambda * float64(n+1) * linalg.Dot(a.item[i], a.item[i])
+	}
+	if math.IsNaN(loss) {
+		return math.Inf(1)
+	}
+	return loss
+}

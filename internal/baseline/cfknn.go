@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"sort"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+)
+
+// KNN is the paper's "CF KNN" comparator: user-based nearest-neighbour
+// collaborative filtering over implicit feedback, with neighbourhoods formed
+// by the Jaccard (Tanimoto) coefficient as Section 6 prescribes. A query
+// activity is matched against every historical user sharing at least one
+// action; the top-N neighbours vote for the actions they performed, weighted
+// by their similarity.
+type KNN struct {
+	in        *Interactions
+	neighbors int
+}
+
+// NewKNN returns a KNN recommender using the top `neighbors` most similar
+// users (a non-positive value defaults to 20, a common kNN setting).
+func NewKNN(in *Interactions, neighbors int) *KNN {
+	if neighbors <= 0 {
+		neighbors = 20
+	}
+	return &KNN{in: in, neighbors: neighbors}
+}
+
+// Name implements strategy.Recommender.
+func (k *KNN) Name() string { return "cf-knn" }
+
+type neighbor struct {
+	user int32
+	sim  float64
+}
+
+// Recommend implements strategy.Recommender.
+func (k *KNN) Recommend(activity []core.ActionID, n int) []strategy.ScoredAction {
+	if n == 0 {
+		return nil
+	}
+	h := normalizeActivity(activity)
+	if len(h) == 0 {
+		return nil
+	}
+
+	// Candidate neighbours: every user sharing an action with the query.
+	seen := make(map[int32]struct{})
+	var cands []int32
+	for _, a := range h {
+		for _, u := range k.in.UsersOfAction(a) {
+			if _, dup := seen[u]; !dup {
+				seen[u] = struct{}{}
+				cands = append(cands, u)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	neigh := make([]neighbor, 0, len(cands))
+	for _, u := range cands {
+		if sim := intset.Jaccard(h, k.in.User(int(u))); sim > 0 {
+			neigh = append(neigh, neighbor{user: u, sim: sim})
+		}
+	}
+	sort.Slice(neigh, func(i, j int) bool {
+		if neigh[i].sim != neigh[j].sim {
+			return neigh[i].sim > neigh[j].sim
+		}
+		return neigh[i].user < neigh[j].user
+	})
+	if len(neigh) > k.neighbors {
+		neigh = neigh[:k.neighbors]
+	}
+
+	scores := make(map[core.ActionID]float64)
+	for _, nb := range neigh {
+		for _, a := range k.in.User(int(nb.user)) {
+			if intset.Contains(h, a) {
+				continue
+			}
+			scores[a] += nb.sim
+		}
+	}
+	scored := make([]strategy.ScoredAction, 0, len(scores))
+	for a, s := range scores {
+		scored = append(scored, strategy.ScoredAction{Action: a, Score: s})
+	}
+	return strategy.TopK(scored, n)
+}

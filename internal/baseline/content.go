@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+	"goalrec/internal/vectorspace"
+)
+
+// FeatureID identifies one domain-specific feature (a food-product
+// (sub)category in the paper's foodmarket setup).
+type FeatureID = int32
+
+// Features maps actions to their domain-specific feature vectors. For the
+// paper's foodmarket scenario each product carries exactly one of the 128
+// (sub)category features, but the structure supports arbitrary weighted
+// feature sets.
+type Features struct {
+	vecs []vectorspace.Vector // indexed by action id
+
+	featOff  []int32 // CSR offsets into featActs
+	featActs []core.ActionID
+	numFeats int
+}
+
+// NewFeatures builds the feature table from per-action feature id lists.
+// featureOf[a] lists action a's features; numFeatures fixes the feature
+// space.
+func NewFeatures(featureOf [][]FeatureID, numFeatures int) *Features {
+	f := &Features{
+		vecs:     make([]vectorspace.Vector, len(featureOf)),
+		numFeats: numFeatures,
+	}
+	counts := make([]int32, numFeatures+1)
+	for a, feats := range featureOf {
+		m := make(map[int32]float64, len(feats))
+		for _, ft := range feats {
+			if ft >= 0 && int(ft) < numFeatures {
+				m[ft] = 1
+			}
+		}
+		f.vecs[a] = vectorspace.FromMap(m)
+		f.vecs[a].Items(func(id int32, _ float64) { counts[id+1]++ })
+	}
+	for i := 1; i <= numFeatures; i++ {
+		counts[i] += counts[i-1]
+	}
+	f.featOff = counts
+	f.featActs = make([]core.ActionID, counts[numFeatures])
+	cursor := append([]int32(nil), counts[:numFeatures]...)
+	for a := range featureOf {
+		f.vecs[a].Items(func(id int32, _ float64) {
+			f.featActs[cursor[id]] = core.ActionID(a)
+			cursor[id]++
+		})
+	}
+	return f
+}
+
+// NumActions returns the number of actions with feature rows.
+func (f *Features) NumActions() int { return len(f.vecs) }
+
+// NumFeatures returns the size of the feature space.
+func (f *Features) NumFeatures() int { return f.numFeats }
+
+// Vector returns action a's feature vector (the zero vector for unknown
+// ids).
+func (f *Features) Vector(a core.ActionID) vectorspace.Vector {
+	if a < 0 || int(a) >= len(f.vecs) {
+		return vectorspace.Vector{}
+	}
+	return f.vecs[a]
+}
+
+// ActionsWithFeature returns the actions carrying feature ft, ascending.
+func (f *Features) ActionsWithFeature(ft FeatureID) []core.ActionID {
+	if ft < 0 || int(ft) >= f.numFeats {
+		return nil
+	}
+	return f.featActs[f.featOff[ft]:f.featOff[ft+1]]
+}
+
+// Similarity returns the cosine similarity of two actions' feature vectors —
+// the pairwise measure behind the paper's Table 5.
+func (f *Features) Similarity(a, b core.ActionID) float64 {
+	return vectorspace.CosineSimilarity(f.Vector(a), f.Vector(b))
+}
+
+// Content is the paper's content-based comparator: the user profile is the
+// sum of the feature vectors of the activity's actions, and candidates are
+// ranked by cosine similarity between their feature vector and the profile.
+type Content struct {
+	feats *Features
+}
+
+// NewContent returns a content-based recommender over the feature table.
+func NewContent(feats *Features) *Content {
+	return &Content{feats: feats}
+}
+
+// Name implements strategy.Recommender.
+func (c *Content) Name() string { return "content" }
+
+// Recommend implements strategy.Recommender.
+func (c *Content) Recommend(activity []core.ActionID, n int) []strategy.ScoredAction {
+	if n == 0 {
+		return nil
+	}
+	h := normalizeActivity(activity)
+	if len(h) == 0 {
+		return nil
+	}
+	profile := vectorspace.Vector{}
+	for _, a := range h {
+		profile = profile.Add(c.feats.Vector(a))
+	}
+	if profile.IsZero() {
+		return nil
+	}
+	// Only actions sharing at least one profile feature can score non-zero.
+	seen := make(map[core.ActionID]struct{})
+	var scored []strategy.ScoredAction
+	profile.Items(func(ft int32, _ float64) {
+		for _, a := range c.feats.ActionsWithFeature(ft) {
+			if intset.Contains(h, a) {
+				continue
+			}
+			if _, dup := seen[a]; dup {
+				continue
+			}
+			seen[a] = struct{}{}
+			sim := vectorspace.CosineSimilarity(profile, c.feats.Vector(a))
+			scored = append(scored, strategy.ScoredAction{Action: a, Score: sim})
+		}
+	})
+	return strategy.TopK(scored, n)
+}

@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"sort"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+)
+
+// ItemKNN is item-based collaborative filtering: two actions are similar
+// when the sets of users who performed them overlap (Tanimoto over user
+// sets), and a candidate scores the sum of its similarities to the query
+// activity's actions. It complements the paper's user-based CF KNN with the
+// other classical neighbourhood formulation; like every collaborative
+// method it follows co-consumption, not goals.
+type ItemKNN struct {
+	in        *Interactions
+	neighbors int // per-anchor neighbourhood size
+
+	// simLists[a] holds action a's top neighbours, precomputed at fit time.
+	simLists [][]itemNeighbor
+}
+
+type itemNeighbor struct {
+	action core.ActionID
+	sim    float64
+}
+
+// NewItemKNN fits the item-item neighbourhoods (top `neighbors` per action;
+// non-positive defaults to 20).
+func NewItemKNN(in *Interactions, neighbors int) *ItemKNN {
+	if neighbors <= 0 {
+		neighbors = 20
+	}
+	k := &ItemKNN{in: in, neighbors: neighbors, simLists: make([][]itemNeighbor, in.NumActions())}
+	for a := 0; a < in.NumActions(); a++ {
+		k.simLists[a] = k.neighboursOf(core.ActionID(a))
+	}
+	return k
+}
+
+// neighboursOf computes the top-N most similar actions to a.
+func (k *ItemKNN) neighboursOf(a core.ActionID) []itemNeighbor {
+	ua := k.in.UsersOfAction(a)
+	if len(ua) == 0 {
+		return nil
+	}
+	// Candidate co-actions: everything performed by a's users.
+	counts := make(map[core.ActionID]int)
+	for _, u := range ua {
+		for _, b := range k.in.User(int(u)) {
+			if b != a {
+				counts[b]++
+			}
+		}
+	}
+	out := make([]itemNeighbor, 0, len(counts))
+	for b, co := range counts {
+		union := len(ua) + k.in.ActionCount(b) - co
+		if union == 0 {
+			continue
+		}
+		out = append(out, itemNeighbor{action: b, sim: float64(co) / float64(union)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].sim != out[j].sim {
+			return out[i].sim > out[j].sim
+		}
+		return out[i].action < out[j].action
+	})
+	if len(out) > k.neighbors {
+		out = out[:k.neighbors]
+	}
+	return out
+}
+
+// Name implements strategy.Recommender.
+func (k *ItemKNN) Name() string { return "cf-item-knn" }
+
+// Recommend implements strategy.Recommender.
+func (k *ItemKNN) Recommend(activity []core.ActionID, n int) []strategy.ScoredAction {
+	if n == 0 {
+		return nil
+	}
+	h := normalizeActivity(activity)
+	if len(h) == 0 {
+		return nil
+	}
+	scores := make(map[core.ActionID]float64)
+	for _, a := range h {
+		if int(a) >= len(k.simLists) {
+			continue
+		}
+		for _, nb := range k.simLists[a] {
+			if intset.Contains(h, nb.action) {
+				continue
+			}
+			scores[nb.action] += nb.sim
+		}
+	}
+	scored := make([]strategy.ScoredAction, 0, len(scores))
+	for a, s := range scores {
+		scored = append(scored, strategy.ScoredAction{Action: a, Score: s})
+	}
+	return strategy.TopK(scored, n)
+}

@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/strategy"
+)
+
+func TestItemKNNNeighbours(t *testing.T) {
+	in := smallInteractions()
+	k := NewItemKNN(in, 10)
+	if k.Name() != "cf-item-knn" {
+		t.Errorf("Name = %q", k.Name())
+	}
+	// a0's users: {u0,u1,u2}. a1's users: {u0,u1,u4}. co = 2, union = 4.
+	nbs := k.simLists[0]
+	if len(nbs) == 0 {
+		t.Fatal("a0 has no neighbours")
+	}
+	var simTo1 float64
+	for _, nb := range nbs {
+		if nb.action == 1 {
+			simTo1 = nb.sim
+		}
+		if nb.action == 0 {
+			t.Error("self neighbour present")
+		}
+	}
+	if simTo1 != 0.5 {
+		t.Errorf("sim(a0, a1) = %v, want 0.5", simTo1)
+	}
+}
+
+func TestItemKNNNeighbourLimit(t *testing.T) {
+	in := smallInteractions()
+	k := NewItemKNN(in, 1)
+	for a, nbs := range k.simLists {
+		if len(nbs) > 1 {
+			t.Errorf("action %d has %d neighbours, want ≤ 1", a, len(nbs))
+		}
+	}
+}
+
+func TestItemKNNRecommend(t *testing.T) {
+	in := smallInteractions()
+	k := NewItemKNN(in, 10)
+	got := k.Recommend(acts(0, 1), 5)
+	if len(got) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, s := range got {
+		if s.Action == 0 || s.Action == 1 {
+			t.Errorf("query action recommended: %v", s)
+		}
+	}
+	// a2 and a3 co-occur with both query actions; they must outrank the
+	// isolated a5.
+	top := strategy.Actions(got)
+	for i, a := range top {
+		if a == 5 && i < 2 {
+			t.Errorf("isolated action ranked #%d: %v", i+1, top)
+		}
+	}
+	// Determinism.
+	if again := k.Recommend(acts(1, 0), 5); !reflect.DeepEqual(got, again) {
+		t.Error("unsorted query changed output")
+	}
+}
+
+func TestItemKNNEmptyCases(t *testing.T) {
+	in := smallInteractions()
+	k := NewItemKNN(in, 0)
+	if got := k.Recommend(nil, 5); got != nil {
+		t.Errorf("empty query produced %v", got)
+	}
+	if got := k.Recommend(acts(0), 0); got != nil {
+		t.Errorf("k=0 produced %v", got)
+	}
+	if got := k.Recommend([]core.ActionID{99}, 5); got != nil {
+		t.Errorf("out-of-range query produced %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"sort"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+)
+
+// Markov is a first-order next-action predictor, the goal-and-next-action
+// inference family of the paper's related work (Section 2: Markov and state
+// transition models). It is fit on *ordered* action sequences — information
+// the set-based goal model deliberately ignores — and scores candidates by
+// the smoothed transition probability from the recent actions of a query.
+//
+// It is not part of the paper's evaluation protocol (which is set-based) but
+// completes the comparator families the paper discusses; see the lifegoals
+// example and its own tests.
+type Markov struct {
+	numActions int
+	// trans[a] maps successor b to count(a → b), pruned at fit time.
+	trans []map[core.ActionID]int
+	// rowTotal[a] = Σ_b count(a → b).
+	rowTotal []int
+	// window is how many trailing query actions vote (default 3).
+	window int
+}
+
+// NewMarkov fits transition counts on the given ordered sequences.
+// window ≤ 0 selects the default of 3.
+func NewMarkov(sequences [][]core.ActionID, numActions, window int) *Markov {
+	if window <= 0 {
+		window = 3
+	}
+	m := &Markov{
+		numActions: numActions,
+		trans:      make([]map[core.ActionID]int, numActions),
+		rowTotal:   make([]int, numActions),
+		window:     window,
+	}
+	for _, seq := range sequences {
+		for i := 0; i+1 < len(seq); i++ {
+			a, b := seq[i], seq[i+1]
+			if a < 0 || int(a) >= numActions || b < 0 || int(b) >= numActions || a == b {
+				continue
+			}
+			if m.trans[a] == nil {
+				m.trans[a] = make(map[core.ActionID]int)
+			}
+			m.trans[a][b]++
+			m.rowTotal[a]++
+		}
+	}
+	return m
+}
+
+// Name implements strategy.Recommender.
+func (m *Markov) Name() string { return "markov" }
+
+// TransitionProb returns the Laplace-smoothed P(b | a).
+func (m *Markov) TransitionProb(a, b core.ActionID) float64 {
+	if a < 0 || int(a) >= m.numActions {
+		return 0
+	}
+	count := 0
+	if m.trans[a] != nil {
+		count = m.trans[a][b]
+	}
+	return float64(count+1) / float64(m.rowTotal[a]+m.numActions)
+}
+
+// Recommend implements strategy.Recommender. The activity is interpreted as
+// an ordered sequence: the trailing `window` actions vote for successors
+// with geometrically decaying weight (most recent counts most).
+func (m *Markov) Recommend(activity []core.ActionID, n int) []strategy.ScoredAction {
+	if n == 0 || len(activity) == 0 {
+		return nil
+	}
+	seen := intset.FromUnsorted(intset.Clone(activity))
+	start := len(activity) - m.window
+	if start < 0 {
+		start = 0
+	}
+	scores := make(map[core.ActionID]float64)
+	weight := 1.0
+	for i := len(activity) - 1; i >= start; i-- {
+		a := activity[i]
+		if a < 0 || int(a) >= m.numActions || m.trans[a] == nil {
+			weight /= 2
+			continue
+		}
+		for b, c := range m.trans[a] {
+			if intset.Contains(seen, b) {
+				continue
+			}
+			scores[b] += weight * float64(c) / float64(m.rowTotal[a])
+		}
+		weight /= 2
+	}
+	scored := make([]strategy.ScoredAction, 0, len(scores))
+	for a, s := range scores {
+		scored = append(scored, strategy.ScoredAction{Action: a, Score: s})
+	}
+	return strategy.TopK(scored, n)
+}
+
+// TopSuccessors returns action a's most likely successors with their raw
+// counts, for inspection and tests.
+func (m *Markov) TopSuccessors(a core.ActionID, k int) []strategy.ScoredAction {
+	if a < 0 || int(a) >= m.numActions || m.trans[a] == nil {
+		return nil
+	}
+	out := make([]strategy.ScoredAction, 0, len(m.trans[a]))
+	for b, c := range m.trans[a] {
+		out = append(out, strategy.ScoredAction{Action: b, Score: float64(c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Action < out[j].Action
+	})
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/strategy"
+)
+
+func seqs(v ...[]core.ActionID) [][]core.ActionID { return v }
+
+func TestMarkovTransitions(t *testing.T) {
+	m := NewMarkov(seqs(
+		acts(0, 1, 2),
+		acts(0, 1, 3),
+		acts(0, 2),
+	), 5, 3)
+	if m.Name() != "markov" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	// count(0→1) = 2, count(0→2) = 1, rowTotal(0) = 3.
+	top := m.TopSuccessors(0, 10)
+	want := []strategy.ScoredAction{{Action: 1, Score: 2}, {Action: 2, Score: 1}}
+	if !reflect.DeepEqual(top, want) {
+		t.Errorf("TopSuccessors(0) = %v, want %v", top, want)
+	}
+	// Laplace smoothing: P(1|0) = (2+1)/(3+5).
+	if got := m.TransitionProb(0, 1); math.Abs(got-3.0/8.0) > 1e-12 {
+		t.Errorf("P(1|0) = %v, want 3/8", got)
+	}
+	// Unseen transition still gets smoothed mass.
+	if got := m.TransitionProb(0, 4); math.Abs(got-1.0/8.0) > 1e-12 {
+		t.Errorf("P(4|0) = %v, want 1/8", got)
+	}
+	if got := m.TransitionProb(99, 0); got != 0 {
+		t.Errorf("P from out-of-range = %v", got)
+	}
+}
+
+func TestMarkovIgnoresInvalidPairs(t *testing.T) {
+	m := NewMarkov(seqs(acts(0, 0, 1), acts(7, 0)), 3, 3)
+	// Self-transition 0→0 and out-of-range 7→0 are dropped; only 0→1 counts.
+	if m.rowTotal[0] != 1 {
+		t.Errorf("rowTotal(0) = %d, want 1", m.rowTotal[0])
+	}
+}
+
+func TestMarkovRecommend(t *testing.T) {
+	m := NewMarkov(seqs(
+		acts(0, 1),
+		acts(0, 1),
+		acts(0, 2),
+		acts(1, 3),
+	), 5, 2)
+	got := m.Recommend(acts(0), 3)
+	if len(got) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if got[0].Action != 1 {
+		t.Errorf("top successor of 0 = %v, want 1", got[0])
+	}
+	// The query's own actions are never recommended.
+	got = m.Recommend(acts(0, 1), 5)
+	for _, s := range got {
+		if s.Action == 0 || s.Action == 1 {
+			t.Errorf("query action recommended: %v", s)
+		}
+	}
+	// Recency: after (2, 0) the successors of 0 outweigh those of 2.
+	recent := m.Recommend(acts(2, 0), 5)
+	if len(recent) == 0 || recent[0].Action != 1 {
+		t.Errorf("recency weighting broken: %v", recent)
+	}
+}
+
+func TestMarkovEmptyCases(t *testing.T) {
+	m := NewMarkov(nil, 4, 0)
+	if got := m.Recommend(acts(0), 5); got != nil {
+		t.Errorf("untrained model produced %v", got)
+	}
+	if got := m.Recommend(nil, 5); got != nil {
+		t.Errorf("empty query produced %v", got)
+	}
+	if got := m.Recommend(acts(0), 0); got != nil {
+		t.Errorf("k=0 produced %v", got)
+	}
+	if got := m.TopSuccessors(9, 3); got != nil {
+		t.Errorf("out-of-range successors = %v", got)
+	}
+}

@@ -1,0 +1,42 @@
+package baseline
+
+import (
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+)
+
+// Popularity recommends the globally most frequent actions the user has not
+// performed. It is the degenerate collaborative method the paper's
+// popularity-correlation analysis (Table 3) contrasts everything against,
+// and a useful sanity floor in the experiment harness.
+type Popularity struct {
+	in *Interactions
+}
+
+// NewPopularity returns a popularity recommender over the interactions.
+func NewPopularity(in *Interactions) *Popularity {
+	return &Popularity{in: in}
+}
+
+// Name implements strategy.Recommender.
+func (p *Popularity) Name() string { return "popularity" }
+
+// Recommend implements strategy.Recommender.
+func (p *Popularity) Recommend(activity []core.ActionID, n int) []strategy.ScoredAction {
+	if n == 0 {
+		return nil
+	}
+	h := normalizeActivity(activity)
+	scored := make([]strategy.ScoredAction, 0, p.in.NumActions())
+	for i := 0; i < p.in.NumActions(); i++ {
+		a := core.ActionID(i)
+		if intset.Contains(h, a) {
+			continue
+		}
+		if c := p.in.ActionCount(a); c > 0 {
+			scored = append(scored, strategy.ScoredAction{Action: a, Score: float64(c)})
+		}
+	}
+	return strategy.TopK(scored, n)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file provides two persistence formats for goal-implementation
+// libraries:
+//
+//   - a human-editable JSON-lines format, one implementation per line, with
+//     string goal/action names resolved through a Vocabulary; and
+//   - a compact little-endian binary format for the id-level library, used to
+//     snapshot large synthetic libraries between benchmark runs.
+
+// jsonImpl is the JSON-lines wire form of one implementation.
+type jsonImpl struct {
+	Goal    string   `json:"goal"`
+	Actions []string `json:"actions"`
+}
+
+// WriteJSONLines writes every implementation of l to w, one JSON object per
+// line, resolving names through vocab.
+func WriteJSONLines(w io.Writer, l *Library, vocab *Vocabulary) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for p := 0; p < l.NumImplementations(); p++ {
+		impl := jsonImpl{Goal: vocab.GoalName(l.Goal(ImplID(p)))}
+		for _, a := range l.Actions(ImplID(p)) {
+			impl.Actions = append(impl.Actions, vocab.ActionName(a))
+		}
+		if err := enc.Encode(&impl); err != nil {
+			return fmt.Errorf("core: encoding implementation %d: %w", p, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONLines parses a JSON-lines library from r, interning names into a
+// fresh Vocabulary.
+func ReadJSONLines(r io.Reader) (*Library, *Vocabulary, error) {
+	vocab := NewVocabulary()
+	b := NewBuilder(0, 0)
+	dec := json.NewDecoder(r)
+	line := 0
+	for {
+		var impl jsonImpl
+		if err := dec.Decode(&impl); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, fmt.Errorf("core: parsing implementation %d: %w", line, err)
+		}
+		line++
+		goal := GoalID(vocab.Goals.Intern(impl.Goal))
+		actions := make([]ActionID, len(impl.Actions))
+		for i, name := range impl.Actions {
+			actions[i] = ActionID(vocab.Actions.Intern(name))
+		}
+		if _, err := b.Add(goal, actions); err != nil {
+			return nil, nil, fmt.Errorf("core: implementation %d: %w", line, err)
+		}
+	}
+	return b.Build(), vocab, nil
+}
+
+// binaryMagic identifies the binary library snapshot format.
+const binaryMagic = uint32(0x474c4942) // "GLIB"
+
+const binaryVersion = uint32(1)
+
+// WriteBinary writes the id-level library to w in the compact snapshot
+// format.
+func WriteBinary(w io.Writer, l *Library) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{
+		binaryMagic, binaryVersion,
+		uint32(l.NumImplementations()), uint32(l.numActions), uint32(l.numGoals),
+		uint32(len(l.implActs)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("core: writing header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, l.implGoal); err != nil {
+		return fmt.Errorf("core: writing goals: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, l.implOff); err != nil {
+		return fmt.Errorf("core: writing offsets: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, l.implActs); err != nil {
+		return fmt.Errorf("core: writing actions: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a library snapshot written by WriteBinary and rebuilds
+// its postings indexes.
+func ReadBinary(r io.Reader) (*Library, error) {
+	br := bufio.NewReader(r)
+	var hdr [6]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("core: reading header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("core: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != binaryVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", hdr[1])
+	}
+	nImpl, nSlots := int(hdr[2]), int(hdr[5])
+	// Sanity bounds: reject sizes a corrupt header could use to force huge
+	// allocations. maxSnapshotEntries is far above any real library (the
+	// paper's full-scale foodmart has ~1.9M slots).
+	const maxSnapshotEntries = 1 << 26
+	if nImpl < 0 || nSlots < 0 || nImpl > maxSnapshotEntries || nSlots > maxSnapshotEntries {
+		return nil, fmt.Errorf("core: implausible snapshot sizes (impls=%d, slots=%d)", nImpl, nSlots)
+	}
+	if nSlots < nImpl {
+		return nil, fmt.Errorf("core: corrupt snapshot: %d slots for %d implementations", nSlots, nImpl)
+	}
+	implGoal := make([]GoalID, nImpl)
+	implOff := make([]int32, nImpl+1)
+	implActs := make([]ActionID, nSlots)
+	if err := binary.Read(br, binary.LittleEndian, implGoal); err != nil {
+		return nil, fmt.Errorf("core: reading goals: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, implOff); err != nil {
+		return nil, fmt.Errorf("core: reading offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, implActs); err != nil {
+		return nil, fmt.Errorf("core: reading actions: %w", err)
+	}
+	// Re-add through a Builder to revalidate and rebuild postings.
+	b := NewBuilder(nImpl, nSlots/max(nImpl, 1))
+	for p := 0; p < nImpl; p++ {
+		lo, hi := implOff[p], implOff[p+1]
+		if lo < 0 || hi < lo || int(hi) > nSlots {
+			return nil, fmt.Errorf("core: corrupt offsets for implementation %d", p)
+		}
+		if _, err := b.Add(implGoal[p], implActs[lo:hi]); err != nil {
+			return nil, fmt.Errorf("core: implementation %d: %w", p, err)
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Named binary snapshots bundle the id-level library with its vocabulary,
+// giving large named libraries a compact load-fast format (the JSON-lines
+// format stays the interchange/diff-friendly one).
+
+const vocabMagic = uint32(0x47564f43) // "GVOC"
+
+// maxNameLen bounds a single interned name in a snapshot.
+const maxNameLen = 1 << 16
+
+// WriteNamedBinary writes the library followed by its vocabulary.
+func WriteNamedBinary(w io.Writer, l *Library, vocab *Vocabulary) error {
+	bw := bufio.NewWriter(w)
+	if err := WriteBinary(bw, l); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, vocabMagic); err != nil {
+		return fmt.Errorf("core: writing vocab magic: %w", err)
+	}
+	for _, names := range [][]string{vocab.Actions.Names(), vocab.Goals.Names()} {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+			return fmt.Errorf("core: writing vocab size: %w", err)
+		}
+		for _, name := range names {
+			if len(name) > maxNameLen {
+				return fmt.Errorf("core: name of length %d exceeds the %d-byte snapshot limit", len(name), maxNameLen)
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+				return fmt.Errorf("core: writing name length: %w", err)
+			}
+			if _, err := bw.WriteString(name); err != nil {
+				return fmt.Errorf("core: writing name: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNamedBinary reads a snapshot written by WriteNamedBinary.
+func ReadNamedBinary(r io.Reader) (*Library, *Vocabulary, error) {
+	br := bufio.NewReader(r)
+	lib, err := ReadBinary(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, nil, fmt.Errorf("core: reading vocab magic: %w", err)
+	}
+	if magic != vocabMagic {
+		return nil, nil, fmt.Errorf("core: bad vocab magic %#x", magic)
+	}
+	vocab := NewVocabulary()
+	for section, in := range []*Interner{vocab.Actions, vocab.Goals} {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, nil, fmt.Errorf("core: reading vocab section %d size: %w", section, err)
+		}
+		if n > 1<<26 {
+			return nil, nil, fmt.Errorf("core: implausible vocab size %d", n)
+		}
+		for i := uint32(0); i < n; i++ {
+			var ln uint32
+			if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+				return nil, nil, fmt.Errorf("core: reading name length: %w", err)
+			}
+			if ln > maxNameLen {
+				return nil, nil, fmt.Errorf("core: implausible name length %d", ln)
+			}
+			buf := make([]byte, ln)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, nil, fmt.Errorf("core: reading name: %w", err)
+			}
+			// A duplicate name would silently shift every later id; reject
+			// corrupt vocabularies outright.
+			if got := in.Intern(string(buf)); got != int32(i) {
+				return nil, nil, fmt.Errorf("core: duplicate vocabulary name %q", buf)
+			}
+		}
+	}
+	// Cross-check: the vocabulary must cover the library's id spaces.
+	if vocab.Actions.Len() < lib.NumActions() || vocab.Goals.Len() < lib.NumGoals() {
+		return nil, nil, fmt.Errorf("core: vocabulary (%d actions, %d goals) smaller than library id space (%d, %d)",
+			vocab.Actions.Len(), vocab.Goals.Len(), lib.NumActions(), lib.NumGoals())
+	}
+	return lib, vocab, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func namedFixture(t *testing.T) (*Library, *Vocabulary) {
+	t.Helper()
+	vocab := NewVocabulary()
+	var b Builder
+	add := func(goal string, actions ...string) {
+		t.Helper()
+		ids := make([]ActionID, len(actions))
+		for i, a := range actions {
+			ids[i] = ActionID(vocab.Actions.Intern(a))
+		}
+		if _, err := b.Add(GoalID(vocab.Goals.Intern(goal)), ids); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("olivier salad", "potatoes", "carrots", "pickles")
+	add("mashed potatoes", "potatoes", "nutmeg")
+	return b.Build(), vocab
+}
+
+func TestNamedBinaryRoundTrip(t *testing.T) {
+	lib, vocab := namedFixture(t)
+	var buf bytes.Buffer
+	if err := WriteNamedBinary(&buf, lib, vocab); err != nil {
+		t.Fatal(err)
+	}
+	lib2, vocab2, err := ReadNamedBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib2.NumImplementations() != lib.NumImplementations() {
+		t.Fatalf("implementation count changed")
+	}
+	for p := 0; p < lib.NumImplementations(); p++ {
+		if vocab2.GoalName(lib2.Goal(ImplID(p))) != vocab.GoalName(lib.Goal(ImplID(p))) {
+			t.Errorf("impl %d goal name changed", p)
+		}
+	}
+	id, ok := vocab2.Actions.Lookup("pickles")
+	if !ok {
+		t.Fatal("pickles lost")
+	}
+	if got, _ := vocab.Actions.Lookup("pickles"); got != id {
+		t.Errorf("pickles id moved: %d != %d", id, got)
+	}
+}
+
+func TestNamedBinaryRejectsCorruption(t *testing.T) {
+	lib, vocab := namedFixture(t)
+	var buf bytes.Buffer
+	if err := WriteNamedBinary(&buf, lib, vocab); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, _, err := ReadNamedBinary(bytes.NewReader(data[:len(data)-2])); err == nil {
+		t.Error("truncated vocab accepted")
+	}
+	// Missing vocab section entirely.
+	var libOnly bytes.Buffer
+	if err := WriteBinary(&libOnly, lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadNamedBinary(&libOnly); err == nil {
+		t.Error("library without vocab accepted")
+	}
+	// Vocabulary smaller than the id space.
+	small := NewVocabulary()
+	small.Actions.Intern("only-one")
+	small.Goals.Intern("g")
+	var mismatched bytes.Buffer
+	if err := WriteNamedBinary(&mismatched, lib, small); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadNamedBinary(&mismatched); err == nil {
+		t.Error("undersized vocabulary accepted")
+	}
+}
+
+func TestNamedBinaryRejectsOversizedName(t *testing.T) {
+	lib, vocab := namedFixture(t)
+	vocab.Actions.Intern(strings.Repeat("x", maxNameLen+1))
+	var buf bytes.Buffer
+	if err := WriteNamedBinary(&buf, lib, vocab); err == nil {
+		t.Error("oversized name accepted on write")
+	}
+}

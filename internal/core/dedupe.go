@@ -1,0 +1,64 @@
+package core
+
+import "goalrec/internal/intset"
+
+// DedupeStats reports what Deduplicate removed.
+type DedupeStats struct {
+	// Kept is the number of implementations in the output library.
+	Kept int
+	// ExactDuplicates is the number of implementations dropped because an
+	// earlier implementation of the same goal had the identical action set.
+	ExactDuplicates int
+	// NearDuplicates is the number dropped because an earlier
+	// implementation of the same goal overlapped at or above the threshold.
+	NearDuplicates int
+}
+
+// Deduplicate returns a copy of the library with duplicate implementations
+// of the same goal removed. An implementation is dropped when an earlier
+// implementation of the same goal has Jaccard similarity ≥ threshold with
+// it; threshold 1 removes only exact duplicates, lower values also collapse
+// near-duplicates. Extracted libraries (user-generated stories) are the
+// typical input: many authors describe the same action set for one goal.
+// Implementations of different goals are never merged — the same action set
+// can legitimately implement several goals (Figure 1's outfit example).
+func Deduplicate(l *Library, threshold float64) (*Library, DedupeStats) {
+	if threshold <= 0 || threshold > 1 {
+		threshold = 1
+	}
+	b := NewBuilder(l.NumImplementations(), 4)
+	var stats DedupeStats
+
+	// keptOfGoal tracks the retained action sets per goal, compared in
+	// insertion order so the earliest telling of a goal wins.
+	keptOfGoal := make(map[GoalID][][]ActionID)
+	for p := 0; p < l.NumImplementations(); p++ {
+		id := ImplID(p)
+		goal := l.Goal(id)
+		acts := l.Actions(id)
+		dup := false
+		for _, prev := range keptOfGoal[goal] {
+			j := intset.Jaccard(prev, acts)
+			if j >= threshold {
+				if j == 1 && len(prev) == len(acts) {
+					stats.ExactDuplicates++
+				} else {
+					stats.NearDuplicates++
+				}
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		keptOfGoal[goal] = append(keptOfGoal[goal], acts)
+		if _, err := b.Add(goal, acts); err != nil {
+			// Unreachable: the source library only holds valid
+			// implementations.
+			continue
+		}
+		stats.Kept++
+	}
+	return b.Build(), stats
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeduplicateExact(t *testing.T) {
+	var b Builder
+	mustAdd(t, &b, 0, actions(0, 1, 2))
+	mustAdd(t, &b, 0, actions(2, 1, 0)) // exact duplicate after normalization
+	mustAdd(t, &b, 1, actions(0, 1, 2)) // same set, different goal: kept
+	mustAdd(t, &b, 0, actions(0, 1))    // subset, not exact
+	lib := b.Build()
+
+	out, stats := Deduplicate(lib, 1)
+	if stats.Kept != 3 || stats.ExactDuplicates != 1 || stats.NearDuplicates != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if out.NumImplementations() != 3 {
+		t.Errorf("output size = %d", out.NumImplementations())
+	}
+	// Different-goal twin survived.
+	if len(out.ImplsOfGoal(1)) != 1 {
+		t.Error("cross-goal implementation lost")
+	}
+}
+
+func TestDeduplicateNear(t *testing.T) {
+	var b Builder
+	mustAdd(t, &b, 0, actions(0, 1, 2, 3))
+	mustAdd(t, &b, 0, actions(0, 1, 2, 4)) // Jaccard 3/5 = 0.6
+	mustAdd(t, &b, 0, actions(7, 8))       // disjoint: kept
+	lib := b.Build()
+
+	out, stats := Deduplicate(lib, 0.5)
+	if stats.Kept != 2 || stats.NearDuplicates != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if out.NumImplementations() != 2 {
+		t.Errorf("output size = %d", out.NumImplementations())
+	}
+	// At a stricter threshold the near-duplicate survives.
+	out2, stats2 := Deduplicate(lib, 0.7)
+	if stats2.Kept != 3 || out2.NumImplementations() != 3 {
+		t.Errorf("strict threshold: %+v", stats2)
+	}
+}
+
+func TestDeduplicateThresholdFallback(t *testing.T) {
+	var b Builder
+	mustAdd(t, &b, 0, actions(0, 1))
+	mustAdd(t, &b, 0, actions(0, 2)) // Jaccard 1/3
+	lib := b.Build()
+	// Out-of-range thresholds fall back to exact-only.
+	for _, thr := range []float64{0, -1, 2} {
+		out, stats := Deduplicate(lib, thr)
+		if out.NumImplementations() != 2 || stats.Kept != 2 {
+			t.Errorf("threshold %v: %+v", thr, stats)
+		}
+	}
+}
+
+func TestDeduplicateProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(randomLibrary(r, 1+r.Intn(80), 15, 8))
+			v[1] = reflect.ValueOf(0.3 + 0.7*r.Float64())
+		},
+	}
+	f := func(lib *Library, thr float64) bool {
+		once, s1 := Deduplicate(lib, thr)
+		twice, s2 := Deduplicate(once, thr)
+		// Idempotence: a second pass removes nothing.
+		if s2.ExactDuplicates != 0 || s2.NearDuplicates != 0 ||
+			twice.NumImplementations() != once.NumImplementations() {
+			return false
+		}
+		// Counts add up.
+		if s1.Kept+s1.ExactDuplicates+s1.NearDuplicates != lib.NumImplementations() {
+			return false
+		}
+		// Monotonicity: a laxer threshold keeps no more implementations.
+		laxer, _ := Deduplicate(lib, thr*0.8)
+		return laxer.NumImplementations() <= once.NumImplementations()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDeduplicate(b *testing.B) {
+	r := rand.New(rand.NewSource(33))
+	lib := randomLibrary(r, 5000, 400, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Deduplicate(lib, 0.8)
+	}
+}
+
+func TestDeduplicatePreservesSemantics(t *testing.T) {
+	// Exact-only deduplication must not change any goal/action space.
+	r := rand.New(rand.NewSource(21))
+	lib := randomLibrary(r, 120, 25, 12)
+	out, _ := Deduplicate(lib, 1)
+	for a := ActionID(0); int(a) < lib.NumActions(); a++ {
+		gsIn := lib.GoalSpace(actions(a))
+		gsOut := out.GoalSpace(actions(a))
+		if !equalGoals(gsIn, gsOut) {
+			t.Fatalf("goal space of a%d changed: %v -> %v", a, gsIn, gsOut)
+		}
+		asIn := lib.ActionSpace(actions(a))
+		asOut := out.ActionSpace(actions(a))
+		if !equalActions(asIn, asOut) {
+			t.Fatalf("action space of a%d changed", a)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the association-based goal model (the paper's Figure 2)
+// in Graphviz DOT form: every implementation is a box node labelled with its
+// goal, connected to the ellipse nodes of the actions it contains. maxImpls
+// caps the rendered implementations (≤ 0 renders everything); large
+// libraries should cap, Graphviz does not enjoy 56K hyperedges.
+func WriteDOT(w io.Writer, l *Library, vocab *Vocabulary, maxImpls int) error {
+	bw := bufio.NewWriter(w)
+	n := l.NumImplementations()
+	if maxImpls > 0 && n > maxImpls {
+		n = maxImpls
+	}
+	if _, err := fmt.Fprintln(bw, "graph goalmodel {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [fontname=\"Helvetica\"];")
+
+	seenAction := make(map[ActionID]bool)
+	for p := 0; p < n; p++ {
+		id := ImplID(p)
+		goal := vocab.GoalName(l.Goal(id))
+		fmt.Fprintf(bw, "  impl%d [shape=box, style=filled, fillcolor=lightyellow, label=%q];\n",
+			p, fmt.Sprintf("p%d: %s", p+1, goal))
+		for _, a := range l.Actions(id) {
+			if !seenAction[a] {
+				seenAction[a] = true
+				fmt.Fprintf(bw, "  act%d [shape=ellipse, label=%q];\n", a, vocab.ActionName(a))
+			}
+			fmt.Fprintf(bw, "  impl%d -- act%d;\n", p, a)
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DOTString is a convenience wrapper returning the DOT text.
+func DOTString(l *Library, vocab *Vocabulary, maxImpls int) string {
+	var b strings.Builder
+	// strings.Builder never errors.
+	_ = WriteDOT(&b, l, vocab, maxImpls)
+	return b.String()
+}

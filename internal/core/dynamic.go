@@ -1,0 +1,72 @@
+package core
+
+import "sync"
+
+// DynamicLibrary is a mutable, concurrency-safe goal-implementation store
+// with snapshot semantics: writers append implementations, readers obtain an
+// immutable *Library snapshot whose indexes are rebuilt lazily on first read
+// after a write. Rebuilds are O(total slots); the intended usage pattern is
+// bursts of ingestion followed by many reads (the shape of a service that
+// periodically syncs new recipes/outfits/courses).
+type DynamicLibrary struct {
+	mu       sync.Mutex
+	builder  Builder
+	snapshot *Library // nil when dirty
+}
+
+// NewDynamicLibrary returns an empty DynamicLibrary.
+func NewDynamicLibrary() *DynamicLibrary {
+	return &DynamicLibrary{}
+}
+
+// Add appends one implementation; it never blocks readers of previously
+// obtained snapshots.
+func (d *DynamicLibrary) Add(goal GoalID, actions []ActionID) (ImplID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, err := d.builder.Add(goal, actions)
+	if err != nil {
+		return id, err
+	}
+	d.snapshot = nil
+	return id, nil
+}
+
+// AddImplementations appends a batch, stopping at the first invalid
+// implementation. It returns the number added.
+func (d *DynamicLibrary) AddImplementations(impls []Implementation) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, impl := range impls {
+		if _, err := d.builder.Add(impl.Goal, impl.Actions); err != nil {
+			if i > 0 {
+				d.snapshot = nil
+			}
+			return i, err
+		}
+	}
+	if len(impls) > 0 {
+		d.snapshot = nil
+	}
+	return len(impls), nil
+}
+
+// Len returns the number of implementations ingested so far.
+func (d *DynamicLibrary) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.builder.Len()
+}
+
+// Snapshot returns an immutable Library over everything added so far. The
+// result is shared between callers until the next Add, so it must be treated
+// as read-only (Library is immutable by construction). Cost: a full index
+// rebuild after a write, a pointer copy otherwise.
+func (d *DynamicLibrary) Snapshot() *Library {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.snapshot == nil {
+		d.snapshot = d.builder.Build()
+	}
+	return d.snapshot
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDynamicLibraryBasics(t *testing.T) {
+	d := NewDynamicLibrary()
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	snap0 := d.Snapshot()
+	if snap0.NumImplementations() != 0 {
+		t.Fatalf("empty snapshot has %d implementations", snap0.NumImplementations())
+	}
+
+	if _, err := d.Add(0, actions(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add(1, actions(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+
+	// The old snapshot is unaffected; a new one sees the additions.
+	if snap0.NumImplementations() != 0 {
+		t.Error("old snapshot mutated")
+	}
+	snap1 := d.Snapshot()
+	if snap1.NumImplementations() != 2 {
+		t.Errorf("snapshot has %d implementations, want 2", snap1.NumImplementations())
+	}
+	if got := snap1.ImplsOfAction(1); len(got) != 2 {
+		t.Errorf("postings of a1 = %v", got)
+	}
+}
+
+func TestDynamicLibrarySnapshotCached(t *testing.T) {
+	d := NewDynamicLibrary()
+	if _, err := d.Add(0, actions(0)); err != nil {
+		t.Fatal(err)
+	}
+	s1 := d.Snapshot()
+	s2 := d.Snapshot()
+	if s1 != s2 {
+		t.Error("consecutive snapshots without writes should be identical")
+	}
+	if _, err := d.Add(1, actions(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s3 := d.Snapshot(); s3 == s1 {
+		t.Error("snapshot not invalidated by write")
+	}
+}
+
+func TestDynamicLibraryAddValidation(t *testing.T) {
+	d := NewDynamicLibrary()
+	if _, err := d.Add(0, nil); err == nil {
+		t.Error("empty activity accepted")
+	}
+	if d.Len() != 0 {
+		t.Errorf("failed add counted: %d", d.Len())
+	}
+}
+
+func TestDynamicLibraryBatch(t *testing.T) {
+	d := NewDynamicLibrary()
+	n, err := d.AddImplementations([]Implementation{
+		{Goal: 0, Actions: actions(0, 1)},
+		{Goal: 1, Actions: actions(2)},
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("batch add = %d, %v", n, err)
+	}
+	// A batch with an invalid element stops there and reports the count.
+	n, err = d.AddImplementations([]Implementation{
+		{Goal: 2, Actions: actions(3)},
+		{Goal: -1, Actions: actions(4)},
+		{Goal: 3, Actions: actions(5)},
+	})
+	if err == nil || n != 1 {
+		t.Fatalf("partial batch = %d, %v", n, err)
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d, want 3", d.Len())
+	}
+	if snap := d.Snapshot(); snap.NumImplementations() != 3 {
+		t.Errorf("snapshot = %d implementations", snap.NumImplementations())
+	}
+}
+
+func TestDynamicLibraryConcurrent(t *testing.T) {
+	d := NewDynamicLibrary()
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := d.Add(GoalID(w), actions(ActionID(w), ActionID(i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					// Readers interleave with writers.
+					snap := d.Snapshot()
+					if snap.NumImplementations() == 0 {
+						t.Error("snapshot lost writes")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", d.Len(), writers*perWriter)
+	}
+	snap := d.Snapshot()
+	if snap.NumImplementations() != writers*perWriter {
+		t.Errorf("snapshot = %d implementations", snap.NumImplementations())
+	}
+}

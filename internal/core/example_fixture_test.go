@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+// paperLibrary builds the implementation set of the paper's Example 3.2
+// (the online clothing store of Figure 1): five implementations p1..p5 over
+// goals g1..g5 and actions a1..a6. Ids are zero-based, so a1 is action 0 and
+// g1 is goal 0.
+//
+// The membership matrix is reverse-engineered from the paper's Example 4.3,
+// which the fixture satisfies exactly:
+//
+//	IS(a1) = {p1,p2,p3,p5},  GS(a1) = {g1,g2,g3,g5},  AS(a1) = {a2,...,a6}.
+//
+// (The Section 5.3 numbers for H = {a2,a3} are typographically damaged in
+// the published text and cannot be made consistent with Example 4.3; the
+// strategy tests therefore assert the values this fixture itself implies.)
+func paperLibrary(t testing.TB) *Library {
+	t.Helper()
+	b := NewBuilder(5, 3)
+	add := func(goal GoalID, actions ...ActionID) {
+		t.Helper()
+		if _, err := b.Add(goal, actions); err != nil {
+			t.Fatalf("Add(%d, %v): %v", goal, actions, err)
+		}
+	}
+	// p1 = (g1, {a1, a2, a3})   "meeting friends"
+	add(0, 0, 1, 2)
+	// p2 = (g2, {a1, a4})       "be warm"
+	add(1, 0, 3)
+	// p3 = (g3, {a1, a3, a5})   "going to the office"
+	add(2, 0, 2, 4)
+	// p4 = (g4, {a4, a6})
+	add(3, 3, 5)
+	// p5 = (g5, {a1, a2, a6})
+	add(4, 0, 1, 5)
+	return b.Build()
+}
+
+func actions(v ...ActionID) []ActionID { return v }
+
+func goals(v ...GoalID) []GoalID { return v }
+
+func impls(v ...ImplID) []ImplID { return v }
+
+func equalActions(a, b []ActionID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalGoals(a, b []GoalID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalImpls(a, b []ImplID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

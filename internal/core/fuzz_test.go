@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONLines checks that arbitrary input never panics the JSON-lines
+// parser, and that anything it accepts survives a write/read round trip.
+func FuzzReadJSONLines(f *testing.F) {
+	f.Add(`{"goal":"g","actions":["a","b"]}`)
+	f.Add(`{"goal":"g","actions":["a"]}` + "\n" + `{"goal":"h","actions":["a","c"]}`)
+	f.Add(`{"goal":"","actions":[]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"goal":"g","actions":["a",` + "\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		lib, vocab, err := ReadJSONLines(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONLines(&buf, lib, vocab); err != nil {
+			t.Fatalf("accepted library failed to serialize: %v", err)
+		}
+		lib2, _, err := ReadJSONLines(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if lib2.NumImplementations() != lib.NumImplementations() {
+			t.Fatalf("round trip changed size: %d -> %d",
+				lib.NumImplementations(), lib2.NumImplementations())
+		}
+	})
+}
+
+// FuzzReadBinary checks that corrupt snapshots are rejected without panics.
+func FuzzReadBinary(f *testing.F) {
+	var b Builder
+	if _, err := b.Add(0, []ActionID{0, 1}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0x49, 0x4c, 0x47})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must be internally consistent.
+		for p := 0; p < lib.NumImplementations(); p++ {
+			acts := lib.Actions(ImplID(p))
+			if len(acts) == 0 {
+				t.Fatal("parsed library has an empty implementation")
+			}
+		}
+	})
+}

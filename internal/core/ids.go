@@ -1,0 +1,112 @@
+// Package core implements the association-based goal model of
+// Papadimitriou, Velegrakis and Koutrika (EDBT 2018): actions, goals, goal
+// implementations, and the index structures of Section 4 (A-ids, G-ids,
+// GI-A-idx, GI-G-idx, A-GI-idx plus the reverse G-GI-idx) that make the goal
+// space, action space and implementation space of a user activity cheap to
+// form.
+//
+// All hot-path structures work on dense int32 identifiers; the Interner maps
+// external string names to ids at the boundary.
+package core
+
+import "fmt"
+
+// ActionID identifies an action (an item purchase, a course, a life action).
+type ActionID int32
+
+// GoalID identifies a goal (a recipe, a degree, a life goal).
+type GoalID int32
+
+// ImplID identifies one goal implementation, i.e. one (goal, action-set)
+// pair in the library.
+type ImplID int32
+
+// NoAction, NoGoal and NoImpl are sentinel "absent" ids.
+const (
+	NoAction ActionID = -1
+	NoGoal   GoalID   = -1
+	NoImpl   ImplID   = -1
+)
+
+// Interner assigns dense int32 ids to string names and resolves them back.
+// It implements the paper's A-ids / G-ids dictionaries. The zero value is
+// ready to use. Interner is not safe for concurrent mutation.
+type Interner struct {
+	byName map[string]int32
+	names  []string
+}
+
+// NewInterner returns an empty Interner with capacity for n names.
+func NewInterner(n int) *Interner {
+	return &Interner{byName: make(map[string]int32, n), names: make([]string, 0, n)}
+}
+
+// Intern returns the id for name, assigning the next dense id on first use.
+func (in *Interner) Intern(name string) int32 {
+	if in.byName == nil {
+		in.byName = make(map[string]int32)
+	}
+	if id, ok := in.byName[name]; ok {
+		return id
+	}
+	id := int32(len(in.names))
+	in.byName[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+// Lookup returns the id for name without assigning one. The second result
+// reports whether the name was present.
+func (in *Interner) Lookup(name string) (int32, bool) {
+	id, ok := in.byName[name]
+	return id, ok
+}
+
+// Name returns the name for id, or "" if id is out of range.
+func (in *Interner) Name(id int32) string {
+	if id < 0 || int(id) >= len(in.names) {
+		return ""
+	}
+	return in.names[id]
+}
+
+// Len returns the number of interned names.
+func (in *Interner) Len() int { return len(in.names) }
+
+// Names returns the interned names indexed by id. The returned slice is the
+// Interner's backing store and must not be modified.
+func (in *Interner) Names() []string { return in.names }
+
+// Vocabulary pairs the action and goal dictionaries of a library built from
+// named data.
+type Vocabulary struct {
+	Actions *Interner
+	Goals   *Interner
+}
+
+// NewVocabulary returns an empty Vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{Actions: NewInterner(0), Goals: NewInterner(0)}
+}
+
+// ActionName resolves an ActionID, falling back to a numeric form for ids
+// outside the dictionary.
+func (v *Vocabulary) ActionName(a ActionID) string {
+	if v != nil && v.Actions != nil {
+		if s := v.Actions.Name(int32(a)); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("action#%d", a)
+}
+
+// GoalName resolves a GoalID, falling back to a numeric form for ids outside
+// the dictionary.
+func (v *Vocabulary) GoalName(g GoalID) string {
+	if v != nil && v.Goals != nil {
+		if s := v.Goals.Name(int32(g)); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("goal#%d", g)
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"goalrec/internal/intset"
+)
+
+// Implementation is one goal implementation: a goal together with the set of
+// actions whose joint execution fulfills it (Definition 3.1 of the paper).
+// Actions is strictly increasing.
+type Implementation struct {
+	Goal    GoalID
+	Actions []ActionID
+}
+
+// Errors returned by the library builder.
+var (
+	ErrEmptyActivity = errors.New("core: implementation with empty activity")
+	ErrNegativeID    = errors.New("core: negative id")
+)
+
+// Builder accumulates goal implementations and freezes them into an
+// immutable Library. The zero value is ready to use.
+type Builder struct {
+	implGoal   []GoalID
+	implOff    []int32 // implOff[i]..implOff[i+1] delimit actions of impl i in implActs
+	implActs   []ActionID
+	maxAction  ActionID
+	maxGoal    GoalID
+	totalSlots int
+}
+
+// NewBuilder returns a Builder with capacity hints for n implementations of
+// avgLen actions each.
+func NewBuilder(n, avgLen int) *Builder {
+	b := &Builder{
+		implGoal: make([]GoalID, 0, n),
+		implOff:  make([]int32, 1, n+1),
+		implActs: make([]ActionID, 0, n*avgLen),
+	}
+	b.maxAction, b.maxGoal = -1, -1
+	return b
+}
+
+func (b *Builder) init() {
+	if len(b.implOff) == 0 {
+		b.implOff = append(b.implOff, 0)
+		b.maxAction, b.maxGoal = -1, -1
+	}
+}
+
+// Add records the implementation (goal, actions). The action list may be
+// unsorted and may contain duplicates; it is normalized. Add keeps its own
+// copy of actions. It returns the id assigned to the implementation.
+func (b *Builder) Add(goal GoalID, actions []ActionID) (ImplID, error) {
+	b.init()
+	if goal < 0 {
+		return NoImpl, fmt.Errorf("%w: goal %d", ErrNegativeID, goal)
+	}
+	norm := intset.FromUnsorted(intset.Clone(actions))
+	if len(norm) == 0 {
+		return NoImpl, ErrEmptyActivity
+	}
+	if norm[0] < 0 {
+		return NoImpl, fmt.Errorf("%w: action %d", ErrNegativeID, norm[0])
+	}
+	id := ImplID(len(b.implGoal))
+	b.implGoal = append(b.implGoal, goal)
+	b.implActs = append(b.implActs, norm...)
+	b.implOff = append(b.implOff, int32(len(b.implActs)))
+	if goal > b.maxGoal {
+		b.maxGoal = goal
+	}
+	if last := norm[len(norm)-1]; last > b.maxAction {
+		b.maxAction = last
+	}
+	b.totalSlots += len(norm)
+	return id, nil
+}
+
+// Len returns the number of implementations added so far.
+func (b *Builder) Len() int { return len(b.implGoal) }
+
+// Build freezes the accumulated implementations into a Library. The Builder
+// may keep accepting Adds afterwards; the built Library is unaffected.
+func (b *Builder) Build() *Library {
+	b.init()
+	nImpl := len(b.implGoal)
+	nAct := int(b.maxAction) + 1
+	nGoal := int(b.maxGoal) + 1
+
+	lib := &Library{
+		implGoal:   append([]GoalID(nil), b.implGoal...),
+		implOff:    append([]int32(nil), b.implOff...),
+		implActs:   append([]ActionID(nil), b.implActs...),
+		numActions: nAct,
+		numGoals:   nGoal,
+	}
+
+	// Counting sort of (action, impl) pairs into the A-GI-idx postings and of
+	// (goal, impl) pairs into G-GI-idx. Impl ids are appended in increasing
+	// order, so each posting list comes out sorted.
+	actCount := make([]int32, nAct+1)
+	for _, a := range lib.implActs {
+		actCount[a+1]++
+	}
+	for i := 1; i <= nAct; i++ {
+		actCount[i] += actCount[i-1]
+	}
+	lib.actOff = actCount
+	lib.actPost = make([]ImplID, len(lib.implActs))
+	cursor := append([]int32(nil), actCount[:nAct]...)
+	for p := 0; p < nImpl; p++ {
+		for _, a := range lib.implActions(ImplID(p)) {
+			lib.actPost[cursor[a]] = ImplID(p)
+			cursor[a]++
+		}
+	}
+
+	goalCount := make([]int32, nGoal+1)
+	for _, g := range lib.implGoal {
+		goalCount[g+1]++
+	}
+	for i := 1; i <= nGoal; i++ {
+		goalCount[i] += goalCount[i-1]
+	}
+	lib.goalOff = goalCount
+	lib.goalPost = make([]ImplID, nImpl)
+	gCursor := append([]int32(nil), goalCount[:nGoal]...)
+	for p, g := range lib.implGoal {
+		lib.goalPost[gCursor[g]] = ImplID(p)
+		gCursor[g]++
+	}
+	return lib
+}
+
+// Library is the immutable association-based goal model (Figure 2 of the
+// paper): every implementation is a labelled hyperedge over actions, stored
+// in CSR form together with the two posting indexes
+//
+//	A-GI-idx: action -> implementations containing it
+//	G-GI-idx: goal   -> implementations fulfilling it
+//
+// A Library is safe for concurrent readers.
+type Library struct {
+	implGoal []GoalID   // GI-G-idx: implementation -> goal
+	implOff  []int32    // CSR offsets into implActs (GI-A-idx)
+	implActs []ActionID // concatenated, per-impl sorted action lists
+
+	actOff  []int32  // CSR offsets into actPost, len numActions+1
+	actPost []ImplID // A-GI-idx postings, sorted per action
+
+	goalOff  []int32  // CSR offsets into goalPost, len numGoals+1
+	goalPost []ImplID // G-GI-idx postings, sorted per goal
+
+	numActions int
+	numGoals   int
+}
+
+// NumImplementations returns |L|.
+func (l *Library) NumImplementations() int { return len(l.implGoal) }
+
+// NumActions returns the size of the action id space (max id + 1).
+func (l *Library) NumActions() int { return l.numActions }
+
+// NumGoals returns the size of the goal id space (max id + 1).
+func (l *Library) NumGoals() int { return l.numGoals }
+
+// Goal returns the goal the implementation p fulfills (GI-G-idx lookup).
+// It panics if p is out of range.
+func (l *Library) Goal(p ImplID) GoalID { return l.implGoal[p] }
+
+// Actions returns the sorted action set of implementation p (GI-A-idx
+// lookup). The returned slice is a view into the library and must not be
+// modified. It panics if p is out of range.
+func (l *Library) Actions(p ImplID) []ActionID {
+	return l.implActions(p)
+}
+
+func (l *Library) implActions(p ImplID) []ActionID {
+	return l.implActs[l.implOff[p]:l.implOff[p+1]]
+}
+
+// ImplLen returns |A_p| without materializing the action view.
+func (l *Library) ImplLen(p ImplID) int {
+	return int(l.implOff[p+1] - l.implOff[p])
+}
+
+// ImplsOfAction returns the sorted implementation ids containing action a
+// (A-GI-idx lookup); this is the implementation space IS(a) of the paper.
+// The returned slice is a view and must not be modified. Ids outside the
+// library yield an empty slice.
+func (l *Library) ImplsOfAction(a ActionID) []ImplID {
+	if a < 0 || int(a) >= l.numActions {
+		return nil
+	}
+	return l.actPost[l.actOff[a]:l.actOff[a+1]]
+}
+
+// ImplsOfGoal returns the sorted implementation ids fulfilling goal g
+// (G-GI-idx lookup). The returned slice is a view and must not be modified.
+// Ids outside the library yield an empty slice.
+func (l *Library) ImplsOfGoal(g GoalID) []ImplID {
+	if g < 0 || int(g) >= l.numGoals {
+		return nil
+	}
+	return l.goalPost[l.goalOff[g]:l.goalOff[g+1]]
+}
+
+// ActionDegree returns the connectivity of one action: the number of
+// implementations it participates in.
+func (l *Library) ActionDegree(a ActionID) int {
+	return len(l.ImplsOfAction(a))
+}
+
+// Implementation materializes implementation p as a value with its own
+// action slice copy.
+func (l *Library) Implementation(p ImplID) Implementation {
+	return Implementation{Goal: l.Goal(p), Actions: intset.Clone(l.implActions(p))}
+}

@@ -1,0 +1,125 @@
+package core
+
+import "goalrec/internal/intset"
+
+// This file implements the two basic operations of Section 4 — forming the
+// goal space GS(A) and the action space AS(A) of an activity — plus the
+// implementation space IS(A) both rely on, and the per-implementation
+// completeness and closeness measures of Section 5.1.
+
+// ImplementationSpace returns the sorted, deduplicated ids of every
+// implementation containing at least one action of activity: IS(activity).
+// The activity need not be sorted.
+func (l *Library) ImplementationSpace(activity []ActionID) []ImplID {
+	switch len(activity) {
+	case 0:
+		return nil
+	case 1:
+		return intset.Clone(l.ImplsOfAction(activity[0]))
+	}
+	var out []ImplID
+	for _, a := range activity {
+		out = append(out, l.ImplsOfAction(a)...)
+	}
+	return intset.FromUnsorted(out)
+}
+
+// GoalSpace returns the sorted, deduplicated goal ids associated with the
+// activity through at least one implementation: GS(activity)
+// (Definition 4.1 extended to activities).
+func (l *Library) GoalSpace(activity []ActionID) []GoalID {
+	var out []GoalID
+	for _, p := range l.ImplementationSpace(activity) {
+		out = append(out, l.Goal(p))
+	}
+	return intset.FromUnsorted(out)
+}
+
+// ActionSpace returns the sorted, deduplicated actions that co-participate
+// with the activity's actions in some implementation: AS(activity)
+// (Definition 4.2 extended to activities). Following the definition, an
+// action of the activity itself appears in the result only when it co-occurs
+// with a *different* action of the activity; use Candidates to strip the
+// activity entirely.
+func (l *Library) ActionSpace(activity []ActionID) []ActionID {
+	h := intset.FromUnsorted(intset.Clone(activity))
+	var out []ActionID
+	for _, p := range l.ImplementationSpace(h) {
+		acts := l.implActions(p)
+		overlap := intset.IntersectionLen(acts, h)
+		for _, a := range acts {
+			if intset.Contains(h, a) {
+				// An activity action belongs to AS(H) only when it
+				// co-participates with a *different* activity action
+				// (Definition 4.2 excludes the pairing of a with itself).
+				if overlap >= 2 {
+					out = append(out, a)
+				}
+				continue
+			}
+			out = append(out, a)
+		}
+	}
+	return intset.FromUnsorted(out)
+}
+
+// Candidates returns AS(activity) − activity: the candidate actions the
+// strategies rank (the user has not performed them yet).
+func (l *Library) Candidates(activity []ActionID) []ActionID {
+	h := intset.FromUnsorted(intset.Clone(activity))
+	var out []ActionID
+	for _, p := range l.ImplementationSpace(h) {
+		out = append(out, l.implActions(p)...)
+	}
+	out = intset.FromUnsorted(out)
+	return intset.Difference(nil, out, h)
+}
+
+// Completeness returns completeness(g, A_p, H) = |A_p ∩ H| / |A_p|
+// (Equation 3): the fraction of implementation p's actions already performed.
+// H must be sorted.
+func (l *Library) Completeness(p ImplID, sortedH []ActionID) float64 {
+	acts := l.implActions(p)
+	return float64(intset.IntersectionLen(acts, sortedH)) / float64(len(acts))
+}
+
+// Closeness returns closeness(g, A_p, H) = 1 / |A_p − H| (Equation 4): the
+// inverse of the number of actions still missing. A fully covered
+// implementation has infinite closeness; this function returns +Inf-free
+// semantics by mapping it to |A_p|+1 (strictly larger than any partial
+// closeness), keeping sort keys finite. H must be sorted.
+func (l *Library) Closeness(p ImplID, sortedH []ActionID) float64 {
+	missing := intset.DifferenceLen(l.implActions(p), sortedH)
+	if missing == 0 {
+		return float64(l.ImplLen(p) + 1)
+	}
+	return 1 / float64(missing)
+}
+
+// CompletenessWith returns the completeness of implementation p after the
+// user additionally performs extra (both slices sorted): the usefulness
+// measure of Section 6.1 C.1.3.
+func (l *Library) CompletenessWith(p ImplID, sortedH, sortedExtra []ActionID) float64 {
+	acts := l.implActions(p)
+	n := intset.IntersectionLen(acts, sortedH)
+	// Count extra's contribution only where it is not already in H.
+	for _, a := range sortedExtra {
+		if intset.Contains(acts, a) && !intset.Contains(sortedH, a) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(acts))
+}
+
+// GoalCompleteness returns the best completeness across the implementations
+// of goal g with respect to union of sortedH and sortedExtra: a goal counts
+// as advanced by its closest implementation.
+func (l *Library) GoalCompleteness(g GoalID, sortedH, sortedExtra []ActionID) float64 {
+	best := 0.0
+	for _, p := range l.ImplsOfGoal(g) {
+		if c := l.CompletenessWith(p, sortedH, sortedExtra); c > best {
+			best = c
+		}
+	}
+	return best
+}

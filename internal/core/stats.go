@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarizes the shape of a library. Connectivity — the average number
+// of implementations an action participates in — is the quantity the paper's
+// complexity analysis (Section 5.4) and scalability study (Figure 7) pivot
+// on.
+type Stats struct {
+	Implementations int
+	Actions         int     // actions that occur in at least one implementation
+	ActionIDSpace   int     // max action id + 1
+	Goals           int     // goals with at least one implementation
+	GoalIDSpace     int     // max goal id + 1
+	TotalSlots      int     // Σ |A_p|
+	AvgImplLen      float64 // mean |A_p|
+	MaxImplLen      int
+	Connectivity    float64 // mean implementations per occurring action
+	MaxConnectivity int
+	AvgImplsPerGoal float64
+}
+
+// Stats scans the library and returns its summary statistics.
+func (l *Library) Stats() Stats {
+	s := Stats{
+		Implementations: l.NumImplementations(),
+		ActionIDSpace:   l.NumActions(),
+		GoalIDSpace:     l.NumGoals(),
+		TotalSlots:      len(l.implActs),
+	}
+	for a := ActionID(0); int(a) < l.numActions; a++ {
+		if d := l.ActionDegree(a); d > 0 {
+			s.Actions++
+			if d > s.MaxConnectivity {
+				s.MaxConnectivity = d
+			}
+		}
+	}
+	for g := GoalID(0); int(g) < l.numGoals; g++ {
+		if len(l.ImplsOfGoal(g)) > 0 {
+			s.Goals++
+		}
+	}
+	for p := 0; p < s.Implementations; p++ {
+		if n := l.ImplLen(ImplID(p)); n > s.MaxImplLen {
+			s.MaxImplLen = n
+		}
+	}
+	if s.Implementations > 0 {
+		s.AvgImplLen = float64(s.TotalSlots) / float64(s.Implementations)
+	}
+	if s.Actions > 0 {
+		s.Connectivity = float64(s.TotalSlots) / float64(s.Actions)
+	}
+	if s.Goals > 0 {
+		s.AvgImplsPerGoal = float64(s.Implementations) / float64(s.Goals)
+	}
+	return s
+}
+
+// String renders the statistics in a compact one-per-line form.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"implementations=%d actions=%d goals=%d slots=%d avgImplLen=%.2f maxImplLen=%d connectivity=%.2f maxConnectivity=%d implsPerGoal=%.2f",
+		s.Implementations, s.Actions, s.Goals, s.TotalSlots,
+		s.AvgImplLen, s.MaxImplLen, s.Connectivity, s.MaxConnectivity, s.AvgImplsPerGoal)
+}
+
+// LibraryFrequency returns, for every action id, the fraction of
+// implementations containing it: the x-axis of the paper's Figure 6.
+func (l *Library) LibraryFrequency() []float64 {
+	out := make([]float64, l.numActions)
+	n := float64(l.NumImplementations())
+	if n == 0 {
+		return out
+	}
+	for a := range out {
+		out[a] = float64(l.ActionDegree(ActionID(a))) / n
+	}
+	return out
+}
+
+// ConnectivityPercentile returns the p-th percentile (0..100) of per-action
+// connectivity over occurring actions. It returns 0 for an empty library.
+func (l *Library) ConnectivityPercentile(p float64) float64 {
+	var degrees []int
+	for a := ActionID(0); int(a) < l.numActions; a++ {
+		if d := l.ActionDegree(a); d > 0 {
+			degrees = append(degrees, d)
+		}
+	}
+	if len(degrees) == 0 {
+		return 0
+	}
+	sort.Ints(degrees)
+	rank := p / 100 * float64(len(degrees)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return float64(degrees[lo])
+	}
+	frac := rank - float64(lo)
+	return float64(degrees[lo])*(1-frac) + float64(degrees[hi])*frac
+}

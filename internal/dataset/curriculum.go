@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"fmt"
+
+	"goalrec/internal/core"
+	"goalrec/internal/xrand"
+)
+
+// CurriculumConfig parameterizes the online-learning scenario the paper's
+// introduction motivates: specializations and degrees (goals) implemented
+// through course sets (actions). Unlike the grocery and life-goal scenarios
+// it has a layered structure — introductory courses feed many
+// specializations, capstones few — which produces a connectivity profile
+// between the two evaluation datasets. It is not part of the paper's
+// evaluation; the curriculum example and integration tests use it.
+type CurriculumConfig struct {
+	// Tracks is the number of subject tracks ("data science", "security",
+	// ...). Default 12.
+	Tracks int
+	// CoursesPerTrack is the number of courses per track, split across
+	// levels. Default 24.
+	CoursesPerTrack int
+	// SharedCourses is the pool of cross-track foundations ("calculus",
+	// "writing"). Default 20.
+	SharedCourses int
+	// SpecsPerTrack is the number of specializations per track. Default 6.
+	SpecsPerTrack int
+	// VariantsPerSpec is how many alternative course sets implement one
+	// specialization. Default 2.
+	VariantsPerSpec int
+	// SpecLen is the mean courses per specialization implementation.
+	// Default 6.
+	SpecLen float64
+	// Students is the number of evaluation users. Default 500.
+	Students int
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+func (c *CurriculumConfig) fill() {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&c.Tracks, 12)
+	def(&c.CoursesPerTrack, 24)
+	def(&c.SharedCourses, 20)
+	def(&c.SpecsPerTrack, 6)
+	def(&c.VariantsPerSpec, 2)
+	def(&c.Students, 500)
+	if c.SpecLen <= 0 {
+		c.SpecLen = 6
+	}
+}
+
+// GenerateCurriculum synthesizes the online-learning scenario.
+func GenerateCurriculum(cfg CurriculumConfig) (*Dataset, error) {
+	cfg.fill()
+	rng := xrand.New(cfg.Seed)
+
+	numCourses := cfg.SharedCourses + cfg.Tracks*cfg.CoursesPerTrack
+	courseOfTrack := func(track, i int) core.ActionID {
+		return core.ActionID(cfg.SharedCourses + track*cfg.CoursesPerTrack + i)
+	}
+
+	numSpecs := cfg.Tracks * cfg.SpecsPerTrack
+	builder := core.NewBuilder(numSpecs*cfg.VariantsPerSpec, int(cfg.SpecLen))
+	implsOfGoal := make([][]core.ImplID, numSpecs)
+	for track := 0; track < cfg.Tracks; track++ {
+		for s := 0; s < cfg.SpecsPerTrack; s++ {
+			goal := core.GoalID(track*cfg.SpecsPerTrack + s)
+			for v := 0; v < cfg.VariantsPerSpec; v++ {
+				length := 3 + rng.Poisson(cfg.SpecLen-3)
+				if length > cfg.CoursesPerTrack+cfg.SharedCourses {
+					length = cfg.CoursesPerTrack + cfg.SharedCourses
+				}
+				courses := make([]core.ActionID, 0, length)
+				// 1-2 shared foundations, the rest from the track with a
+				// bias towards its lower levels (prerequisites).
+				foundations := 1 + rng.Intn(2)
+				for _, f := range rng.SampleInt32(int32(cfg.SharedCourses), foundations) {
+					courses = append(courses, core.ActionID(f))
+				}
+				for len(courses) < length {
+					// Square the uniform draw to bias towards low indexes
+					// (introductory courses appear in more specializations).
+					u := rng.Float64()
+					idx := int(u * u * float64(cfg.CoursesPerTrack))
+					if idx >= cfg.CoursesPerTrack {
+						idx = cfg.CoursesPerTrack - 1
+					}
+					courses = append(courses, courseOfTrack(track, idx))
+				}
+				id, err := builder.Add(goal, courses)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: specialization %d: %w", goal, err)
+				}
+				implsOfGoal[goal] = append(implsOfGoal[goal], id)
+			}
+		}
+	}
+	lib := builder.Build()
+
+	// Students pick 1-2 specializations and complete a random prefix of one
+	// variant of each (they are mid-degree).
+	users := make([]User, 0, cfg.Students)
+	for i := 0; i < cfg.Students; i++ {
+		k := 1 + rng.Intn(2)
+		goalSeen := map[core.GoalID]struct{}{}
+		var goals []core.GoalID
+		var seq []core.ActionID
+		for len(goals) < k {
+			g := core.GoalID(rng.Intn(numSpecs))
+			if _, dup := goalSeen[g]; dup {
+				continue
+			}
+			goalSeen[g] = struct{}{}
+			goals = append(goals, g)
+			impls := implsOfGoal[g]
+			p := impls[rng.Intn(len(impls))]
+			acts := lib.Actions(p)
+			// Complete 40-100% of the specialization's courses, in order.
+			take := 2 + rng.Intn(len(acts))
+			if take > len(acts) {
+				take = len(acts)
+			}
+			seq = append(seq, acts[:take]...)
+		}
+		seq = dedupKeepOrder(seq)
+		users = append(users, User{
+			Activity: normalize(append([]core.ActionID(nil), seq...)),
+			Sequence: seq,
+			Goals:    normalizeGoals(goals),
+			Customer: -1,
+		})
+	}
+
+	if lib.NumActions() > numCourses {
+		return nil, fmt.Errorf("dataset: generated course id %d beyond the %d-course catalog", lib.NumActions()-1, numCourses)
+	}
+	return &Dataset{
+		Name:    "curriculum",
+		Library: lib,
+		Users:   users,
+	}, nil
+}

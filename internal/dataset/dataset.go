@@ -1,0 +1,100 @@
+// Package dataset synthesizes the two evaluation scenarios of the paper's
+// Section 6 and loads/stores user activities.
+//
+// The original assets — the FoodMart purchase database joined with the LIRMM
+// food-ontology recipes, and the crawled 43Things goal stories — are not
+// redistributable, so the generators below produce synthetic equivalents
+// calibrated to the published statistics (entity counts, implementation
+// sizes, action connectivity, user-goal distribution). The qualitative axis
+// the paper analyses — high action connectivity (foodmarket, ~1.2K
+// implementations per action at full scale) versus low connectivity
+// (43Things, actions confined to small goal families) — is controlled
+// explicitly. See DESIGN.md for the substitution rationale.
+package dataset
+
+import (
+	"goalrec/internal/baseline"
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+// User is one evaluation subject: the full ground-truth activity and, when
+// the scenario records them, the goals the user pursues.
+type User struct {
+	// Activity is the user's complete, sorted action set.
+	Activity []core.ActionID
+	// Sequence is the same actions in the order they were performed
+	// (first occurrence kept). The set-based goal model ignores order; the
+	// sequence feeds order-sensitive comparators like the Markov
+	// next-action baseline.
+	Sequence []core.ActionID
+	// Goals lists the goals the user explicitly pursues (43Things), or is
+	// nil when goal pursuit is unobserved (foodmarket carts).
+	Goals []core.GoalID
+	// Customer links evaluation rows belonging to one person (the
+	// foodmarket scenario has up to three carts per customer, the basis of
+	// the paper's Figure 4 TPR protocol). −1 when the scenario has no such
+	// linkage.
+	Customer int
+}
+
+// Dataset bundles everything an experiment needs: the goal-implementation
+// library, the evaluation users, and (when the domain defines them) the
+// content features.
+type Dataset struct {
+	// Name identifies the scenario ("foodmart" or "43things").
+	Name string
+	// Library is the goal-implementation set L.
+	Library *core.Library
+	// Users are the evaluation subjects.
+	Users []User
+	// Features holds the domain-specific action features (nil for scenarios
+	// without accepted features, like 43Things).
+	Features *baseline.Features
+	// NumCategories is the size of the feature space when Features != nil.
+	NumCategories int
+}
+
+// Activities projects the users onto their activities, the shape the
+// baseline recommenders are fit on.
+func (d *Dataset) Activities() [][]core.ActionID {
+	out := make([][]core.ActionID, len(d.Users))
+	for i, u := range d.Users {
+		out[i] = u.Activity
+	}
+	return out
+}
+
+// Interactions builds the implicit-feedback matrix over the dataset's users.
+func (d *Dataset) Interactions() *baseline.Interactions {
+	return baseline.NewInteractions(d.Activities(), d.Library.NumActions())
+}
+
+// normalize sorts and deduplicates an activity in place and returns it.
+func normalize(h []core.ActionID) []core.ActionID {
+	return intset.FromUnsorted(h)
+}
+
+// Sequences projects the users onto their ordered sequences.
+func (d *Dataset) Sequences() [][]core.ActionID {
+	out := make([][]core.ActionID, len(d.Users))
+	for i, u := range d.Users {
+		out[i] = u.Sequence
+	}
+	return out
+}
+
+// dedupKeepOrder removes duplicate actions preserving first-occurrence
+// order.
+func dedupKeepOrder(seq []core.ActionID) []core.ActionID {
+	seen := make(map[core.ActionID]struct{}, len(seq))
+	out := seq[:0]
+	for _, a := range seq {
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+func TestGenerateFoodMartSmall(t *testing.T) {
+	ds, err := GenerateFoodMart(FoodMartConfig{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "foodmart" {
+		t.Errorf("Name = %q", ds.Name)
+	}
+	stats := ds.Library.Stats()
+	if stats.Implementations == 0 || stats.Actions == 0 {
+		t.Fatalf("degenerate library: %v", stats)
+	}
+	if len(ds.Users) == 0 {
+		t.Fatal("no users generated")
+	}
+	if ds.Features == nil {
+		t.Fatal("foodmart must carry content features")
+	}
+	if ds.Features.NumActions() != ds.Library.NumActions() {
+		t.Errorf("feature rows %d != actions %d", ds.Features.NumActions(), ds.Library.NumActions())
+	}
+	// Every user activity is sorted, non-empty, in range.
+	for i, u := range ds.Users {
+		if len(u.Activity) == 0 {
+			t.Fatalf("user %d has empty activity", i)
+		}
+		if !intset.IsSorted(u.Activity) {
+			t.Fatalf("user %d activity unsorted", i)
+		}
+		for _, a := range u.Activity {
+			if a < 0 || int(a) >= ds.Library.NumActions() {
+				t.Fatalf("user %d action %d out of range", i, a)
+			}
+		}
+		if u.Goals != nil {
+			t.Errorf("foodmart user %d has explicit goals", i)
+		}
+	}
+	// Carts correlate with recipes: the average cart must hit at least one
+	// implementation.
+	hits := 0
+	for _, u := range ds.Users {
+		if len(ds.Library.ImplementationSpace(u.Activity)) > 0 {
+			hits++
+		}
+	}
+	if hits < len(ds.Users)*9/10 {
+		t.Errorf("only %d/%d carts touch the library", hits, len(ds.Users))
+	}
+}
+
+func TestFoodMartHighConnectivity(t *testing.T) {
+	hi, err := GenerateFoodMart(FoodMartConfig{Scale: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := GenerateFortyThreeThings(FortyThreeThingsConfig{Scale: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := hi.Library.Stats().Connectivity
+	cl := lo.Library.Stats().Connectivity
+	// The defining contrast of the two scenarios (Section 6): grocery
+	// connectivity is orders of magnitude above the life-goal one.
+	if ch < 5*cl {
+		t.Errorf("connectivity contrast lost: foodmart %.1f vs 43things %.1f", ch, cl)
+	}
+}
+
+func TestGenerateFoodMartDeterministic(t *testing.T) {
+	a, err := GenerateFoodMart(FoodMartConfig{Scale: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFoodMart(FoodMartConfig{Scale: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Library.Stats() != b.Library.Stats() {
+		t.Errorf("stats differ: %v vs %v", a.Library.Stats(), b.Library.Stats())
+	}
+	if len(a.Users) != len(b.Users) {
+		t.Fatalf("user counts differ")
+	}
+	for i := range a.Users {
+		if !intset.Equal(a.Users[i].Activity, b.Users[i].Activity) {
+			t.Fatalf("user %d differs", i)
+		}
+	}
+	c, err := GenerateFoodMart(FoodMartConfig{Scale: 0.01, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Library.Stats() == a.Library.Stats() {
+		t.Error("different seeds produced identical libraries")
+	}
+}
+
+func TestGenerateFoodMartRejectsImpossibleConfig(t *testing.T) {
+	_, err := GenerateFoodMart(FoodMartConfig{Products: 5, MeanIngredients: 50, Recipes: 10, Carts: 5})
+	if err == nil {
+		t.Error("impossible config accepted")
+	}
+}
+
+func TestGenerateFortyThreeThingsSmall(t *testing.T) {
+	ds, err := GenerateFortyThreeThings(FortyThreeThingsConfig{Scale: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "43things" {
+		t.Errorf("Name = %q", ds.Name)
+	}
+	if ds.Features != nil {
+		t.Error("43things should have no accepted domain features")
+	}
+	stats := ds.Library.Stats()
+	if stats.Implementations == 0 {
+		t.Fatal("no implementations")
+	}
+	// Every goal has at least one implementation.
+	if stats.Goals != ds.Library.NumGoals() {
+		t.Errorf("goals with implementations %d != goal space %d", stats.Goals, ds.Library.NumGoals())
+	}
+	for i, u := range ds.Users {
+		if len(u.Goals) == 0 {
+			t.Fatalf("user %d has no goals", i)
+		}
+		if len(u.Activity) == 0 {
+			t.Fatalf("user %d has empty activity", i)
+		}
+		// The user's activity must fully cover one implementation of each of
+		// their goals (that is how it was constructed).
+		for _, g := range u.Goals {
+			covered := false
+			for _, p := range ds.Library.ImplsOfGoal(g) {
+				if intset.Subset(ds.Library.Actions(p), u.Activity) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("user %d: goal %d not covered by activity", i, g)
+			}
+		}
+	}
+}
+
+func TestGenerateFortyThreeThingsDeterministic(t *testing.T) {
+	// Regression: implementation choice per user goal must not depend on
+	// map iteration order.
+	a, err := GenerateFortyThreeThings(FortyThreeThingsConfig{Scale: 0.03, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFortyThreeThings(FortyThreeThingsConfig{Scale: 0.03, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Users) != len(b.Users) {
+		t.Fatal("user counts differ")
+	}
+	for i := range a.Users {
+		if !intset.Equal(a.Users[i].Activity, b.Users[i].Activity) {
+			t.Fatalf("user %d activity differs between identical runs", i)
+		}
+		if len(a.Users[i].Sequence) != len(b.Users[i].Sequence) {
+			t.Fatalf("user %d sequence differs", i)
+		}
+	}
+}
+
+func TestUserSequences(t *testing.T) {
+	for _, gen := range []func() (*Dataset, error){
+		func() (*Dataset, error) {
+			return GenerateFoodMart(FoodMartConfig{Scale: 0.02, Seed: 3})
+		},
+		func() (*Dataset, error) {
+			return GenerateFortyThreeThings(FortyThreeThingsConfig{Scale: 0.03, Seed: 3})
+		},
+	} {
+		ds, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range ds.Users {
+			// The sequence is a duplicate-free ordering of the activity.
+			sorted := normalize(append([]core.ActionID(nil), u.Sequence...))
+			if !intset.Equal(sorted, u.Activity) {
+				t.Fatalf("%s user %d: sequence %v is not a permutation of activity %v",
+					ds.Name, i, u.Sequence, u.Activity)
+			}
+		}
+		if got := ds.Sequences(); len(got) != len(ds.Users) {
+			t.Errorf("Sequences length = %d", len(got))
+		}
+	}
+}
+
+func TestFortyThreeThingsGoalDistribution(t *testing.T) {
+	ds, err := GenerateFortyThreeThings(FortyThreeThingsConfig{Scale: 0.2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, u := range ds.Users {
+		n := len(u.Goals)
+		if n > 4 {
+			n = 4
+		}
+		counts[n]++
+	}
+	// The paper's skew: most users pursue a single goal.
+	if counts[1] <= counts[2] || counts[2] <= counts[3] {
+		t.Errorf("goal-count distribution not decreasing: %v", counts)
+	}
+}
+
+func TestFortyThreeThingsCustomGoalsPerUser(t *testing.T) {
+	ds, err := GenerateFortyThreeThings(FortyThreeThingsConfig{
+		Scale: 0.05, Seed: 5, GoalsPerUser: []int{3, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != 5 {
+		t.Fatalf("user count = %d, want 5", len(ds.Users))
+	}
+	ones, twos := 0, 0
+	for _, u := range ds.Users {
+		switch len(u.Goals) {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		}
+	}
+	if ones != 3 || twos != 2 {
+		t.Errorf("distribution = %d/%d, want 3/2", ones, twos)
+	}
+}
+
+func TestGenerateCurriculum(t *testing.T) {
+	ds, err := GenerateCurriculum(CurriculumConfig{Seed: 4, Students: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "curriculum" {
+		t.Errorf("Name = %q", ds.Name)
+	}
+	stats := ds.Library.Stats()
+	if stats.Implementations != 12*6*2 {
+		t.Errorf("implementations = %d, want 144", stats.Implementations)
+	}
+	if stats.Goals != 12*6 {
+		t.Errorf("goals with implementations = %d, want 72", stats.Goals)
+	}
+	if len(ds.Users) != 80 {
+		t.Fatalf("users = %d", len(ds.Users))
+	}
+	for i, u := range ds.Users {
+		if len(u.Goals) == 0 || len(u.Goals) > 2 {
+			t.Fatalf("user %d goals = %v", i, u.Goals)
+		}
+		if len(u.Activity) == 0 {
+			t.Fatalf("user %d empty activity", i)
+		}
+		// Every declared goal is in the activity's goal space: the prefix
+		// always intersects the chosen implementation.
+		gs := ds.Library.GoalSpace(u.Activity)
+		for _, g := range u.Goals {
+			if !intset.Contains(gs, g) {
+				t.Fatalf("user %d goal %d outside goal space", i, g)
+			}
+		}
+	}
+	// Determinism.
+	ds2, err := GenerateCurriculum(CurriculumConfig{Seed: 4, Students: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Users {
+		if !intset.Equal(ds.Users[i].Activity, ds2.Users[i].Activity) {
+			t.Fatalf("user %d differs between identical runs", i)
+		}
+	}
+	// Shared foundations give introductory courses higher connectivity than
+	// the track tails.
+	if stats.MaxConnectivity < 5 {
+		t.Errorf("max connectivity = %d, want layered structure", stats.MaxConnectivity)
+	}
+}
+
+func TestDatasetInteractions(t *testing.T) {
+	ds, err := GenerateFoodMart(FoodMartConfig{Scale: 0.01, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.Interactions()
+	if in.NumUsers() != len(ds.Users) {
+		t.Errorf("interactions users %d != %d", in.NumUsers(), len(ds.Users))
+	}
+	if in.NumActions() != ds.Library.NumActions() {
+		t.Errorf("interactions actions %d != %d", in.NumActions(), ds.Library.NumActions())
+	}
+}
+
+func TestActivitiesCSVRoundTrip(t *testing.T) {
+	vocab := core.NewVocabulary()
+	src := "potatoes,carrots\npickles\n# comment\n\nnutmeg , potatoes\n"
+	acts, err := ReadActivitiesCSV(strings.NewReader(src), vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 3 {
+		t.Fatalf("parsed %d activities, want 3", len(acts))
+	}
+	var buf bytes.Buffer
+	if err := WriteActivitiesCSV(&buf, acts, vocab); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadActivitiesCSV(strings.NewReader(buf.String()), vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range acts {
+		if !intset.Equal(acts[i], again[i]) {
+			t.Errorf("activity %d changed: %v -> %v", i, acts[i], again[i])
+		}
+	}
+	if _, err := ReadActivitiesCSV(strings.NewReader("a,,b\n"), vocab); err == nil {
+		t.Error("empty field accepted")
+	}
+}
+
+func TestActivityIDsCSVRoundTrip(t *testing.T) {
+	in := [][]core.ActionID{{3, 1, 2}, {7}}
+	var buf bytes.Buffer
+	norm := make([][]core.ActionID, len(in))
+	for i, h := range in {
+		norm[i] = normalize(append([]core.ActionID(nil), h...))
+	}
+	if err := WriteActivityIDsCSV(&buf, norm); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadActivityIDsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !intset.Equal(got[0], norm[0]) || !intset.Equal(got[1], norm[1]) {
+		t.Errorf("round trip = %v", got)
+	}
+	if _, err := ReadActivityIDsCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+	if _, err := ReadActivityIDsCSV(strings.NewReader("-4\n")); err == nil {
+		t.Error("negative id accepted")
+	}
+}

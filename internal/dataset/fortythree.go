@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"fmt"
+
+	"goalrec/internal/core"
+	"goalrec/internal/xrand"
+)
+
+// FortyThreeThingsConfig parameterizes the life-goal scenario: goals
+// organized in narrow "families" whose actions rarely serve goals outside
+// the family, users pursuing a small number of goals (the paper's
+// distribution: 5047 users with 1 goal, 1806 with 2, 623 with 3, 595 with
+// more). Defaults reproduce the published entity counts at Scale = 1.
+//
+// The paper reports an action connectivity of 3.84 together with 18047
+// implementations over 5456 actions; those three numbers are mutually
+// inconsistent with the multi-action implementations its own Table 1 shows
+// (they would force a mean implementation length of ~1.2). The generator
+// keeps the entity counts and the *low-connectivity regime* — actions
+// confined to goal families, two orders of magnitude below the foodmarket's
+// connectivity — which is the property the paper's analysis actually uses.
+type FortyThreeThingsConfig struct {
+	// Scale multiplies every cardinality; 1.0 is the paper's full size.
+	Scale float64
+	// Implementations is the number of goal implementations (paper: 18047).
+	Implementations int
+	// Goals is the number of distinct life goals (paper: 3747).
+	Goals int
+	// Actions is the number of distinct actions (paper: 5456).
+	Actions int
+	// Users is the number of evaluation users (paper: 8071).
+	Users int
+	// MeanImplLen is the mean actions per implementation (default 4, in
+	// line with the paper's Table 1 walkthrough).
+	MeanImplLen float64
+	// FamilySize is the number of actions a goal family draws from
+	// (default 25).
+	FamilySize int
+	// CrossFamilyProb is the probability an implementation action is drawn
+	// globally instead of from the family (default 0.05), producing the few
+	// bridge actions real goal stories share ("make a plan", "save money").
+	CrossFamilyProb float64
+	// GoalsPerUser overrides the paper's user-goal-count distribution when
+	// non-nil: GoalsPerUser[i] users pursue i+1 goals.
+	GoalsPerUser []int
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+func (c *FortyThreeThingsConfig) fill() {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	def := func(v *int, full int) {
+		if *v <= 0 {
+			*v = int(float64(full)*c.Scale + 0.5)
+			if *v < 1 {
+				*v = 1
+			}
+		}
+	}
+	def(&c.Implementations, 18047)
+	def(&c.Goals, 3747)
+	def(&c.Actions, 5456)
+	def(&c.Users, 8071)
+	if c.MeanImplLen <= 0 {
+		c.MeanImplLen = 4
+	}
+	if c.FamilySize <= 0 {
+		c.FamilySize = 25
+	}
+	if c.FamilySize > c.Actions {
+		c.FamilySize = c.Actions
+	}
+	if c.CrossFamilyProb <= 0 {
+		c.CrossFamilyProb = 0.05
+	}
+	if c.Goals > c.Implementations {
+		c.Goals = c.Implementations
+	}
+	if len(c.GoalsPerUser) == 0 {
+		// The published distribution, scaled to c.Users:
+		// 5047 / 1806 / 623 / 595 of 8071 users pursue 1 / 2 / 3 / 4+ goals.
+		total := 5047 + 1806 + 623 + 595
+		c.GoalsPerUser = []int{
+			c.Users * 5047 / total,
+			c.Users * 1806 / total,
+			c.Users * 623 / total,
+		}
+		rest := c.Users - c.GoalsPerUser[0] - c.GoalsPerUser[1] - c.GoalsPerUser[2]
+		c.GoalsPerUser = append(c.GoalsPerUser, rest)
+	}
+}
+
+// GenerateFortyThreeThings synthesizes the life-goal scenario.
+func GenerateFortyThreeThings(cfg FortyThreeThingsConfig) (*Dataset, error) {
+	cfg.fill()
+	rng := xrand.New(cfg.Seed)
+
+	// Goal families: consecutive goals share a family; each family owns a
+	// contiguous block of actions plus a few sampled outsiders, keeping
+	// cross-family connectivity near zero.
+	goalsPerFamily := 6
+	numFamilies := (cfg.Goals + goalsPerFamily - 1) / goalsPerFamily
+	familyActions := make([][]core.ActionID, numFamilies)
+	for f := range familyActions {
+		base := (f * cfg.FamilySize * 3 / 4) % cfg.Actions // overlapping blocks
+		acts := make([]core.ActionID, 0, cfg.FamilySize)
+		for i := 0; i < cfg.FamilySize; i++ {
+			acts = append(acts, core.ActionID((base+i)%cfg.Actions))
+		}
+		familyActions[f] = acts
+	}
+
+	// Goal popularity is Zipfian: a few goals ("lose weight") attract many
+	// implementations and users.
+	goalPop := xrand.NewZipf(rng.Split(), cfg.Goals, 0.8)
+
+	builder := core.NewBuilder(cfg.Implementations, int(cfg.MeanImplLen))
+	implsOfGoal := make([][]core.ImplID, cfg.Goals)
+	for i := 0; i < cfg.Implementations; i++ {
+		var goal core.GoalID
+		if i < cfg.Goals {
+			goal = core.GoalID(i) // every goal gets at least one implementation
+		} else {
+			goal = core.GoalID(goalPop.Next())
+		}
+		family := familyActions[int(goal)/goalsPerFamily]
+		length := 1 + rng.Poisson(cfg.MeanImplLen-1)
+		if length > len(family) {
+			length = len(family)
+		}
+		acts := make([]core.ActionID, 0, length)
+		for len(acts) < length {
+			if rng.Float64() < cfg.CrossFamilyProb {
+				acts = append(acts, core.ActionID(rng.Intn(cfg.Actions)))
+				continue
+			}
+			acts = append(acts, family[rng.Intn(len(family))])
+		}
+		id, err := builder.Add(goal, acts)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: implementation %d: %w", i, err)
+		}
+		implsOfGoal[goal] = append(implsOfGoal[goal], id)
+	}
+	lib := builder.Build()
+
+	// Users: pick goal counts from the configured distribution, then for
+	// each chosen goal perform the actions of one of its implementations.
+	users := make([]User, 0, cfg.Users)
+	for numGoals, count := range cfg.GoalsPerUser {
+		for i := 0; i < count; i++ {
+			k := numGoals + 1
+			if k > cfg.Goals {
+				k = cfg.Goals
+			}
+			goalSet := make(map[core.GoalID]struct{}, k)
+			for len(goalSet) < k {
+				goalSet[core.GoalID(goalPop.Next())] = struct{}{}
+			}
+			goals := make([]core.GoalID, 0, len(goalSet))
+			for g := range goalSet {
+				goals = append(goals, g)
+			}
+			goals = normalizeGoals(goals)
+			var activity []core.ActionID
+			for _, g := range goals {
+				impls := implsOfGoal[g]
+				p := impls[rng.Intn(len(impls))]
+				activity = append(activity, lib.Actions(p)...)
+			}
+			seq := dedupKeepOrder(activity)
+			users = append(users, User{
+				Activity: normalize(append([]core.ActionID(nil), seq...)),
+				Sequence: seq,
+				Goals:    goals,
+				Customer: -1,
+			})
+		}
+	}
+
+	// Users were appended grouped by goal count; shuffle so any prefix (an
+	// evaluation harness capping the user count) is an unbiased sample of
+	// the configured distribution.
+	rng.Shuffle(len(users), func(i, j int) { users[i], users[j] = users[j], users[i] })
+
+	return &Dataset{
+		Name:    "43things",
+		Library: lib,
+		Users:   users,
+	}, nil
+}
+
+func normalizeGoals(gs []core.GoalID) []core.GoalID {
+	out := gs[:0]
+	seen := make(map[core.GoalID]struct{}, len(gs))
+	for _, g := range gs {
+		if _, dup := seen[g]; !dup {
+			seen[g] = struct{}{}
+			out = append(out, g)
+		}
+	}
+	// Keep sorted for deterministic downstream iteration.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

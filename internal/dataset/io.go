@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"goalrec/internal/core"
+)
+
+// ReadActivitiesCSV parses user activities from r: one activity per line,
+// action names separated by commas, blank lines and #-comments skipped.
+// Names are resolved (and, when missing, interned) through vocab, so the
+// same vocabulary can be shared with a JSON-lines library file.
+func ReadActivitiesCSV(r io.Reader, vocab *core.Vocabulary) ([][]core.ActionID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out [][]core.ActionID
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var activity []core.ActionID
+		for _, field := range strings.Split(line, ",") {
+			name := strings.TrimSpace(field)
+			if name == "" {
+				return nil, fmt.Errorf("dataset: line %d: empty action name", lineNo)
+			}
+			activity = append(activity, core.ActionID(vocab.Actions.Intern(name)))
+		}
+		out = append(out, normalize(activity))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading activities: %w", err)
+	}
+	return out, nil
+}
+
+// WriteActivitiesCSV writes activities to w in the format ReadActivitiesCSV
+// parses, resolving ids through vocab.
+func WriteActivitiesCSV(w io.Writer, activities [][]core.ActionID, vocab *core.Vocabulary) error {
+	bw := bufio.NewWriter(w)
+	for i, h := range activities {
+		for j, a := range h {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(vocab.ActionName(a)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset: writing activity %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadActivityIDsCSV parses activities given as numeric action ids, the
+// format the synthetic generators emit.
+func ReadActivityIDsCSV(r io.Reader) ([][]core.ActionID, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out [][]core.ActionID
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var activity []core.ActionID
+		for _, field := range strings.Split(line, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dataset: line %d: negative action id %d", lineNo, v)
+			}
+			activity = append(activity, core.ActionID(v))
+		}
+		out = append(out, normalize(activity))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading activities: %w", err)
+	}
+	return out, nil
+}
+
+// WriteActivityIDsCSV writes activities as numeric id lines.
+func WriteActivityIDsCSV(w io.Writer, activities [][]core.ActionID) error {
+	bw := bufio.NewWriter(w)
+	for i, h := range activities {
+		for j, a := range h {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(a))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("dataset: writing activity %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

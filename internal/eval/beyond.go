@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+// This file adds the beyond-accuracy measurements the paper's introduction
+// motivates (serendipity, novelty, diversity — Section 1's critique of
+// similarity-driven recommenders): intra-list diversity, catalog coverage,
+// aggregate concentration (Gini), and surprisal/novelty.
+
+// IntraListDiversity returns the mean, over lists, of the average pairwise
+// dissimilarity 1 − sim(a, b) inside each list. Lists with fewer than two
+// actions are skipped.
+func IntraListDiversity(lists [][]core.ActionID, sim func(a, b core.ActionID) float64) float64 {
+	total, counted := 0.0, 0
+	for _, l := range lists {
+		if len(l) < 2 {
+			continue
+		}
+		sum, pairs := 0.0, 0
+		for i := 0; i < len(l); i++ {
+			for j := i + 1; j < len(l); j++ {
+				sum += 1 - sim(l[i], l[j])
+				pairs++
+			}
+		}
+		total += sum / float64(pairs)
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// CatalogCoverage returns the fraction of the action catalog that appears in
+// at least one recommendation list.
+func CatalogCoverage(lists [][]core.ActionID, numActions int) float64 {
+	if numActions == 0 {
+		return 0
+	}
+	seen := make(map[core.ActionID]struct{})
+	for _, l := range lists {
+		for _, a := range l {
+			seen[a] = struct{}{}
+		}
+	}
+	return float64(len(seen)) / float64(numActions)
+}
+
+// GiniConcentration returns the Gini coefficient of how recommendations
+// concentrate on actions: 0 means every recommended action appears equally
+// often, values near 1 mean a few actions monopolize the lists. Only actions
+// appearing at least once are considered (absent actions are a coverage
+// question, measured separately).
+func GiniConcentration(lists [][]core.ActionID) float64 {
+	counts := make(map[core.ActionID]int)
+	for _, l := range lists {
+		for _, a := range l {
+			counts[a]++
+		}
+	}
+	if len(counts) <= 1 {
+		return 0
+	}
+	vals := make([]int, 0, len(counts))
+	total := 0
+	for _, c := range counts {
+		vals = append(vals, c)
+		total += c
+	}
+	sort.Ints(vals)
+	// Gini over the sorted counts: Σ (2i − n − 1)·x_i / (n · Σ x).
+	n := len(vals)
+	acc := 0.0
+	for i, v := range vals {
+		acc += float64(2*(i+1)-n-1) * float64(v)
+	}
+	return acc / (float64(n) * float64(total))
+}
+
+// MeanNovelty returns the mean self-information −log2(p(a)) of the
+// recommended actions, where p(a) is the action's frequency among the user
+// activities: recommending rarely performed actions scores high. Actions
+// never performed get the maximum (as if performed once).
+func MeanNovelty(lists [][]core.ActionID, activities [][]core.ActionID, numActions int) float64 {
+	counts := make([]int, numActions)
+	users := len(activities)
+	if users == 0 {
+		return 0
+	}
+	for _, h := range activities {
+		for _, a := range h {
+			if int(a) < numActions {
+				counts[a]++
+			}
+		}
+	}
+	total, n := 0.0, 0
+	for _, l := range lists {
+		for _, a := range l {
+			c := 1
+			if int(a) < numActions && counts[a] > 0 {
+				c = counts[a]
+			}
+			total += log2(float64(users+1) / float64(c))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// ListUniqueness returns the fraction of distinct recommendation lists
+// (as unordered action sets) among all non-empty lists — the paper's closing
+// claim that "all the mechanisms create different recommendation lists for
+// different inputs" made measurable. 1 means every user got a distinct list.
+func ListUniqueness(lists [][]core.ActionID) float64 {
+	seen := make(map[string]struct{})
+	nonEmpty := 0
+	for _, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		nonEmpty++
+		s := intset.FromUnsorted(intset.Clone(l))
+		key := make([]byte, 0, len(s)*5)
+		for _, a := range s {
+			key = append(key, byte(a), byte(a>>8), byte(a>>16), byte(a>>24), ',')
+		}
+		seen[string(key)] = struct{}{}
+	}
+	if nonEmpty == 0 {
+		return 0
+	}
+	return float64(len(seen)) / float64(nonEmpty)
+}
+
+// UnexpectednessVsBaseline returns the mean fraction of each list that a
+// reference method (typically popularity) does NOT also recommend — the
+// serendipity building block.
+func UnexpectednessVsBaseline(lists, reference [][]core.ActionID) float64 {
+	if len(lists) == 0 || len(lists) != len(reference) {
+		return 0
+	}
+	total, counted := 0.0, 0
+	for i, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		sl := intset.FromUnsorted(intset.Clone(l))
+		ref := intset.FromUnsorted(intset.Clone(reference[i]))
+		total += float64(intset.DifferenceLen(sl, ref)) / float64(len(sl))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"goalrec/internal/core"
+)
+
+func simSameBucket(a, b core.ActionID) float64 {
+	if a/2 == b/2 {
+		return 1
+	}
+	return 0
+}
+
+func TestIntraListDiversity(t *testing.T) {
+	lists := [][]core.ActionID{
+		acts(0, 1),    // same bucket → diversity 0
+		acts(0, 2),    // different → 1
+		acts(0, 1, 2), // pairs: (0,1)=0, (0,2)=1, (1,2)=1 → 2/3
+		acts(9),       // skipped
+	}
+	want := (0.0 + 1.0 + 2.0/3.0) / 3
+	if got := IntraListDiversity(lists, simSameBucket); math.Abs(got-want) > 1e-12 {
+		t.Errorf("diversity = %v, want %v", got, want)
+	}
+	if got := IntraListDiversity(nil, simSameBucket); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestCatalogCoverage(t *testing.T) {
+	lists := [][]core.ActionID{acts(0, 1), acts(1, 2)}
+	if got := CatalogCoverage(lists, 6); got != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", got)
+	}
+	if got := CatalogCoverage(nil, 6); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+	if got := CatalogCoverage(lists, 0); got != 0 {
+		t.Errorf("zero catalog = %v", got)
+	}
+}
+
+func TestGiniConcentration(t *testing.T) {
+	// Perfectly even: every action appears once.
+	even := [][]core.ActionID{acts(0), acts(1), acts(2), acts(3)}
+	if got := GiniConcentration(even); got != 0 {
+		t.Errorf("even Gini = %v, want 0", got)
+	}
+	// Heavy concentration: one action in every list, others once.
+	skew := [][]core.ActionID{acts(0, 1), acts(0, 2), acts(0, 3), acts(0, 4), acts(0, 5), acts(0, 6)}
+	g := GiniConcentration(skew)
+	if g <= 0.3 {
+		t.Errorf("skewed Gini = %v, want > 0.3", g)
+	}
+	if got := GiniConcentration(nil); got != 0 {
+		t.Errorf("empty Gini = %v", got)
+	}
+	if got := GiniConcentration([][]core.ActionID{acts(7)}); got != 0 {
+		t.Errorf("single-action Gini = %v", got)
+	}
+}
+
+func TestMeanNovelty(t *testing.T) {
+	activities := [][]core.ActionID{acts(0), acts(0), acts(0), acts(1)}
+	// Recommending the ubiquitous a0 is low-novelty; the never-performed a5
+	// scores the maximum.
+	popular := MeanNovelty([][]core.ActionID{acts(0)}, activities, 6)
+	rare := MeanNovelty([][]core.ActionID{acts(1)}, activities, 6)
+	unseen := MeanNovelty([][]core.ActionID{acts(5)}, activities, 6)
+	if !(popular < rare && rare <= unseen) {
+		t.Errorf("novelty ordering broken: %v, %v, %v", popular, rare, unseen)
+	}
+	if got := MeanNovelty(nil, activities, 6); got != 0 {
+		t.Errorf("empty lists novelty = %v", got)
+	}
+	if got := MeanNovelty([][]core.ActionID{acts(0)}, nil, 6); got != 0 {
+		t.Errorf("no users novelty = %v", got)
+	}
+}
+
+func TestListUniqueness(t *testing.T) {
+	lists := [][]core.ActionID{
+		acts(1, 2),
+		acts(2, 1), // same set, different order → same list
+		acts(3),
+		nil, // ignored
+	}
+	if got := ListUniqueness(lists); got != 2.0/3.0 {
+		t.Errorf("uniqueness = %v, want 2/3", got)
+	}
+	if got := ListUniqueness(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	all := [][]core.ActionID{acts(1), acts(2), acts(3)}
+	if got := ListUniqueness(all); got != 1 {
+		t.Errorf("all distinct = %v", got)
+	}
+}
+
+func TestUnexpectednessVsBaseline(t *testing.T) {
+	lists := [][]core.ActionID{acts(1, 2), acts(3, 4)}
+	ref := [][]core.ActionID{acts(2, 9), acts(3, 4)}
+	// List 0: 1 of 2 outside the reference; list 1: 0 of 2.
+	want := (0.5 + 0.0) / 2
+	if got := UnexpectednessVsBaseline(lists, ref); math.Abs(got-want) > 1e-12 {
+		t.Errorf("unexpectedness = %v, want %v", got, want)
+	}
+	if got := UnexpectednessVsBaseline(lists, ref[:1]); got != 0 {
+		t.Errorf("mismatched lengths = %v", got)
+	}
+}

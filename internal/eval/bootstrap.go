@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/xrand"
+)
+
+// CompletenessPerUser returns each user's average goal completeness after
+// following their recommendation list (the per-user quantity Table 4
+// averages). Users whose goal scope is empty yield NaN and should be
+// filtered by the caller; Bootstrap does so.
+func CompletenessPerUser(lib *core.Library, visible, lists [][]core.ActionID, goalsOf func(i int) []core.GoalID) []float64 {
+	out := make([]float64, len(visible))
+	for i := range visible {
+		h := intset.FromUnsorted(intset.Clone(visible[i]))
+		extra := intset.FromUnsorted(intset.Clone(lists[i]))
+		var goals []core.GoalID
+		if goalsOf != nil {
+			goals = goalsOf(i)
+		}
+		if goals == nil {
+			goals = lib.GoalSpace(h)
+		}
+		if len(goals) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		sum := 0.0
+		for _, g := range goals {
+			sum += lib.GoalCompleteness(g, h, extra)
+		}
+		out[i] = sum / float64(len(goals))
+	}
+	return out
+}
+
+// CI is a bootstrap percentile confidence interval around a sample mean.
+type CI struct {
+	Mean float64
+	Lo   float64
+	Hi   float64
+}
+
+// Bootstrap estimates a percentile confidence interval for the mean of the
+// per-user values by resampling users with replacement. NaN entries are
+// dropped first. conf is the confidence level (e.g. 0.95); iters the number
+// of resamples (≤ 0 selects 1000). Deterministic for a fixed seed.
+func Bootstrap(perUser []float64, conf float64, iters int, seed uint64) CI {
+	vals := make([]float64, 0, len(perUser))
+	for _, v := range perUser {
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return CI{}
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+
+	rng := xrand.New(seed)
+	means := make([]float64, iters)
+	for it := 0; it < iters; it++ {
+		sum := 0.0
+		for range vals {
+			sum += vals[rng.Intn(len(vals))]
+		}
+		means[it] = sum / float64(len(vals))
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	lo := means[int(alpha*float64(iters))]
+	hiIdx := int((1 - alpha) * float64(iters))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return CI{Mean: mean, Lo: lo, Hi: means[hiIdx]}
+}
+
+// PairedBootstrapDelta estimates a CI for mean(a − b) over users, the
+// significance test for "method A beats method B". Entries where either
+// side is NaN are dropped.
+func PairedBootstrapDelta(a, b []float64, conf float64, iters int, seed uint64) CI {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	deltas := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		deltas = append(deltas, a[i]-b[i])
+	}
+	return Bootstrap(deltas, conf, iters, seed)
+}

@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/testlib"
+)
+
+func TestCompletenessPerUserMatchesAggregate(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	visible := [][]core.ActionID{acts(0), acts(1, 2)}
+	lists := [][]core.ActionID{acts(1, 2), acts(0)}
+	per := CompletenessPerUser(lib, visible, lists, nil)
+	tri := Completeness(lib, visible, lists, nil)
+	sum, n := 0.0, 0
+	for _, x := range per {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no users counted")
+	}
+	if math.Abs(sum/float64(n)-tri.AvgAvg) > 1e-12 {
+		t.Errorf("per-user mean %v != AvgAvg %v", sum/float64(n), tri.AvgAvg)
+	}
+}
+
+func TestCompletenessPerUserNaNForEmptyScope(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	per := CompletenessPerUser(lib, [][]core.ActionID{acts(99)}, [][]core.ActionID{nil}, nil)
+	if !math.IsNaN(per[0]) {
+		t.Errorf("unknown-activity user = %v, want NaN", per[0])
+	}
+}
+
+func TestBootstrapBasics(t *testing.T) {
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(i % 2) // mean 0.5
+	}
+	ci := Bootstrap(vals, 0.95, 500, 1)
+	if math.Abs(ci.Mean-0.5) > 1e-12 {
+		t.Errorf("mean = %v", ci.Mean)
+	}
+	if !(ci.Lo <= ci.Mean && ci.Mean <= ci.Hi) {
+		t.Errorf("interval does not contain the mean: %+v", ci)
+	}
+	if ci.Hi-ci.Lo <= 0 || ci.Hi-ci.Lo > 0.3 {
+		t.Errorf("interval width implausible: %+v", ci)
+	}
+	// Deterministic.
+	if ci != Bootstrap(vals, 0.95, 500, 1) {
+		t.Error("same seed produced different CI")
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	if ci := Bootstrap(nil, 0.95, 100, 1); ci != (CI{}) {
+		t.Errorf("empty sample = %+v", ci)
+	}
+	if ci := Bootstrap([]float64{math.NaN()}, 0.95, 100, 1); ci != (CI{}) {
+		t.Errorf("all-NaN sample = %+v", ci)
+	}
+	ci := Bootstrap([]float64{2, 2, 2}, 0.95, 100, 1)
+	if ci.Mean != 2 || ci.Lo != 2 || ci.Hi != 2 {
+		t.Errorf("constant sample = %+v", ci)
+	}
+	// Out-of-range conf/iters fall back to defaults without panicking.
+	if ci := Bootstrap([]float64{1, 2, 3}, 7, -1, 1); ci.Mean != 2 {
+		t.Errorf("fallback config = %+v", ci)
+	}
+}
+
+func TestPairedBootstrapDelta(t *testing.T) {
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = 1
+		b[i] = 0.5
+	}
+	ci := PairedBootstrapDelta(a, b, 0.95, 200, 2)
+	if ci.Mean != 0.5 || ci.Lo != 0.5 || ci.Hi != 0.5 {
+		t.Errorf("constant delta = %+v", ci)
+	}
+	// NaNs dropped pairwise.
+	a[0] = math.NaN()
+	ci = PairedBootstrapDelta(a, b, 0.95, 200, 2)
+	if ci.Mean != 0.5 {
+		t.Errorf("NaN handling = %+v", ci)
+	}
+}

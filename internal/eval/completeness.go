@@ -1,0 +1,213 @@
+package eval
+
+import (
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+// Tri is a per-list triple summarized across lists: the paper's
+// AvgAvg / MinAvg / MaxAvg (Table 4) and AvgAvg / AvgMax / AvgMin (Table 5)
+// reporting style. For each list the average, minimum and maximum of a
+// quantity are taken; Tri holds the means of those three statistics over all
+// lists.
+type Tri struct {
+	AvgAvg float64
+	AvgMin float64
+	AvgMax float64
+}
+
+// Completeness implements Table 4 / Figure 3. For every user it measures the
+// completeness of the goals in scope after the user performs the
+// recommended actions on top of the visible activity, takes the per-user
+// average/min/max, and averages those across users.
+//
+// goalsOf selects the goals evaluated for user i: the paper uses the user's
+// declared goals for 43Things and the whole goal space of the visible
+// activity for the foodmarket. Passing nil selects the goal space.
+func Completeness(lib *core.Library, visible, lists [][]core.ActionID, goalsOf func(i int) []core.GoalID) Tri {
+	if len(visible) == 0 || len(visible) != len(lists) {
+		return Tri{}
+	}
+	var sumAvg, sumMin, sumMax float64
+	counted := 0
+	for i := range visible {
+		h := intset.FromUnsorted(intset.Clone(visible[i]))
+		extra := intset.FromUnsorted(intset.Clone(lists[i]))
+		var goals []core.GoalID
+		if goalsOf != nil {
+			goals = goalsOf(i)
+		}
+		if goals == nil {
+			goals = lib.GoalSpace(h)
+		}
+		if len(goals) == 0 {
+			continue
+		}
+		minC, maxC, sumC := 1.0, 0.0, 0.0
+		for _, g := range goals {
+			c := lib.GoalCompleteness(g, h, extra)
+			sumC += c
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		sumAvg += sumC / float64(len(goals))
+		sumMin += minC
+		sumMax += maxC
+		counted++
+	}
+	if counted == 0 {
+		return Tri{}
+	}
+	return Tri{
+		AvgAvg: sumAvg / float64(counted),
+		AvgMin: sumMin / float64(counted),
+		AvgMax: sumMax / float64(counted),
+	}
+}
+
+// similarityFunc scores a pair of actions; the content baseline's feature
+// cosine is the paper's instantiation.
+type similarityFunc func(a, b core.ActionID) float64
+
+// PairwiseSimilarity implements Table 5: within every recommendation list,
+// the average, maximum and minimum pairwise similarity of the recommended
+// actions; the three statistics are averaged over lists. Lists with fewer
+// than two actions are skipped.
+func PairwiseSimilarity(lists [][]core.ActionID, sim similarityFunc) Tri {
+	var sumAvg, sumMin, sumMax float64
+	counted := 0
+	for _, l := range lists {
+		if len(l) < 2 {
+			continue
+		}
+		minS, maxS, sumS := 1.0, 0.0, 0.0
+		pairs := 0
+		for i := 0; i < len(l); i++ {
+			for j := i + 1; j < len(l); j++ {
+				s := sim(l[i], l[j])
+				sumS += s
+				pairs++
+				if s < minS {
+					minS = s
+				}
+				if s > maxS {
+					maxS = s
+				}
+			}
+		}
+		sumAvg += sumS / float64(pairs)
+		sumMin += minS
+		sumMax += maxS
+		counted++
+	}
+	if counted == 0 {
+		return Tri{}
+	}
+	return Tri{
+		AvgAvg: sumAvg / float64(counted),
+		AvgMin: sumMin / float64(counted),
+		AvgMax: sumMax / float64(counted),
+	}
+}
+
+// Histogram is a fixed-bucket frequency histogram over [0, 1]: Counts[i]
+// counts values in [Edges[i], Edges[i+1]).
+type Histogram struct {
+	Edges  []float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram with n equal buckets over [0, 1].
+func NewHistogram(n int) *Histogram {
+	h := &Histogram{Edges: make([]float64, n+1), Counts: make([]int, n)}
+	for i := range h.Edges {
+		h.Edges[i] = float64(i) / float64(n)
+	}
+	return h
+}
+
+// Observe adds one value (clamped to [0, 1]).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	i := int(v * float64(len(h.Counts)))
+	if i == len(h.Counts) {
+		i--
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// FractionBelow returns the fraction of observations in buckets strictly
+// below the given edge value.
+func (h *Histogram) FractionBelow(edge float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	n := 0
+	for i, c := range h.Counts {
+		if h.Edges[i+1] <= edge+1e-12 {
+			n += c
+		}
+	}
+	return float64(n) / float64(total)
+}
+
+// ListFrequencyHistogram implements Figure 5: for every distinct recommended
+// action, the fraction of recommendation lists containing it, bucketed into
+// a histogram with `buckets` bins.
+func ListFrequencyHistogram(lists [][]core.ActionID, buckets int) *Histogram {
+	h := NewHistogram(buckets)
+	if len(lists) == 0 {
+		return h
+	}
+	counts := make(map[core.ActionID]int)
+	for _, l := range lists {
+		for _, a := range l {
+			counts[a]++
+		}
+	}
+	n := float64(len(lists))
+	for _, c := range counts {
+		h.Observe(float64(c) / n)
+	}
+	return h
+}
+
+// LibraryFrequencyHistogram implements Figure 6: for every distinct
+// recommended action, its frequency in the implementation set (the fraction
+// of implementations containing it), bucketed into a histogram.
+func LibraryFrequencyHistogram(lib *core.Library, lists [][]core.ActionID, buckets int) *Histogram {
+	h := NewHistogram(buckets)
+	freq := lib.LibraryFrequency()
+	seen := make(map[core.ActionID]bool)
+	for _, l := range lists {
+		for _, a := range l {
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			if int(a) < len(freq) {
+				h.Observe(freq[a])
+			}
+		}
+	}
+	return h
+}

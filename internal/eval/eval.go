@@ -1,0 +1,250 @@
+// Package eval implements the paper's evaluation protocol (Section 6): the
+// hide-70% activity split, and every measurement reported in Tables 2–6 and
+// Figures 3–6 — top-k list overlap, popularity correlation, goal
+// completeness, pairwise feature similarity, average true-positive rate, and
+// retrieval-frequency histograms.
+package eval
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+	"goalrec/internal/xrand"
+)
+
+// Split is one evaluation split of a ground-truth activity: the Visible part
+// is handed to the recommenders as the user activity, the Hidden part is the
+// ground truth for TPR-style measurements.
+type Split struct {
+	Visible []core.ActionID
+	Hidden  []core.ActionID
+}
+
+// SplitActivity shuffles the activity and keeps keepFrac of it visible
+// (the paper keeps 30%). At least one action stays visible when the activity
+// is non-empty. Both halves are returned sorted.
+func SplitActivity(activity []core.ActionID, keepFrac float64, rng *xrand.RNG) Split {
+	h := intset.FromUnsorted(intset.Clone(activity))
+	if len(h) == 0 {
+		return Split{}
+	}
+	shuffled := intset.Clone(h)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	keep := int(keepFrac*float64(len(shuffled)) + 0.5)
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > len(shuffled) {
+		keep = len(shuffled)
+	}
+	return Split{
+		Visible: intset.FromUnsorted(shuffled[:keep]),
+		Hidden:  intset.FromUnsorted(shuffled[keep:]),
+	}
+}
+
+// SplitAll applies SplitActivity to every activity with a deterministic
+// per-user stream derived from seed.
+func SplitAll(activities [][]core.ActionID, keepFrac float64, seed uint64) []Split {
+	rng := xrand.New(seed)
+	out := make([]Split, len(activities))
+	for i, h := range activities {
+		out[i] = SplitActivity(h, keepFrac, rng.Split())
+	}
+	return out
+}
+
+// SplitSequence keeps the first keepFrac of an *ordered* sequence visible
+// and hides the rest — the temporal analogue of SplitActivity (the paper
+// shuffles; real deployments only ever see a prefix). At least one action
+// stays visible when the sequence is non-empty. Both halves are returned as
+// sorted sets.
+func SplitSequence(sequence []core.ActionID, keepFrac float64) Split {
+	if len(sequence) == 0 {
+		return Split{}
+	}
+	keep := int(keepFrac*float64(len(sequence)) + 0.5)
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > len(sequence) {
+		keep = len(sequence)
+	}
+	return Split{
+		Visible: intset.FromUnsorted(intset.Clone(sequence[:keep])),
+		Hidden:  intset.FromUnsorted(intset.Clone(sequence[keep:])),
+	}
+}
+
+// SplitAllSequences applies SplitSequence to every sequence.
+func SplitAllSequences(sequences [][]core.ActionID, keepFrac float64) []Split {
+	out := make([]Split, len(sequences))
+	for i, s := range sequences {
+		out[i] = SplitSequence(s, keepFrac)
+	}
+	return out
+}
+
+// Collect runs the recommender over every input activity and returns the
+// top-k action lists. Inputs are processed in parallel; the output order
+// matches the input order.
+func Collect(rec strategy.Recommender, inputs [][]core.ActionID, k int) [][]core.ActionID {
+	out := make([][]core.ActionID, len(inputs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = strategy.Actions(rec.Recommend(inputs[i], k))
+			}
+		}()
+	}
+	for i := range inputs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// OverlapAtK returns the mean fraction of shared actions between paired
+// top-k lists: |A_i ∩ B_i| / min(k, max(|A_i|, |B_i|)) averaged over pairs.
+// Normalizing by the longer actual list keeps identical lists at overlap 1
+// even when a candidate pool runs short of k. This is the measure behind
+// Tables 2 and 6. Pairs where both lists are empty contribute 0.
+func OverlapAtK(a, b [][]core.ActionID, k int) float64 {
+	if len(a) != len(b) || len(a) == 0 || k <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i := range a {
+		sa := intset.FromUnsorted(intset.Clone(a[i]))
+		sb := intset.FromUnsorted(intset.Clone(b[i]))
+		denom := len(sa)
+		if len(sb) > denom {
+			denom = len(sb)
+		}
+		if denom > k {
+			denom = k
+		}
+		if denom == 0 {
+			continue
+		}
+		total += float64(intset.IntersectionLen(sa, sb)) / float64(denom)
+	}
+	return total / float64(len(a))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples, or 0 when either sample is constant.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// PopularityCorrelation implements Table 3: take the topN most popular
+// actions across the user activities, and correlate their activity
+// appearance counts with their appearance counts in the recommendation
+// lists.
+func PopularityCorrelation(activities, lists [][]core.ActionID, numActions, topN int) float64 {
+	actCount := make([]float64, numActions)
+	for _, h := range activities {
+		for _, a := range h {
+			if int(a) < numActions {
+				actCount[a]++
+			}
+		}
+	}
+	recCount := make([]float64, numActions)
+	for _, l := range lists {
+		for _, a := range l {
+			if int(a) < numActions {
+				recCount[a]++
+			}
+		}
+	}
+	top := topIndices(actCount, topN)
+	x := make([]float64, len(top))
+	y := make([]float64, len(top))
+	for i, a := range top {
+		x[i] = actCount[a]
+		y[i] = recCount[a]
+	}
+	return Pearson(x, y)
+}
+
+// topIndices returns the indices of the n largest values (ties by lower
+// index), via simple selection adequate for the small n used here.
+func topIndices(vals []float64, n int) []int {
+	if n > len(vals) {
+		n = len(vals)
+	}
+	picked := make([]bool, len(vals))
+	out := make([]int, 0, n)
+	for len(out) < n {
+		best, bestVal := -1, math.Inf(-1)
+		for i, v := range vals {
+			if !picked[i] && v > bestVal {
+				best, bestVal = i, v
+			}
+		}
+		if best == -1 {
+			break
+		}
+		picked[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// AverageTPR implements Figure 4: the mean, over users, of the fraction of
+// recommended actions the user actually performed (i.e. that sit in the
+// hidden part of the split). Users with empty recommendation lists
+// contribute 0.
+func AverageTPR(lists [][]core.ActionID, hidden [][]core.ActionID) float64 {
+	if len(lists) == 0 || len(lists) != len(hidden) {
+		return 0
+	}
+	total := 0.0
+	for i, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		sl := intset.FromUnsorted(intset.Clone(l))
+		hit := intset.IntersectionLen(sl, hidden[i])
+		total += float64(hit) / float64(len(sl))
+	}
+	return total / float64(len(lists))
+}

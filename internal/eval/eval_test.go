@@ -1,0 +1,305 @@
+package eval
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/strategy"
+	"goalrec/internal/testlib"
+	"goalrec/internal/xrand"
+)
+
+func acts(v ...core.ActionID) []core.ActionID { return v }
+
+func TestSplitActivity(t *testing.T) {
+	rng := xrand.New(1)
+	full := acts(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	s := SplitActivity(full, 0.3, rng)
+	if len(s.Visible) != 3 {
+		t.Errorf("visible = %d, want 3", len(s.Visible))
+	}
+	if len(s.Hidden) != 7 {
+		t.Errorf("hidden = %d, want 7", len(s.Hidden))
+	}
+	if intset.IntersectionLen(s.Visible, s.Hidden) != 0 {
+		t.Error("visible and hidden overlap")
+	}
+	if !intset.Equal(intset.Union(nil, s.Visible, s.Hidden), full) {
+		t.Error("split does not partition the activity")
+	}
+	if !intset.IsSorted(s.Visible) || !intset.IsSorted(s.Hidden) {
+		t.Error("split halves not sorted")
+	}
+}
+
+func TestSplitActivityEdgeCases(t *testing.T) {
+	rng := xrand.New(2)
+	if s := SplitActivity(nil, 0.3, rng); len(s.Visible) != 0 || len(s.Hidden) != 0 {
+		t.Error("empty activity should split to nothing")
+	}
+	// Tiny activities keep at least one visible action.
+	s := SplitActivity(acts(7), 0.3, rng)
+	if len(s.Visible) != 1 || len(s.Hidden) != 0 {
+		t.Errorf("singleton split = %+v", s)
+	}
+	// keepFrac 1 keeps everything.
+	s = SplitActivity(acts(1, 2, 3), 1, rng)
+	if len(s.Hidden) != 0 {
+		t.Errorf("keepFrac=1 hid %v", s.Hidden)
+	}
+}
+
+func TestSplitAllDeterministic(t *testing.T) {
+	activities := [][]core.ActionID{acts(0, 1, 2, 3), acts(4, 5, 6, 7, 8)}
+	a := SplitAll(activities, 0.3, 42)
+	b := SplitAll(activities, 0.3, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different splits")
+	}
+	c := SplitAll(activities, 0.3, 43)
+	same := reflect.DeepEqual(a, c)
+	if same {
+		t.Log("different seeds produced identical splits (possible but unlikely)")
+	}
+}
+
+func TestSplitSequence(t *testing.T) {
+	seq := acts(5, 1, 9, 3, 7) // ordered, not sorted
+	s := SplitSequence(seq, 0.4)
+	// First 2 of 5 visible: {5, 1} → sorted {1, 5}.
+	if !intset.Equal(s.Visible, acts(1, 5)) {
+		t.Errorf("visible = %v, want [1 5]", s.Visible)
+	}
+	if !intset.Equal(s.Hidden, acts(3, 7, 9)) {
+		t.Errorf("hidden = %v", s.Hidden)
+	}
+	if got := SplitSequence(nil, 0.5); len(got.Visible) != 0 {
+		t.Errorf("empty sequence = %+v", got)
+	}
+	// Tiny sequences keep one visible.
+	if got := SplitSequence(acts(4), 0.1); len(got.Visible) != 1 {
+		t.Errorf("singleton = %+v", got)
+	}
+	all := SplitAllSequences([][]core.ActionID{seq, {2}}, 0.4)
+	if len(all) != 2 {
+		t.Fatalf("SplitAllSequences = %v", all)
+	}
+}
+
+func TestCollectMatchesSequential(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	rec := strategy.NewBreadth(lib)
+	inputs := [][]core.ActionID{acts(0), acts(0, 1), acts(1, 2), nil, acts(3)}
+	got := Collect(rec, inputs, 3)
+	if len(got) != len(inputs) {
+		t.Fatalf("got %d outputs", len(got))
+	}
+	for i, in := range inputs {
+		want := strategy.Actions(rec.Recommend(in, 3))
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("input %d: %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestCollectEmptyInputs(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	if got := Collect(strategy.NewBreadth(lib), nil, 3); len(got) != 0 {
+		t.Errorf("Collect(nil) = %v", got)
+	}
+}
+
+func TestOverlapAtK(t *testing.T) {
+	a := [][]core.ActionID{acts(1, 2, 3), acts(4, 5)}
+	b := [][]core.ActionID{acts(2, 3, 9), acts(6, 7)}
+	// Pair 0 shares 2 of k=3, pair 1 shares 0 → mean = (2/3 + 0)/2 = 1/3.
+	if got := OverlapAtK(a, b, 3); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("OverlapAtK = %v, want 1/3", got)
+	}
+	if got := OverlapAtK(a, a, 3); got != 1 {
+		// Identical lists overlap fully even when shorter than k.
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+	if OverlapAtK(a, b[:1], 3) != 0 {
+		t.Error("mismatched lengths should yield 0")
+	}
+	if OverlapAtK(nil, nil, 3) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect positive = %v", got)
+	}
+	if got := Pearson(x, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect negative = %v", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant series = %v, want 0", got)
+	}
+	if got := Pearson(x, x[:2]); got != 0 {
+		t.Errorf("length mismatch = %v, want 0", got)
+	}
+}
+
+func TestPopularityCorrelation(t *testing.T) {
+	// Popularity: a0 in 3 activities, a1 in 2, a2 in 1.
+	activities := [][]core.ActionID{acts(0, 1), acts(0, 1), acts(0, 2)}
+	// Recommenders that love popular actions...
+	popLists := [][]core.ActionID{acts(0), acts(0, 1), acts(0, 1)}
+	if got := PopularityCorrelation(activities, popLists, 3, 3); got <= 0.8 {
+		t.Errorf("popularity-following correlation = %v, want near 1", got)
+	}
+	// ...and one that avoids them.
+	antiLists := [][]core.ActionID{acts(2), acts(2), acts(2, 1)}
+	if got := PopularityCorrelation(activities, antiLists, 3, 3); got >= 0 {
+		t.Errorf("popularity-avoiding correlation = %v, want negative", got)
+	}
+}
+
+func TestTopIndices(t *testing.T) {
+	got := topIndices([]float64{1, 9, 3, 9, 0}, 3)
+	if !reflect.DeepEqual(got, []int{1, 3, 2}) {
+		t.Errorf("topIndices = %v", got)
+	}
+	if got := topIndices([]float64{1, 2}, 5); len(got) != 2 {
+		t.Errorf("n beyond length: %v", got)
+	}
+}
+
+func TestAverageTPR(t *testing.T) {
+	lists := [][]core.ActionID{acts(1, 2), acts(3, 4), nil}
+	hidden := [][]core.ActionID{acts(2, 9), acts(3, 4), acts(5)}
+	// User 0: 1/2 hit. User 1: 2/2. User 2: empty list → 0.
+	want := (0.5 + 1.0 + 0) / 3
+	if got := AverageTPR(lists, hidden); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AverageTPR = %v, want %v", got, want)
+	}
+	if AverageTPR(nil, nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	// User 0: visible {a1}, recommended {a2, a3}. p1 = {a1,a2,a3} → g1
+	// complete (1.0); g2 via p2 = {a1,a4} → 0.5; g3 via p3 = {a1,a3,a5} →
+	// 2/3; g5 via p5 = {a1,a2,a6} → 2/3.
+	visible := [][]core.ActionID{acts(0)}
+	lists := [][]core.ActionID{acts(1, 2)}
+	tri := Completeness(lib, visible, lists, nil)
+	wantAvg := (1.0 + 0.5 + 2.0/3.0 + 2.0/3.0) / 4
+	if math.Abs(tri.AvgAvg-wantAvg) > 1e-12 {
+		t.Errorf("AvgAvg = %v, want %v", tri.AvgAvg, wantAvg)
+	}
+	if tri.AvgMin != 0.5 {
+		t.Errorf("AvgMin = %v, want 0.5", tri.AvgMin)
+	}
+	if tri.AvgMax != 1 {
+		t.Errorf("AvgMax = %v, want 1", tri.AvgMax)
+	}
+}
+
+func TestCompletenessWithExplicitGoals(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	visible := [][]core.ActionID{acts(0)}
+	lists := [][]core.ActionID{acts(1, 2)}
+	goals := func(i int) []core.GoalID { return []core.GoalID{0} } // only g1
+	tri := Completeness(lib, visible, lists, goals)
+	if tri.AvgAvg != 1 || tri.AvgMin != 1 || tri.AvgMax != 1 {
+		t.Errorf("explicit-goal completeness = %+v, want all 1", tri)
+	}
+}
+
+func TestCompletenessEmpty(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	if tri := Completeness(lib, nil, nil, nil); tri != (Tri{}) {
+		t.Errorf("empty input = %+v", tri)
+	}
+	// A user whose activity touches nothing contributes nothing.
+	tri := Completeness(lib, [][]core.ActionID{acts(99)}, [][]core.ActionID{nil}, nil)
+	if tri != (Tri{}) {
+		t.Errorf("unknown-action user = %+v", tri)
+	}
+}
+
+func TestPairwiseSimilarity(t *testing.T) {
+	sim := func(a, b core.ActionID) float64 {
+		if a/3 == b/3 {
+			return 1 // same "category"
+		}
+		return 0
+	}
+	lists := [][]core.ActionID{
+		acts(0, 1, 2), // all same category: avg=min=max=1
+		acts(0, 3),    // different: 0
+		acts(5),       // skipped (fewer than 2)
+	}
+	tri := PairwiseSimilarity(lists, sim)
+	if tri.AvgAvg != 0.5 || tri.AvgMin != 0.5 || tri.AvgMax != 0.5 {
+		t.Errorf("PairwiseSimilarity = %+v, want all 0.5", tri)
+	}
+	if got := PairwiseSimilarity(nil, sim); got != (Tri{}) {
+		t.Errorf("empty lists = %+v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range []float64{0, 0.1, 0.19, 0.5, 0.99, 1.0, -0.5, 2.0} {
+		h.Observe(v)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	// Bucket 0 [0, 0.2): 0, 0.1, 0.19, -0.5 → 4 observations.
+	if h.Counts[0] != 4 {
+		t.Errorf("bucket 0 = %d, want 4", h.Counts[0])
+	}
+	// 1.0 and 2.0 clamp into the last bucket.
+	if h.Counts[4] != 3 {
+		t.Errorf("bucket 4 = %d, want 3 (0.99, 1.0, 2.0)", h.Counts[4])
+	}
+	if got := h.FractionBelow(0.2); got != 0.5 {
+		t.Errorf("FractionBelow(0.2) = %v, want 0.5", got)
+	}
+	if NewHistogram(3).FractionBelow(1) != 0 {
+		t.Error("empty histogram FractionBelow should be 0")
+	}
+}
+
+func TestListFrequencyHistogram(t *testing.T) {
+	lists := [][]core.ActionID{acts(1, 2), acts(1, 3), acts(1, 4), acts(1, 5)}
+	h := ListFrequencyHistogram(lists, 5)
+	// a1 appears in 4/4 lists (bucket [0.8,1]); a2..a5 in 1/4 each.
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5 distinct actions", h.Total())
+	}
+	if h.Counts[4] != 1 {
+		t.Errorf("top bucket = %d, want 1 (the monopolizing action)", h.Counts[4])
+	}
+	if h.Counts[1] != 4 {
+		t.Errorf("bucket [0.2,0.4) = %d, want 4", h.Counts[1])
+	}
+}
+
+func TestLibraryFrequencyHistogram(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	// a1 has library frequency 0.8, a5 has 0.2.
+	lists := [][]core.ActionID{acts(0), acts(0, 4)}
+	h := LibraryFrequencyHistogram(lib, lists, 5)
+	if h.Total() != 2 {
+		t.Fatalf("Total = %d, want 2 distinct actions", h.Total())
+	}
+	if h.Counts[4] != 1 { // 0.8 falls in [0.8, 1)
+		t.Errorf("bucket for 0.8 = %d, want 1", h.Counts[4])
+	}
+	if h.Counts[1] != 1 { // 0.2 falls in [0.2, 0.4)
+		t.Errorf("bucket for 0.2 = %d, want 1", h.Counts[1])
+	}
+}

@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"math"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+// RankingMetrics aggregates the classical top-k ranking-accuracy measures
+// against the hidden half of the split: precision@k, recall@k, F1@k, mean
+// reciprocal rank, and nDCG@k (binary relevance). They complement the
+// paper's Avg TPR (Figure 4) with the standard formulations.
+type RankingMetrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	MRR       float64
+	NDCG      float64
+}
+
+// Ranking computes the metrics averaged over users. lists are the
+// recommendation lists (rank order preserved); hidden the held-out ground
+// truth per user. Users with empty ground truth are skipped (no relevance
+// judgments); users with empty lists contribute zeros.
+func Ranking(lists, hidden [][]core.ActionID, k int) RankingMetrics {
+	if len(lists) != len(hidden) || k <= 0 {
+		return RankingMetrics{}
+	}
+	var m RankingMetrics
+	counted := 0
+	for i, l := range lists {
+		truth := intset.FromUnsorted(intset.Clone(hidden[i]))
+		if len(truth) == 0 {
+			continue
+		}
+		counted++
+		if len(l) > k {
+			l = l[:k]
+		}
+		if len(l) == 0 {
+			continue
+		}
+		hits := 0
+		dcg, idcg := 0.0, 0.0
+		rr := 0.0
+		for rank, a := range l {
+			if intset.Contains(truth, a) {
+				hits++
+				gain := 1 / math.Log2(float64(rank)+2)
+				dcg += gain
+				if rr == 0 {
+					rr = 1 / float64(rank+1)
+				}
+			}
+		}
+		ideal := len(truth)
+		if ideal > len(l) {
+			ideal = len(l)
+		}
+		for rank := 0; rank < ideal; rank++ {
+			idcg += 1 / math.Log2(float64(rank)+2)
+		}
+		p := float64(hits) / float64(len(l))
+		r := float64(hits) / float64(len(truth))
+		m.Precision += p
+		m.Recall += r
+		if p+r > 0 {
+			m.F1 += 2 * p * r / (p + r)
+		}
+		m.MRR += rr
+		if idcg > 0 {
+			m.NDCG += dcg / idcg
+		}
+	}
+	if counted == 0 {
+		return RankingMetrics{}
+	}
+	m.Precision /= float64(counted)
+	m.Recall /= float64(counted)
+	m.F1 /= float64(counted)
+	m.MRR /= float64(counted)
+	m.NDCG /= float64(counted)
+	return m
+}

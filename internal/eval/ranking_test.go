@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"goalrec/internal/core"
+)
+
+func TestRankingPerfect(t *testing.T) {
+	lists := [][]core.ActionID{acts(1, 2, 3)}
+	hidden := [][]core.ActionID{acts(1, 2, 3)}
+	m := Ranking(lists, hidden, 3)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 || m.MRR != 1 || m.NDCG != 1 {
+		t.Errorf("perfect ranking = %+v", m)
+	}
+}
+
+func TestRankingMiss(t *testing.T) {
+	lists := [][]core.ActionID{acts(7, 8, 9)}
+	hidden := [][]core.ActionID{acts(1, 2)}
+	m := Ranking(lists, hidden, 3)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 || m.MRR != 0 || m.NDCG != 0 {
+		t.Errorf("all-miss ranking = %+v", m)
+	}
+}
+
+func TestRankingPartial(t *testing.T) {
+	// Hit at rank 2 only; truth has 2 relevant items.
+	lists := [][]core.ActionID{acts(9, 1, 8)}
+	hidden := [][]core.ActionID{acts(1, 2)}
+	m := Ranking(lists, hidden, 3)
+	if math.Abs(m.Precision-1.0/3.0) > 1e-12 {
+		t.Errorf("precision = %v, want 1/3", m.Precision)
+	}
+	if math.Abs(m.Recall-0.5) > 1e-12 {
+		t.Errorf("recall = %v, want 0.5", m.Recall)
+	}
+	if math.Abs(m.MRR-0.5) > 1e-12 {
+		t.Errorf("MRR = %v, want 0.5 (first hit at rank 2)", m.MRR)
+	}
+	// DCG = 1/log2(3); IDCG = 1/log2(2) + 1/log2(3).
+	wantNDCG := (1 / math.Log2(3)) / (1 + 1/math.Log2(3))
+	if math.Abs(m.NDCG-wantNDCG) > 1e-12 {
+		t.Errorf("nDCG = %v, want %v", m.NDCG, wantNDCG)
+	}
+}
+
+func TestRankingTruncatesToK(t *testing.T) {
+	// Hit beyond k must not count.
+	lists := [][]core.ActionID{acts(9, 8, 1)}
+	hidden := [][]core.ActionID{acts(1)}
+	m := Ranking(lists, hidden, 2)
+	if m.Precision != 0 || m.MRR != 0 {
+		t.Errorf("hit beyond k counted: %+v", m)
+	}
+}
+
+func TestRankingSkipsUsersWithoutTruth(t *testing.T) {
+	lists := [][]core.ActionID{acts(1), acts(2)}
+	hidden := [][]core.ActionID{nil, acts(2)}
+	m := Ranking(lists, hidden, 1)
+	// Only the second user counts, and it is a perfect hit.
+	if m.Precision != 1 || m.Recall != 1 {
+		t.Errorf("skip-empty-truth = %+v", m)
+	}
+}
+
+func TestRankingDegenerateInputs(t *testing.T) {
+	if m := Ranking(nil, nil, 5); m != (RankingMetrics{}) {
+		t.Errorf("empty input = %+v", m)
+	}
+	if m := Ranking([][]core.ActionID{acts(1)}, [][]core.ActionID{acts(1)}, 0); m != (RankingMetrics{}) {
+		t.Errorf("k=0 = %+v", m)
+	}
+	if m := Ranking([][]core.ActionID{acts(1)}, nil, 3); m != (RankingMetrics{}) {
+		t.Errorf("length mismatch = %+v", m)
+	}
+	// Empty list with non-empty truth contributes zeros but is counted.
+	m := Ranking([][]core.ActionID{nil, acts(1)}, [][]core.ActionID{acts(5), acts(1)}, 3)
+	if math.Abs(m.Precision-0.5) > 1e-12 {
+		t.Errorf("empty-list handling = %+v", m)
+	}
+}

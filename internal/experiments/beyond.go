@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"goalrec/internal/eval"
+	"goalrec/internal/hybrid"
+	"goalrec/internal/strategy"
+)
+
+// BeyondAccuracy (experiment B1) measures the qualities the paper's
+// introduction argues similarity-driven recommenders lack: intra-list
+// diversity, catalog coverage, concentration (Gini), novelty, and
+// unexpectedness relative to the popularity baseline.
+func BeyondAccuracy(env *Env) *Table {
+	t := &Table{
+		ID:      "B1",
+		Title:   fmt.Sprintf("beyond-accuracy metrics (%s)", env.Dataset.Name),
+		Columns: []string{"method", "diversity", "coverage", "gini", "novelty", "unexpectedness", "uniqueness"},
+	}
+	numActions := env.Dataset.Library.NumActions()
+	popLists := env.Lists["popularity"]
+	sim := env.FeatureSimilarity()
+	for _, name := range append(env.GoalMethods(), env.BaselineMethods()...) {
+		lists := env.Lists[name]
+		diversity := "-"
+		if sim != nil {
+			diversity = fmt.Sprintf("%.4f", eval.IntraListDiversity(lists, sim))
+		}
+		t.AddRow(name,
+			diversity,
+			eval.CatalogCoverage(lists, numActions),
+			eval.GiniConcentration(lists),
+			eval.MeanNovelty(lists, env.Inputs, numActions),
+			eval.UnexpectednessVsBaseline(lists, popLists),
+			eval.ListUniqueness(lists))
+	}
+	return t
+}
+
+// RankingAccuracy (experiment B2) reports classical ranking-accuracy
+// metrics against the hidden split half, complementing the paper's Avg TPR:
+// precision/recall/F1@K, MRR and nDCG@K per method.
+func RankingAccuracy(env *Env) *Table {
+	t := &Table{
+		ID:      "B2",
+		Title:   fmt.Sprintf("ranking accuracy vs hidden actions at top-%d (%s)", env.Cfg.K, env.Dataset.Name),
+		Columns: []string{"method", "precision", "recall", "F1", "MRR", "nDCG"},
+	}
+	hidden := env.HiddenSets()
+	for _, name := range append(env.GoalMethods(), env.BaselineMethods()...) {
+		m := eval.Ranking(env.Lists[name], hidden, env.Cfg.K)
+		t.AddRow(name, m.Precision, m.Recall, m.F1, m.MRR, m.NDCG)
+	}
+	return t
+}
+
+// AblationHybrid (experiment A3) sweeps the α blend of the hybrid
+// goal+content recommender — the paper's stated future work (Section 7) —
+// reporting completeness, TPR and diversity per α. Defined only for
+// environments with domain features.
+func AblationHybrid(env *Env) *Table {
+	t := &Table{
+		ID:      "A3",
+		Title:   fmt.Sprintf("hybrid goal+content blend sweep (%s)", env.Dataset.Name),
+		Columns: []string{"alpha", "AvgAvg completeness", "avg TPR top-10", "diversity", "overlap vs pure goal"},
+	}
+	feats := env.Dataset.Features
+	if feats == nil {
+		t.AddRow("(no domain features for this dataset)")
+		return t
+	}
+	lib := env.Dataset.Library
+	hidden := env.HiddenSets()
+	sim := env.FeatureSimilarity()
+	pure := env.Lists["breadth"]
+	for _, alpha := range []float64{1.0, 0.75, 0.5, 0.25, 0.0} {
+		rec := hybrid.New(strategy.NewBreadth(lib), feats, alpha)
+		lists := eval.Collect(rec, env.Inputs, env.Cfg.K)
+		tri := eval.Completeness(lib, env.Inputs, lists, env.GoalsOf)
+		t.AddRow(fmt.Sprintf("%.2f", alpha),
+			tri.AvgAvg,
+			eval.AverageTPR(lists, hidden),
+			eval.IntraListDiversity(lists, sim),
+			eval.OverlapAtK(lists, pure, env.Cfg.K))
+	}
+	return t
+}

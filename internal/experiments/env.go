@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"goalrec/internal/baseline"
+	"goalrec/internal/core"
+	"goalrec/internal/dataset"
+	"goalrec/internal/eval"
+	"goalrec/internal/strategy"
+	"goalrec/internal/vectorspace"
+)
+
+// Config scopes one experiment run. The zero value selects a laptop-friendly
+// scale; Scale = 1 reproduces the paper's full cardinalities.
+type Config struct {
+	// Scale shrinks both synthetic datasets (default 0.05).
+	Scale float64
+	// K is the recommendation list length (the paper reports top-10, and
+	// top-5 for Figure 4).
+	K int
+	// KeepFrac is the visible share of each activity (the paper keeps 30%).
+	KeepFrac float64
+	// MaxUsers caps the number of evaluation users per dataset (0 = all).
+	MaxUsers int
+	// Seed drives dataset generation and splits.
+	Seed uint64
+	// ALSFactors / ALSIterations size the CF MF baseline.
+	ALSFactors    int
+	ALSIterations int
+}
+
+func (c *Config) fill() {
+	if c.Scale <= 0 {
+		c.Scale = 0.05
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.KeepFrac <= 0 {
+		c.KeepFrac = 0.3
+	}
+	if c.ALSFactors <= 0 {
+		c.ALSFactors = 16
+	}
+	if c.ALSIterations <= 0 {
+		c.ALSIterations = 8
+	}
+}
+
+// Method pairs a recommender with its goal-based/baseline classification.
+type Method struct {
+	Rec       strategy.Recommender
+	GoalBased bool
+}
+
+// Env is one prepared dataset: splits, fitted methods and their collected
+// top-K recommendation lists.
+type Env struct {
+	Cfg     Config
+	Dataset *dataset.Dataset
+	// Splits aligns with Users; Visible is the recommender input.
+	Splits []eval.Split
+	// Inputs are the visible activities (the recommenders' queries).
+	Inputs [][]core.ActionID
+	// Order lists the method names in presentation order.
+	Order []string
+	// Methods maps name → method.
+	Methods map[string]Method
+	// Lists maps name → per-user top-K action lists.
+	Lists map[string][][]core.ActionID
+}
+
+// GoalMethodOrder lists the goal-based method names in the paper's
+// presentation order.
+var GoalMethodOrder = []string{"best-match", "focus-cmp", "focus-cl", "breadth"}
+
+// BaselineOrder lists the comparison method names in presentation order;
+// content is present only in environments whose dataset defines features.
+var BaselineOrder = []string{"content", "cf-knn", "cf-mf", "cf-item-knn", "popularity", "assoc-rules"}
+
+// NewEnv prepares an environment for ds: splits every user activity, fits
+// the baselines on the visible parts, and collects top-K lists for every
+// method.
+func NewEnv(cfg Config, ds *dataset.Dataset) (*Env, error) {
+	cfg.fill()
+	users := ds.Users
+	if cfg.MaxUsers > 0 && len(users) > cfg.MaxUsers {
+		users = users[:cfg.MaxUsers]
+	}
+	activities := make([][]core.ActionID, len(users))
+	for i, u := range users {
+		activities[i] = u.Activity
+	}
+	splits := eval.SplitAll(activities, cfg.KeepFrac, cfg.Seed^0x5eed)
+	inputs := make([][]core.ActionID, len(splits))
+	for i, s := range splits {
+		inputs[i] = s.Visible
+	}
+
+	// Baselines are fit on the visible activities only: the hidden parts
+	// are the evaluation ground truth.
+	interactions := baseline.NewInteractions(inputs, ds.Library.NumActions())
+
+	env := &Env{
+		Cfg:     cfg,
+		Dataset: ds,
+		Splits:  splits,
+		Inputs:  inputs,
+		Methods: make(map[string]Method),
+		Lists:   make(map[string][][]core.ActionID),
+	}
+
+	lib := ds.Library
+	goalBased := []strategy.Recommender{
+		strategy.NewBestMatch(lib),
+		strategy.NewFocus(lib, strategy.Completeness),
+		strategy.NewFocus(lib, strategy.Closeness),
+		strategy.NewBreadth(lib),
+	}
+	for _, r := range goalBased {
+		env.add(r, true)
+	}
+
+	if ds.Features != nil {
+		env.add(baseline.NewContent(ds.Features), false)
+	}
+	env.add(baseline.NewKNN(interactions, 20), false)
+	als, err := baseline.FitALS(interactions, baseline.ALSConfig{
+		Factors:    cfg.ALSFactors,
+		Iterations: cfg.ALSIterations,
+		Seed:       cfg.Seed ^ 0xa15,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fitting ALS on %s: %w", ds.Name, err)
+	}
+	env.add(als, false)
+	env.add(baseline.NewItemKNN(interactions, 20), false)
+	env.add(baseline.NewPopularity(interactions), false)
+	env.add(baseline.NewAssocRules(interactions, 2), false)
+
+	for _, name := range env.Order {
+		env.Lists[name] = eval.Collect(env.Methods[name].Rec, env.Inputs, cfg.K)
+	}
+	return env, nil
+}
+
+func (e *Env) add(r strategy.Recommender, goalBased bool) {
+	e.Order = append(e.Order, r.Name())
+	e.Methods[r.Name()] = Method{Rec: r, GoalBased: goalBased}
+}
+
+// GoalMethods returns the goal-based method names present, in order.
+func (e *Env) GoalMethods() []string {
+	var out []string
+	for _, n := range GoalMethodOrder {
+		if _, ok := e.Methods[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// BaselineMethods returns the baseline method names present, in order.
+func (e *Env) BaselineMethods() []string {
+	var out []string
+	for _, n := range BaselineOrder {
+		if _, ok := e.Methods[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HiddenSets projects the splits onto their hidden halves.
+func (e *Env) HiddenSets() [][]core.ActionID {
+	out := make([][]core.ActionID, len(e.Splits))
+	for i, s := range e.Splits {
+		out[i] = s.Hidden
+	}
+	return out
+}
+
+// GoalsOf returns the per-user goal scope for completeness measurements:
+// the user's declared goals when the dataset records them, else nil (the
+// goal space of the visible activity).
+func (e *Env) GoalsOf(i int) []core.GoalID {
+	if i < len(e.Dataset.Users) {
+		return e.Dataset.Users[i].Goals
+	}
+	return nil
+}
+
+// ExtraLists collects top-k lists at a non-default k (Figure 4 needs
+// top-5).
+func (e *Env) ExtraLists(name string, k int) [][]core.ActionID {
+	return eval.Collect(e.Methods[name].Rec, e.Inputs, k)
+}
+
+// NewFoodMartEnv builds the grocery environment at the config's scale.
+func NewFoodMartEnv(cfg Config) (*Env, error) {
+	cfg.fill()
+	ds, err := dataset.GenerateFoodMart(dataset.FoodMartConfig{Scale: cfg.Scale, Seed: cfg.Seed ^ 0xf00d})
+	if err != nil {
+		return nil, err
+	}
+	return NewEnv(cfg, ds)
+}
+
+// NewFortyThreeEnv builds the life-goal environment at the config's scale.
+func NewFortyThreeEnv(cfg Config) (*Env, error) {
+	cfg.fill()
+	ds, err := dataset.GenerateFortyThreeThings(dataset.FortyThreeThingsConfig{Scale: cfg.Scale, Seed: cfg.Seed ^ 0x43})
+	if err != nil {
+		return nil, err
+	}
+	return NewEnv(cfg, ds)
+}
+
+// FeatureSimilarity adapts the dataset's features to the pairwise-similarity
+// metric; it returns nil when the dataset has no features.
+func (e *Env) FeatureSimilarity() func(a, b core.ActionID) float64 {
+	feats := e.Dataset.Features
+	if feats == nil {
+		return nil
+	}
+	return func(a, b core.ActionID) float64 {
+		return vectorspace.CosineSimilarity(feats.Vector(a), feats.Vector(b))
+	}
+}

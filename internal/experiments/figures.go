@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"goalrec/internal/core"
+	"goalrec/internal/eval"
+	"goalrec/internal/intset"
+)
+
+// Figure4 reproduces Figure 4: the average true-positive rate — the share of
+// recommended actions the user actually performed (found in the hidden part
+// of the split) — for top-5 and top-10 lists.
+func Figure4(env *Env) *Table {
+	t := &Table{
+		ID:      "F4",
+		Title:   fmt.Sprintf("average TPR of recommended actions (%s)", env.Dataset.Name),
+		Columns: []string{"method", "top-5", "top-10"},
+	}
+	hidden := env.HiddenSets()
+	for _, name := range append(env.GoalMethods(), env.BaselineMethods()...) {
+		top5 := env.ExtraLists(name, 5)
+		top10 := env.Lists[name]
+		if env.Cfg.K != 10 {
+			top10 = env.ExtraLists(name, 10)
+		}
+		t.AddRow(name, eval.AverageTPR(top5, hidden), eval.AverageTPR(top10, hidden))
+	}
+	return t
+}
+
+// Figure4b is the paper's exact foodmart Figure 4 protocol: the recommender
+// sees one whole cart and the hit set is the union of the same customer's
+// *other* carts ("we have more than one cart for the same user in different
+// time slots"). Customers with a single cart are skipped. Environments
+// without customer linkage yield a placeholder.
+func Figure4b(env *Env) *Table {
+	t := &Table{
+		ID:      "F4b",
+		Title:   fmt.Sprintf("average TPR vs the same customer's other carts (%s)", env.Dataset.Name),
+		Columns: []string{"method", "top-5", "top-10"},
+	}
+	// Group evaluation rows by customer.
+	byCustomer := make(map[int][]int)
+	linked := false
+	for i, u := range env.Dataset.Users[:len(env.Inputs)] {
+		if u.Customer < 0 {
+			continue
+		}
+		linked = true
+		byCustomer[u.Customer] = append(byCustomer[u.Customer], i)
+	}
+	if !linked {
+		t.AddRow("(no customer linkage in this dataset)")
+		return t
+	}
+	var inputs [][]core.ActionID
+	var truth [][]core.ActionID
+	for _, rows := range byCustomer {
+		if len(rows) < 2 {
+			continue
+		}
+		for _, i := range rows {
+			var others []core.ActionID
+			for _, j := range rows {
+				if j != i {
+					others = append(others, env.Dataset.Users[j].Activity...)
+				}
+			}
+			inputs = append(inputs, env.Dataset.Users[i].Activity)
+			truth = append(truth, intset.FromUnsorted(others))
+		}
+	}
+	if len(inputs) == 0 {
+		t.AddRow("(no customer has more than one cart among the evaluated rows)")
+		return t
+	}
+	for _, name := range append(env.GoalMethods(), env.BaselineMethods()...) {
+		rec := env.Methods[name].Rec
+		top5 := eval.Collect(rec, inputs, 5)
+		top10 := eval.Collect(rec, inputs, 10)
+		t.AddRow(name, eval.AverageTPR(top5, truth), eval.AverageTPR(top10, truth))
+	}
+	return t
+}
+
+// Figure5 reproduces Figure 5: for each goal-based method, the distribution
+// of how frequently the retrieved actions appear across recommendation
+// lists, as the share of actions per frequency bucket.
+func Figure5(env *Env) *Table {
+	return frequencyFigure(env, "F5",
+		fmt.Sprintf("frequency of retrieved actions across recommendation lists (%s)", env.Dataset.Name),
+		func(name string) *eval.Histogram {
+			return eval.ListFrequencyHistogram(env.Lists[name], 5)
+		})
+}
+
+// Figure6 reproduces Figure 6: for each goal-based method, the distribution
+// of the retrieved actions' frequency in the implementation set.
+func Figure6(env *Env) *Table {
+	return frequencyFigure(env, "F6",
+		fmt.Sprintf("library frequency of retrieved actions (%s)", env.Dataset.Name),
+		func(name string) *eval.Histogram {
+			return eval.LibraryFrequencyHistogram(env.Dataset.Library, env.Lists[name], 5)
+		})
+}
+
+func frequencyFigure(env *Env, id, title string, histOf func(name string) *eval.Histogram) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"method", "[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]", "share<0.2"},
+	}
+	for _, name := range env.GoalMethods() {
+		h := histOf(name)
+		total := h.Total()
+		vals := make([]interface{}, 0, 6)
+		for _, c := range h.Counts {
+			share := 0.0
+			if total > 0 {
+				share = float64(c) / float64(total)
+			}
+			vals = append(vals, share)
+		}
+		vals = append(vals, h.FractionBelow(0.2))
+		t.AddRow(name, vals...)
+	}
+	return t
+}

@@ -1,0 +1,93 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6) on the synthetic datasets, plus the ablation
+// studies DESIGN.md calls out. Each experiment returns a Table that renders
+// the same rows/series the paper reports; cmd/experiments drives them all.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, a header row and labelled
+// data rows.
+type Table struct {
+	ID      string // experiment id, e.g. "T2", "F7"
+	Title   string
+	Columns []string   // first column is the row label
+	Rows    [][]string // each row aligned with Columns
+}
+
+// AddRow appends a formatted row; values are rendered with %v for strings
+// and %.4g for floats.
+func (t *Table) AddRow(label string, values ...interface{}) {
+	row := make([]string, 0, len(values)+1)
+	row = append(row, label)
+	for _, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.4f", x))
+		case string:
+			row = append(row, x)
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(t.Columns) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

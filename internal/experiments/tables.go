@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"goalrec/internal/eval"
+)
+
+// Table2 reproduces Table 2: the overlap of the top-K lists of every
+// goal-based method with every standard method, per environment.
+func Table2(env *Env) *Table {
+	t := &Table{
+		ID:      "T2",
+		Title:   fmt.Sprintf("overlap of goal-based vs standard top-%d lists (%s)", env.Cfg.K, env.Dataset.Name),
+		Columns: append([]string{"method"}, prefixAll("overlap ", env.BaselineMethods())...),
+	}
+	for _, gm := range env.GoalMethods() {
+		vals := make([]interface{}, 0, len(env.BaselineMethods()))
+		for _, bm := range env.BaselineMethods() {
+			vals = append(vals, eval.OverlapAtK(env.Lists[gm], env.Lists[bm], env.Cfg.K))
+		}
+		t.AddRow(gm, vals...)
+	}
+	return t
+}
+
+// Table3 reproduces Table 3: the Pearson correlation between the activity
+// appearance counts of the top-20 most popular actions and their appearance
+// counts in each method's recommendation lists.
+func Table3(env *Env) *Table {
+	t := &Table{
+		ID:      "T3",
+		Title:   fmt.Sprintf("correlation of recommendations with the top-20 popular actions (%s)", env.Dataset.Name),
+		Columns: []string{"method", "correlation"},
+	}
+	numActions := env.Dataset.Library.NumActions()
+	for _, name := range append(env.BaselineMethods(), env.GoalMethods()...) {
+		corr := eval.PopularityCorrelation(env.Inputs, env.Lists[name], numActions, 20)
+		t.AddRow(name, corr)
+	}
+	return t
+}
+
+// Table4 reproduces Table 4 / Figure 3: the completeness of the user's goals
+// after following each method's recommendations (AvgAvg / MinAvg / MaxAvg).
+func Table4(env *Env) *Table {
+	t := &Table{
+		ID:      "T4",
+		Title:   fmt.Sprintf("goal completeness after following the recommendations (%s)", env.Dataset.Name),
+		Columns: []string{"method", "AvgAvg", "MinAvg", "MaxAvg"},
+	}
+	for _, name := range append(env.GoalMethods(), env.BaselineMethods()...) {
+		tri := eval.Completeness(env.Dataset.Library, env.Inputs, env.Lists[name], env.GoalsOf)
+		t.AddRow(name, tri.AvgAvg, tri.AvgMin, tri.AvgMax)
+	}
+	return t
+}
+
+// Table5 reproduces Table 5: the pairwise feature-based similarity among the
+// actions inside each list (AvgAvg / AvgMax / AvgMin); defined only for
+// environments with domain features (the paper's foodmarket).
+func Table5(env *Env) *Table {
+	t := &Table{
+		ID:      "T5",
+		Title:   fmt.Sprintf("pairwise feature similarity within each list (%s)", env.Dataset.Name),
+		Columns: []string{"method", "AvgAvg", "AvgMax", "AvgMin"},
+	}
+	sim := env.FeatureSimilarity()
+	if sim == nil {
+		t.AddRow("(no domain features for this dataset)")
+		return t
+	}
+	for _, name := range append(env.BaselineMethods(), env.GoalMethods()...) {
+		tri := eval.PairwiseSimilarity(env.Lists[name], sim)
+		t.AddRow(name, tri.AvgAvg, tri.AvgMax, tri.AvgMin)
+	}
+	return t
+}
+
+// Table6 reproduces Table 6: the pairwise overlap among the goal-based
+// methods' top-K lists.
+func Table6(env *Env) *Table {
+	goals := env.GoalMethods()
+	t := &Table{
+		ID:      "T6",
+		Title:   fmt.Sprintf("overlap among goal-based top-%d lists (%s)", env.Cfg.K, env.Dataset.Name),
+		Columns: append([]string{"method"}, goals...),
+	}
+	for _, a := range goals {
+		vals := make([]interface{}, 0, len(goals))
+		for _, b := range goals {
+			vals = append(vals, eval.OverlapAtK(env.Lists[a], env.Lists[b], env.Cfg.K))
+		}
+		t.AddRow(a, vals...)
+	}
+	return t
+}
+
+func prefixAll(prefix string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = prefix + n
+	}
+	return out
+}

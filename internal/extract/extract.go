@@ -1,0 +1,250 @@
+package extract
+
+import (
+	"strings"
+
+	"goalrec/internal/core"
+)
+
+// Story is one raw success story: the goal it describes and the free text
+// explaining how the author achieved it.
+type Story struct {
+	Goal string
+	Text string
+}
+
+// Options tunes the extraction pipeline.
+type Options struct {
+	// MaxPhraseWords caps the canonical action phrase length (default 4
+	// content words including the verb).
+	MaxPhraseWords int
+}
+
+func (o *Options) fill() {
+	if o.MaxPhraseWords <= 0 {
+		o.MaxPhraseWords = 4
+	}
+}
+
+// Extractor converts stories into goal implementations. By default a step
+// must contain a lexicon verb to yield an action; WithVerblessSteps relaxes
+// that for terse bullet lists.
+type Extractor struct {
+	opts        Options
+	requireVerb bool
+	synonyms    map[string]string // stem → canonical stem
+}
+
+// NewExtractor returns an Extractor; a zero Options value selects the
+// defaults.
+func NewExtractor(opts Options) *Extractor {
+	opts.fill()
+	return &Extractor{opts: opts, requireVerb: true}
+}
+
+// WithVerblessSteps returns a copy of the extractor that also keeps steps
+// without a recognized verb, raising recall at some precision cost.
+func (e *Extractor) WithVerblessSteps() *Extractor {
+	clone := *e
+	clone.requireVerb = false
+	return &clone
+}
+
+// WithSynonyms returns a copy of the extractor that maps word stems onto
+// canonical stems before phrase assembly, so domain synonyms ("jog" and
+// "run", "gym" and "fitness club") collapse onto one action id. Keys and
+// values are stemmed internally; chains are not followed.
+func (e *Extractor) WithSynonyms(syn map[string]string) *Extractor {
+	clone := *e
+	clone.synonyms = make(map[string]string, len(syn))
+	for from, to := range syn {
+		clone.synonyms[Stem(strings.ToLower(from))] = Stem(strings.ToLower(to))
+	}
+	return &clone
+}
+
+// canonical maps one stemmed token through the synonym table.
+func (e *Extractor) canonical(stem string) string {
+	if e.synonyms != nil {
+		if to, ok := e.synonyms[stem]; ok {
+			return to
+		}
+	}
+	return stem
+}
+
+// sequenceConnectives split one sentence into multiple steps.
+var sequenceConnectives = []string{
+	" then ", " and then ", " after that ", " afterwards ", " next ",
+	" finally ", " later ", "; ",
+}
+
+// SplitSteps breaks a story into candidate action steps: newline-separated
+// list items (with bullet and number prefixes removed), sentences, and
+// clauses around sequence connectives.
+func SplitSteps(text string) []string {
+	var steps []string
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		line = trimListMarker(line)
+		if line == "" {
+			continue
+		}
+		for _, sentence := range splitSentences(line) {
+			lower := " " + strings.ToLower(sentence) + " "
+			parts := []string{lower}
+			for _, conn := range sequenceConnectives {
+				var next []string
+				for _, p := range parts {
+					next = append(next, strings.Split(p, conn)...)
+				}
+				parts = next
+			}
+			for _, p := range parts {
+				if p = strings.TrimSpace(p); p != "" {
+					steps = append(steps, p)
+				}
+			}
+		}
+	}
+	return steps
+}
+
+// trimListMarker removes leading bullets ("-", "*", "•") and step numbers
+// ("1.", "2)", "step 3:").
+func trimListMarker(line string) string {
+	l := strings.TrimLeft(line, "-*•> \t")
+	lower := strings.ToLower(l)
+	if strings.HasPrefix(lower, "step ") {
+		l = l[5:]
+		lower = lower[5:]
+	}
+	i := 0
+	for i < len(l) && l[i] >= '0' && l[i] <= '9' {
+		i++
+	}
+	if i > 0 && i < len(l) && (l[i] == '.' || l[i] == ')' || l[i] == ':') {
+		l = l[i+1:]
+	}
+	_ = lower
+	return strings.TrimSpace(l)
+}
+
+func splitSentences(line string) []string {
+	var out []string
+	start := 0
+	for i, r := range line {
+		if r == '.' || r == '!' || r == '?' {
+			if s := strings.TrimSpace(line[start:i]); s != "" {
+				out = append(out, s)
+			}
+			start = i + 1
+		}
+	}
+	if s := strings.TrimSpace(line[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// negators flip the polarity of the verb they precede: "quit smoking" and
+// "don't smoke" describe the same action, which is NOT the action "smoke".
+var negators = map[string]bool{
+	"not": true, "never": true, "don't": true, "dont": true,
+	"didn't": true, "didnt": true, "won't": true, "wont": true,
+	"without": true,
+}
+
+// ActionPhrase canonicalizes one step into an action phrase: the first
+// lexicon verb and the following content words, stemmed and stopword-free.
+// A negator before the verb fuses into it ("never eat sugar" →
+// "not-eat sugar"), so an action and its negation get distinct ids.
+// It returns "" when the step yields no action under the extractor's
+// options.
+func (e *Extractor) ActionPhrase(step string) string {
+	tokens := Tokenize(step)
+	if len(tokens) == 0 {
+		return ""
+	}
+	verbAt := -1
+	for i, t := range tokens {
+		if IsVerb(t) {
+			verbAt = i
+			break
+		}
+	}
+	if verbAt == -1 {
+		if e.requireVerb {
+			return ""
+		}
+		verbAt = 0
+	}
+	negated := false
+	for _, t := range tokens[:verbAt] {
+		if negators[t] {
+			negated = true
+			break
+		}
+	}
+	words := make([]string, 0, e.opts.MaxPhraseWords)
+	for _, t := range tokens[verbAt:] {
+		if IsStopword(t) {
+			continue
+		}
+		w := e.canonical(Stem(t))
+		if negated && len(words) == 0 {
+			w = "not-" + w
+		}
+		words = append(words, w)
+		if len(words) == e.opts.MaxPhraseWords {
+			break
+		}
+	}
+	if len(words) == 0 {
+		return ""
+	}
+	return strings.Join(words, " ")
+}
+
+// ExtractStory returns the deduplicated canonical action phrases of one
+// story, in first-mention order.
+func (e *Extractor) ExtractStory(s Story) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, step := range SplitSteps(s.Text) {
+		phrase := e.ActionPhrase(step)
+		if phrase == "" || seen[phrase] {
+			continue
+		}
+		seen[phrase] = true
+		out = append(out, phrase)
+	}
+	return out
+}
+
+// BuildLibrary extracts every story and assembles the resulting goal
+// implementations into a Library plus the Vocabulary mapping ids back to
+// goal names and action phrases. Stories that yield no actions are skipped;
+// the returned count reports how many stories contributed.
+func (e *Extractor) BuildLibrary(stories []Story) (*core.Library, *core.Vocabulary, int) {
+	vocab := core.NewVocabulary()
+	builder := core.NewBuilder(len(stories), 4)
+	kept := 0
+	for _, s := range stories {
+		phrases := e.ExtractStory(s)
+		if len(phrases) == 0 {
+			continue
+		}
+		goal := core.GoalID(vocab.Goals.Intern(strings.ToLower(strings.TrimSpace(s.Goal))))
+		actions := make([]core.ActionID, len(phrases))
+		for i, p := range phrases {
+			actions[i] = core.ActionID(vocab.Actions.Intern(p))
+		}
+		if _, err := builder.Add(goal, actions); err != nil {
+			// Unreachable: phrases is non-empty and ids are non-negative.
+			continue
+		}
+		kept++
+	}
+	return builder.Build(), vocab, kept
+}

@@ -1,0 +1,66 @@
+package extract
+
+// Extraction quality measurement: precision/recall/F1 of extracted action
+// phrases against gold labels, the harness used to tune the pipeline (the
+// paper calls the extraction task orthogonal, but a reproduction should be
+// able to measure it).
+
+// QualityReport aggregates extraction quality over a labelled corpus.
+type QualityReport struct {
+	// Precision is the share of extracted phrases that match a gold phrase.
+	Precision float64
+	// Recall is the share of gold phrases that were extracted.
+	Recall float64
+	// F1 is the harmonic mean of the two.
+	F1 float64
+	// Stories is the number of labelled stories evaluated.
+	Stories int
+}
+
+// EvaluateAgainstGold extracts every story and compares the canonical
+// phrases with the gold action lists. Gold phrases are canonicalized through
+// the same tokenizer/stemmer, so labels may be written naturally ("started
+// jogging" matches the extraction "start jog").
+func (e *Extractor) EvaluateAgainstGold(stories []Story, gold [][]string) QualityReport {
+	n := len(stories)
+	if len(gold) < n {
+		n = len(gold)
+	}
+	var tp, extracted, golden int
+	for i := 0; i < n; i++ {
+		pred := e.ExtractStory(stories[i])
+		want := make(map[string]bool, len(gold[i]))
+		for _, g := range gold[i] {
+			if c := e.canonicalPhrase(g); c != "" {
+				want[c] = true
+			}
+		}
+		extracted += len(pred)
+		golden += len(want)
+		for _, p := range pred {
+			if want[p] {
+				tp++
+			}
+		}
+	}
+	r := QualityReport{Stories: n}
+	if extracted > 0 {
+		r.Precision = float64(tp) / float64(extracted)
+	}
+	if golden > 0 {
+		r.Recall = float64(tp) / float64(golden)
+	}
+	if r.Precision+r.Recall > 0 {
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}
+
+// canonicalPhrase pushes a gold label through the same canonicalization the
+// pipeline applies to steps, without the verb requirement (labels are
+// already actions).
+func (e *Extractor) canonicalPhrase(label string) string {
+	verbless := *e
+	verbless.requireVerb = false
+	return verbless.ActionPhrase(label)
+}

@@ -1,0 +1,77 @@
+package extract
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateAgainstGoldPerfect(t *testing.T) {
+	e := NewExtractor(Options{})
+	stories := []Story{
+		{Goal: "fit", Text: "I joined a gym. I started jogging."},
+	}
+	gold := [][]string{{"joined a gym", "started jogging"}}
+	r := e.EvaluateAgainstGold(stories, gold)
+	if r.Precision != 1 || r.Recall != 1 || r.F1 != 1 {
+		t.Errorf("perfect extraction = %+v", r)
+	}
+	if r.Stories != 1 {
+		t.Errorf("stories = %d", r.Stories)
+	}
+}
+
+func TestEvaluateAgainstGoldPartial(t *testing.T) {
+	e := NewExtractor(Options{})
+	stories := []Story{
+		// Extracts "join gym" and "start jog"; gold expects "join gym" and
+		// a phrase the pipeline cannot see.
+		{Goal: "fit", Text: "I joined a gym. I started jogging."},
+	}
+	gold := [][]string{{"joined a gym", "meditate nightly"}}
+	r := e.EvaluateAgainstGold(stories, gold)
+	if math.Abs(r.Precision-0.5) > 1e-12 {
+		t.Errorf("precision = %v, want 0.5", r.Precision)
+	}
+	if math.Abs(r.Recall-0.5) > 1e-12 {
+		t.Errorf("recall = %v, want 0.5", r.Recall)
+	}
+	if math.Abs(r.F1-0.5) > 1e-12 {
+		t.Errorf("F1 = %v, want 0.5", r.F1)
+	}
+}
+
+func TestEvaluateAgainstGoldDegenerate(t *testing.T) {
+	e := NewExtractor(Options{})
+	if r := e.EvaluateAgainstGold(nil, nil); r != (QualityReport{}) {
+		t.Errorf("empty corpus = %+v", r)
+	}
+	// Story that extracts nothing against non-empty gold: recall 0.
+	r := e.EvaluateAgainstGold(
+		[]Story{{Goal: "g", Text: "the weather was nice"}},
+		[][]string{{"joined a gym"}},
+	)
+	if r.Precision != 0 || r.Recall != 0 || r.F1 != 0 {
+		t.Errorf("no-extraction case = %+v", r)
+	}
+	// Mismatched lengths evaluate the overlap only.
+	r = e.EvaluateAgainstGold(
+		[]Story{{Goal: "g", Text: "I joined a gym."}, {Goal: "h", Text: "I read books."}},
+		[][]string{{"joined a gym"}},
+	)
+	if r.Stories != 1 || r.Precision != 1 {
+		t.Errorf("length mismatch = %+v", r)
+	}
+}
+
+func TestEvaluateAgainstGoldMatchesInflections(t *testing.T) {
+	e := NewExtractor(Options{})
+	// Gold written with different inflections still matches after
+	// canonicalization.
+	r := e.EvaluateAgainstGold(
+		[]Story{{Goal: "fit", Text: "I started jogging."}},
+		[][]string{{"start jog"}},
+	)
+	if r.F1 != 1 {
+		t.Errorf("inflection-insensitive match failed: %+v", r)
+	}
+}

@@ -1,0 +1,98 @@
+// Package hybrid implements the paper's future-work direction (Section 7):
+// recommenders that enhance the goal-based mechanisms with user preferences
+// over domain-specific characteristics, i.e. hybrid goal-based +
+// content-based ranking.
+//
+// The combiner min-max normalizes the goal-based scores of the candidate
+// pool into [0, 1], computes the content similarity of every candidate to
+// the feature profile of the user activity, and ranks by
+//
+//	score(a) = α · goal(a) + (1 − α) · content(a)
+//
+// α = 1 degenerates to the wrapped goal-based strategy, α = 0 to pure
+// content ranking over the goal-based candidate pool (still goal-aware:
+// actions outside every shared implementation are never recommended).
+package hybrid
+
+import (
+	"fmt"
+
+	"goalrec/internal/baseline"
+	"goalrec/internal/core"
+	"goalrec/internal/strategy"
+	"goalrec/internal/vectorspace"
+)
+
+// Recommender blends a goal-based strategy with content similarity.
+type Recommender struct {
+	goal  strategy.Recommender
+	feats *baseline.Features
+	alpha float64
+}
+
+// New returns a hybrid recommender. alpha is clamped to [0, 1].
+func New(goal strategy.Recommender, feats *baseline.Features, alpha float64) *Recommender {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &Recommender{goal: goal, feats: feats, alpha: alpha}
+}
+
+// Name implements strategy.Recommender.
+func (r *Recommender) Name() string {
+	return fmt.Sprintf("hybrid-%s-a%.2f", r.goal.Name(), r.alpha)
+}
+
+// Recommend implements strategy.Recommender: it pulls the wrapped strategy's
+// full candidate ranking, normalizes it, blends in the content similarity to
+// the activity's feature profile, and returns the re-ranked top k.
+func (r *Recommender) Recommend(activity []core.ActionID, k int) []strategy.ScoredAction {
+	if k == 0 {
+		return nil
+	}
+	// Ask the goal strategy for its entire ranking (k < 0 means "all") so
+	// the content signal can promote candidates from beyond the top k.
+	pool := r.goal.Recommend(activity, -1)
+	if len(pool) == 0 {
+		return nil
+	}
+
+	// Min-max normalize the goal scores over the candidate pool.
+	lo, hi := pool[0].Score, pool[0].Score
+	for _, s := range pool[1:] {
+		if s.Score < lo {
+			lo = s.Score
+		}
+		if s.Score > hi {
+			hi = s.Score
+		}
+	}
+	span := hi - lo
+
+	profile := r.profile(activity)
+	out := make([]strategy.ScoredAction, len(pool))
+	for i, s := range pool {
+		goalScore := 1.0
+		if span > 0 {
+			goalScore = (s.Score - lo) / span
+		}
+		content := vectorspace.CosineSimilarity(profile, r.feats.Vector(s.Action))
+		out[i] = strategy.ScoredAction{
+			Action: s.Action,
+			Score:  r.alpha*goalScore + (1-r.alpha)*content,
+		}
+	}
+	return strategy.TopK(out, k)
+}
+
+// profile sums the feature vectors of the activity's actions.
+func (r *Recommender) profile(activity []core.ActionID) vectorspace.Vector {
+	var p vectorspace.Vector
+	for _, a := range activity {
+		p = p.Add(r.feats.Vector(a))
+	}
+	return p
+}

@@ -1,0 +1,190 @@
+// Package linalg provides the small dense linear-algebra kernel the ALS-WR
+// baseline needs: column-major square matrices, symmetric positive-definite
+// solves via Cholesky factorization, and a partial-pivoting Gaussian
+// fallback for matrices that are only positive semi-definite.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a solve encounters a (numerically) singular
+// matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense row-major n×n square matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N, Data[i*N+j] = element (i, j)
+}
+
+// NewMatrix returns a zero n×n matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set stores v at element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.N)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// AddDiagonal adds v to every diagonal element.
+func (m *Matrix) AddDiagonal(v float64) {
+	for i := 0; i < m.N; i++ {
+		m.Data[i*m.N+i] += v
+	}
+}
+
+// MulVec returns m·x as a new slice. It panics if len(x) != N.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.N {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d != %d", len(x), m.N))
+	}
+	out := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		row := m.Data[i*m.N : (i+1)*m.N]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SolveSPD solves A·x = b for a symmetric positive-definite A using an
+// in-place Cholesky factorization of a copy of A. It returns ErrSingular if
+// a pivot collapses. The typical ALS call sites guarantee positive
+// definiteness by adding λ·I to the Gram matrix.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d != %d", len(b), n)
+	}
+	l := a.Clone()
+	// Cholesky: L lower-triangular with A = L·Lᵀ, computed in place.
+	for j := 0; j < n; j++ {
+		d := l.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 1e-14 {
+			return nil, fmt.Errorf("%w: pivot %d = %g", ErrSingular, j, d)
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveGaussian solves A·x = b by Gaussian elimination with partial
+// pivoting; it works on copies of its arguments. Use it when A is not
+// guaranteed SPD.
+func SolveGaussian(a *Matrix, b []float64) ([]float64, error) {
+	n := a.N
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d != %d", len(b), n)
+	}
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, best := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("%w: column %d", ErrSingular, col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Add(r, j, -f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of two equal-length dense vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AddOuter accumulates w·(x xᵀ) into m: the rank-1 update used to build ALS
+// Gram matrices.
+func (m *Matrix) AddOuter(x []float64, w float64) {
+	n := m.N
+	for i := 0; i < n; i++ {
+		xi := w * x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] += xi * x[j]
+		}
+	}
+}

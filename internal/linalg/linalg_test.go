@@ -1,0 +1,197 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqualVec(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 3)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 5 {
+		t.Errorf("At(0,1) = %v, want 5", m.At(0, 1))
+	}
+	m.AddDiagonal(1)
+	if m.At(0, 0) != 1 || m.At(1, 1) != 1 {
+		t.Error("AddDiagonal failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got := m.MulVec([]float64{5, 6})
+	if !reflect.DeepEqual(got, []float64{17, 39}) {
+		t.Errorf("MulVec = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	m.MulVec([]float64{1})
+}
+
+func TestSolveSPDKnown(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2].
+	a := NewMatrix(2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	x, err := SolveSPD(a, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqualVec(x, []float64{1.5, 2}, 1e-10) {
+		t.Errorf("x = %v, want [1.5 2]", x)
+	}
+}
+
+func TestSolveSPDSingular(t *testing.T) {
+	a := NewMatrix(2) // zero matrix
+	if _, err := SolveSPD(a, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	// Rank-deficient: [[1,1],[1,1]].
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	if _, err := SolveSPD(a, []float64{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2)
+	a.AddDiagonal(1)
+	if _, err := SolveSPD(a, []float64{1}); err == nil {
+		t.Error("SolveSPD accepted wrong rhs length")
+	}
+	if _, err := SolveGaussian(a, []float64{1}); err == nil {
+		t.Error("SolveGaussian accepted wrong rhs length")
+	}
+}
+
+func TestSolveGaussianNonSymmetric(t *testing.T) {
+	// A = [[0,2],[3,1]] needs pivoting; b = [4, 5] → x = [1, 2].
+	a := NewMatrix(2)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 1)
+	x, err := SolveGaussian(a, []float64{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqualVec(x, []float64{1, 2}, 1e-10) {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestSolveGaussianSingular(t *testing.T) {
+	a := NewMatrix(3)
+	if _, err := SolveGaussian(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMatrix(2)
+	m.AddOuter([]float64{1, 2}, 3)
+	want := []float64{3, 6, 6, 12}
+	if !almostEqualVec(m.Data, want, 1e-12) {
+		t.Errorf("AddOuter = %v, want %v", m.Data, want)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil,nil) = %v", got)
+	}
+}
+
+// randomSPD builds a random SPD matrix G = BᵀB + εI.
+func randomSPD(r *rand.Rand, n int) *Matrix {
+	g := NewMatrix(n)
+	for rows := 0; rows < n+2; rows++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		g.AddOuter(x, 1)
+	}
+	g.AddDiagonal(0.1)
+	return g
+}
+
+func TestSolversAgreeProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(8)
+			a := randomSPD(r, n)
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = r.NormFloat64()
+			}
+			v[0] = reflect.ValueOf(a)
+			v[1] = reflect.ValueOf(b)
+		},
+	}
+	f := func(a *Matrix, b []float64) bool {
+		x1, err1 := SolveSPD(a, b)
+		x2, err2 := SolveGaussian(a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Both solvers agree and actually solve the system.
+		return almostEqualVec(x1, x2, 1e-6) && almostEqualVec(a.MulVec(x1), b, 1e-6)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveSPD(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	a := randomSPD(r, 20)
+	rhs := make([]float64, 20)
+	for i := range rhs {
+		rhs[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSPD(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package server exposes a goal-implementation library as a JSON HTTP
+// service: the shape a production deployment of the recommender takes.
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness probe
+//	GET  /v1/stats                    library statistics
+//	POST /v1/recommend                {"activity": [...], "strategy": "...", "k": N}
+//	POST /v1/spaces                   {"activity": [...]} → goal space with progress, action space
+//
+// All handlers are read-only against an immutable library and safe for
+// arbitrary concurrency.
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"goalrec"
+)
+
+// maxBodyBytes bounds request bodies; activities are small.
+const maxBodyBytes = 1 << 20
+
+// Server routes recommendation requests against one library.
+type Server struct {
+	lib *goalrec.Library
+	mux *http.ServeMux
+	log *log.Logger
+
+	mu   sync.Mutex
+	recs map[string]goalrec.Recommender // lazily built per strategy
+
+	// Operational counters, also exported at /debug/vars.
+	requests *expvar.Map
+	errors   *expvar.Map
+}
+
+// New returns a Server for lib. logger may be nil to disable request
+// logging.
+func New(lib *goalrec.Library, logger *log.Logger) *Server {
+	s := &Server{
+		lib:      lib,
+		mux:      http.NewServeMux(),
+		log:      logger,
+		recs:     make(map[string]goalrec.Recommender),
+		requests: new(expvar.Map).Init(),
+		errors:   new(expvar.Map).Init(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
+	s.mux.HandleFunc("POST /v1/recommend", s.counted("recommend", s.handleRecommend))
+	s.mux.HandleFunc("POST /v1/spaces", s.counted("spaces", s.handleSpaces))
+	s.mux.HandleFunc("POST /v1/explain", s.counted("explain", s.handleExplain))
+	// Per-instance operational counters (kept off the global expvar
+	// registry so multiple servers can coexist in one process).
+	s.mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"requests\": %s, \"errors\": %s}\n", s.requests.String(), s.errors.String())
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// counted wraps a handler with per-endpoint request accounting.
+func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(name, 1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		if sw.status >= 400 {
+			s.errors.Add(name, 1)
+		}
+	}
+}
+
+// statusWriter records the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("server: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse mirrors goalrec.Stats with wire-friendly names.
+type statsResponse struct {
+	Implementations int     `json:"implementations"`
+	Actions         int     `json:"actions"`
+	Goals           int     `json:"goals"`
+	AvgImplLen      float64 `json:"avg_implementation_len"`
+	Connectivity    float64 `json:"connectivity"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.lib.Stats()
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		Implementations: st.Implementations,
+		Actions:         st.Actions,
+		Goals:           st.Goals,
+		AvgImplLen:      st.AvgImplLen,
+		Connectivity:    st.Connectivity,
+	})
+}
+
+// recommendRequest is the /v1/recommend body.
+type recommendRequest struct {
+	Activity []string `json:"activity"`
+	Strategy string   `json:"strategy"` // default "breadth"
+	Metric   string   `json:"metric"`   // best-match distance, default "cosine"
+	K        int      `json:"k"`        // default 10
+}
+
+// recommendResponse is the /v1/recommend reply.
+type recommendResponse struct {
+	Strategy        string                  `json:"strategy"`
+	Recommendations []recommendationPayload `json:"recommendations"`
+}
+
+type recommendationPayload struct {
+	Action string  `json:"action"`
+	Score  float64 `json:"score"`
+}
+
+// recommender returns (building on first use) the recommender for the
+// strategy/metric pair.
+func (s *Server) recommender(strategyName, metric string) (goalrec.Recommender, error) {
+	if strategyName == "" {
+		strategyName = string(goalrec.Breadth)
+	}
+	if metric == "" {
+		metric = "cosine"
+	}
+	key := strategyName + "/" + metric
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec, ok := s.recs[key]; ok {
+		return rec, nil
+	}
+	// Serving workloads repeat activities heavily; strategies are
+	// deterministic over the immutable library, so an LRU per recommender
+	// is sound.
+	rec, err := s.lib.Recommender(goalrec.Strategy(strategyName),
+		goalrec.WithDistanceMetric(metric), goalrec.WithCache(4096))
+	if err != nil {
+		return nil, err
+	}
+	s.recs[key] = rec
+	return rec, nil
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Activity) == 0 {
+		s.writeError(w, http.StatusBadRequest, "activity must not be empty")
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.K < 0 || req.K > 1000 {
+		s.writeError(w, http.StatusBadRequest, "k must be in [1, 1000]")
+		return
+	}
+	rec, err := s.recommender(req.Strategy, req.Metric)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	list := rec.Recommend(req.Activity, req.K)
+	resp := recommendResponse{
+		Strategy:        rec.Name(),
+		Recommendations: make([]recommendationPayload, len(list)),
+	}
+	for i, rcm := range list {
+		resp.Recommendations[i] = recommendationPayload{Action: rcm.Action, Score: rcm.Score}
+	}
+	s.logf("recommend strategy=%s k=%d activity=%d results=%d", rec.Name(), req.K, len(req.Activity), len(list))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// spacesRequest is the /v1/spaces body.
+type spacesRequest struct {
+	Activity []string `json:"activity"`
+}
+
+// spacesResponse reports the goal space (with progress) and action space of
+// an activity.
+type spacesResponse struct {
+	Goals   []goalProgressPayload `json:"goals"`
+	Actions []string              `json:"actions"`
+}
+
+type goalProgressPayload struct {
+	Goal     string  `json:"goal"`
+	Progress float64 `json:"progress"`
+}
+
+// explainRequest is the /v1/explain body.
+type explainRequest struct {
+	Activity []string `json:"activity"`
+	Action   string   `json:"action"`
+}
+
+// explainResponse lists the goals justifying the action.
+type explainResponse struct {
+	Explanations []explanationPayload `json:"explanations"`
+}
+
+type explanationPayload struct {
+	Goal            string  `json:"goal"`
+	Implementations int     `json:"implementations"`
+	ProgressBefore  float64 `json:"progress_before"`
+	ProgressAfter   float64 `json:"progress_after"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Activity) == 0 || req.Action == "" {
+		s.writeError(w, http.StatusBadRequest, "activity and action are required")
+		return
+	}
+	exps := s.lib.Explain(req.Activity, req.Action)
+	resp := explainResponse{Explanations: make([]explanationPayload, len(exps))}
+	for i, e := range exps {
+		resp.Explanations[i] = explanationPayload{
+			Goal:            e.Goal,
+			Implementations: e.Implementations,
+			ProgressBefore:  e.ProgressBefore,
+			ProgressAfter:   e.ProgressAfter,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSpaces(w http.ResponseWriter, r *http.Request) {
+	var req spacesRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Activity) == 0 {
+		s.writeError(w, http.StatusBadRequest, "activity must not be empty")
+		return
+	}
+	progress := s.lib.GoalProgress(req.Activity)
+	goals := s.lib.GoalSpace(req.Activity)
+	resp := spacesResponse{
+		Goals:   make([]goalProgressPayload, len(goals)),
+		Actions: s.lib.ActionSpace(req.Activity),
+	}
+	for i, g := range goals {
+		resp.Goals[i] = goalProgressPayload{Goal: g, Progress: progress[g]}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

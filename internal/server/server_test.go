@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"goalrec"
+)
+
+func testLibrary(t *testing.T) *goalrec.Library {
+	t.Helper()
+	b := goalrec.NewBuilder()
+	add := func(goal string, actions ...string) {
+		t.Helper()
+		if err := b.AddImplementation(goal, actions...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("olivier salad", "potatoes", "carrots", "pickles")
+	add("mashed potatoes", "potatoes", "nutmeg", "butter")
+	add("pan-fried carrots", "carrots", "nutmeg")
+	return b.Build()
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(testLibrary(t), nil))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [1 << 16]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp, buf[:n]
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Implementations != 3 || got.Actions != 5 || got.Goals != 3 {
+		t.Errorf("stats = %+v", got)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/recommend",
+		`{"activity": ["potatoes", "carrots"], "strategy": "breadth", "k": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var got recommendResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Strategy != "breadth" {
+		t.Errorf("strategy = %q", got.Strategy)
+	}
+	if len(got.Recommendations) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, r := range got.Recommendations {
+		if r.Action == "potatoes" || r.Action == "carrots" {
+			t.Errorf("performed action recommended: %v", r)
+		}
+	}
+}
+
+func TestRecommendDefaults(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/recommend", `{"activity": ["potatoes"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var got recommendResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Strategy != "breadth" {
+		t.Errorf("default strategy = %q, want breadth", got.Strategy)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty activity", `{"activity": []}`},
+		{"bad strategy", `{"activity": ["potatoes"], "strategy": "magic"}`},
+		{"bad k", `{"activity": ["potatoes"], "k": -2}`},
+		{"unknown field", `{"activity": ["potatoes"], "bogus": 1}`},
+		{"malformed", `{`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/recommend", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, body %s", resp.StatusCode, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Errorf("error envelope missing: %s", body)
+			}
+		})
+	}
+}
+
+func TestRecommendMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/recommend status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSpaces(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/spaces", `{"activity": ["potatoes", "carrots"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var got spacesResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Goals) != 3 {
+		t.Fatalf("goals = %v", got.Goals)
+	}
+	byName := map[string]float64{}
+	for _, g := range got.Goals {
+		byName[g.Goal] = g.Progress
+	}
+	if byName["olivier salad"] != 2.0/3.0 {
+		t.Errorf("olivier progress = %v", byName["olivier salad"])
+	}
+	if len(got.Actions) == 0 {
+		t.Error("empty action space")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/explain",
+		`{"activity": ["potatoes", "carrots"], "action": "pickles"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var got explainResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Explanations) != 1 {
+		t.Fatalf("explanations = %v", got.Explanations)
+	}
+	e := got.Explanations[0]
+	if e.Goal != "olivier salad" || e.ProgressAfter != 1 {
+		t.Errorf("explanation = %+v", e)
+	}
+	// Missing fields are rejected.
+	resp, _ = postJSON(t, ts.URL+"/v1/explain", `{"activity": ["potatoes"]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing action status = %d", resp.StatusCode)
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	ts := httptest.NewServer(New(testLibrary(t), logger))
+	defer ts.Close()
+	postJSON(t, ts.URL+"/v1/recommend", `{"activity": ["potatoes"]}`)
+	if !strings.Contains(buf.String(), "recommend strategy=breadth") {
+		t.Errorf("request not logged: %q", buf.String())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	ts := newTestServer(t)
+	// One success, one error.
+	if _, err := http.Get(ts.URL + "/v1/stats"); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, ts.URL+"/v1/recommend", `{"activity": []}`)
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Requests map[string]int `json:"requests"`
+		Errors   map[string]int `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests["stats"] != 1 {
+		t.Errorf("stats requests = %d, want 1", got.Requests["stats"])
+	}
+	if got.Requests["recommend"] != 1 || got.Errors["recommend"] != 1 {
+		t.Errorf("recommend counters = %+v", got)
+	}
+	if got.Errors["stats"] != 0 {
+		t.Errorf("stats errors = %d", got.Errors["stats"])
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			strategyName := []string{"breadth", "focus-cmp", "focus-cl", "best-match"}[i%4]
+			resp, err := http.Post(ts.URL+"/v1/recommend", "application/json",
+				strings.NewReader(`{"activity": ["potatoes"], "strategy": "`+strategyName+`"}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+package strategy
+
+import (
+	"math"
+	"sync"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/vectorspace"
+)
+
+// BestMatch is the paper's Algorithms 3 and 4 (Section 5.3): it builds a
+// goal-based user profile — for every goal of the goal space GS(H), how many
+// (action, implementation) pairs of the user activity contribute to it
+// (Equations 8 and 9) — represents every candidate action as a vector in the
+// same feature space F_GS(H), and ranks candidates by ascending distance to
+// the profile (Equation 10).
+//
+// The default cosine metric runs on a dense, pooled scratch representation
+// (one incremental pass over each candidate's implementation space, no
+// per-candidate allocation); the alternative metrics use the sparse
+// vectorspace path.
+type BestMatch struct {
+	lib    *core.Library
+	metric vectorspace.Metric
+	pool   sync.Pool // *bmScratch
+}
+
+// bmScratch carries the per-query dense buffers. Goal membership uses
+// version stamping so the numGoals-sized arrays never need clearing.
+type bmScratch struct {
+	mark      []uint32  // mark[g] == version ⇔ g ∈ GS(H)
+	slot      []int32   // dense index of g within the goal space
+	version   uint32    //
+	profile   []float64 // profile counts per goal-space slot
+	candCount []float64 // candidate counts per goal-space slot
+	touched   []int32   // slots touched by the current candidate
+}
+
+// NewBestMatch returns a Best Match strategy over lib using the cosine
+// distance, the conventional choice for sparse count profiles.
+func NewBestMatch(lib *core.Library) *BestMatch {
+	return NewBestMatchMetric(lib, vectorspace.Cosine)
+}
+
+// NewBestMatchMetric returns a Best Match strategy with an explicit distance
+// metric, used by the ablation benchmarks.
+func NewBestMatchMetric(lib *core.Library, m vectorspace.Metric) *BestMatch {
+	bm := &BestMatch{lib: lib, metric: m}
+	bm.pool.New = func() interface{} {
+		return &bmScratch{
+			mark: make([]uint32, lib.NumGoals()),
+			slot: make([]int32, lib.NumGoals()),
+		}
+	}
+	return bm
+}
+
+// Name implements Recommender.
+func (bm *BestMatch) Name() string {
+	if bm.metric == vectorspace.Cosine {
+		return "best-match"
+	}
+	return "best-match-" + bm.metric.String()
+}
+
+// Profile builds the goal-based user profile H⃗ of Algorithm 3
+// (Get-Goal-Based-Profile): the aggregated goal-contribution vector of every
+// action in the activity, in the feature space spanned by GS(activity).
+func (bm *BestMatch) Profile(activity []core.ActionID) vectorspace.Vector {
+	h := intset.FromUnsorted(intset.Clone(activity))
+	counts := make(map[int32]int)
+	for _, a := range h {
+		for _, p := range bm.lib.ImplsOfAction(a) {
+			counts[int32(bm.lib.Goal(p))]++
+		}
+	}
+	return vectorspace.FromCounts(counts)
+}
+
+// actionVector represents candidate action a in F_GS(H) (Equation 8): for
+// every goal of the user goal space, the number of implementations through
+// which a contributes to it. goalSpace must be sorted.
+func (bm *BestMatch) actionVector(a core.ActionID, goalSpace []core.GoalID) vectorspace.Vector {
+	counts := make(map[int32]int)
+	for _, p := range bm.lib.ImplsOfAction(a) {
+		g := bm.lib.Goal(p)
+		if intset.Contains(goalSpace, g) {
+			counts[int32(g)]++
+		}
+	}
+	return vectorspace.FromCounts(counts)
+}
+
+// Recommend implements Recommender (Algorithm 4, Best Match Ranking). The
+// returned Score is the negated distance, so higher still means better.
+func (bm *BestMatch) Recommend(activity []core.ActionID, k int) []ScoredAction {
+	if k == 0 {
+		return nil
+	}
+	h := intset.FromUnsorted(intset.Clone(activity))
+	candidates := bm.lib.Candidates(h)
+	if len(candidates) == 0 {
+		return nil
+	}
+	goalSpace := bm.lib.GoalSpace(h)
+
+	var scored []ScoredAction
+	if bm.metric == vectorspace.Cosine {
+		scored = bm.recommendCosine(h, candidates, goalSpace)
+	} else {
+		profile := bm.Profile(h)
+		scored = make([]ScoredAction, 0, len(candidates))
+		for _, a := range candidates {
+			vec := bm.actionVector(a, goalSpace)
+			d := bm.metric.Distance(profile, vec)
+			scored = append(scored, ScoredAction{Action: a, Score: -d})
+		}
+	}
+	return TopK(scored, k)
+}
+
+// recommendCosine is the allocation-free fast path: it scores every
+// candidate by 1 − cos(H⃗, a⃗) using incremental dot/norm maintenance over a
+// pooled dense scratch.
+func (bm *BestMatch) recommendCosine(h, candidates []core.ActionID, goalSpace []core.GoalID) []ScoredAction {
+	s := bm.pool.Get().(*bmScratch)
+	defer bm.pool.Put(s)
+
+	// Stamp the goal space; version 0 is never valid after the first wrap,
+	// so bump twice on wraparound.
+	s.version++
+	if s.version == 0 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.version = 1
+	}
+	if cap(s.profile) < len(goalSpace) {
+		s.profile = make([]float64, len(goalSpace))
+		s.candCount = make([]float64, len(goalSpace))
+	}
+	s.profile = s.profile[:len(goalSpace)]
+	s.candCount = s.candCount[:len(goalSpace)]
+	for i := range s.profile {
+		s.profile[i] = 0
+		s.candCount[i] = 0
+	}
+	for i, g := range goalSpace {
+		s.mark[g] = s.version
+		s.slot[g] = int32(i)
+	}
+
+	// Dense profile (Equation 9): every (action ∈ H, implementation) pair
+	// adds one to its goal's slot. Goals of IS(H) are in GS(H) by
+	// construction.
+	for _, a := range h {
+		for _, p := range bm.lib.ImplsOfAction(a) {
+			s.profile[s.slot[bm.lib.Goal(p)]]++
+		}
+	}
+	profNorm := 0.0
+	for _, v := range s.profile {
+		profNorm += v * v
+	}
+	profNorm = math.Sqrt(profNorm)
+
+	scored := make([]ScoredAction, 0, len(candidates))
+	for _, a := range candidates {
+		dot, sumsq := 0.0, 0.0
+		s.touched = s.touched[:0]
+		for _, p := range bm.lib.ImplsOfAction(a) {
+			g := bm.lib.Goal(p)
+			if s.mark[g] != s.version {
+				continue // contributes to a goal outside F_GS(H)
+			}
+			i := s.slot[g]
+			c := s.candCount[i]
+			if c == 0 {
+				s.touched = append(s.touched, i)
+			}
+			// count c → c+1: dot gains profile[i], |a⃗|² gains 2c+1.
+			dot += s.profile[i]
+			sumsq += 2*c + 1
+			s.candCount[i] = c + 1
+		}
+		sim := 0.0
+		if profNorm > 0 && sumsq > 0 {
+			sim = dot / (profNorm * math.Sqrt(sumsq))
+		}
+		scored = append(scored, ScoredAction{Action: a, Score: -(1 - sim)})
+		for _, i := range s.touched {
+			s.candCount[i] = 0
+		}
+	}
+	return scored
+}

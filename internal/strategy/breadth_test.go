@@ -1,0 +1,134 @@
+package strategy
+
+import (
+	"reflect"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/testlib"
+)
+
+func TestBreadthNames(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	if got := NewBreadth(lib).Name(); got != "breadth" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewBreadthWeighted(lib, Count).Name(); got != "breadth-count" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewBreadthWeighted(lib, Union).Name(); got != "breadth-union" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestBreadthOverlapPaperExample(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	b := NewBreadth(lib)
+
+	// H = {a1, a2}. Associated impls and overlaps:
+	//   p1 = {a1,a2,a3}: overlap 2 → a3 += 2
+	//   p2 = {a1,a4}:    overlap 1 → a4 += 1
+	//   p3 = {a1,a3,a5}: overlap 1 → a3 += 1, a5 += 1
+	//   p5 = {a1,a2,a6}: overlap 2 → a6 += 2
+	// Scores: a3=3, a6=2, a4=1, a5=1 → [a3, a6, a4, a5].
+	got := b.Recommend(acts(0, 1), 10)
+	want := []ScoredAction{{2, 3}, {5, 2}, {3, 1}, {4, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Recommend = %v, want %v", got, want)
+	}
+}
+
+func TestBreadthCountPaperExample(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	b := NewBreadthWeighted(lib, Count)
+	// Counts: a3 in p1,p3 → 2; a4 in p2 → 1; a5 in p3 → 1; a6 in p5 → 1.
+	got := b.Recommend(acts(0, 1), 10)
+	want := []ScoredAction{{2, 2}, {3, 1}, {4, 1}, {5, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Recommend = %v, want %v", got, want)
+	}
+}
+
+func TestBreadthUnionPaperExample(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	b := NewBreadthWeighted(lib, Union)
+	// Unions with H={a1,a2}: p1: |{a1,a2,a3}|=3 → a3 += 3;
+	// p2: |{a1,a2,a4}|=3 → a4 += 3; p3: |{a1,a2,a3,a5}|=4 → a3+=4, a5+=4;
+	// p5: |{a1,a2,a6}|=3 → a6 += 3.
+	got := b.Recommend(acts(0, 1), 10)
+	want := []ScoredAction{{2, 7}, {4, 4}, {3, 3}, {5, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Recommend = %v, want %v", got, want)
+	}
+}
+
+func TestBreadthEmptyCases(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	b := NewBreadth(lib)
+	if got := b.Recommend(nil, 10); got != nil {
+		t.Errorf("empty activity produced %v", got)
+	}
+	if got := b.Recommend(acts(0), 0); got != nil {
+		t.Errorf("k=0 produced %v", got)
+	}
+	if got := b.Recommend(acts(99), 10); got != nil {
+		t.Errorf("unknown action produced %v", got)
+	}
+}
+
+func TestBreadthTruncatesToK(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	got := NewBreadth(lib).Recommend(acts(0, 1), 2)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	// Top two must be the globally best two.
+	if got[0].Action != 2 || got[1].Action != 5 {
+		t.Errorf("top-2 = %v", got)
+	}
+}
+
+func TestBreadthInvariants(t *testing.T) {
+	strategyInvariants(t, func(l *core.Library) Recommender { return NewBreadth(l) })
+}
+
+func TestBreadthCountInvariants(t *testing.T) {
+	strategyInvariants(t, func(l *core.Library) Recommender { return NewBreadthWeighted(l, Count) })
+}
+
+func TestBreadthUnionInvariants(t *testing.T) {
+	strategyInvariants(t, func(l *core.Library) Recommender { return NewBreadthWeighted(l, Union) })
+}
+
+func TestBreadthScoreMonotoneUnderLibraryExtension(t *testing.T) {
+	// Adding an implementation that contains a candidate and intersects H
+	// must not lower that candidate's Breadth score.
+	var b1 core.Builder
+	if _, err := b1.Add(0, acts(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	lib1 := b1.Build()
+	s1 := NewBreadth(lib1).Recommend(acts(0), 10)
+
+	var b2 core.Builder
+	if _, err := b2.Add(0, acts(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Add(1, acts(0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	lib2 := b2.Build()
+	s2 := NewBreadth(lib2).Recommend(acts(0), 10)
+
+	score := func(list []ScoredAction, a core.ActionID) float64 {
+		for _, s := range list {
+			if s.Action == a {
+				return s.Score
+			}
+		}
+		return 0
+	}
+	if score(s2, 1) < score(s1, 1) {
+		t.Errorf("extending the library lowered a1's score: %v -> %v", score(s1, 1), score(s2, 1))
+	}
+}

@@ -1,0 +1,109 @@
+package strategy
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+// Cached wraps a Recommender with a bounded LRU cache keyed by the
+// normalized (activity, k) pair. Recommendation queries in serving workloads
+// repeat heavily (the same cart, the same wardrobe), and every strategy is
+// deterministic over an immutable library, so caching is sound. The wrapper
+// is safe for concurrent use.
+type Cached struct {
+	inner Recommender
+	cap   int
+
+	mu  sync.Mutex
+	lru *list.List // of *cacheEntry, front = most recent
+	byK map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	list []ScoredAction
+}
+
+// NewCached wraps inner with an LRU of the given capacity (entries).
+// capacity ≤ 0 selects 1024.
+func NewCached(inner Recommender, capacity int) *Cached {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cached{
+		inner: inner,
+		cap:   capacity,
+		lru:   list.New(),
+		byK:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// Name implements Recommender.
+func (c *Cached) Name() string { return c.inner.Name() }
+
+// key canonicalizes the query. The activity is sorted/deduplicated first so
+// permutations share an entry.
+func key(h []core.ActionID, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", k)
+	for i, a := range h {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", a)
+	}
+	return b.String()
+}
+
+// Recommend implements Recommender.
+func (c *Cached) Recommend(activity []core.ActionID, k int) []ScoredAction {
+	h := intset.FromUnsorted(intset.Clone(activity))
+	ck := key(h, k)
+
+	c.mu.Lock()
+	if el, ok := c.byK[ck]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		cached := el.Value.(*cacheEntry).list
+		c.mu.Unlock()
+		// Return a copy: callers may re-sort or truncate.
+		return append([]ScoredAction(nil), cached...)
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	list := c.inner.Recommend(h, k)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, raced := c.byK[ck]; !raced {
+		c.byK[ck] = c.lru.PushFront(&cacheEntry{key: ck, list: list})
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.byK, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	return append([]ScoredAction(nil), list...)
+}
+
+// Stats returns cache hits and misses so far.
+func (c *Cached) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the current number of cached entries.
+func (c *Cached) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

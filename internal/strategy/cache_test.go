@@ -1,0 +1,131 @@
+package strategy
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/testlib"
+)
+
+// countingRecommender counts how often the inner strategy actually runs.
+type countingRecommender struct {
+	inner Recommender
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingRecommender) Name() string { return c.inner.Name() }
+
+func (c *countingRecommender) Recommend(h []core.ActionID, k int) []ScoredAction {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.inner.Recommend(h, k)
+}
+
+func TestCachedReturnsSameResults(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	plain := NewBreadth(lib)
+	cached := NewCached(NewBreadth(lib), 16)
+	if cached.Name() != "breadth" {
+		t.Errorf("Name = %q", cached.Name())
+	}
+	for _, h := range [][]core.ActionID{acts(0), acts(0, 1), acts(1, 2), nil} {
+		want := plain.Recommend(h, 4)
+		got := cached.Recommend(h, 4)
+		again := cached.Recommend(h, 4)
+		if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(again, want) {
+			t.Errorf("cached output diverged for %v", h)
+		}
+	}
+}
+
+func TestCachedHitsPermutations(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	counter := &countingRecommender{inner: NewBreadth(lib)}
+	cached := NewCached(counter, 16)
+
+	cached.Recommend(acts(0, 1), 4)
+	cached.Recommend(acts(1, 0), 4)    // permutation → cache hit
+	cached.Recommend(acts(1, 0, 1), 4) // duplicates → cache hit
+	if counter.calls != 1 {
+		t.Errorf("inner calls = %d, want 1", counter.calls)
+	}
+	hits, misses := cached.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+	// Different k is a different entry.
+	cached.Recommend(acts(0, 1), 5)
+	if counter.calls != 2 {
+		t.Errorf("k variation not separated: calls = %d", counter.calls)
+	}
+}
+
+func TestCachedEviction(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	counter := &countingRecommender{inner: NewBreadth(lib)}
+	cached := NewCached(counter, 2)
+
+	cached.Recommend(acts(0), 4)
+	cached.Recommend(acts(1), 4)
+	cached.Recommend(acts(2), 4) // evicts acts(0)
+	if cached.Len() != 2 {
+		t.Errorf("Len = %d, want 2", cached.Len())
+	}
+	cached.Recommend(acts(0), 4) // miss again
+	if counter.calls != 4 {
+		t.Errorf("calls = %d, want 4 (eviction forced recompute)", counter.calls)
+	}
+	// Recently used entry survived.
+	cached.Recommend(acts(2), 4)
+	if counter.calls != 4 {
+		t.Errorf("calls = %d, recently-used entry evicted", counter.calls)
+	}
+}
+
+func TestCachedResultIsolation(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	cached := NewCached(NewBreadth(lib), 8)
+	first := cached.Recommend(acts(0, 1), 4)
+	if len(first) == 0 {
+		t.Fatal("no results")
+	}
+	first[0].Action = 99 // mutate the returned copy
+	second := cached.Recommend(acts(0, 1), 4)
+	if second[0].Action == 99 {
+		t.Error("cache shares memory with callers")
+	}
+}
+
+func BenchmarkCachedHit(b *testing.B) {
+	lib := testlib.PaperLibrary()
+	cached := NewCached(NewBreadth(lib), 64)
+	h := acts(0, 1)
+	cached.Recommend(h, 5) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cached.Recommend(h, 5)
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	cached := NewCached(NewBreadth(lib), 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				h := acts(core.ActionID(j % 6))
+				if got := cached.Recommend(h, 3); len(got) == 0 && len(lib.Candidates(h)) > 0 {
+					t.Errorf("empty result for %v", h)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package strategy
+
+import (
+	"sort"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+// FocusMeasure selects how the Focus strategy ranks the implementations of
+// the user's implementation space (Section 5.1).
+type FocusMeasure int
+
+const (
+	// Completeness ranks implementations by |A ∩ H| / |A| (Equation 3):
+	// prefer the goal for which most of the required work is already done.
+	Completeness FocusMeasure = iota
+	// Closeness ranks implementations by 1 / |A − H| (Equation 4): prefer
+	// the goal that needs the fewest additional actions.
+	Closeness
+)
+
+// String returns the measure's canonical name.
+func (m FocusMeasure) String() string {
+	if m == Closeness {
+		return "closeness"
+	}
+	return "completeness"
+}
+
+// Focus is the paper's Algorithm 1: it ranks the implementations associated
+// with the user activity by completeness or closeness, then fills the
+// recommendation list with the missing actions of the best implementation,
+// moving to the next implementation when one is exhausted (Section 6.1.2
+// C.2.2 describes this pop-and-advance behaviour).
+type Focus struct {
+	lib     *core.Library
+	measure FocusMeasure
+}
+
+// NewFocus returns a Focus strategy over lib using the given measure.
+func NewFocus(lib *core.Library, measure FocusMeasure) *Focus {
+	return &Focus{lib: lib, measure: measure}
+}
+
+// Name implements Recommender.
+func (f *Focus) Name() string {
+	if f.measure == Closeness {
+		return "focus-cl"
+	}
+	return "focus-cmp"
+}
+
+// rankedImpl is one implementation with its Focus score and missing-action
+// count, used for deterministic ordering.
+type rankedImpl struct {
+	id      core.ImplID
+	score   float64
+	missing int
+}
+
+// Recommend implements Recommender.
+func (f *Focus) Recommend(activity []core.ActionID, k int) []ScoredAction {
+	if k == 0 {
+		return nil
+	}
+	h := intset.FromUnsorted(intset.Clone(activity))
+	space := f.lib.ImplementationSpace(h)
+	if len(space) == 0 {
+		return nil
+	}
+
+	ranked := make([]rankedImpl, 0, len(space))
+	for _, p := range space {
+		missing := intset.DifferenceLen(f.lib.Actions(p), h)
+		if missing == 0 {
+			// Fully covered implementations have nothing left to recommend.
+			continue
+		}
+		var score float64
+		if f.measure == Closeness {
+			score = f.lib.Closeness(p, h)
+		} else {
+			score = f.lib.Completeness(p, h)
+		}
+		ranked = append(ranked, rankedImpl{id: p, score: score, missing: missing})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		if ranked[i].missing != ranked[j].missing {
+			return ranked[i].missing < ranked[j].missing
+		}
+		return ranked[i].id < ranked[j].id
+	})
+
+	var (
+		out  []ScoredAction
+		seen = make(map[core.ActionID]struct{})
+	)
+	for _, ri := range ranked {
+		for _, a := range f.lib.Actions(ri.id) {
+			if intset.Contains(h, a) {
+				continue
+			}
+			if _, dup := seen[a]; dup {
+				continue
+			}
+			seen[a] = struct{}{}
+			out = append(out, ScoredAction{Action: a, Score: ri.score})
+			if k > 0 && len(out) == k {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package strategy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/testlib"
+)
+
+func acts(v ...core.ActionID) []core.ActionID { return v }
+
+func actionsOf(list []ScoredAction) []core.ActionID { return Actions(list) }
+
+func containsAction(list []ScoredAction, a core.ActionID) bool {
+	for _, s := range list {
+		if s.Action == a {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFocusNames(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	if got := NewFocus(lib, Completeness).Name(); got != "focus-cmp" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewFocus(lib, Closeness).Name(); got != "focus-cl" {
+		t.Errorf("Name = %q", got)
+	}
+	if Completeness.String() != "completeness" || Closeness.String() != "closeness" {
+		t.Error("FocusMeasure.String wrong")
+	}
+}
+
+func TestFocusCompletenessPaperExample(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	f := NewFocus(lib, Completeness)
+
+	// H = {a1, a2}: completeness p1=2/3, p5=2/3, p2=1/2, p3=1/3, p4 not in IS.
+	// p1 and p5 tie at 2/3 with one missing action each; p1 has the smaller
+	// id, so a3 (missing from p1) precedes a6 (missing from p5), then a4
+	// from p2, then a5 from p3.
+	got := actionsOf(f.Recommend(acts(0, 1), 10))
+	want := acts(2, 5, 3, 4)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Recommend = %v, want %v", got, want)
+	}
+}
+
+func TestFocusClosenessPaperExample(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	f := NewFocus(lib, Closeness)
+
+	// H = {a1}: closeness p2=1/1=1, p1=1/2, p3=1/2, p5=1/2; p4 not in IS(H).
+	// p2's missing action a4 comes first; then p1 (a2, a3), p3 (a3 dup, a5),
+	// p5 (a2 dup, a6).
+	got := actionsOf(f.Recommend(acts(0), 10))
+	want := acts(3, 1, 2, 4, 5)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Recommend = %v, want %v", got, want)
+	}
+}
+
+func TestFocusSkipsCompletedImplementations(t *testing.T) {
+	var b core.Builder
+	if _, err := b.Add(0, acts(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Add(1, acts(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	lib := b.Build()
+	f := NewFocus(lib, Completeness)
+	// H covers impl 0 entirely; only impl 1's missing action remains.
+	got := actionsOf(f.Recommend(acts(0, 1), 10))
+	if !reflect.DeepEqual(got, acts(2)) {
+		t.Errorf("Recommend = %v, want [2]", got)
+	}
+}
+
+func TestFocusEmptyCases(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	f := NewFocus(lib, Completeness)
+	if got := f.Recommend(nil, 10); got != nil {
+		t.Errorf("empty activity produced %v", got)
+	}
+	if got := f.Recommend(acts(42), 10); got != nil {
+		t.Errorf("unknown action produced %v", got)
+	}
+	if got := f.Recommend(acts(0), 0); got != nil {
+		t.Errorf("k=0 produced %v", got)
+	}
+}
+
+func TestFocusTruncatesToK(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	f := NewFocus(lib, Completeness)
+	got := f.Recommend(acts(0), 2)
+	if len(got) != 2 {
+		t.Errorf("len = %d, want 2", len(got))
+	}
+}
+
+func TestFocusDeterministic(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	f := NewFocus(lib, Closeness)
+	a := f.Recommend(acts(0, 1), 10)
+	b := f.Recommend(acts(1, 0, 1), 10) // unsorted, duplicated input
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("unsorted input changed output: %v vs %v", a, b)
+	}
+}
+
+// strategyInvariants checks the properties every goal-based strategy must
+// satisfy on any library/activity pair.
+func strategyInvariants(t *testing.T, mk func(*core.Library) Recommender) {
+	t.Helper()
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(testlib.RandomLibrary(r, 1+r.Intn(80), 25, 12, 6))
+			v[1] = reflect.ValueOf(testlib.RandomActivity(r, 25, 5))
+			v[2] = reflect.ValueOf(1 + r.Intn(15))
+		},
+	}
+	f := func(lib *core.Library, h []core.ActionID, k int) bool {
+		rec := mk(lib)
+		got := rec.Recommend(h, k)
+		if len(got) > k {
+			return false
+		}
+		hs := intset.FromUnsorted(intset.Clone(h))
+		cands := lib.Candidates(hs)
+		seen := make(map[core.ActionID]bool, len(got))
+		for _, s := range got {
+			// Never recommend the activity itself, never duplicate, and
+			// every recommendation must come from the candidate pool.
+			if intset.Contains(hs, s.Action) || seen[s.Action] || !intset.Contains(cands, s.Action) {
+				return false
+			}
+			seen[s.Action] = true
+		}
+		// Determinism.
+		again := rec.Recommend(h, k)
+		return reflect.DeepEqual(got, again)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFocusCmpInvariants(t *testing.T) {
+	strategyInvariants(t, func(l *core.Library) Recommender { return NewFocus(l, Completeness) })
+}
+
+func TestFocusClInvariants(t *testing.T) {
+	strategyInvariants(t, func(l *core.Library) Recommender { return NewFocus(l, Closeness) })
+}

@@ -1,0 +1,187 @@
+package strategy
+
+// Brute-force oracle tests: each strategy is re-implemented here directly
+// from the paper's formulas, with no indexes and no shortcuts, and checked
+// against the optimized implementations on random libraries. These are the
+// strongest correctness guarantees in the package: any index bug, scratch
+// reuse bug or tie-break drift shows up as an oracle divergence.
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/testlib"
+)
+
+// oracleLibrary is the index-free view: a plain list of implementations.
+type oracleLibrary struct {
+	impls []core.Implementation
+}
+
+func newOracle(lib *core.Library) *oracleLibrary {
+	o := &oracleLibrary{}
+	for p := 0; p < lib.NumImplementations(); p++ {
+		o.impls = append(o.impls, lib.Implementation(core.ImplID(p)))
+	}
+	return o
+}
+
+// associated returns the indexes of implementations sharing an action with
+// h, by linear scan.
+func (o *oracleLibrary) associated(h []core.ActionID) []int {
+	var out []int
+	for i, impl := range o.impls {
+		if intset.IntersectionLen(impl.Actions, h) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// oracleFocus ranks implementations by the measure and pops missing actions,
+// exactly as Section 5.1 + C.2.2 describe.
+func (o *oracleLibrary) oracleFocus(h []core.ActionID, measure FocusMeasure, k int) []core.ActionID {
+	type ri struct {
+		idx     int
+		score   float64
+		missing int
+	}
+	var ranked []ri
+	for _, i := range o.associated(h) {
+		impl := o.impls[i]
+		missing := intset.DifferenceLen(impl.Actions, h)
+		if missing == 0 {
+			continue
+		}
+		var score float64
+		if measure == Closeness {
+			score = 1 / float64(missing)
+		} else {
+			score = float64(intset.IntersectionLen(impl.Actions, h)) / float64(len(impl.Actions))
+		}
+		ranked = append(ranked, ri{idx: i, score: score, missing: missing})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].score != ranked[b].score {
+			return ranked[a].score > ranked[b].score
+		}
+		if ranked[a].missing != ranked[b].missing {
+			return ranked[a].missing < ranked[b].missing
+		}
+		return ranked[a].idx < ranked[b].idx
+	})
+	var out []core.ActionID
+	seen := map[core.ActionID]bool{}
+	for _, r := range ranked {
+		for _, a := range o.impls[r.idx].Actions {
+			if intset.Contains(h, a) || seen[a] {
+				continue
+			}
+			seen[a] = true
+			out = append(out, a)
+			if k > 0 && len(out) == k {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// oracleBreadth accumulates |A_p ∩ H| into every non-H member of every
+// associated implementation (the Overlap reading of Equation 6).
+func (o *oracleLibrary) oracleBreadth(h []core.ActionID, k int) []ScoredAction {
+	scores := map[core.ActionID]float64{}
+	for _, i := range o.associated(h) {
+		impl := o.impls[i]
+		comm := float64(intset.IntersectionLen(impl.Actions, h))
+		for _, a := range impl.Actions {
+			if !intset.Contains(h, a) {
+				scores[a] += comm
+			}
+		}
+	}
+	var out []ScoredAction
+	for a, s := range scores {
+		out = append(out, ScoredAction{Action: a, Score: s})
+	}
+	return TopK(out, k)
+}
+
+func oracleConfig() *quick.Config {
+	return &quick.Config{
+		MaxCount: 120,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(testlib.RandomLibrary(r, 1+r.Intn(100), 30, 15, 7))
+			v[1] = reflect.ValueOf(testlib.RandomActivity(r, 30, 6))
+			v[2] = reflect.ValueOf(1 + r.Intn(12))
+		},
+	}
+}
+
+func TestFocusAgainstOracle(t *testing.T) {
+	for _, m := range []FocusMeasure{Completeness, Closeness} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			f := func(lib *core.Library, rawH []core.ActionID, k int) bool {
+				h := intset.FromUnsorted(intset.Clone(rawH))
+				got := Actions(NewFocus(lib, m).Recommend(h, k))
+				want := newOracle(lib).oracleFocus(h, m, k)
+				return reflect.DeepEqual(got, want)
+			}
+			if err := quick.Check(f, oracleConfig()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestBreadthAgainstOracle(t *testing.T) {
+	f := func(lib *core.Library, rawH []core.ActionID, k int) bool {
+		h := intset.FromUnsorted(intset.Clone(rawH))
+		got := NewBreadth(lib).Recommend(h, k)
+		want := newOracle(lib).oracleBreadth(h, k)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, oracleConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBreadthScratchReuse exercises the pooled scratch across many
+// consecutive queries on one recommender instance — a stale-scratch bug
+// would leak scores between queries.
+func TestBreadthScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	lib := testlib.RandomLibrary(r, 120, 30, 15, 7)
+	b := NewBreadth(lib)
+	o := newOracle(lib)
+	for i := 0; i < 200; i++ {
+		h := intset.FromUnsorted(testlib.RandomActivity(r, 30, 6))
+		got := b.Recommend(h, 8)
+		want := o.oracleBreadth(h, 8)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d diverged from oracle:\ngot  %v\nwant %v", i, got, want)
+		}
+	}
+}
+
+// TestBestMatchScratchReuse does the same for the dense cosine scratch,
+// including the version-stamp path.
+func TestBestMatchScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	lib := testlib.RandomLibrary(r, 120, 30, 15, 7)
+	bm := NewBestMatch(lib)
+	for i := 0; i < 200; i++ {
+		h := intset.FromUnsorted(testlib.RandomActivity(r, 30, 6))
+		first := bm.Recommend(h, 8)
+		second := bm.Recommend(h, 8)
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("query %d not idempotent across scratch reuse", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package strategy implements the goal-based recommendation strategies of
+// Sections 5.1–5.3 of the paper: Focus (completeness and closeness
+// variants), Breadth, and Best Match. Each strategy ranks the candidate
+// actions AS(H) − H of a user activity H against a shared immutable
+// *core.Library and returns a top-k list.
+//
+// All strategies are deterministic: score ties are broken by ascending
+// action id, so identical inputs always produce identical lists.
+package strategy
+
+import (
+	"sort"
+
+	"goalrec/internal/core"
+)
+
+// ScoredAction is one ranked recommendation: an action and the score the
+// strategy assigned it. Higher scores rank earlier for score-ascending
+// strategies (Focus, Breadth); Best Match converts its distance into a
+// negated score so that "higher is better" holds uniformly.
+type ScoredAction struct {
+	Action core.ActionID
+	Score  float64
+}
+
+// Recommender ranks candidate actions for a user activity. Implementations
+// are safe for concurrent use.
+type Recommender interface {
+	// Name returns a short stable identifier ("focus-cmp", "breadth", ...).
+	Name() string
+	// Recommend returns up to k actions not present in activity, ranked
+	// best-first. The activity may be unsorted and contain duplicates.
+	// k == 0 yields nil; a negative k returns the full ranked candidate
+	// pool.
+	Recommend(activity []core.ActionID, k int) []ScoredAction
+}
+
+// TopK sorts scored candidates best-first (score descending, action id
+// ascending on ties) and truncates to k. It sorts in place and returns a
+// sub-slice of scored. It is exported for the baseline recommenders, which
+// share the deterministic ranking contract.
+func TopK(scored []ScoredAction, k int) []ScoredAction {
+	if len(scored) == 0 {
+		return nil
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Score != scored[j].Score {
+			return scored[i].Score > scored[j].Score
+		}
+		return scored[i].Action < scored[j].Action
+	})
+	if k >= 0 && len(scored) > k {
+		scored = scored[:k]
+	}
+	return scored
+}
+
+// Actions projects a scored list onto its action ids. An empty list yields
+// nil.
+func Actions(list []ScoredAction) []core.ActionID {
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]core.ActionID, len(list))
+	for i, s := range list {
+		out[i] = s.Action
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(2)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(3)
+	const n = 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("normal variance = %v, want ≈1", variance)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := New(4)
+	for _, mean := range []float64{0.5, 3, 10, 80} {
+		const n = 5000
+		sum := 0
+		for i := 0; i < n; i++ {
+			v := r.Poisson(mean)
+			if v < 0 {
+				t.Fatalf("Poisson(%v) = %d negative", mean, v)
+			}
+			sum += v
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > mean*0.1+0.2 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleInt32(t *testing.T) {
+	r := New(6)
+	for _, tc := range []struct {
+		n int32
+		k int
+	}{{10, 10}, {10, 3}, {1000, 5}, {100, 0}} {
+		got := r.SampleInt32(tc.n, tc.k)
+		if len(got) != tc.k {
+			t.Fatalf("SampleInt32(%d, %d) returned %d values", tc.n, tc.k, len(got))
+		}
+		seen := map[int32]bool{}
+		for _, v := range got {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("SampleInt32(%d, %d) invalid value %d in %v", tc.n, tc.k, v, got)
+			}
+			seen[v] = true
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleInt32 with k > n should panic")
+		}
+	}()
+	r.SampleInt32(3, 4)
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(7)
+	z := NewZipf(r, 100, 1.1)
+	counts := make([]int, 100)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf head rank (%d) not more frequent than rank 50 (%d)", counts[0], counts[50])
+	}
+	head := counts[0] + counts[1] + counts[2]
+	if float64(head)/n < 0.2 {
+		t.Errorf("Zipf s=1.1 head mass = %v, want > 0.2", float64(head)/n)
+	}
+}
+
+func TestZipfUniformWhenZero(t *testing.T) {
+	r := New(8)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for rank, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/10*0.15 {
+			t.Errorf("Zipf s=0 rank %d count %d, want ≈%d", rank, c, n/10)
+		}
+	}
+}
+
+func TestZipfSampleDistinct(t *testing.T) {
+	r := New(9)
+	z := NewZipf(r, 50, 1.5)
+	got := z.SampleDistinct(50) // forces the fallback path
+	seen := map[int32]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("SampleDistinct invalid output %v", got)
+		}
+		seen[v] = true
+	}
+	if len(got) != 50 {
+		t.Fatalf("SampleDistinct(50) returned %d ranks", len(got))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(10)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling streams start identically")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 100000, 1.07)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}

@@ -1,0 +1,57 @@
+package goalrec
+
+import "goalrec/internal/extract"
+
+// Story is one free-text success story: the goal it is about and the text
+// describing how the author achieved it. BuildFromStories turns a corpus of
+// stories into a goal-implementation Library, reproducing the pipeline the
+// paper used on the 43Things data.
+type Story struct {
+	Goal string
+	Text string
+}
+
+// ExtractOptions tunes the text-extraction pipeline.
+type ExtractOptions struct {
+	// MaxPhraseWords caps the canonical action phrase length (default 4).
+	MaxPhraseWords int
+	// KeepVerblessSteps also keeps steps without a recognized verb, raising
+	// recall on terse bullet lists at some precision cost.
+	KeepVerblessSteps bool
+	// Synonyms maps words onto canonical equivalents before phrase
+	// assembly ("jogging" → "run"), so domain synonyms collapse onto one
+	// action id. Both sides are stemmed internally.
+	Synonyms map[string]string
+}
+
+// BuildFromStories extracts canonical action phrases from every story and
+// assembles the resulting implementations into a Library. Stories whose text
+// yields no actions are skipped; kept reports how many contributed.
+func BuildFromStories(stories []Story, opts ExtractOptions) (lib *Library, kept int) {
+	e := newExtractor(opts)
+	raw := make([]extract.Story, len(stories))
+	for i, s := range stories {
+		raw[i] = extract.Story{Goal: s.Goal, Text: s.Text}
+	}
+	coreLib, vocab, kept := e.BuildLibrary(raw)
+	return &Library{lib: coreLib, vocab: vocab}, kept
+}
+
+// ExtractActions runs only the extraction step on one story, returning the
+// canonical action phrases in first-mention order. Useful for inspecting
+// what BuildFromStories would index.
+func ExtractActions(s Story, opts ExtractOptions) []string {
+	return newExtractor(opts).ExtractStory(extract.Story{Goal: s.Goal, Text: s.Text})
+}
+
+// newExtractor assembles the pipeline an ExtractOptions describes.
+func newExtractor(opts ExtractOptions) *extract.Extractor {
+	e := extract.NewExtractor(extract.Options{MaxPhraseWords: opts.MaxPhraseWords})
+	if opts.KeepVerblessSteps {
+		e = e.WithVerblessSteps()
+	}
+	if len(opts.Synonyms) > 0 {
+		e = e.WithSynonyms(opts.Synonyms)
+	}
+	return e
+}
