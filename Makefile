@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench vet fmt cover experiments clean
+.PHONY: all build test race bench microbench vet fmt cover experiments clean BENCH_PR1.json
 
 all: vet test build
 
@@ -11,9 +11,18 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/core/ ./internal/strategy/ ./internal/server/ ./internal/baseline/
+	go test -race ./...
 
-bench:
+bench: BENCH_PR1.json
+
+# Figure 7 sweep at the README's reference configuration; the JSON feeds the
+# README performance table.
+BENCH_PR1.json:
+	go run ./cmd/experiments -skip-datasets \
+		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
+		-bench-json BENCH_PR1.json
+
+microbench:
 	go test -run=XXX -bench=. -benchmem .
 
 vet:

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -62,6 +63,7 @@ func run() error {
 	skipDatasets := flag.Bool("skip-datasets", false, "skip the dataset experiments (run only the Figure 7 sweep)")
 	scalingSizes := flag.String("scaling-sizes", "5000,20000,80000", "comma-separated library sizes for the Figure 7 sweep")
 	scalingActions := flag.Int("scaling-actions", 3000, "action-space size for the Figure 7 sweep")
+	benchJSON := flag.String("bench-json", "", "also write the Figure 7 sweep points as JSON to this file")
 	flag.Parse()
 
 	sizes, err := parseSizes(*scalingSizes)
@@ -146,14 +148,46 @@ func run() error {
 
 	if !*skipScaling {
 		fmt.Fprintf(out, "# scalability (Figure 7)\n\n")
-		if err := emit(experiments.Figure7(experiments.ScalabilityConfig{
+		points := experiments.Scalability(experiments.ScalabilityConfig{
 			Sizes: sizes, Actions: *scalingActions, Seed: *seed,
-		})); err != nil {
+		})
+		if err := emit(experiments.Figure7Table(points)); err != nil {
 			return err
 		}
 		if err := emit(experiments.ConnectivitySweep(20000, []int{8000, 2000, 500}, *seed)); err != nil {
 			return err
 		}
+		if *benchJSON != "" {
+			if err := writeBenchJSON(*benchJSON, points); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// benchPoint is the JSON shape of one Figure 7 cell, consumed by the README
+// performance table and by BENCH_PR1.json (`make bench`).
+type benchPoint struct {
+	Method          string  `json:"method"`
+	Implementations int     `json:"implementations"`
+	Connectivity    float64 `json:"connectivity"`
+	MeanLatencyMS   float64 `json:"mean_latency_ms"`
+}
+
+func writeBenchJSON(path string, points []experiments.ScalabilityPoint) error {
+	rows := make([]benchPoint, len(points))
+	for i, p := range points {
+		rows[i] = benchPoint{
+			Method:          p.Method,
+			Implementations: p.Implementations,
+			Connectivity:    p.Connectivity,
+			MeanLatencyMS:   float64(p.MeanLatency) / float64(time.Millisecond),
+		}
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -187,7 +187,7 @@ func (l *Library) implementation(p core.ImplID) Implementation {
 // completeness of its best implementation: 1.0 means some implementation of
 // the goal is fully covered by the activity.
 func (l *Library) GoalProgress(activity []string) map[string]float64 {
-	h := normalizeIDs(l.resolve(activity))
+	h := intset.FromUnsorted(l.resolve(activity))
 	out := make(map[string]float64)
 	for _, g := range l.lib.GoalSpace(h) {
 		out[l.vocab.GoalName(g)] = l.lib.GoalCompleteness(g, h, nil)
@@ -217,16 +217,13 @@ func (l *Library) TopGoals(activity []string, k int) []GoalMatch {
 	if k == 0 {
 		return nil
 	}
-	h := normalizeIDs(l.resolve(activity))
+	h := intset.FromUnsorted(l.resolve(activity))
 	out := make([]GoalMatch, 0, 16)
 	for _, g := range l.lib.GoalSpace(h) {
 		support := 0
 		for _, a := range h {
-			for _, p := range l.lib.ImplsOfAction(a) {
-				if l.lib.Goal(p) == g {
-					support++
-					break
-				}
+			if l.lib.ActionGoalCount(a, g) > 0 {
+				support++
 			}
 		}
 		out = append(out, GoalMatch{
@@ -275,17 +272,12 @@ func (l *Library) Explain(activity []string, action string) []Explanation {
 	if !ok {
 		return nil
 	}
-	h := normalizeIDs(l.resolve(activity))
+	h := intset.FromUnsorted(l.resolve(activity))
 	goalSpace := l.lib.GoalSpace(h)
 	extra := []core.ActionID{core.ActionID(aid)}
 	var out []Explanation
 	for _, g := range goalSpace {
-		n := 0
-		for _, p := range l.lib.ImplsOfAction(core.ActionID(aid)) {
-			if l.lib.Goal(p) == g {
-				n++
-			}
-		}
+		n := l.lib.ActionGoalCount(core.ActionID(aid), g)
 		if n == 0 {
 			continue
 		}
@@ -338,31 +330,41 @@ type recOptions struct {
 	metric    vectorspace.Metric
 	weighting strategy.BreadthWeighting
 	cacheSize int
+	err       error // first invalid option, surfaced by Library.Recommender
 }
 
 // WithDistanceMetric selects the Best Match distance: "cosine" (default),
 // "euclidean", "manhattan" or "jaccard". It is ignored by other strategies.
+// An unknown name is reported as an error by Library.Recommender (and panics
+// MustRecommender) instead of silently falling back to the default.
 func WithDistanceMetric(name string) RecommenderOption {
 	return func(o *recOptions) {
-		if m, err := vectorspace.ParseMetric(name); err == nil {
-			o.metric = m
+		m, err := vectorspace.ParseMetric(name)
+		if err != nil {
+			if o.err == nil {
+				o.err = fmt.Errorf("goalrec: %w", err)
+			}
+			return
 		}
+		o.metric = m
 	}
 }
 
 // WithBreadthWeighting selects the Breadth per-implementation weight:
 // "overlap" (default), "count" or "union". It is ignored by other
-// strategies.
+// strategies. An unknown name is reported as an error by Library.Recommender
+// (and panics MustRecommender) instead of silently falling back to the
+// default.
 func WithBreadthWeighting(name string) RecommenderOption {
 	return func(o *recOptions) {
-		switch name {
-		case "count":
-			o.weighting = strategy.Count
-		case "union":
-			o.weighting = strategy.Union
-		default:
-			o.weighting = strategy.Overlap
+		w, err := strategy.ParseBreadthWeighting(name)
+		if err != nil {
+			if o.err == nil {
+				o.err = fmt.Errorf("goalrec: %w", err)
+			}
+			return
 		}
+		o.weighting = w
 	}
 }
 
@@ -421,6 +423,9 @@ func (l *Library) Recommender(s Strategy, opts ...RecommenderOption) (Recommende
 	o := recOptions{metric: vectorspace.Cosine, weighting: strategy.Overlap}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.err != nil {
+		return nil, o.err
 	}
 	var rec strategy.Recommender
 	switch s {
@@ -576,13 +581,18 @@ func (l *Library) RelatedGoals(goal string, k int) []RelatedGoal {
 }
 
 // goalActions returns the union of the goal's implementations' actions,
-// sorted.
+// sorted. The destination is sized from the goal's slot total up front, so
+// high-degree hub goals no longer pay repeated append growth.
 func (l *Library) goalActions(g core.GoalID) []core.ActionID {
-	var all []core.ActionID
+	total := l.lib.GoalWalkCost(g)
+	if total == 0 {
+		return nil
+	}
+	all := make([]core.ActionID, 0, total)
 	for _, p := range l.lib.ImplsOfGoal(g) {
 		all = append(all, l.lib.Actions(p)...)
 	}
-	return normalizeIDs(all)
+	return intset.FromUnsorted(all)
 }
 
 // MergeLibraries combines several libraries into one: implementations are
@@ -644,17 +654,4 @@ func LoadLibraryFile(path string) (*Library, error) {
 		return LoadLibraryJSON(br)
 	}
 	return LoadLibraryBinary(br)
-}
-
-func normalizeIDs(ids []core.ActionID) []core.ActionID {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := ids[:0]
-	var prev core.ActionID = -1
-	for _, v := range ids {
-		if v != prev {
-			out = append(out, v)
-			prev = v
-		}
-	}
-	return out
 }

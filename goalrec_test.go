@@ -474,7 +474,7 @@ func TestLoadLibraryFile(t *testing.T) {
 func TestBreadthWeightingVariantsByName(t *testing.T) {
 	lib := groceryLibrary(t)
 	activity := []string{"potatoes", "carrots"}
-	for _, name := range []string{"overlap", "count", "union", "unknown-falls-back"} {
+	for _, name := range []string{"overlap", "count", "union"} {
 		rec := lib.MustRecommender(Breadth, WithBreadthWeighting(name))
 		if got := rec.Recommend(activity, 3); len(got) == 0 {
 			t.Errorf("weighting %q produced nothing", name)
@@ -483,6 +483,29 @@ func TestBreadthWeightingVariantsByName(t *testing.T) {
 	if got := lib.MustRecommender(Breadth, WithBreadthWeighting("count")).Name(); got != "breadth-count" {
 		t.Errorf("Name = %q", got)
 	}
+}
+
+func TestRecommenderOptionErrorsSurface(t *testing.T) {
+	lib := groceryLibrary(t)
+	if _, err := lib.Recommender(Breadth, WithBreadthWeighting("no-such-weighting")); err == nil {
+		t.Error("unknown breadth weighting silently accepted")
+	}
+	if _, err := lib.Recommender(BestMatch, WithDistanceMetric("no-such-metric")); err == nil {
+		t.Error("unknown distance metric silently accepted")
+	}
+	// The error surfaces even when the option does not apply to the chosen
+	// strategy: a typo should never be swallowed.
+	if _, err := lib.Recommender(Breadth, WithDistanceMetric("no-such-metric")); err == nil {
+		t.Error("unknown metric ignored by non-best-match strategy")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRecommender did not panic on an invalid option")
+			}
+		}()
+		lib.MustRecommender(Breadth, WithBreadthWeighting("no-such-weighting"))
+	}()
 }
 
 func TestSaveLoadBinary(t *testing.T) {

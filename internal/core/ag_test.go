@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"goalrec/internal/intset"
+)
+
+// agRowReference derives the AG-idx row of action a the slow way, from the
+// A-GI postings: distinct goals ascending, with multiplicities.
+func agRowReference(lib *Library, a ActionID) ([]GoalID, []int32) {
+	counts := map[GoalID]int32{}
+	for _, p := range lib.ImplsOfAction(a) {
+		counts[lib.Goal(p)]++
+	}
+	var goals []GoalID
+	for g := range counts {
+		goals = append(goals, g)
+	}
+	goals = intset.FromUnsorted(goals)
+	cnt := make([]int32, len(goals))
+	for i, g := range goals {
+		cnt[i] = counts[g]
+	}
+	return goals, cnt
+}
+
+func TestAGIndexPaperExample(t *testing.T) {
+	lib := paperLibrary(t)
+	// a1 (id 0) appears in p1 (g1), p2 (g2), p3 (g3) and p5 (g5): four
+	// distinct goals, one implementation each.
+	goals, cnt := lib.GoalsOfAction(0)
+	if !reflect.DeepEqual(goals, []GoalID{0, 1, 2, 4}) ||
+		!reflect.DeepEqual(cnt, []int32{1, 1, 1, 1}) {
+		t.Fatalf("AG row of a1 = %v/%v, want [0 1 2 4]/[1 1 1 1]", goals, cnt)
+	}
+	if got := lib.GoalDegree(0); got != 4 {
+		t.Errorf("GoalDegree(a1) = %d, want 4", got)
+	}
+	if got := lib.ActionGoalCount(0, 2); got != 1 {
+		t.Errorf("ActionGoalCount(a1, g3) = %d, want 1", got)
+	}
+	if got := lib.ActionGoalCount(0, 3); got != 0 {
+		t.Errorf("ActionGoalCount(a1, g4) = %d, want 0", got)
+	}
+}
+
+func TestAGIndexMultiplicity(t *testing.T) {
+	// A goal with several implementations containing the same action
+	// collapses to one AG entry whose count is the implementation total.
+	var b Builder
+	for _, acts := range [][]ActionID{{0, 1}, {0, 2}, {0, 3}} {
+		if _, err := b.Add(7, acts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Add(2, []ActionID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	lib := b.Build()
+	goals, cnt := lib.GoalsOfAction(0)
+	if !reflect.DeepEqual(goals, []GoalID{2, 7}) || !reflect.DeepEqual(cnt, []int32{1, 3}) {
+		t.Fatalf("AG row of a0 = %v/%v, want [2 7]/[1 3]", goals, cnt)
+	}
+	if got := lib.ActionGoalCount(0, 7); got != 3 {
+		t.Errorf("ActionGoalCount(a0, g7) = %d, want 3", got)
+	}
+}
+
+func TestAGIndexMatchesPostingsProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(randomLibrary(r, 1+r.Intn(80), 25, 12))
+		},
+	}
+	f := func(lib *Library) bool {
+		slotTotal := 0
+		for a := ActionID(0); int(a) < lib.NumActions(); a++ {
+			goals, cnt := lib.GoalsOfAction(a)
+			wantGoals, wantCnt := agRowReference(lib, a)
+			if len(goals) != len(wantGoals) {
+				return false
+			}
+			for i := range goals {
+				if goals[i] != wantGoals[i] || cnt[i] != wantCnt[i] || cnt[i] < 1 {
+					return false
+				}
+				if lib.ActionGoalCount(a, goals[i]) != int(cnt[i]) {
+					return false
+				}
+			}
+			if lib.GoalDegree(a) != len(wantGoals) {
+				return false
+			}
+			// A goal absent from the row reports zero.
+			if lib.ActionGoalCount(a, GoalID(lib.NumGoals())) != 0 {
+				return false
+			}
+		}
+		for g := GoalID(0); int(g) < lib.NumGoals(); g++ {
+			walk := 0
+			for _, p := range lib.ImplsOfGoal(g) {
+				walk += lib.ImplLen(p)
+			}
+			if lib.GoalWalkCost(g) != walk {
+				return false
+			}
+			slotTotal += walk
+		}
+		// Every slot is covered by exactly one goal's walk.
+		implTotal := 0
+		for p := 0; p < lib.NumImplementations(); p++ {
+			implTotal += lib.ImplLen(ImplID(p))
+		}
+		return slotTotal == implTotal
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoalSpaceMatchesImplementationSpaceDerivation(t *testing.T) {
+	// GoalSpace now unions AG-idx rows without materializing IS(H); it must
+	// still equal the definition: the distinct goals of IS(H).
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(v []reflect.Value, r *rand.Rand) {
+			v[0] = reflect.ValueOf(randomLibrary(r, 1+r.Intn(80), 25, 12))
+			h := make([]ActionID, 1+r.Intn(6))
+			for i := range h {
+				h[i] = ActionID(r.Intn(30)) // may exceed the action space
+			}
+			v[1] = reflect.ValueOf(h)
+		},
+	}
+	f := func(lib *Library, h []ActionID) bool {
+		var want []GoalID
+		for _, p := range lib.ImplementationSpace(h) {
+			want = append(want, lib.Goal(p))
+		}
+		want = intset.FromUnsorted(want)
+		return reflect.DeepEqual(lib.GoalSpace(h), want)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpacesEmptyAndUnknownActivities(t *testing.T) {
+	lib := paperLibrary(t)
+	unknown := []ActionID{999, 1234}
+
+	for name, h := range map[string][]ActionID{
+		"empty":    nil,
+		"unknown":  unknown,
+		"negative": {-3},
+	} {
+		if got := lib.ImplementationSpace(h); got != nil {
+			t.Errorf("%s: ImplementationSpace = %v, want nil", name, got)
+		}
+		if got := lib.GoalSpace(h); got != nil {
+			t.Errorf("%s: GoalSpace = %v, want nil", name, got)
+		}
+		if got := lib.Candidates(h); got != nil {
+			t.Errorf("%s: Candidates = %v, want nil", name, got)
+		}
+	}
+
+	// Unknown ids mixed into a real activity are inert: the spaces match the
+	// known-only activity exactly.
+	known := []ActionID{1, 2}
+	mixed := append(append([]ActionID(nil), unknown...), known...)
+	if got, want := lib.GoalSpace(mixed), lib.GoalSpace(known); !reflect.DeepEqual(got, want) {
+		t.Errorf("mixed GoalSpace = %v, want %v", got, want)
+	}
+	if got, want := lib.ImplementationSpace(mixed), lib.ImplementationSpace(known); !reflect.DeepEqual(got, want) {
+		t.Errorf("mixed ImplementationSpace = %v, want %v", got, want)
+	}
+	// Candidates strips the activity itself — including its unknown ids.
+	if got, want := lib.Candidates(mixed), lib.Candidates(known); !reflect.DeepEqual(got, want) {
+		t.Errorf("mixed Candidates = %v, want %v", got, want)
+	}
+
+	// Out-of-range accessors answer empty, not panic.
+	if g, c := lib.GoalsOfAction(999); g != nil || c != nil {
+		t.Errorf("GoalsOfAction(999) = %v/%v, want nil", g, c)
+	}
+	if got := lib.GoalDegree(-1); got != 0 {
+		t.Errorf("GoalDegree(-1) = %d, want 0", got)
+	}
+	if got := lib.GoalWalkCost(GoalID(lib.NumGoals())); got != 0 {
+		t.Errorf("GoalWalkCost out of range = %d, want 0", got)
+	}
+}

@@ -100,7 +100,12 @@ func WriteBinary(w io.Writer, l *Library) error {
 }
 
 // ReadBinary reads a library snapshot written by WriteBinary and rebuilds
-// its postings indexes.
+// its postings indexes (including the AG-idx, which is derived rather than
+// serialized: rebuilding is linear in the snapshot size and keeps the wire
+// format at version 1). The implementation CSR is validated in place —
+// strictly increasing action lists, non-negative ids, consistent offsets —
+// and indexed directly, instead of re-normalizing every implementation
+// through a Builder, so loading is one linear pass.
 func ReadBinary(r io.Reader) (*Library, error) {
 	br := bufio.NewReader(r)
 	var hdr [6]uint32
@@ -138,16 +143,42 @@ func ReadBinary(r io.Reader) (*Library, error) {
 	if err := binary.Read(br, binary.LittleEndian, implActs); err != nil {
 		return nil, fmt.Errorf("core: reading actions: %w", err)
 	}
-	// Re-add through a Builder to revalidate and rebuild postings.
-	b := NewBuilder(nImpl, nSlots/max(nImpl, 1))
+	if implOff[0] != 0 || int(implOff[nImpl]) != nSlots {
+		return nil, fmt.Errorf("core: corrupt snapshot: offsets span [%d, %d] over %d slots",
+			implOff[0], implOff[nImpl], nSlots)
+	}
+	var maxAction ActionID = -1
+	var maxGoal GoalID = -1
 	for p := 0; p < nImpl; p++ {
 		lo, hi := implOff[p], implOff[p+1]
-		if lo < 0 || hi < lo || int(hi) > nSlots {
+		if hi <= lo || int(hi) > nSlots {
 			return nil, fmt.Errorf("core: corrupt offsets for implementation %d", p)
 		}
-		if _, err := b.Add(implGoal[p], implActs[lo:hi]); err != nil {
-			return nil, fmt.Errorf("core: implementation %d: %w", p, err)
+		acts := implActs[lo:hi]
+		if acts[0] < 0 {
+			return nil, fmt.Errorf("core: implementation %d: %w: action %d", p, ErrNegativeID, acts[0])
+		}
+		for i := 1; i < len(acts); i++ {
+			if acts[i] <= acts[i-1] {
+				return nil, fmt.Errorf("core: implementation %d: action list not strictly increasing at slot %d", p, i)
+			}
+		}
+		if g := implGoal[p]; g < 0 {
+			return nil, fmt.Errorf("core: implementation %d: %w: goal %d", p, ErrNegativeID, g)
+		} else if g > maxGoal {
+			maxGoal = g
+		}
+		if last := acts[len(acts)-1]; last > maxAction {
+			maxAction = last
 		}
 	}
-	return b.Build(), nil
+	lib := &Library{
+		implGoal:   implGoal,
+		implOff:    implOff,
+		implActs:   implActs,
+		numActions: int(maxAction) + 1,
+		numGoals:   int(maxGoal) + 1,
+	}
+	lib.buildIndexes()
+	return lib, nil
 }

@@ -174,10 +174,21 @@ func TestBinaryRoundTrip(t *testing.T) {
 			t.Fatalf("impl %d actions mismatch", p)
 		}
 	}
-	// Indexes must come back identical too.
+	// Indexes must come back identical too — including the AG-idx, which the
+	// loader rebuilds rather than deserializes.
 	for a := ActionID(0); int(a) < lib.NumActions(); a++ {
 		if !equalImpls(got.ImplsOfAction(a), lib.ImplsOfAction(a)) {
 			t.Fatalf("postings of action %d mismatch", a)
+		}
+		gGoals, gCnt := got.GoalsOfAction(a)
+		wGoals, wCnt := lib.GoalsOfAction(a)
+		if !reflect.DeepEqual(gGoals, wGoals) || !reflect.DeepEqual(gCnt, wCnt) {
+			t.Fatalf("AG row of action %d mismatch: %v/%v != %v/%v", a, gGoals, gCnt, wGoals, wCnt)
+		}
+	}
+	for g := GoalID(0); int(g) < lib.NumGoals(); g++ {
+		if got.GoalWalkCost(g) != lib.GoalWalkCost(g) {
+			t.Fatalf("walk cost of goal %d mismatch", g)
 		}
 	}
 }

@@ -87,7 +87,6 @@ func (b *Builder) Len() int { return len(b.implGoal) }
 // may keep accepting Adds afterwards; the built Library is unaffected.
 func (b *Builder) Build() *Library {
 	b.init()
-	nImpl := len(b.implGoal)
 	nAct := int(b.maxAction) + 1
 	nGoal := int(b.maxGoal) + 1
 
@@ -98,50 +97,114 @@ func (b *Builder) Build() *Library {
 		numActions: nAct,
 		numGoals:   nGoal,
 	}
+	lib.buildIndexes()
+	return lib
+}
+
+// buildIndexes derives the posting indexes (A-GI-idx, G-GI-idx and AG-idx)
+// from the implementation CSR. It is called once per immutable Library, by
+// Builder.Build and by the binary snapshot loader.
+func (l *Library) buildIndexes() {
+	nImpl := len(l.implGoal)
+	nAct, nGoal := l.numActions, l.numGoals
 
 	// Counting sort of (action, impl) pairs into the A-GI-idx postings and of
 	// (goal, impl) pairs into G-GI-idx. Impl ids are appended in increasing
 	// order, so each posting list comes out sorted.
 	actCount := make([]int32, nAct+1)
-	for _, a := range lib.implActs {
+	for _, a := range l.implActs {
 		actCount[a+1]++
 	}
 	for i := 1; i <= nAct; i++ {
 		actCount[i] += actCount[i-1]
 	}
-	lib.actOff = actCount
-	lib.actPost = make([]ImplID, len(lib.implActs))
+	l.actOff = actCount
+	l.actPost = make([]ImplID, len(l.implActs))
 	cursor := append([]int32(nil), actCount[:nAct]...)
 	for p := 0; p < nImpl; p++ {
-		for _, a := range lib.implActions(ImplID(p)) {
-			lib.actPost[cursor[a]] = ImplID(p)
+		for _, a := range l.implActions(ImplID(p)) {
+			l.actPost[cursor[a]] = ImplID(p)
 			cursor[a]++
 		}
 	}
 
 	goalCount := make([]int32, nGoal+1)
-	for _, g := range lib.implGoal {
+	for _, g := range l.implGoal {
 		goalCount[g+1]++
 	}
 	for i := 1; i <= nGoal; i++ {
 		goalCount[i] += goalCount[i-1]
 	}
-	lib.goalOff = goalCount
-	lib.goalPost = make([]ImplID, nImpl)
+	l.goalOff = goalCount
+	l.goalPost = make([]ImplID, nImpl)
 	gCursor := append([]int32(nil), goalCount[:nGoal]...)
-	for p, g := range lib.implGoal {
-		lib.goalPost[gCursor[g]] = ImplID(p)
+	for p, g := range l.implGoal {
+		l.goalPost[gCursor[g]] = ImplID(p)
 		gCursor[g]++
 	}
-	return lib
+
+	// Per-goal slot totals: Σ |A_p| over the goal's implementations, the
+	// exact cost of walking every implementation of the goal. The strategies
+	// use these to choose between candidate-major and goal-major scoring.
+	l.goalSlots = make([]int32, nGoal)
+	for p, g := range l.implGoal {
+		l.goalSlots[g] += l.implOff[p+1] - l.implOff[p]
+	}
+
+	// AG-idx: per-action sorted (goal, count) pairs, count = number of the
+	// goal's implementations containing the action. Built in two linear
+	// passes over the G-GI-idx: iterating goals in increasing id order means
+	// each action's goal list comes out sorted with no per-action sort.
+	// lastGoal[a] tracks the goal currently being appended for action a, so a
+	// repeat occurrence within the same goal increments the count in place.
+	lastGoal := make([]GoalID, nAct)
+	for i := range lastGoal {
+		lastGoal[i] = -1
+	}
+	agCount := make([]int32, nAct+1)
+	for g := GoalID(0); int(g) < nGoal; g++ {
+		for _, p := range l.goalPost[l.goalOff[g]:l.goalOff[g+1]] {
+			for _, a := range l.implActions(p) {
+				if lastGoal[a] != g {
+					lastGoal[a] = g
+					agCount[a+1]++
+				}
+			}
+		}
+	}
+	for i := 1; i <= nAct; i++ {
+		agCount[i] += agCount[i-1]
+	}
+	l.agOff = agCount
+	l.agGoal = make([]GoalID, agCount[nAct])
+	l.agCnt = make([]int32, agCount[nAct])
+	agCursor := append([]int32(nil), agCount[:nAct]...)
+	for i := range lastGoal {
+		lastGoal[i] = -1
+	}
+	for g := GoalID(0); int(g) < nGoal; g++ {
+		for _, p := range l.goalPost[l.goalOff[g]:l.goalOff[g+1]] {
+			for _, a := range l.implActions(p) {
+				if lastGoal[a] != g {
+					lastGoal[a] = g
+					l.agGoal[agCursor[a]] = g
+					l.agCnt[agCursor[a]] = 1
+					agCursor[a]++
+				} else {
+					l.agCnt[agCursor[a]-1]++
+				}
+			}
+		}
+	}
 }
 
 // Library is the immutable association-based goal model (Figure 2 of the
 // paper): every implementation is a labelled hyperedge over actions, stored
-// in CSR form together with the two posting indexes
+// in CSR form together with the three posting indexes
 //
 //	A-GI-idx: action -> implementations containing it
 //	G-GI-idx: goal   -> implementations fulfilling it
+//	AG-idx:   action -> distinct (goal, multiplicity) pairs
 //
 // A Library is safe for concurrent readers.
 type Library struct {
@@ -154,6 +217,17 @@ type Library struct {
 
 	goalOff  []int32  // CSR offsets into goalPost, len numGoals+1
 	goalPost []ImplID // G-GI-idx postings, sorted per goal
+
+	// AG-idx: per-action sorted distinct goal lists with multiplicities.
+	// agCnt[i] is the number of implementations of goal agGoal[i] containing
+	// the action. Collapses the per-implementation postings for consumers
+	// that only need goal totals (profiles, goal spaces), turning O(|IS(a)|)
+	// walks with random GI-G lookups into shorter sequential scans.
+	agOff  []int32  // CSR offsets into agGoal/agCnt, len numActions+1
+	agGoal []GoalID // sorted per action
+	agCnt  []int32  // parallel multiplicities, all ≥ 1
+
+	goalSlots []int32 // per-goal Σ |A_p|, the walk cost of the goal's impls
 
 	numActions int
 	numGoals   int
@@ -213,6 +287,59 @@ func (l *Library) ImplsOfGoal(g GoalID) []ImplID {
 // implementations it participates in.
 func (l *Library) ActionDegree(a ActionID) int {
 	return len(l.ImplsOfAction(a))
+}
+
+// GoalsOfAction returns the AG-idx row of action a: the sorted distinct
+// goals whose implementations contain a, with the per-goal multiplicity
+// (how many of the goal's implementations contain a). Both slices are views
+// into the library and must not be modified. Ids outside the library yield
+// empty slices.
+func (l *Library) GoalsOfAction(a ActionID) ([]GoalID, []int32) {
+	if a < 0 || int(a) >= l.numActions {
+		return nil, nil
+	}
+	lo, hi := l.agOff[a], l.agOff[a+1]
+	return l.agGoal[lo:hi], l.agCnt[lo:hi]
+}
+
+// GoalDegree returns the number of distinct goals action a contributes to:
+// the AG-idx row length, the quantity that bounds the per-candidate scoring
+// cost of Best Match.
+func (l *Library) GoalDegree(a ActionID) int {
+	if a < 0 || int(a) >= l.numActions {
+		return 0
+	}
+	return int(l.agOff[a+1] - l.agOff[a])
+}
+
+// ActionGoalCount returns the number of implementations of goal g that
+// contain action a, by binary search in a's AG-idx row. It is the count
+// Explain and TopGoals previously derived by walking the full A-GI posting
+// list of a.
+func (l *Library) ActionGoalCount(a ActionID, g GoalID) int {
+	goals, counts := l.GoalsOfAction(a)
+	lo, hi := 0, len(goals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if goals[mid] < g {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(goals) && goals[lo] == g {
+		return int(counts[lo])
+	}
+	return 0
+}
+
+// GoalWalkCost returns Σ |A_p| over the implementations of goal g: the exact
+// cost of visiting every slot of the goal. Ids outside the library yield 0.
+func (l *Library) GoalWalkCost(g GoalID) int {
+	if g < 0 || int(g) >= l.numGoals {
+		return 0
+	}
+	return int(l.goalSlots[g])
 }
 
 // Implementation materializes implementation p as a value with its own

@@ -17,7 +17,14 @@ func (l *Library) ImplementationSpace(activity []ActionID) []ImplID {
 	case 1:
 		return intset.Clone(l.ImplsOfAction(activity[0]))
 	}
-	var out []ImplID
+	total := 0
+	for _, a := range activity {
+		total += l.ActionDegree(a)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]ImplID, 0, total)
 	for _, a := range activity {
 		out = append(out, l.ImplsOfAction(a)...)
 	}
@@ -26,11 +33,30 @@ func (l *Library) ImplementationSpace(activity []ActionID) []ImplID {
 
 // GoalSpace returns the sorted, deduplicated goal ids associated with the
 // activity through at least one implementation: GS(activity)
-// (Definition 4.1 extended to activities).
+// (Definition 4.1 extended to activities). It unions the per-action AG-idx
+// rows directly, skipping the IS(activity) materialization entirely.
 func (l *Library) GoalSpace(activity []ActionID) []GoalID {
-	var out []GoalID
-	for _, p := range l.ImplementationSpace(activity) {
-		out = append(out, l.Goal(p))
+	switch len(activity) {
+	case 0:
+		return nil
+	case 1:
+		goals, _ := l.GoalsOfAction(activity[0])
+		if len(goals) == 0 {
+			return nil
+		}
+		return append([]GoalID(nil), goals...)
+	}
+	total := 0
+	for _, a := range activity {
+		total += l.GoalDegree(a)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]GoalID, 0, total)
+	for _, a := range activity {
+		goals, _ := l.GoalsOfAction(a)
+		out = append(out, goals...)
 	}
 	return intset.FromUnsorted(out)
 }
@@ -67,9 +93,31 @@ func (l *Library) ActionSpace(activity []ActionID) []ActionID {
 // strategies rank (the user has not performed them yet).
 func (l *Library) Candidates(activity []ActionID) []ActionID {
 	h := intset.FromUnsorted(intset.Clone(activity))
+	space := l.ImplementationSpace(h)
+	if len(space) == 0 {
+		return nil
+	}
+	// Dense dedup: stamp each action on first sight and sort the distinct
+	// survivors, instead of sorting the full slot stream with duplicates
+	// (at high connectivity the stream is an order of magnitude larger than
+	// the action space). The sparse append+sort path remains for libraries
+	// whose action id space is too large to stamp per query.
+	const stampLimit = 1 << 22
 	var out []ActionID
-	for _, p := range l.ImplementationSpace(h) {
-		out = append(out, l.implActions(p)...)
+	if l.numActions <= stampLimit {
+		seen := make([]bool, l.numActions)
+		for _, p := range space {
+			for _, a := range l.implActions(p) {
+				if !seen[a] {
+					seen[a] = true
+					out = append(out, a)
+				}
+			}
+		}
+	} else {
+		for _, p := range space {
+			out = append(out, l.implActions(p)...)
+		}
 	}
 	out = intset.FromUnsorted(out)
 	return intset.Difference(nil, out, h)

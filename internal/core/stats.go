@@ -22,6 +22,13 @@ type Stats struct {
 	Connectivity    float64 // mean implementations per occurring action
 	MaxConnectivity int
 	AvgImplsPerGoal float64
+
+	// AG-idx shape: distinct goals per occurring action. The ratio of
+	// Connectivity to AvgGoalsPerAction is the compression the AG-idx wins
+	// over the raw A-GI postings for goal-level consumers.
+	AGEntries         int     // total AG-idx (action, goal) pairs
+	AvgGoalsPerAction float64 // mean distinct goals per occurring action
+	MaxGoalsPerAction int
 }
 
 // Stats scans the library and returns its summary statistics.
@@ -37,6 +44,12 @@ func (l *Library) Stats() Stats {
 			s.Actions++
 			if d > s.MaxConnectivity {
 				s.MaxConnectivity = d
+			}
+		}
+		if gd := l.GoalDegree(a); gd > 0 {
+			s.AGEntries += gd
+			if gd > s.MaxGoalsPerAction {
+				s.MaxGoalsPerAction = gd
 			}
 		}
 	}
@@ -59,15 +72,19 @@ func (l *Library) Stats() Stats {
 	if s.Goals > 0 {
 		s.AvgImplsPerGoal = float64(s.Implementations) / float64(s.Goals)
 	}
+	if s.Actions > 0 {
+		s.AvgGoalsPerAction = float64(s.AGEntries) / float64(s.Actions)
+	}
 	return s
 }
 
 // String renders the statistics in a compact one-per-line form.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"implementations=%d actions=%d goals=%d slots=%d avgImplLen=%.2f maxImplLen=%d connectivity=%.2f maxConnectivity=%d implsPerGoal=%.2f",
+		"implementations=%d actions=%d goals=%d slots=%d avgImplLen=%.2f maxImplLen=%d connectivity=%.2f maxConnectivity=%d implsPerGoal=%.2f goalsPerAction=%.2f",
 		s.Implementations, s.Actions, s.Goals, s.TotalSlots,
-		s.AvgImplLen, s.MaxImplLen, s.Connectivity, s.MaxConnectivity, s.AvgImplsPerGoal)
+		s.AvgImplLen, s.MaxImplLen, s.Connectivity, s.MaxConnectivity, s.AvgImplsPerGoal,
+		s.AvgGoalsPerAction)
 }
 
 // LibraryFrequency returns, for every action id, the fraction of

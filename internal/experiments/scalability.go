@@ -122,12 +122,18 @@ func toActions(s []int32) []core.ActionID {
 // Figure7 renders the scalability sweep as a table: one row per
 // (implementations, method) cell.
 func Figure7(cfg ScalabilityConfig) *Table {
+	return Figure7Table(Scalability(cfg))
+}
+
+// Figure7Table renders already-computed sweep points, so callers that also
+// export the points (e.g. -bench-json) run the sweep only once.
+func Figure7Table(points []ScalabilityPoint) *Table {
 	t := &Table{
 		ID:      "F7",
 		Title:   "per-query latency vs library size and connectivity",
 		Columns: []string{"implementations", "connectivity", "method", "mean latency"},
 	}
-	for _, p := range Scalability(cfg) {
+	for _, p := range points {
 		t.AddRow(fmt.Sprintf("%d", p.Implementations),
 			fmt.Sprintf("%.1f", p.Connectivity), p.Method, p.MeanLatency.String())
 	}

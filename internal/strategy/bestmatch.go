@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"math"
+	"runtime"
 	"sync"
 
 	"goalrec/internal/core"
@@ -17,24 +18,65 @@ import (
 // the profile (Equation 10).
 //
 // The default cosine metric runs on a dense, pooled scratch representation
-// (one incremental pass over each candidate's implementation space, no
-// per-candidate allocation); the alternative metrics use the sparse
-// vectorspace path.
+// with two interchangeable scoring paths over the AG-idx (see DESIGN.md):
+//
+//   - candidate-major: each candidate walks its distinct-goal list — the
+//     classical loop, shrunk from O(|IS(a)|) postings with random GI-G
+//     lookups to a sequential O(|AG(a)|) scan, and sharded across a bounded
+//     worker pool for large candidate pools;
+//   - goal-major: one pass over the implementations of GS(H) accumulates
+//     every candidate's dot product and norm simultaneously, costing
+//     O(Σ_{g∈GS(H)} Σ_{p∈impls(g)} |A_p|) regardless of connectivity.
+//
+// Both paths accumulate the same integer-valued sums in float64, so they are
+// bit-identical; the cheaper one is chosen per query from exact index-derived
+// cost estimates. The alternative metrics use the sparse vectorspace path.
 type BestMatch struct {
 	lib    *core.Library
 	metric vectorspace.Metric
 	pool   sync.Pool // *bmScratch
+
+	// Tuning knobs, fixed after construction (tests override them to pin
+	// each path; the zero values select the production defaults).
+	mode       bmMode
+	maxWorkers int // ≤ 0 selects GOMAXPROCS
+	shardMin   int // minimum candidate pool to shard; ≤ 0 selects default
 }
+
+// bmMode selects the cosine scoring path.
+type bmMode int
+
+const (
+	bmAuto bmMode = iota // pick per query from cost estimates
+	bmCandidateMajor
+	bmGoalMajor
+	bmPostings // legacy pre-AG-idx loop, kept for tests and benchmarks
+)
+
+// bmShardMinCandidates is the default candidate pool size below which
+// sharding a single query is not worth the goroutine overhead.
+const bmShardMinCandidates = 2048
 
 // bmScratch carries the per-query dense buffers. Goal membership uses
 // version stamping so the numGoals-sized arrays never need clearing.
 type bmScratch struct {
-	mark      []uint32  // mark[g] == version ⇔ g ∈ GS(H)
-	slot      []int32   // dense index of g within the goal space
-	version   uint32    //
-	profile   []float64 // profile counts per goal-space slot
-	candCount []float64 // candidate counts per goal-space slot
-	touched   []int32   // slots touched by the current candidate
+	mark    []uint32  // mark[g] == version ⇔ g ∈ GS(H)
+	slot    []int32   // dense index of g within the goal space
+	version uint32    //
+	profile []float64 // profile counts per goal-space slot
+
+	// Goal-major accumulators, indexed by action id and allocated on first
+	// goal-major query. dot and sumsq are zeroed between queries via
+	// actTouched; cnt is zeroed between goals via goalTouched.
+	dot        []float64
+	sumsq      []float64
+	cnt        []int32
+	actTouched []core.ActionID
+	gTouched   []core.ActionID
+
+	// Legacy candidate-major postings-path buffers.
+	candCount   []float64 // candidate counts per goal-space slot
+	slotTouched []int32   // slots touched by the current candidate
 }
 
 // NewBestMatch returns a Best Match strategy over lib using the cosine
@@ -71,8 +113,9 @@ func (bm *BestMatch) Profile(activity []core.ActionID) vectorspace.Vector {
 	h := intset.FromUnsorted(intset.Clone(activity))
 	counts := make(map[int32]int)
 	for _, a := range h {
-		for _, p := range bm.lib.ImplsOfAction(a) {
-			counts[int32(bm.lib.Goal(p))]++
+		goals, mult := bm.lib.GoalsOfAction(a)
+		for i, g := range goals {
+			counts[int32(g)] += int(mult[i])
 		}
 	}
 	return vectorspace.FromCounts(counts)
@@ -83,10 +126,10 @@ func (bm *BestMatch) Profile(activity []core.ActionID) vectorspace.Vector {
 // which a contributes to it. goalSpace must be sorted.
 func (bm *BestMatch) actionVector(a core.ActionID, goalSpace []core.GoalID) vectorspace.Vector {
 	counts := make(map[int32]int)
-	for _, p := range bm.lib.ImplsOfAction(a) {
-		g := bm.lib.Goal(p)
+	goals, mult := bm.lib.GoalsOfAction(a)
+	for i, g := range goals {
 		if intset.Contains(goalSpace, g) {
-			counts[int32(g)]++
+			counts[int32(g)] = int(mult[i])
 		}
 	}
 	return vectorspace.FromCounts(counts)
@@ -120,9 +163,10 @@ func (bm *BestMatch) Recommend(activity []core.ActionID, k int) []ScoredAction {
 	return TopK(scored, k)
 }
 
-// recommendCosine is the allocation-free fast path: it scores every
-// candidate by 1 − cos(H⃗, a⃗) using incremental dot/norm maintenance over a
-// pooled dense scratch.
+// recommendCosine is the allocation-light fast path: it stamps the goal
+// space, builds the dense profile from the AG-idx, then scores every
+// candidate through whichever scoring path the per-query cost estimates
+// favor.
 func (bm *BestMatch) recommendCosine(h, candidates []core.ActionID, goalSpace []core.GoalID) []ScoredAction {
 	s := bm.pool.Get().(*bmScratch)
 	defer bm.pool.Put(s)
@@ -151,12 +195,13 @@ func (bm *BestMatch) recommendCosine(h, candidates []core.ActionID, goalSpace []
 		s.slot[g] = int32(i)
 	}
 
-	// Dense profile (Equation 9): every (action ∈ H, implementation) pair
-	// adds one to its goal's slot. Goals of IS(H) are in GS(H) by
+	// Dense profile (Equation 9): action a of H adds its per-goal
+	// implementation multiplicities. Every goal of AG(a) is in GS(H) by
 	// construction.
 	for _, a := range h {
-		for _, p := range bm.lib.ImplsOfAction(a) {
-			s.profile[s.slot[bm.lib.Goal(p)]]++
+		goals, mult := bm.lib.GoalsOfAction(a)
+		for i, g := range goals {
+			s.profile[s.slot[g]] += float64(mult[i])
 		}
 	}
 	profNorm := 0.0
@@ -165,10 +210,159 @@ func (bm *BestMatch) recommendCosine(h, candidates []core.ActionID, goalSpace []
 	}
 	profNorm = math.Sqrt(profNorm)
 
+	switch bm.pickMode(candidates, goalSpace) {
+	case bmGoalMajor:
+		return bm.scoreGoalMajor(s, candidates, goalSpace, profNorm)
+	case bmPostings:
+		return bm.scorePostings(s, candidates, profNorm)
+	default:
+		return bm.scoreCandidateMajor(s, candidates, profNorm)
+	}
+}
+
+// pickMode resolves the scoring path for one query. In auto mode it compares
+// the exact slot counts each path will visit: candidate-major walks every
+// candidate's AG row, goal-major walks every slot of every goal-space
+// implementation (with roughly twice the per-slot work for the incremental
+// norm bookkeeping).
+func (bm *BestMatch) pickMode(candidates []core.ActionID, goalSpace []core.GoalID) bmMode {
+	if bm.mode != bmAuto {
+		return bm.mode
+	}
+	candCost := 0
+	for _, a := range candidates {
+		candCost += bm.lib.GoalDegree(a)
+	}
+	goalCost := 0
+	for _, g := range goalSpace {
+		goalCost += bm.lib.GoalWalkCost(g)
+	}
+	if 2*goalCost <= candCost {
+		return bmGoalMajor
+	}
+	return bmCandidateMajor
+}
+
+// scoreCandidateMajor scores each candidate by a sequential scan of its
+// AG-idx row: dot and ‖a⃗‖² come from the (goal, multiplicity) pairs that
+// fall inside the stamped goal space. For large pools the loop is sharded
+// across a bounded worker pool; the scratch is read-only during scoring and
+// every worker writes a disjoint range of scored, so the merge is a no-op
+// and the result is deterministic.
+func (bm *BestMatch) scoreCandidateMajor(s *bmScratch, candidates []core.ActionID, profNorm float64) []ScoredAction {
+	scored := make([]ScoredAction, len(candidates))
+	shardMin := bm.shardMin
+	if shardMin <= 0 {
+		shardMin = bmShardMinCandidates
+	}
+	workers := bm.maxWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(candidates) < shardMin || workers < 2 {
+		for i, a := range candidates {
+			scored[i] = bm.scoreOne(s, a, profNorm)
+		}
+		return scored
+	}
+	chunk := (len(candidates) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(candidates); lo += chunk {
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				scored[i] = bm.scoreOne(s, candidates[i], profNorm)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return scored
+}
+
+// scoreOne computes one candidate's negated cosine distance from the stamped
+// scratch. It only reads the scratch, so concurrent calls are safe.
+func (bm *BestMatch) scoreOne(s *bmScratch, a core.ActionID, profNorm float64) ScoredAction {
+	goals, mult := bm.lib.GoalsOfAction(a)
+	dot, sumsq := 0.0, 0.0
+	for i, g := range goals {
+		if s.mark[g] != s.version {
+			continue // contributes to a goal outside F_GS(H)
+		}
+		c := float64(mult[i])
+		dot += c * s.profile[s.slot[g]]
+		sumsq += c * c
+	}
+	sim := 0.0
+	if profNorm > 0 && sumsq > 0 {
+		sim = dot / (profNorm * math.Sqrt(sumsq))
+	}
+	return ScoredAction{Action: a, Score: -(1 - sim)}
+}
+
+// scoreGoalMajor scores every candidate at once by walking the goal space
+// implementation lists: each occurrence of action a under goal g adds
+// profile[g] to a's dot product and advances the incremental ‖a⃗‖² by
+// 2·count+1. Work is Σ_{g∈GS(H)} Σ_{p∈impls(g)} |A_p|, independent of
+// connectivity — at high connectivity this is orders of magnitude below the
+// candidate-major walk. All accumulated quantities are integer-valued, so
+// the scores are bit-identical to the candidate-major path.
+func (bm *BestMatch) scoreGoalMajor(s *bmScratch, candidates []core.ActionID, goalSpace []core.GoalID, profNorm float64) []ScoredAction {
+	if s.dot == nil {
+		n := bm.lib.NumActions()
+		s.dot = make([]float64, n)
+		s.sumsq = make([]float64, n)
+		s.cnt = make([]int32, n)
+	}
+	s.actTouched = s.actTouched[:0]
+	for i, g := range goalSpace {
+		pg := s.profile[i]
+		s.gTouched = s.gTouched[:0]
+		for _, p := range bm.lib.ImplsOfGoal(g) {
+			for _, a := range bm.lib.Actions(p) {
+				c := s.cnt[a]
+				if c == 0 {
+					s.gTouched = append(s.gTouched, a)
+					if s.sumsq[a] == 0 {
+						s.actTouched = append(s.actTouched, a)
+					}
+				}
+				s.dot[a] += pg
+				s.sumsq[a] += float64(2*c + 1)
+				s.cnt[a] = c + 1
+			}
+		}
+		for _, a := range s.gTouched {
+			s.cnt[a] = 0
+		}
+	}
+	scored := make([]ScoredAction, len(candidates))
+	for i, a := range candidates {
+		sim := 0.0
+		if sumsq := s.sumsq[a]; profNorm > 0 && sumsq > 0 {
+			sim = s.dot[a] / (profNorm * math.Sqrt(sumsq))
+		}
+		scored[i] = ScoredAction{Action: a, Score: -(1 - sim)}
+	}
+	for _, a := range s.actTouched {
+		s.dot[a] = 0
+		s.sumsq[a] = 0
+	}
+	return scored
+}
+
+// scorePostings is the pre-AG-idx candidate loop — every candidate walks its
+// full A-GI posting list with a random GI-G lookup per posting. Kept as the
+// reference implementation for equivalence tests and old-vs-new benchmarks.
+func (bm *BestMatch) scorePostings(s *bmScratch, candidates []core.ActionID, profNorm float64) []ScoredAction {
 	scored := make([]ScoredAction, 0, len(candidates))
 	for _, a := range candidates {
 		dot, sumsq := 0.0, 0.0
-		s.touched = s.touched[:0]
+		s.slotTouched = s.slotTouched[:0]
 		for _, p := range bm.lib.ImplsOfAction(a) {
 			g := bm.lib.Goal(p)
 			if s.mark[g] != s.version {
@@ -177,7 +371,7 @@ func (bm *BestMatch) recommendCosine(h, candidates []core.ActionID, goalSpace []
 			i := s.slot[g]
 			c := s.candCount[i]
 			if c == 0 {
-				s.touched = append(s.touched, i)
+				s.slotTouched = append(s.slotTouched, i)
 			}
 			// count c → c+1: dot gains profile[i], |a⃗|² gains 2c+1.
 			dot += s.profile[i]
@@ -189,7 +383,7 @@ func (bm *BestMatch) recommendCosine(h, candidates []core.ActionID, goalSpace []
 			sim = dot / (profNorm * math.Sqrt(sumsq))
 		}
 		scored = append(scored, ScoredAction{Action: a, Score: -(1 - sim)})
-		for _, i := range s.touched {
+		for _, i := range s.slotTouched {
 			s.candCount[i] = 0
 		}
 	}

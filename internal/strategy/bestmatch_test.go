@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -168,6 +169,120 @@ func TestBestMatchFastPathMatchesSparseReference(t *testing.T) {
 	}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBestMatchScoringPathsAgree pins the three cosine scoring paths —
+// candidate-major over the AG-idx, goal-major accumulation, and the legacy
+// postings walk — to bit-identical rankings and scores on random libraries.
+// All three accumulate integer-valued sums in float64, so even the scores
+// must match exactly, not just within float noise.
+func TestBestMatchScoringPathsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		lib := testlib.RandomLibrary(r, 1+r.Intn(120), 30, 15, 7)
+		h := testlib.RandomActivity(r, 30, 6)
+		k := -1
+		if r.Intn(2) == 0 {
+			k = 1 + r.Intn(12)
+		}
+		var want []ScoredAction
+		for i, mode := range []bmMode{bmPostings, bmCandidateMajor, bmGoalMajor, bmAuto} {
+			bm := NewBestMatch(lib)
+			bm.mode = mode
+			got := bm.Recommend(h, k)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: mode %d diverged from postings reference:\ngot  %v\nwant %v",
+					trial, mode, got, want)
+			}
+		}
+	}
+}
+
+// TestBestMatchShardedDeterministic forces intra-query sharding (worker pool
+// above 1 even on a single-core machine, shard threshold 1) and checks the
+// result is identical to the serial path. Run under -race this also proves
+// the scratch really is read-only during sharded scoring.
+func TestBestMatchShardedDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		lib := testlib.RandomLibrary(r, 1+r.Intn(150), 40, 15, 7)
+		h := testlib.RandomActivity(r, 40, 6)
+
+		serial := NewBestMatch(lib)
+		serial.mode = bmCandidateMajor
+		serial.maxWorkers = 1
+
+		sharded := NewBestMatch(lib)
+		sharded.mode = bmCandidateMajor
+		sharded.maxWorkers = 4
+		sharded.shardMin = 1
+
+		want := serial.Recommend(h, -1)
+		for rep := 0; rep < 3; rep++ {
+			if got := sharded.Recommend(h, -1); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d rep %d: sharded ranking diverged:\ngot  %v\nwant %v",
+					trial, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestBestMatchShardedConcurrentQueries hammers one sharded recommender from
+// several goroutines at once — under -race this covers pool handoff plus
+// concurrent sharded scoring.
+func TestBestMatchShardedConcurrentQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	lib := testlib.RandomLibrary(r, 200, 40, 15, 7)
+	bm := NewBestMatch(lib)
+	bm.maxWorkers = 4
+	bm.shardMin = 1
+
+	activities := make([][]core.ActionID, 16)
+	want := make([][]ScoredAction, len(activities))
+	for i := range activities {
+		activities[i] = testlib.RandomActivity(r, 40, 6)
+		want[i] = bm.Recommend(activities[i], 10)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				j := (seed + i) % len(activities)
+				if got := bm.Recommend(activities[j], 10); !reflect.DeepEqual(got, want[j]) {
+					t.Errorf("concurrent query %d diverged", j)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestBestMatchGoalMajorScratchReuse runs many consecutive goal-major
+// queries through one recommender: stale dot/sumsq/cnt residue between
+// queries (or between goals within a query) would diverge from the postings
+// reference.
+func TestBestMatchGoalMajorScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	lib := testlib.RandomLibrary(r, 150, 30, 12, 7)
+	gm := NewBestMatch(lib)
+	gm.mode = bmGoalMajor
+	ref := NewBestMatch(lib)
+	ref.mode = bmPostings
+	for i := 0; i < 200; i++ {
+		h := testlib.RandomActivity(r, 30, 6)
+		got := gm.Recommend(h, 8)
+		want := ref.Recommend(h, 8)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d diverged from postings reference:\ngot  %v\nwant %v", i, got, want)
+		}
 	}
 }
 

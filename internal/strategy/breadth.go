@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"fmt"
 	"sync"
 
 	"goalrec/internal/core"
@@ -40,6 +41,20 @@ func (w BreadthWeighting) String() string {
 	return "overlap"
 }
 
+// ParseBreadthWeighting maps a weighting name ("overlap", "count", "union")
+// to its constant, reporting unknown names instead of defaulting silently.
+func ParseBreadthWeighting(name string) (BreadthWeighting, error) {
+	switch name {
+	case "overlap":
+		return Overlap, nil
+	case "count":
+		return Count, nil
+	case "union":
+		return Union, nil
+	}
+	return Overlap, fmt.Errorf("strategy: unknown breadth weighting %q", name)
+}
+
 // Breadth is the paper's Algorithm 2: it walks every implementation of the
 // user's implementation space once and accumulates a weight into the score
 // of every candidate action the implementation contains, so that actions
@@ -55,6 +70,7 @@ type Breadth struct {
 type breadthScratch struct {
 	scores  []float64 // indexed by action id, zeroed via touched
 	touched []core.ActionID
+	inH     []bool // dense H membership, set and cleared per query
 }
 
 // NewBreadth returns a Breadth strategy over lib with the default Overlap
@@ -68,7 +84,10 @@ func NewBreadth(lib *core.Library) *Breadth {
 func NewBreadthWeighted(lib *core.Library, w BreadthWeighting) *Breadth {
 	b := &Breadth{lib: lib, weighting: w}
 	b.pool.New = func() interface{} {
-		return &breadthScratch{scores: make([]float64, lib.NumActions())}
+		return &breadthScratch{
+			scores: make([]float64, lib.NumActions()),
+			inH:    make([]bool, lib.NumActions()),
+		}
 	}
 	return b
 }
@@ -96,6 +115,13 @@ func (b *Breadth) Recommend(activity []core.ActionID, k int) []ScoredAction {
 	defer b.pool.Put(s)
 	s.touched = s.touched[:0]
 
+	// Dense H membership: every slot visit below becomes an O(1) array read
+	// instead of a binary search over h.
+	for _, a := range h {
+		if a >= 0 && int(a) < len(s.inH) {
+			s.inH[a] = true
+		}
+	}
 	for _, p := range space {
 		acts := b.lib.Actions(p)
 		var comm float64
@@ -108,13 +134,18 @@ func (b *Breadth) Recommend(activity []core.ActionID, k int) []ScoredAction {
 			comm = float64(intset.IntersectionLen(acts, h))
 		}
 		for _, a := range acts {
-			if intset.Contains(h, a) {
+			if s.inH[a] {
 				continue
 			}
 			if s.scores[a] == 0 {
 				s.touched = append(s.touched, a)
 			}
 			s.scores[a] += comm
+		}
+	}
+	for _, a := range h {
+		if a >= 0 && int(a) < len(s.inH) {
+			s.inH[a] = false
 		}
 	}
 

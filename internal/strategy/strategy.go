@@ -35,24 +35,87 @@ type Recommender interface {
 	Recommend(activity []core.ActionID, k int) []ScoredAction
 }
 
-// TopK sorts scored candidates best-first (score descending, action id
-// ascending on ties) and truncates to k. It sorts in place and returns a
+// TopK ranks scored candidates best-first (score descending, action id
+// ascending on ties) and truncates to k. It works in place and returns a
 // sub-slice of scored. It is exported for the baseline recommenders, which
 // share the deterministic ranking contract.
+//
+// When k is a small fraction of the pool it selects through a bounded
+// min-heap in O(n log k) instead of sorting the whole pool in O(n log n);
+// the (score, action) order is total over distinct actions, so both paths
+// return bit-identical rankings.
 func TopK(scored []ScoredAction, k int) []ScoredAction {
-	if len(scored) == 0 {
+	if len(scored) == 0 || k == 0 {
 		return nil
 	}
+	if k > 0 && len(scored) >= heapSelectMinLen && len(scored) >= heapSelectFactor*k {
+		return topKHeap(scored, k)
+	}
 	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].Score != scored[j].Score {
-			return scored[i].Score > scored[j].Score
-		}
-		return scored[i].Action < scored[j].Action
+		return ranksBefore(scored[i], scored[j])
 	})
 	if k >= 0 && len(scored) > k {
 		scored = scored[:k]
 	}
 	return scored
+}
+
+// ranksBefore is the shared ranking order: score descending, then action id
+// ascending. It is total over distinct actions.
+func ranksBefore(a, b ScoredAction) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Action < b.Action
+}
+
+// Heap selection pays off once the pool is comfortably larger than k; below
+// these bounds the plain sort's constant factor wins.
+const (
+	heapSelectMinLen = 128
+	heapSelectFactor = 4
+)
+
+// topKHeap selects the k best elements with a min-heap kept in scored[:k]
+// (the root is the worst element retained) and leaves them sorted best-first
+// in scored[:k].
+func topKHeap(scored []ScoredAction, k int) []ScoredAction {
+	h := scored[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		heapSiftDown(h, i)
+	}
+	for _, s := range scored[k:] {
+		if ranksBefore(h[0], s) {
+			continue // s ranks at or below the worst retained element
+		}
+		h[0] = s
+		heapSiftDown(h, 0)
+	}
+	// Pop ascending-by-rank from the back: the root is the worst remaining.
+	for n := k - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		heapSiftDown(h[:n], 0)
+	}
+	return h
+}
+
+// heapSiftDown restores the min-heap property (worst-ranked at the root)
+// for the subtree rooted at i.
+func heapSiftDown(h []ScoredAction, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && ranksBefore(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && ranksBefore(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // Actions projects a scored list onto its action ids. An empty list yields

@@ -1,0 +1,110 @@
+package strategy
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"goalrec/internal/core"
+)
+
+func scoredPool(r *rand.Rand, n, distinctScores int) []ScoredAction {
+	// Duplicated scores force the id tie-break on both TopK paths.
+	out := make([]ScoredAction, n)
+	perm := r.Perm(n)
+	for i := range out {
+		out[i] = ScoredAction{
+			Action: core.ActionID(perm[i]),
+			Score:  float64(r.Intn(distinctScores)),
+		}
+	}
+	return out
+}
+
+// sortRef is the reference ranking: the plain full sort the heap path must
+// reproduce bit-for-bit.
+func sortRef(scored []ScoredAction, k int) []ScoredAction {
+	ref := append([]ScoredAction(nil), scored...)
+	sort.Slice(ref, func(i, j int) bool { return ranksBefore(ref[i], ref[j]) })
+	if k >= 0 && len(ref) > k {
+		ref = ref[:k]
+	}
+	return ref
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	pool := []ScoredAction{{Action: 2, Score: 1}, {Action: 0, Score: 3}, {Action: 1, Score: 3}}
+
+	if got := TopK(nil, 5); got != nil {
+		t.Errorf("TopK(nil) = %v, want nil", got)
+	}
+	if got := TopK(append([]ScoredAction(nil), pool...), 0); got != nil {
+		t.Errorf("k=0 = %v, want nil", got)
+	}
+	// Negative k returns the full ranked pool.
+	want := []ScoredAction{{Action: 0, Score: 3}, {Action: 1, Score: 3}, {Action: 2, Score: 1}}
+	if got := TopK(append([]ScoredAction(nil), pool...), -1); !reflect.DeepEqual(got, want) {
+		t.Errorf("k=-1 = %v, want %v", got, want)
+	}
+	// k beyond the pool returns everything, still ranked.
+	if got := TopK(append([]ScoredAction(nil), pool...), 10); !reflect.DeepEqual(got, want) {
+		t.Errorf("k=10 = %v, want %v", got, want)
+	}
+	// Score ties break by ascending action id.
+	if got := TopK(append([]ScoredAction(nil), pool...), 2); !reflect.DeepEqual(got, want[:2]) {
+		t.Errorf("tie break = %v, want %v", got, want[:2])
+	}
+}
+
+// TestTopKHeapMatchesSort drives the heap selection path directly against
+// the full sort on random pools with heavy score ties: the two paths must be
+// bit-identical for every k.
+func TestTopKHeapMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(600)
+		pool := scoredPool(r, n, 1+r.Intn(8))
+		k := 1 + r.Intn(n)
+		want := sortRef(pool, k)
+
+		got := topKHeap(append([]ScoredAction(nil), pool...), k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d, k=%d): heap diverged from sort:\ngot  %v\nwant %v",
+				trial, n, k, got, want)
+		}
+
+		// The public entry point must agree regardless of which path the
+		// thresholds select.
+		if got := TopK(append([]ScoredAction(nil), pool...), k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: TopK diverged from reference", trial)
+		}
+	}
+}
+
+func TestTopKHeapPathEngages(t *testing.T) {
+	// Sanity-check the threshold arithmetic: a large pool with tiny k must
+	// produce the same answer as the sort reference (and exercises the heap
+	// path by construction: len ≥ heapSelectMinLen and len ≥ factor·k).
+	r := rand.New(rand.NewSource(7))
+	pool := scoredPool(r, 4*heapSelectMinLen, 5)
+	k := heapSelectMinLen / heapSelectFactor
+	want := sortRef(pool, k)
+	if got := TopK(pool, k); !reflect.DeepEqual(got, want) {
+		t.Fatalf("heap path diverged:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+func TestParseBreadthWeighting(t *testing.T) {
+	for name, want := range map[string]BreadthWeighting{
+		"overlap": Overlap, "count": Count, "union": Union,
+	} {
+		got, err := ParseBreadthWeighting(name)
+		if err != nil || got != want {
+			t.Errorf("ParseBreadthWeighting(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseBreadthWeighting("nope"); err == nil {
+		t.Error("unknown weighting accepted")
+	}
+}
