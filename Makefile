@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench microbench vet fmt cover experiments clean BENCH_PR1.json
+.PHONY: all build test race bench microbench vet fmt lint cover experiments clean BENCH_PR1.json
 
 all: vet test build
 
@@ -30,6 +30,18 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# Static checks: formatting, vet, and (when installed) govulncheck. CI runs
+# the same three; install locally with
+# `go install golang.org/x/vuln/cmd/govulncheck@latest`.
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+	go vet ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping vulnerability scan"; \
+	fi
 
 cover:
 	go test ./... -coverprofile=cover.out && go tool cover -func=cover.out | tail -1

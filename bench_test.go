@@ -7,6 +7,8 @@
 package goalrec_test
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -247,5 +249,83 @@ func BenchmarkCollectParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eval.Collect(rec, food.Inputs, 10)
+	}
+}
+
+// dynBenchEnv caches one pre-grown library per size for the dynamic
+// snapshot benchmarks: a DynamicLibrary ready to append into, and a Builder
+// holding the same implementations for the cold-rebuild baseline.
+type dynBenchEnv struct {
+	dyn *core.DynamicLibrary
+	bld core.Builder
+
+	// One pre-drawn extra implementation, appended per iteration.
+	extraGoal core.GoalID
+	extraActs []core.ActionID
+}
+
+var (
+	dynBenchMu   sync.Mutex
+	dynBenchEnvs = map[int]*dynBenchEnv{}
+)
+
+func dynBenchEnvFor(b *testing.B, n int) *dynBenchEnv {
+	b.Helper()
+	dynBenchMu.Lock()
+	defer dynBenchMu.Unlock()
+	if e, ok := dynBenchEnvs[n]; ok {
+		return e
+	}
+	const actionUniverse = 10_000
+	rng := rand.New(rand.NewSource(1))
+	e := &dynBenchEnv{dyn: core.NewDynamicLibrary()}
+	acts := make([]core.ActionID, 8)
+	for i := 0; i < n; i++ {
+		for j := range acts {
+			acts[j] = core.ActionID(rng.Intn(actionUniverse))
+		}
+		goal := core.GoalID(rng.Intn(n/20 + 1))
+		if _, err := e.dyn.Add(goal, acts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.bld.Add(goal, acts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.dyn.Snapshot() // establish the flat base the appends extend
+	e.extraGoal = core.GoalID(rng.Intn(n/20 + 1))
+	e.extraActs = make([]core.ActionID, 8)
+	for j := range e.extraActs {
+		e.extraActs[j] = core.ActionID(rng.Intn(actionUniverse))
+	}
+	dynBenchEnvs[n] = e
+	return e
+}
+
+// BenchmarkDynamicSnapshotAppend measures publishing one appended
+// implementation out of a large library: the incremental path (Add +
+// Snapshot on a DynamicLibrary, which extends the previous epoch's indexes
+// and periodically compacts) against the cold baseline of re-deriving every
+// index with Builder.Build. The incremental path is required to be at least
+// an order of magnitude faster — that gap is the point of the epoch-based
+// engine.
+func BenchmarkDynamicSnapshotAppend(b *testing.B) {
+	for _, n := range []int{250_000, 1_000_000} {
+		e := dynBenchEnvFor(b, n)
+		b.Run(fmt.Sprintf("incremental-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.dyn.Add(e.extraGoal, e.extraActs); err != nil {
+					b.Fatal(err)
+				}
+				e.dyn.Snapshot()
+			}
+		})
+		b.Run(fmt.Sprintf("coldrebuild-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.bld.Build()
+			}
+		})
 	}
 }

@@ -1,15 +1,23 @@
 // Command goalrecd serves goal-based recommendations over HTTP.
 //
-//	goalrecd -library recipes.jsonl -addr :8080
+//	goalrecd -library recipes.jsonl -addr :8080 -watch 10s
 //
 // Endpoints (JSON):
 //
 //	GET  /healthz
 //	GET  /v1/stats
-//	GET  /v1/metrics     per-endpoint request/error counters
-//	POST /v1/recommend   {"activity": ["potatoes"], "strategy": "breadth", "k": 10}
-//	POST /v1/spaces      {"activity": ["potatoes"]}
-//	POST /v1/explain     {"activity": ["potatoes"], "action": "pickles"}
+//	GET  /v1/metrics              per-endpoint request/error counters
+//	POST /v1/recommend            {"activity": ["potatoes"], "strategy": "breadth", "k": 10}
+//	POST /v1/spaces               {"activity": ["potatoes"]}
+//	POST /v1/explain              {"activity": ["potatoes"], "action": "pickles"}
+//	POST /v1/implementations      live-ingest a batch of implementations
+//	POST /v1/reload               re-read the library file and swap it in
+//
+// Every response carries the epoch it was answered from; ingests and
+// reloads advance the epoch without interrupting in-flight requests. With
+// -watch the daemon polls the library file and hot-swaps it when it
+// changes; a file that fails to load is logged and the current epoch keeps
+// serving.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -41,6 +49,7 @@ func run() error {
 	libPath := flag.String("library", "", "path to the JSON-lines library file")
 	addr := flag.String("addr", ":8080", "listen address")
 	quiet := flag.Bool("quiet", false, "disable request logging")
+	watch := flag.Duration("watch", 0, "poll the library file at this interval and hot-swap on change (0 disables)")
 	flag.Parse()
 	if *libPath == "" {
 		return errors.New("-library is required")
@@ -58,10 +67,27 @@ func run() error {
 	}
 	logger.Printf("loaded library: %s", lib.Stats())
 
+	api := server.New(lib, reqLogger, server.WithReloader(func() (*goalrec.Library, error) {
+		return goalrec.LoadLibraryFile(*libPath)
+	}))
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(lib, reqLogger),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	watchDone := make(chan struct{})
+	stopWatch := func() {}
+	if *watch > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		stopWatch = cancel
+		go func() {
+			defer close(watchDone)
+			watchLibrary(ctx, api, logger, *libPath, *watch)
+		}()
+	} else {
+		close(watchDone)
 	}
 
 	errCh := make(chan error, 1)
@@ -78,14 +104,60 @@ func run() error {
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
+		stopWatch()
+		<-watchDone
 		return err
 	case sig := <-stop:
 		logger.Printf("received %v, shutting down", sig)
+		stopWatch()
+		<-watchDone
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
 		}
 		return <-errCh
+	}
+}
+
+// watchLibrary polls path every interval and swaps the served library when
+// the file's mtime or size changes. A change that fails to load is logged
+// and skipped — the server keeps answering from its current epoch — and the
+// same file state is not retried until it changes again.
+func watchLibrary(ctx context.Context, api *server.Server, logger *log.Logger, path string, interval time.Duration) {
+	type fileState struct {
+		mtime time.Time
+		size  int64
+	}
+	var last fileState
+	if fi, err := os.Stat(path); err == nil {
+		last = fileState{fi.ModTime(), fi.Size()}
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			logger.Printf("watch: stat %s: %v (keeping epoch %d)", path, err, api.Epoch())
+			continue
+		}
+		cur := fileState{fi.ModTime(), fi.Size()}
+		if cur == last {
+			continue
+		}
+		last = cur
+		lib, err := goalrec.LoadLibraryFile(path)
+		if err != nil {
+			logger.Printf("watch: reload %s failed: %v (keeping epoch %d)", path, err, api.Epoch())
+			continue
+		}
+		epoch := api.Swap(lib)
+		logger.Printf("watch: swapped in %s (%d implementations) at epoch %d",
+			path, lib.NumImplementations(), epoch)
 	}
 }

@@ -1,0 +1,170 @@
+package goalrec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"goalrec/internal/core"
+)
+
+// Engine serves an evolving goal-implementation library from atomically
+// swappable, epoch-numbered snapshots: the deployment shape of a recommender
+// whose library keeps growing (new how-to stories, new recipes) while
+// queries keep flowing.
+//
+// Writers — AddImplementation, AddImplementations, Swap — are serialized and
+// publish a fresh immutable *Library at the next epoch. Readers call
+// Snapshot, a wait-free atomic load, and can hold the result indefinitely:
+// snapshots are never mutated, so recommenders built over one keep returning
+// that epoch's results bit-identically. Appends extend the previous epoch's
+// indexes incrementally (see core.DynamicLibrary), so publishing a small
+// batch into a large library is sub-linear in library size.
+//
+// The action and goal vocabulary grows monotonically across epochs of one
+// lineage and is shared by all its snapshots; Swap adopts the replacement
+// library's vocabulary wholesale.
+type Engine struct {
+	mu    sync.Mutex // serializes writers
+	vocab *core.Vocabulary
+	dyn   *core.DynamicLibrary
+	state atomic.Pointer[engineState]
+}
+
+// engineState bundles one epoch's snapshot with its lazily built recommender
+// set. Swapping the whole state pointer at publish time is what invalidates
+// cached recommenders (and their strategy.NewCached entries) by epoch
+// instead of letting them leak stale scores.
+type engineState struct {
+	lib *Library
+
+	mu   sync.Mutex
+	recs map[Strategy]Recommender
+}
+
+func newEngineState(lib *Library) *engineState {
+	return &engineState{lib: lib, recs: make(map[Strategy]Recommender)}
+}
+
+// NewEngine returns an empty Engine at epoch 0.
+func NewEngine() *Engine {
+	e := &Engine{vocab: core.NewVocabulary(), dyn: core.NewDynamicLibrary()}
+	e.state.Store(newEngineState(&Library{lib: e.dyn.Snapshot(), vocab: e.vocab}))
+	return e
+}
+
+// NewEngineFromLibrary returns an Engine seeded with lib, published as the
+// first epoch. The engine adopts lib's vocabulary: later ingests intern new
+// names into it, which is safe for concurrent readers of older snapshots.
+func NewEngineFromLibrary(lib *Library) *Engine {
+	e := &Engine{vocab: lib.vocab, dyn: core.NewDynamicLibrary()}
+	stamped := e.dyn.Swap(lib.lib)
+	e.state.Store(newEngineState(&Library{lib: stamped, vocab: lib.vocab}))
+	return e
+}
+
+// Snapshot returns the current epoch's immutable library. It is wait-free
+// and safe to call from any number of goroutines; the result remains valid
+// (and epoch-consistent) for as long as the caller holds it.
+func (e *Engine) Snapshot() *Library { return e.state.Load().lib }
+
+// Epoch returns the current epoch number.
+func (e *Engine) Epoch() uint64 { return e.Snapshot().Epoch() }
+
+// Len returns the number of implementations in the current epoch.
+func (e *Engine) Len() int { return e.Snapshot().NumImplementations() }
+
+// AddImplementation ingests one implementation and publishes the next
+// epoch. For sustained ingest prefer AddImplementations, which publishes
+// once per batch.
+func (e *Engine) AddImplementation(goal string, actions ...string) error {
+	_, err := e.AddImplementations([]Implementation{{Goal: goal, Actions: actions}})
+	return err
+}
+
+// AddImplementations ingests a batch, stopping at the first invalid
+// implementation, and publishes whatever was added as the next epoch. It
+// returns the number added; on error the earlier valid implementations of
+// the batch are still published (mirroring core.DynamicLibrary semantics).
+func (e *Engine) AddImplementations(impls []Implementation) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	added := 0
+	var firstErr error
+	for _, impl := range impls {
+		if err := e.addLocked(impl.Goal, impl.Actions); err != nil {
+			firstErr = err
+			break
+		}
+		added++
+	}
+	if added > 0 {
+		e.publishLocked()
+	}
+	return added, firstErr
+}
+
+func (e *Engine) addLocked(goal string, actions []string) error {
+	if goal == "" {
+		return errors.New("goalrec: empty goal name")
+	}
+	ids := make([]core.ActionID, len(actions))
+	for i, a := range actions {
+		if a == "" {
+			return fmt.Errorf("goalrec: implementation of %q has an empty action name", goal)
+		}
+		ids[i] = core.ActionID(e.vocab.Actions.Intern(a))
+	}
+	g := core.GoalID(e.vocab.Goals.Intern(goal))
+	if _, err := e.dyn.Add(g, ids); err != nil {
+		return fmt.Errorf("goalrec: adding implementation of %q: %w", goal, err)
+	}
+	return nil
+}
+
+// publishLocked snapshots the dynamic core and installs it as the current
+// epoch with a fresh (empty) recommender set.
+func (e *Engine) publishLocked() *Library {
+	lib := &Library{lib: e.dyn.Snapshot(), vocab: e.vocab}
+	e.state.Store(newEngineState(lib))
+	return lib
+}
+
+// Swap replaces the engine's library wholesale with lib — typically a
+// freshly re-loaded library file — publishing it as the next epoch. Readers
+// holding older snapshots are unaffected. It returns the published snapshot,
+// stamped with its new epoch.
+func (e *Engine) Swap(lib *Library) *Library {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.vocab = lib.vocab
+	stamped := e.dyn.Swap(lib.lib)
+	nl := &Library{lib: stamped, vocab: lib.vocab}
+	e.state.Store(newEngineState(nl))
+	return nl
+}
+
+// Recommender returns a recommender over the current epoch's snapshot.
+// Calls without options share one recommender per strategy from the epoch's
+// recommender set; passing options builds a fresh instance. Either way the
+// result is bound to its snapshot: it stays consistent (and valid) after
+// later epochs are published, and the per-epoch set is dropped wholesale on
+// publish so no cached state outlives its library.
+func (e *Engine) Recommender(s Strategy, opts ...RecommenderOption) (Recommender, error) {
+	st := e.state.Load()
+	if len(opts) > 0 {
+		return st.lib.Recommender(s, opts...)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if rec, ok := st.recs[s]; ok {
+		return rec, nil
+	}
+	rec, err := st.lib.Recommender(s)
+	if err != nil {
+		return nil, err
+	}
+	st.recs[s] = rec
+	return rec, nil
+}

@@ -1,8 +1,9 @@
 // Dynamic: ingest goal implementations incrementally and recommend from
-// consistent snapshots — the pattern for a service whose library grows (new
-// recipes, new outfits) while queries keep flowing. This example uses the
-// id-level core API directly; see examples/quickstart for the name-level
-// façade.
+// consistent epoch-numbered snapshots — the pattern for a service whose
+// library grows (new recipes, new outfits) while queries keep flowing. The
+// goalrec.Engine publishes an immutable snapshot per epoch; readers that
+// hold an older snapshot (or a recommender built on it) keep serving that
+// epoch unchanged.
 //
 //	go run ./examples/dynamic
 package main
@@ -11,37 +12,50 @@ import (
 	"fmt"
 	"log"
 
-	"goalrec/internal/core"
-	"goalrec/internal/strategy"
+	"goalrec"
 )
 
 func main() {
-	dyn := core.NewDynamicLibrary()
+	engine := goalrec.NewEngine()
 
-	// Initial batch: two recipes over actions 0..4.
-	mustAdd(dyn, 0, 0, 1, 2) // goal 0 = {a0, a1, a2}
-	mustAdd(dyn, 1, 0, 3)    // goal 1 = {a0, a3}
+	// Initial batch: two recipes.
+	mustAdd(engine, "pancakes", "milk", "eggs", "flour")
+	mustAdd(engine, "omelette", "milk", "butter")
 
-	snap := dyn.Snapshot()
-	fmt.Println("after batch 1:", snap.Stats())
-	rec := strategy.NewBreadth(snap)
-	fmt.Println("recommendations for {a0}:", strategy.Actions(rec.Recommend([]core.ActionID{0}, 5)))
+	snap := engine.Snapshot()
+	fmt.Printf("epoch %d: %s\n", snap.Epoch(), snap.Stats())
+	rec, err := engine.Recommender(goalrec.Breadth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommendations for {milk}:", actions(rec.Recommend([]string{"milk"}, 5)))
 
 	// A sync later, more implementations arrive. Existing snapshots (and any
 	// recommender built on them) keep serving unchanged.
-	mustAdd(dyn, 2, 1, 4)
-	mustAdd(dyn, 0, 0, 2, 4) // a second implementation of goal 0
+	mustAdd(engine, "crepes", "eggs", "sugar")
+	mustAdd(engine, "pancakes", "milk", "flour", "sugar") // a second implementation
 
-	fresh := dyn.Snapshot()
-	fmt.Println("after batch 2:", fresh.Stats())
-	fmt.Println("old snapshot still:", snap.Stats())
+	fresh := engine.Snapshot()
+	fmt.Printf("epoch %d: %s\n", fresh.Epoch(), fresh.Stats())
+	fmt.Printf("old epoch %d still: %s\n", snap.Epoch(), snap.Stats())
 
-	rec2 := strategy.NewBreadth(fresh)
-	fmt.Println("recommendations for {a0} now:", strategy.Actions(rec2.Recommend([]core.ActionID{0}, 5)))
-}
-
-func mustAdd(d *core.DynamicLibrary, goal core.GoalID, actions ...core.ActionID) {
-	if _, err := d.Add(goal, actions); err != nil {
+	rec2, err := engine.Recommender(goalrec.Breadth)
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println("recommendations for {milk} now:", actions(rec2.Recommend([]string{"milk"}, 5)))
+}
+
+func mustAdd(e *goalrec.Engine, goal string, acts ...string) {
+	if err := e.AddImplementation(goal, acts...); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func actions(recs []goalrec.Recommendation) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Action
+	}
+	return out
 }

@@ -81,39 +81,85 @@ type Library struct {
 // NumImplementations returns the number of goal implementations.
 func (l *Library) NumImplementations() int { return l.lib.NumImplementations() }
 
-// NumActions returns the number of distinct actions.
-func (l *Library) NumActions() int { return l.vocab.Actions.Len() }
+// NumActions returns the size of the library's action id space. It is a
+// property of the snapshot, not of the (possibly still growing) vocabulary,
+// so it stays stable for Engine snapshots while newer epochs intern more
+// names.
+func (l *Library) NumActions() int { return l.lib.NumActions() }
 
-// NumGoals returns the number of distinct goals.
-func (l *Library) NumGoals() int { return l.vocab.Goals.Len() }
+// NumGoals returns the size of the library's goal id space; like NumActions
+// it is epoch-stable.
+func (l *Library) NumGoals() int { return l.lib.NumGoals() }
+
+// Epoch returns the snapshot's epoch within its Engine lineage. Libraries
+// built directly (Builder, loaders) are epoch 0.
+func (l *Library) Epoch() uint64 { return l.lib.Epoch() }
 
 // Stats scans the library and returns its summary statistics.
 func (l *Library) Stats() Stats { return l.lib.Stats() }
 
-// Actions returns all known action names, sorted.
+// Actions returns the snapshot's action names, sorted. Names interned by
+// newer epochs of a shared Engine vocabulary are excluded.
 func (l *Library) Actions() []string {
-	out := append([]string(nil), l.vocab.Actions.Names()...)
+	out := make([]string, 0, l.lib.NumActions())
+	for id := 0; id < l.lib.NumActions(); id++ {
+		out = append(out, l.vocab.ActionName(core.ActionID(id)))
+	}
 	sort.Strings(out)
 	return out
 }
 
-// Goals returns all known goal names, sorted.
+// Goals returns the snapshot's goal names, sorted.
 func (l *Library) Goals() []string {
-	out := append([]string(nil), l.vocab.Goals.Names()...)
+	out := make([]string, 0, l.lib.NumGoals())
+	for id := 0; id < l.lib.NumGoals(); id++ {
+		out = append(out, l.vocab.GoalName(core.GoalID(id)))
+	}
 	sort.Strings(out)
 	return out
 }
 
-// resolve maps action names to ids, silently dropping unknown names (an
-// unknown action cannot contribute to any goal).
+// resolve maps action names to ids, dropping names unknown to this
+// snapshot; use resolveSplit or UnknownActions to surface them.
 func (l *Library) resolve(actions []string) []core.ActionID {
+	ids, _ := l.resolveSplit(actions)
+	return ids
+}
+
+// resolveSplit maps action names to ids and collects the names this
+// snapshot cannot serve: names missing from the vocabulary, plus names whose
+// id lies beyond the snapshot's action space (interned by a newer epoch). An
+// unknown action cannot contribute to any goal, and surfacing it lets
+// clients distinguish vocabulary misses from actions that merely rank low.
+func (l *Library) resolveSplit(actions []string) ([]core.ActionID, []string) {
 	ids := make([]core.ActionID, 0, len(actions))
+	var unknown []string
 	for _, a := range actions {
-		if id, ok := l.vocab.Actions.Lookup(a); ok {
+		if id, ok := l.vocab.Actions.Lookup(a); ok && int(id) < l.lib.NumActions() {
 			ids = append(ids, core.ActionID(id))
+		} else {
+			unknown = append(unknown, a)
 		}
 	}
-	return ids
+	return ids, unknown
+}
+
+// UnknownActions returns the activity's actions this snapshot cannot
+// resolve, deduplicated and sorted. An empty activity — or one fully covered
+// by the vocabulary — yields nil.
+func (l *Library) UnknownActions(activity []string) []string {
+	_, unknown := l.resolveSplit(activity)
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	out := unknown[:1]
+	for _, a := range unknown[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // GoalSpace returns the names of the goals associated with the activity

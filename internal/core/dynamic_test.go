@@ -1,8 +1,11 @@
 package core
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
+
+	"goalrec/internal/intset"
 )
 
 func TestDynamicLibraryBasics(t *testing.T) {
@@ -123,5 +126,140 @@ func TestDynamicLibraryConcurrent(t *testing.T) {
 	snap := d.Snapshot()
 	if snap.NumImplementations() != writers*perWriter {
 		t.Errorf("snapshot = %d implementations", snap.NumImplementations())
+	}
+}
+
+func TestDynamicLibraryEpochs(t *testing.T) {
+	d := NewDynamicLibrary()
+	s0 := d.Snapshot()
+	if s0.Epoch() != 0 {
+		t.Fatalf("initial epoch = %d", s0.Epoch())
+	}
+	if _, err := d.Add(0, actions(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s1 := d.Snapshot()
+	if s1.Epoch() != 1 {
+		t.Errorf("epoch after first write = %d, want 1", s1.Epoch())
+	}
+	if d.Snapshot().Epoch() != 1 {
+		t.Error("snapshot without writes advanced the epoch")
+	}
+	if _, err := d.Add(1, actions(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Snapshot().Epoch(); got != 2 {
+		t.Errorf("epoch after second write = %d, want 2", got)
+	}
+	if s1.Epoch() != 1 {
+		t.Error("old snapshot's epoch mutated")
+	}
+
+	b := NewBuilder(1, 1)
+	if _, err := b.Add(5, actions(7)); err != nil {
+		t.Fatal(err)
+	}
+	swapped := d.Swap(b.Build())
+	if swapped.Epoch() != 3 {
+		t.Errorf("epoch after swap = %d, want 3", swapped.Epoch())
+	}
+	if got := swapped.NumImplementations(); got != 1 {
+		t.Errorf("swapped snapshot has %d implementations", got)
+	}
+	// The lineage keeps extending past the swapped-in library.
+	if _, err := d.Add(6, actions(7, 8)); err != nil {
+		t.Fatal(err)
+	}
+	s4 := d.Snapshot()
+	if s4.Epoch() != 4 || s4.NumImplementations() != 2 {
+		t.Errorf("post-swap extend: epoch=%d impls=%d", s4.Epoch(), s4.NumImplementations())
+	}
+	if got := s4.ImplsOfAction(7); len(got) != 2 {
+		t.Errorf("postings of a7 after swap+extend = %v", got)
+	}
+	if swapped.NumImplementations() != 1 {
+		t.Error("swapped snapshot mutated by later append")
+	}
+}
+
+// libraryEqual asserts two libraries are observationally identical:
+// statistics, per-implementation content, and every index row.
+func libraryEqual(t *testing.T, got, want *Library) {
+	t.Helper()
+	if g, w := got.Stats(), want.Stats(); g != w {
+		t.Fatalf("stats\n got %+v\nwant %+v", g, w)
+	}
+	for p := 0; p < want.NumImplementations(); p++ {
+		id := ImplID(p)
+		if got.Goal(id) != want.Goal(id) {
+			t.Fatalf("impl %d goal = %d, want %d", p, got.Goal(id), want.Goal(id))
+		}
+		if !intset.Equal(got.Actions(id), want.Actions(id)) {
+			t.Fatalf("impl %d actions = %v, want %v", p, got.Actions(id), want.Actions(id))
+		}
+	}
+	for a := ActionID(0); int(a) < want.NumActions(); a++ {
+		if !intset.Equal(got.ImplsOfAction(a), want.ImplsOfAction(a)) {
+			t.Fatalf("IS(%d) = %v, want %v", a, got.ImplsOfAction(a), want.ImplsOfAction(a))
+		}
+		gg, gc := got.GoalsOfAction(a)
+		wg, wc := want.GoalsOfAction(a)
+		if !intset.Equal(gg, wg) {
+			t.Fatalf("AG goals of %d = %v, want %v", a, gg, wg)
+		}
+		for i := range gc {
+			if gc[i] != wc[i] {
+				t.Fatalf("AG counts of %d = %v, want %v", a, gc, wc)
+			}
+		}
+	}
+	for g := GoalID(0); int(g) < want.NumGoals(); g++ {
+		if !intset.Equal(got.ImplsOfGoal(g), want.ImplsOfGoal(g)) {
+			t.Fatalf("impls of goal %d = %v, want %v", g, got.ImplsOfGoal(g), want.ImplsOfGoal(g))
+		}
+		if got.GoalWalkCost(g) != want.GoalWalkCost(g) {
+			t.Fatalf("walk cost of goal %d = %d, want %d", g, got.GoalWalkCost(g), want.GoalWalkCost(g))
+		}
+	}
+}
+
+// TestDynamicLibraryIncrementalEquivalence drives random add sequences
+// through snapshots taken at every step — crossing several compactions via a
+// tiny threshold — and checks each snapshot against a cold Builder.Build
+// over the same implementations.
+func TestDynamicLibraryIncrementalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := NewDynamicLibrary()
+	d.compactMin = 7 // cross the overlay/compaction boundary many times
+	b := NewBuilder(0, 0)
+	var holds []*Library // every 10th snapshot, re-verified at the end
+	var refs []*Library
+	for i := 0; i < 300; i++ {
+		g := GoalID(rng.Intn(20))
+		n := 1 + rng.Intn(5)
+		acts := make([]ActionID, n)
+		for j := range acts {
+			acts[j] = ActionID(rng.Intn(40))
+		}
+		if _, err := d.Add(g, acts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Add(g, acts); err != nil {
+			t.Fatal(err)
+		}
+		snap := d.Snapshot()
+		if snap.Epoch() != uint64(i+1) {
+			t.Fatalf("epoch = %d at step %d", snap.Epoch(), i)
+		}
+		want := b.Build()
+		libraryEqual(t, snap, want)
+		if i%10 == 0 {
+			holds = append(holds, snap)
+			refs = append(refs, want)
+		}
+	}
+	// Old snapshots still return their epoch's results after all appends.
+	for i, snap := range holds {
+		libraryEqual(t, snap, refs[i])
 	}
 }

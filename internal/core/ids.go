@@ -9,7 +9,10 @@
 // external string names to ids at the boundary.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ActionID identifies an action (an item purchase, a course, a life action).
 type ActionID int32
@@ -30,8 +33,11 @@ const (
 
 // Interner assigns dense int32 ids to string names and resolves them back.
 // It implements the paper's A-ids / G-ids dictionaries. The zero value is
-// ready to use. Interner is not safe for concurrent mutation.
+// ready to use. The Interner is safe for concurrent use: ids only ever grow,
+// so readers of an older library snapshot keep resolving their epoch's names
+// while an Engine interns new ones.
 type Interner struct {
+	mu     sync.RWMutex
 	byName map[string]int32
 	names  []string
 }
@@ -43,6 +49,8 @@ func NewInterner(n int) *Interner {
 
 // Intern returns the id for name, assigning the next dense id on first use.
 func (in *Interner) Intern(name string) int32 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if in.byName == nil {
 		in.byName = make(map[string]int32)
 	}
@@ -58,12 +66,16 @@ func (in *Interner) Intern(name string) int32 {
 // Lookup returns the id for name without assigning one. The second result
 // reports whether the name was present.
 func (in *Interner) Lookup(name string) (int32, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	id, ok := in.byName[name]
 	return id, ok
 }
 
 // Name returns the name for id, or "" if id is out of range.
 func (in *Interner) Name(id int32) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	if id < 0 || int(id) >= len(in.names) {
 		return ""
 	}
@@ -71,11 +83,20 @@ func (in *Interner) Name(id int32) string {
 }
 
 // Len returns the number of interned names.
-func (in *Interner) Len() int { return len(in.names) }
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}
 
-// Names returns the interned names indexed by id. The returned slice is the
-// Interner's backing store and must not be modified.
-func (in *Interner) Names() []string { return in.names }
+// Names returns the interned names indexed by id. The returned slice is a
+// stable full-slice view of the Interner's backing store: later Interns never
+// mutate it. It must not be modified by the caller.
+func (in *Interner) Names() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.names[:len(in.names):len(in.names)]
+}
 
 // Vocabulary pairs the action and goal dictionaries of a library built from
 // named data.

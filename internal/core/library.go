@@ -207,6 +207,15 @@ func (l *Library) buildIndexes() {
 //	AG-idx:   action -> distinct (goal, multiplicity) pairs
 //
 // A Library is safe for concurrent readers.
+//
+// Libraries come in two internal shapes. A *flat* library (Builder.Build,
+// the codecs) stores every index as packed CSR arrays. An *extended* library
+// (a DynamicLibrary snapshot) shares the flat CSR arrays of an earlier epoch
+// and overlays fresh rows for only the actions and goals the appended
+// implementations touched; untouched rows keep serving from the shared
+// prefix, which is what makes snapshotting an append sub-linear in library
+// size. All accessors resolve the overlay transparently, so the two shapes
+// are observationally identical.
 type Library struct {
 	implGoal []GoalID   // GI-G-idx: implementation -> goal
 	implOff  []int32    // CSR offsets into implActs (GI-A-idx)
@@ -229,8 +238,35 @@ type Library struct {
 
 	goalSlots []int32 // per-goal Σ |A_p|, the walk cost of the goal's impls
 
+	// Copy-on-write overlays, non-nil only on extended snapshots: merged
+	// rows for the actions/goals touched since the last flat index build.
+	// The CSR arrays above then belong to the base epoch and cover only ids
+	// below their own lengths; every accessor consults the overlay first.
+	ovActPost   map[ActionID][]ImplID
+	ovGoalPost  map[GoalID][]ImplID
+	ovAgGoal    map[ActionID][]GoalID
+	ovAgCnt     map[ActionID][]int32
+	ovGoalSlots map[GoalID]int32
+
 	numActions int
 	numGoals   int
+
+	// epoch numbers the snapshot within a DynamicLibrary or Engine lineage;
+	// libraries built directly (Builder.Build, the codecs) are epoch 0.
+	epoch uint64
+}
+
+// Epoch returns the snapshot's epoch number. Snapshots taken from one
+// DynamicLibrary (or Engine) carry strictly increasing epochs; directly
+// built libraries are epoch 0.
+func (l *Library) Epoch() uint64 { return l.epoch }
+
+// withEpoch returns a shallow copy of l stamped with epoch e, used when an
+// externally built library is swapped into a DynamicLibrary lineage.
+func (l *Library) withEpoch(e uint64) *Library {
+	c := *l
+	c.epoch = e
+	return &c
 }
 
 // NumImplementations returns |L|.
@@ -270,6 +306,14 @@ func (l *Library) ImplsOfAction(a ActionID) []ImplID {
 	if a < 0 || int(a) >= l.numActions {
 		return nil
 	}
+	if l.ovActPost != nil {
+		if row, ok := l.ovActPost[a]; ok {
+			return row
+		}
+	}
+	if int(a)+1 >= len(l.actOff) {
+		return nil // id newer than the base epoch's indexes, never touched
+	}
 	return l.actPost[l.actOff[a]:l.actOff[a+1]]
 }
 
@@ -278,6 +322,14 @@ func (l *Library) ImplsOfAction(a ActionID) []ImplID {
 // Ids outside the library yield an empty slice.
 func (l *Library) ImplsOfGoal(g GoalID) []ImplID {
 	if g < 0 || int(g) >= l.numGoals {
+		return nil
+	}
+	if l.ovGoalPost != nil {
+		if row, ok := l.ovGoalPost[g]; ok {
+			return row
+		}
+	}
+	if int(g)+1 >= len(l.goalOff) {
 		return nil
 	}
 	return l.goalPost[l.goalOff[g]:l.goalOff[g+1]]
@@ -298,6 +350,14 @@ func (l *Library) GoalsOfAction(a ActionID) ([]GoalID, []int32) {
 	if a < 0 || int(a) >= l.numActions {
 		return nil, nil
 	}
+	if l.ovAgGoal != nil {
+		if row, ok := l.ovAgGoal[a]; ok {
+			return row, l.ovAgCnt[a]
+		}
+	}
+	if int(a)+1 >= len(l.agOff) {
+		return nil, nil
+	}
 	lo, hi := l.agOff[a], l.agOff[a+1]
 	return l.agGoal[lo:hi], l.agCnt[lo:hi]
 }
@@ -306,10 +366,8 @@ func (l *Library) GoalsOfAction(a ActionID) ([]GoalID, []int32) {
 // the AG-idx row length, the quantity that bounds the per-candidate scoring
 // cost of Best Match.
 func (l *Library) GoalDegree(a ActionID) int {
-	if a < 0 || int(a) >= l.numActions {
-		return 0
-	}
-	return int(l.agOff[a+1] - l.agOff[a])
+	goals, _ := l.GoalsOfAction(a)
+	return len(goals)
 }
 
 // ActionGoalCount returns the number of implementations of goal g that
@@ -337,6 +395,14 @@ func (l *Library) ActionGoalCount(a ActionID, g GoalID) int {
 // cost of visiting every slot of the goal. Ids outside the library yield 0.
 func (l *Library) GoalWalkCost(g GoalID) int {
 	if g < 0 || int(g) >= l.numGoals {
+		return 0
+	}
+	if l.ovGoalSlots != nil {
+		if v, ok := l.ovGoalSlots[g]; ok {
+			return int(v)
+		}
+	}
+	if int(g) >= len(l.goalSlots) {
 		return 0
 	}
 	return int(l.goalSlots[g])

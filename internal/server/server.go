@@ -7,9 +7,16 @@
 //	GET  /v1/stats                    library statistics
 //	POST /v1/recommend                {"activity": [...], "strategy": "...", "k": N}
 //	POST /v1/spaces                   {"activity": [...]} → goal space with progress, action space
+//	POST /v1/explain                  {"activity": [...], "action": "..."} → per-goal justification
+//	POST /v1/implementations          {"implementations": [{"goal": ..., "actions": [...]}, ...]} live ingest
+//	POST /v1/reload                   re-read the library source and swap it in
 //
-// All handlers are read-only against an immutable library and safe for
-// arbitrary concurrency.
+// The server is epoch-based: it holds an atomic pointer to the current
+// epoch's {library snapshot, recommender set} bundle. Queries load the
+// bundle once and answer entirely from it, so they always see one
+// consistent epoch; ingests and reloads publish the next epoch without
+// blocking in-flight queries. Every response carries the epoch it was
+// answered from.
 package server
 
 import (
@@ -18,51 +25,134 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"goalrec"
 )
 
-// maxBodyBytes bounds request bodies; activities are small.
+// maxBodyBytes bounds request bodies; activities and ingest batches are
+// small relative to this.
 const maxBodyBytes = 1 << 20
 
-// Server routes recommendation requests against one library.
-type Server struct {
+// bundle pairs one epoch's library snapshot with the recommenders built
+// over it. Queries that grabbed a bundle keep using it even while a newer
+// epoch is being installed; dropping the whole bundle on swap is what
+// invalidates the recommender caches.
+type bundle struct {
 	lib *goalrec.Library
+
+	mu   sync.Mutex
+	recs map[string]goalrec.Recommender // lazily built per strategy/metric
+}
+
+func newBundle(lib *goalrec.Library) *bundle {
+	return &bundle{lib: lib, recs: make(map[string]goalrec.Recommender)}
+}
+
+// recommender returns (building on first use) the bundle's recommender for
+// the strategy/metric pair.
+func (b *bundle) recommender(strategyName, metric string) (goalrec.Recommender, error) {
+	if strategyName == "" {
+		strategyName = string(goalrec.Breadth)
+	}
+	if metric == "" {
+		metric = "cosine"
+	}
+	key := strategyName + "/" + metric
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rec, ok := b.recs[key]; ok {
+		return rec, nil
+	}
+	// Serving workloads repeat activities heavily; strategies are
+	// deterministic over the immutable snapshot, so an LRU per recommender
+	// is sound — and it dies with the bundle, never serving a stale epoch.
+	rec, err := b.lib.Recommender(goalrec.Strategy(strategyName),
+		goalrec.WithDistanceMetric(metric), goalrec.WithCache(4096))
+	if err != nil {
+		return nil, err
+	}
+	b.recs[key] = rec
+	return rec, nil
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithReloader installs the loader /v1/reload invokes to re-read the
+// library from its source of truth. Without one, /v1/reload answers 501.
+func WithReloader(load func() (*goalrec.Library, error)) Option {
+	return func(s *Server) { s.reload = load }
+}
+
+// Server routes recommendation requests against the current epoch of an
+// evolving library.
+type Server struct {
+	engine *goalrec.Engine
+	cur    atomic.Pointer[bundle]
+	swapMu sync.Mutex // serializes bundle installs (monotonic epoch guard)
+	reload func() (*goalrec.Library, error)
+
 	mux *http.ServeMux
 	log *log.Logger
 
-	mu   sync.Mutex
-	recs map[string]goalrec.Recommender // lazily built per strategy
-
-	// Operational counters, also exported at /debug/vars.
+	// Operational counters, per instance (kept off the global expvar
+	// registry so multiple servers can coexist in one process).
 	requests *expvar.Map
 	errors   *expvar.Map
 }
 
-// New returns a Server for lib. logger may be nil to disable request
-// logging.
-func New(lib *goalrec.Library, logger *log.Logger) *Server {
+// New returns a Server seeded with lib as its first epoch. logger may be
+// nil to disable request logging.
+func New(lib *goalrec.Library, logger *log.Logger, opts ...Option) *Server {
 	s := &Server{
-		lib:      lib,
+		engine:   goalrec.NewEngineFromLibrary(lib),
 		mux:      http.NewServeMux(),
 		log:      logger,
-		recs:     make(map[string]goalrec.Recommender),
 		requests: new(expvar.Map).Init(),
 		errors:   new(expvar.Map).Init(),
+	}
+	s.cur.Store(newBundle(s.engine.Snapshot()))
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
 	s.mux.HandleFunc("POST /v1/recommend", s.counted("recommend", s.handleRecommend))
 	s.mux.HandleFunc("POST /v1/spaces", s.counted("spaces", s.handleSpaces))
 	s.mux.HandleFunc("POST /v1/explain", s.counted("explain", s.handleExplain))
-	// Per-instance operational counters (kept off the global expvar
-	// registry so multiple servers can coexist in one process).
-	s.mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"requests\": %s, \"errors\": %s}\n", s.requests.String(), s.errors.String())
-	})
+	s.mux.HandleFunc("POST /v1/implementations", s.counted("implementations", s.handleIngest))
+	s.mux.HandleFunc("POST /v1/reload", s.counted("reload", s.handleReload))
+	s.mux.HandleFunc("GET /v1/metrics", s.counted("metrics", s.handleMetrics))
 	return s
+}
+
+// bundle returns the current epoch's bundle. Handlers load it exactly once
+// per request so library, recommenders and reported epoch stay consistent.
+func (s *Server) bundle() *bundle { return s.cur.Load() }
+
+// Epoch returns the epoch the server currently answers from.
+func (s *Server) Epoch() uint64 { return s.bundle().lib.Epoch() }
+
+// Swap replaces the served library with lib as the next epoch and returns
+// that epoch. In-flight requests finish against the bundle they loaded.
+func (s *Server) Swap(lib *goalrec.Library) uint64 {
+	return s.install(s.engine.Swap(lib))
+}
+
+// install publishes lib's bundle unless a newer (or the same) epoch is
+// already being served — concurrent ingests and swaps race to install, and
+// the guard keeps the served epoch monotonic.
+func (s *Server) install(lib *goalrec.Library) uint64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if cur := s.cur.Load(); cur != nil && lib.Epoch() <= cur.lib.Epoch() {
+		return cur.lib.Epoch()
+	}
+	s.cur.Store(newBundle(lib))
+	return lib.Epoch()
 }
 
 // ServeHTTP implements http.Handler.
@@ -70,27 +160,48 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// counted wraps a handler with per-endpoint request accounting.
+// counted wraps a handler with per-endpoint request accounting and panic
+// recovery: a panicking handler is logged with its stack and answered with
+// a JSON 500 (when nothing has been written yet) instead of killing the
+// daemon's connection serving.
 func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(name, 1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.errors.Add(name, 1)
+				s.logf("server: panic in %s: %v\n%s", name, rec, debug.Stack())
+				if !sw.wrote {
+					s.writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+				return
+			}
+			if sw.status >= 400 {
+				s.errors.Add(name, 1)
+			}
+		}()
 		h(sw, r)
-		if sw.status >= 400 {
-			s.errors.Add(name, 1)
-		}
 	}
 }
 
-// statusWriter records the response status for error accounting.
+// statusWriter records the response status and whether anything was
+// written, for error accounting and panic recovery.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -117,11 +228,15 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"epoch":  s.bundle().lib.Epoch(),
+	})
 }
 
 // statsResponse mirrors goalrec.Stats with wire-friendly names.
 type statsResponse struct {
+	Epoch           uint64  `json:"epoch"`
 	Implementations int     `json:"implementations"`
 	Actions         int     `json:"actions"`
 	Goals           int     `json:"goals"`
@@ -130,14 +245,22 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.lib.Stats()
+	b := s.bundle()
+	st := b.lib.Stats()
 	s.writeJSON(w, http.StatusOK, statsResponse{
+		Epoch:           b.lib.Epoch(),
 		Implementations: st.Implementations,
 		Actions:         st.Actions,
 		Goals:           st.Goals,
 		AvgImplLen:      st.AvgImplLen,
 		Connectivity:    st.Connectivity,
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s}\n",
+		s.bundle().lib.Epoch(), s.requests.String(), s.errors.String())
 }
 
 // recommendRequest is the /v1/recommend body.
@@ -148,42 +271,20 @@ type recommendRequest struct {
 	K        int      `json:"k"`        // default 10
 }
 
-// recommendResponse is the /v1/recommend reply.
+// recommendResponse is the /v1/recommend reply. UnknownActions lists the
+// activity's actions the served epoch cannot resolve (and therefore
+// ignored) — without it, a typo in an action name is indistinguishable
+// from an action that merely scores low.
 type recommendResponse struct {
+	Epoch           uint64                  `json:"epoch"`
 	Strategy        string                  `json:"strategy"`
 	Recommendations []recommendationPayload `json:"recommendations"`
+	UnknownActions  []string                `json:"unknown_actions,omitempty"`
 }
 
 type recommendationPayload struct {
 	Action string  `json:"action"`
 	Score  float64 `json:"score"`
-}
-
-// recommender returns (building on first use) the recommender for the
-// strategy/metric pair.
-func (s *Server) recommender(strategyName, metric string) (goalrec.Recommender, error) {
-	if strategyName == "" {
-		strategyName = string(goalrec.Breadth)
-	}
-	if metric == "" {
-		metric = "cosine"
-	}
-	key := strategyName + "/" + metric
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if rec, ok := s.recs[key]; ok {
-		return rec, nil
-	}
-	// Serving workloads repeat activities heavily; strategies are
-	// deterministic over the immutable library, so an LRU per recommender
-	// is sound.
-	rec, err := s.lib.Recommender(goalrec.Strategy(strategyName),
-		goalrec.WithDistanceMetric(metric), goalrec.WithCache(4096))
-	if err != nil {
-		return nil, err
-	}
-	s.recs[key] = rec
-	return rec, nil
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
@@ -212,20 +313,24 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "k must be in [1, 1000]")
 		return
 	}
-	rec, err := s.recommender(req.Strategy, req.Metric)
+	b := s.bundle()
+	rec, err := b.recommender(req.Strategy, req.Metric)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	list := rec.Recommend(req.Activity, req.K)
 	resp := recommendResponse{
+		Epoch:           b.lib.Epoch(),
 		Strategy:        rec.Name(),
 		Recommendations: make([]recommendationPayload, len(list)),
+		UnknownActions:  b.lib.UnknownActions(req.Activity),
 	}
 	for i, rcm := range list {
 		resp.Recommendations[i] = recommendationPayload{Action: rcm.Action, Score: rcm.Score}
 	}
-	s.logf("recommend strategy=%s k=%d activity=%d results=%d", rec.Name(), req.K, len(req.Activity), len(list))
+	s.logf("recommend strategy=%s k=%d activity=%d results=%d epoch=%d",
+		rec.Name(), req.K, len(req.Activity), len(list), resp.Epoch)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -235,15 +340,41 @@ type spacesRequest struct {
 }
 
 // spacesResponse reports the goal space (with progress) and action space of
-// an activity.
+// an activity, plus the activity actions unknown to the served epoch.
 type spacesResponse struct {
-	Goals   []goalProgressPayload `json:"goals"`
-	Actions []string              `json:"actions"`
+	Epoch          uint64                `json:"epoch"`
+	Goals          []goalProgressPayload `json:"goals"`
+	Actions        []string              `json:"actions"`
+	UnknownActions []string              `json:"unknown_actions,omitempty"`
 }
 
 type goalProgressPayload struct {
 	Goal     string  `json:"goal"`
 	Progress float64 `json:"progress"`
+}
+
+func (s *Server) handleSpaces(w http.ResponseWriter, r *http.Request) {
+	var req spacesRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Activity) == 0 {
+		s.writeError(w, http.StatusBadRequest, "activity must not be empty")
+		return
+	}
+	b := s.bundle()
+	progress := b.lib.GoalProgress(req.Activity)
+	goals := b.lib.GoalSpace(req.Activity)
+	resp := spacesResponse{
+		Epoch:          b.lib.Epoch(),
+		Goals:          make([]goalProgressPayload, len(goals)),
+		Actions:        b.lib.ActionSpace(req.Activity),
+		UnknownActions: b.lib.UnknownActions(req.Activity),
+	}
+	for i, g := range goals {
+		resp.Goals[i] = goalProgressPayload{Goal: g, Progress: progress[g]}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // explainRequest is the /v1/explain body.
@@ -254,6 +385,7 @@ type explainRequest struct {
 
 // explainResponse lists the goals justifying the action.
 type explainResponse struct {
+	Epoch        uint64               `json:"epoch"`
 	Explanations []explanationPayload `json:"explanations"`
 }
 
@@ -273,8 +405,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "activity and action are required")
 		return
 	}
-	exps := s.lib.Explain(req.Activity, req.Action)
-	resp := explainResponse{Explanations: make([]explanationPayload, len(exps))}
+	b := s.bundle()
+	exps := b.lib.Explain(req.Activity, req.Action)
+	resp := explainResponse{
+		Epoch:        b.lib.Epoch(),
+		Explanations: make([]explanationPayload, len(exps)),
+	}
 	for i, e := range exps {
 		resp.Explanations[i] = explanationPayload{
 			Goal:            e.Goal,
@@ -286,23 +422,73 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSpaces(w http.ResponseWriter, r *http.Request) {
-	var req spacesRequest
+// ingestRequest is the /v1/implementations body.
+type ingestRequest struct {
+	Implementations []implementationPayload `json:"implementations"`
+}
+
+type implementationPayload struct {
+	Goal    string   `json:"goal"`
+	Actions []string `json:"actions"`
+}
+
+// ingestResponse reports what the batch did. On a partial failure the
+// response is a 400 carrying the same fields plus the error: the valid
+// prefix has been published and Added says how far ingestion got.
+type ingestResponse struct {
+	Epoch uint64 `json:"epoch"`
+	Added int    `json:"added"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Activity) == 0 {
-		s.writeError(w, http.StatusBadRequest, "activity must not be empty")
+	if len(req.Implementations) == 0 {
+		s.writeError(w, http.StatusBadRequest, "implementations must not be empty")
 		return
 	}
-	progress := s.lib.GoalProgress(req.Activity)
-	goals := s.lib.GoalSpace(req.Activity)
-	resp := spacesResponse{
-		Goals:   make([]goalProgressPayload, len(goals)),
-		Actions: s.lib.ActionSpace(req.Activity),
+	impls := make([]goalrec.Implementation, len(req.Implementations))
+	for i, p := range req.Implementations {
+		impls[i] = goalrec.Implementation{Goal: p.Goal, Actions: p.Actions}
 	}
-	for i, g := range goals {
-		resp.Goals[i] = goalProgressPayload{Goal: g, Progress: progress[g]}
+	added, err := s.engine.AddImplementations(impls)
+	epoch := s.install(s.engine.Snapshot())
+	s.logf("ingest added=%d of %d epoch=%d", added, len(impls), epoch)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, ingestResponse{
+			Epoch: epoch, Added: added, Error: err.Error(),
+		})
+		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, ingestResponse{Epoch: epoch, Added: added})
+}
+
+// reloadResponse is the /v1/reload reply.
+type reloadResponse struct {
+	Epoch           uint64 `json:"epoch"`
+	Implementations int    `json:"implementations"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.reload == nil {
+		s.writeError(w, http.StatusNotImplemented, "no reloader configured")
+		return
+	}
+	lib, err := s.reload()
+	if err != nil {
+		// The old epoch keeps serving; reload failure must never take the
+		// working library down with it.
+		s.logf("reload failed: %v (keeping epoch %d)", err, s.Epoch())
+		s.writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+		return
+	}
+	epoch := s.Swap(lib)
+	s.logf("reload swapped in %d implementations at epoch %d", lib.NumImplementations(), epoch)
+	s.writeJSON(w, http.StatusOK, reloadResponse{
+		Epoch:           epoch,
+		Implementations: lib.NumImplementations(),
+	})
 }

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"goalrec"
+)
+
+func TestEpochOnResponses(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Epoch != 1 {
+		t.Errorf("healthz = %+v, want status ok at epoch 1", health)
+	}
+
+	_, body := postJSON(t, ts.URL+"/v1/recommend", `{"activity": ["potatoes"]}`)
+	var rec recommendResponse
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 1 {
+		t.Errorf("recommend epoch = %d, want 1", rec.Epoch)
+	}
+}
+
+func TestUnknownActionsSurfaced(t *testing.T) {
+	ts := newTestServer(t)
+
+	_, body := postJSON(t, ts.URL+"/v1/recommend",
+		`{"activity": ["potatoes", "durian", "carrots", "durian"]}`)
+	var rec recommendResponse
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.UnknownActions, []string{"durian"}) {
+		t.Errorf("recommend unknown_actions = %v, want [durian]", rec.UnknownActions)
+	}
+
+	_, body = postJSON(t, ts.URL+"/v1/spaces", `{"activity": ["zucchini", "potatoes"]}`)
+	var sp spacesResponse
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp.UnknownActions, []string{"zucchini"}) {
+		t.Errorf("spaces unknown_actions = %v, want [zucchini]", sp.UnknownActions)
+	}
+
+	// Fully known activities omit the field.
+	_, body = postJSON(t, ts.URL+"/v1/recommend", `{"activity": ["potatoes"]}`)
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["unknown_actions"]; ok {
+		t.Errorf("unknown_actions present for fully known activity: %s", body)
+	}
+}
+
+func TestIngestServedNextRequest(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/implementations",
+		`{"implementations": [
+			{"goal": "borscht", "actions": ["beets", "carrots", "potatoes"]},
+			{"goal": "roasted beets", "actions": ["beets", "butter"]}
+		]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d: %s", resp.StatusCode, body)
+	}
+	var ing ingestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Added != 2 || ing.Epoch != 2 {
+		t.Errorf("ingest = %+v, want added 2 at epoch 2", ing)
+	}
+
+	// The very next request serves the new implementations at the new epoch.
+	resp, body = postJSON(t, ts.URL+"/v1/spaces", `{"activity": ["beets"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spaces status = %d: %s", resp.StatusCode, body)
+	}
+	var sp spacesResponse
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Epoch != 2 {
+		t.Errorf("spaces epoch = %d, want 2", sp.Epoch)
+	}
+	goals := make([]string, len(sp.Goals))
+	for i, g := range sp.Goals {
+		goals[i] = g.Goal
+	}
+	if !reflect.DeepEqual(goals, []string{"borscht", "roasted beets"}) {
+		t.Errorf("goals after ingest = %v", goals)
+	}
+	if sp.UnknownActions != nil {
+		t.Errorf("beets still unknown after ingest: %v", sp.UnknownActions)
+	}
+
+	// Stats reflect the grown library.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Implementations != 5 || st.Epoch != 2 {
+		t.Errorf("stats after ingest = %+v", st)
+	}
+}
+
+func TestIngestPartialFailure(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/implementations",
+		`{"implementations": [
+			{"goal": "borscht", "actions": ["beets"]},
+			{"goal": "", "actions": ["salt"]},
+			{"goal": "soup", "actions": ["water"]}
+		]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial ingest status = %d: %s", resp.StatusCode, body)
+	}
+	var ing ingestResponse
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Added != 1 || ing.Error == "" {
+		t.Errorf("partial ingest = %+v, want added 1 with error", ing)
+	}
+	// The valid prefix is live.
+	_, body = postJSON(t, ts.URL+"/v1/spaces", `{"activity": ["beets"]}`)
+	var sp spacesResponse
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Goals) != 1 || sp.Goals[0].Goal != "borscht" {
+		t.Errorf("goals after partial ingest = %v", sp.Goals)
+	}
+	// "water" from after the failure point was never ingested.
+	_, body = postJSON(t, ts.URL+"/v1/spaces", `{"activity": ["water"]}`)
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Goals) != 0 {
+		t.Errorf("post-failure implementation leaked in: %v", sp.Goals)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/implementations", `{"implementations": []}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty ingest status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestReloadWithoutReloader(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/reload", "")
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("reload status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestReloadSwapAndFallback(t *testing.T) {
+	var nextLib *goalrec.Library
+	var loadErr error
+	srv := New(testLibrary(t), nil, WithReloader(func() (*goalrec.Library, error) {
+		return nextLib, loadErr
+	}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	b := goalrec.NewBuilder()
+	if err := b.AddImplementation("new world", "one action"); err != nil {
+		t.Fatal(err)
+	}
+	nextLib = b.Build()
+
+	resp, body := postJSON(t, ts.URL+"/v1/reload", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status = %d: %s", resp.StatusCode, body)
+	}
+	var rel reloadResponse
+	if err := json.Unmarshal(body, &rel); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Implementations != 1 || rel.Epoch != 2 {
+		t.Errorf("reload = %+v, want 1 implementation at epoch 2", rel)
+	}
+	_, body = postJSON(t, ts.URL+"/v1/spaces", `{"activity": ["one action"]}`)
+	var sp spacesResponse
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Goals) != 1 || sp.Goals[0].Goal != "new world" {
+		t.Errorf("goals after reload = %v", sp.Goals)
+	}
+
+	// A failing reload answers 500 and keeps the current epoch serving.
+	loadErr = errors.New("library file corrupted")
+	resp, body = postJSON(t, ts.URL+"/v1/reload", "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("failed reload status = %d: %s", resp.StatusCode, body)
+	}
+	if got := srv.Epoch(); got != 2 {
+		t.Errorf("epoch after failed reload = %d, want 2", got)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/spaces", `{"activity": ["one action"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spaces after failed reload status = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Goals) != 1 {
+		t.Errorf("old epoch no longer serving after failed reload: %v", sp.Goals)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	srv := New(testLibrary(t), nil)
+	h := srv.counted("boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	})
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rr.Code)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Errorf("panic response not a JSON error envelope: %q", rr.Body.String())
+	}
+	if got := srv.errors.Get("boom"); got == nil || got.String() != "1" {
+		t.Errorf("panic not counted as error: %v", got)
+	}
+
+	// A panic after the response started cannot rewrite the status; it must
+	// still be swallowed and counted.
+	h = srv.counted("late", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("too late")
+	})
+	rr = httptest.NewRecorder()
+	h(rr, httptest.NewRequest(http.MethodGet, "/late", nil))
+	if rr.Code != http.StatusOK {
+		t.Errorf("late panic rewrote status to %d", rr.Code)
+	}
+	if got := srv.errors.Get("late"); got == nil || got.String() != "1" {
+		t.Errorf("late panic not counted: %v", got)
+	}
+}
