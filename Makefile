@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench microbench vet fmt lint cover experiments clean BENCH_PR1.json
+.PHONY: all build test race bench microbench vet fmt lint cover experiments soak clean BENCH_PR1.json
 
 all: vet test build
 
@@ -45,6 +45,11 @@ lint:
 
 cover:
 	go test ./... -coverprofile=cover.out && go tool cover -func=cover.out | tail -1
+
+# Overload a race-instrumented goalrecd with loadgen for ~30s and require
+# every response to be 200/503/504 plus a clean SIGTERM shutdown.
+soak:
+	./scripts/soak.sh
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

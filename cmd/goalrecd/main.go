@@ -5,8 +5,9 @@
 // Endpoints (JSON):
 //
 //	GET  /healthz
+//	GET  /readyz                  readiness: 503 while draining for shutdown
 //	GET  /v1/stats
-//	GET  /v1/metrics              per-endpoint request/error counters
+//	GET  /v1/metrics              per-endpoint request/error + lifecycle counters
 //	POST /v1/recommend            {"activity": ["potatoes"], "strategy": "breadth", "k": 10}
 //	POST /v1/spaces               {"activity": ["potatoes"]}
 //	POST /v1/explain              {"activity": ["potatoes"], "action": "pickles"}
@@ -17,9 +18,15 @@
 // reloads advance the epoch without interrupting in-flight requests. With
 // -watch the daemon polls the library file and hot-swaps it when it
 // changes; a file that fails to load is logged and the current epoch keeps
-// serving.
+// serving, with exponential-backoff retries until the load heals.
 //
-// The process shuts down gracefully on SIGINT/SIGTERM.
+// -request-timeout bounds every request (504 on expiry) and -max-inflight
+// caps concurrent expensive requests, shedding the excess as 503 +
+// Retry-After.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// 503 (draining) so load balancers stop routing here, then in-flight
+// requests get up to 10s to finish.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,6 +58,9 @@ func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	quiet := flag.Bool("quiet", false, "disable request logging")
 	watch := flag.Duration("watch", 0, "poll the library file at this interval and hot-swap on change (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; expired requests answer 504 (0 disables)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent expensive requests; excess is shed as 503 (0 disables)")
+	admissionWait := flag.Duration("admission-wait", 10*time.Millisecond, "how long an over-limit request may wait for a slot before being shed (needs -max-inflight)")
 	flag.Parse()
 	if *libPath == "" {
 		return errors.New("-library is required")
@@ -67,9 +78,18 @@ func run() error {
 	}
 	logger.Printf("loaded library: %s", lib.Stats())
 
-	api := server.New(lib, reqLogger, server.WithReloader(func() (*goalrec.Library, error) {
-		return goalrec.LoadLibraryFile(*libPath)
-	}))
+	opts := []server.Option{
+		server.WithReloader(func() (*goalrec.Library, error) {
+			return goalrec.LoadLibraryFile(*libPath)
+		}),
+	}
+	if *requestTimeout > 0 {
+		opts = append(opts, server.WithRequestTimeout(*requestTimeout))
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, server.WithMaxInflight(*maxInflight), server.WithAdmissionWait(*admissionWait))
+	}
+	api := server.New(lib, reqLogger, opts...)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -82,9 +102,10 @@ func run() error {
 	if *watch > 0 {
 		ctx, cancel := context.WithCancel(context.Background())
 		stopWatch = cancel
+		w := newLibraryWatcher(api, logger, *libPath, *watch)
 		go func() {
 			defer close(watchDone)
-			watchLibrary(ctx, api, logger, *libPath, *watch)
+			w.run(ctx)
 		}()
 	} else {
 		close(watchDone)
@@ -108,7 +129,10 @@ func run() error {
 		<-watchDone
 		return err
 	case sig := <-stop:
-		logger.Printf("received %v, shutting down", sig)
+		// Flip to draining first so /readyz tells load balancers to stop
+		// routing here while in-flight requests finish.
+		api.SetDraining(true)
+		logger.Printf("received %v, draining and shutting down", sig)
 		stopWatch()
 		<-watchDone
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -120,44 +144,113 @@ func run() error {
 	}
 }
 
-// watchLibrary polls path every interval and swaps the served library when
-// the file's mtime or size changes. A change that fails to load is logged
-// and skipped — the server keeps answering from its current epoch — and the
-// same file state is not retried until it changes again.
-func watchLibrary(ctx context.Context, api *server.Server, logger *log.Logger, path string, interval time.Duration) {
-	type fileState struct {
-		mtime time.Time
-		size  int64
+// reloadTarget is the slice of *server.Server the watcher needs; tests
+// substitute nothing — they use a real server — but the interface keeps
+// the watcher honest about what it touches.
+type reloadTarget interface {
+	Epoch() uint64
+	Swap(lib *goalrec.Library) uint64
+	NoteReloadFailure() int64
+	NoteReloadSuccess()
+}
+
+// libraryWatcher polls a library file and hot-swaps it into the server
+// when it changes. Failures keep the current epoch serving and are retried
+// with exponential backoff and jitter; transitions between healthy and
+// failing are logged once, plus every logEveryNth failure while the streak
+// lasts — a persistently broken file produces a heartbeat, not a log line
+// per poll.
+type libraryWatcher struct {
+	target   reloadTarget
+	logger   *log.Logger
+	path     string
+	interval time.Duration
+
+	// Injection points for tests; production uses the os/goalrec defaults.
+	load func(path string) (*goalrec.Library, error)
+	stat func(path string) (os.FileInfo, error)
+
+	logEveryNth int
+	maxBackoff  time.Duration
+	rng         *rand.Rand
+}
+
+func newLibraryWatcher(target reloadTarget, logger *log.Logger, path string, interval time.Duration) *libraryWatcher {
+	return &libraryWatcher{
+		target:      target,
+		logger:      logger,
+		path:        path,
+		interval:    interval,
+		load:        goalrec.LoadLibraryFile,
+		stat:        os.Stat,
+		logEveryNth: 5,
+		maxBackoff:  32 * interval,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+}
+
+type fileState struct {
+	mtime time.Time
+	size  int64
+}
+
+func (w *libraryWatcher) run(ctx context.Context) {
 	var last fileState
-	if fi, err := os.Stat(path); err == nil {
+	if fi, err := w.stat(w.path); err == nil {
 		last = fileState{fi.ModTime(), fi.Size()}
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	backoff := w.interval
+	failing := false
 	for {
+		delay := w.interval
+		if failing {
+			// Exponential backoff with ±20% jitter so a fleet of watchers
+			// does not hammer a shared source in lockstep.
+			delay = time.Duration(float64(backoff) * (0.8 + 0.4*w.rng.Float64()))
+		}
+		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
-		case <-ticker.C:
+		case <-t.C:
 		}
-		fi, err := os.Stat(path)
+
+		fi, err := w.stat(w.path)
+		var lib *goalrec.Library
+		if err == nil {
+			cur := fileState{fi.ModTime(), fi.Size()}
+			// While healthy, an unchanged file means nothing to do. While
+			// failing, retry even an unchanged file: partial writes and
+			// permission hiccups heal without the mtime moving.
+			if cur == last && !failing {
+				continue
+			}
+			last = cur
+			lib, err = w.load(w.path)
+		}
 		if err != nil {
-			logger.Printf("watch: stat %s: %v (keeping epoch %d)", path, err, api.Epoch())
+			streak := w.target.NoteReloadFailure()
+			if !failing {
+				failing = true
+				backoff = w.interval
+				w.logger.Printf("watch: %s failing: %v (keeping epoch %d)", w.path, err, w.target.Epoch())
+			} else {
+				backoff = min(2*backoff, w.maxBackoff)
+				if w.logEveryNth > 0 && streak%int64(w.logEveryNth) == 0 {
+					w.logger.Printf("watch: %s still failing after %d attempts: %v (keeping epoch %d)",
+						w.path, streak, err, w.target.Epoch())
+				}
+			}
 			continue
 		}
-		cur := fileState{fi.ModTime(), fi.Size()}
-		if cur == last {
-			continue
+		w.target.NoteReloadSuccess()
+		epoch := w.target.Swap(lib)
+		if failing {
+			failing = false
+			w.logger.Printf("watch: %s recovered", w.path)
 		}
-		last = cur
-		lib, err := goalrec.LoadLibraryFile(path)
-		if err != nil {
-			logger.Printf("watch: reload %s failed: %v (keeping epoch %d)", path, err, api.Epoch())
-			continue
-		}
-		epoch := api.Swap(lib)
-		logger.Printf("watch: swapped in %s (%d implementations) at epoch %d",
-			path, lib.NumImplementations(), epoch)
+		w.logger.Printf("watch: swapped in %s (%d implementations) at epoch %d",
+			w.path, lib.NumImplementations(), epoch)
 	}
 }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"goalrec"
+	"goalrec/internal/faultinject"
+	"goalrec/internal/server"
+)
+
+func watchTestLibrary(t *testing.T) *goalrec.Library {
+	t.Helper()
+	b := goalrec.NewBuilder()
+	if err := b.AddImplementation("salad", "potatoes", "carrots"); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+type fakeInfo struct{ mtime time.Time }
+
+func (f fakeInfo) Name() string       { return "fake.jsonl" }
+func (f fakeInfo) Size() int64        { return 1 }
+func (f fakeInfo) Mode() os.FileMode  { return 0 }
+func (f fakeInfo) ModTime() time.Time { return f.mtime }
+func (f fakeInfo) IsDir() bool        { return false }
+func (f fakeInfo) Sys() interface{}   { return nil }
+
+// TestWatcherBackoffAndRecovery scripts seven consecutive load failures
+// followed by success and checks the whole failure-streak contract: the
+// watcher keeps retrying (with backoff) even though the file state never
+// changes again, logs the ok→failing transition once plus every-Nth
+// heartbeats instead of a line per poll, notes each failure on the server,
+// and on recovery resets the streak and swaps the new epoch in.
+func TestWatcherBackoffAndRecovery(t *testing.T) {
+	lib := watchTestLibrary(t)
+	rl := &faultinject.Reloader{FailFirst: 7, Lib: lib}
+	srv := server.New(lib, nil)
+	epoch0 := srv.Epoch()
+
+	var buf bytes.Buffer
+	w := newLibraryWatcher(srv, log.New(&buf, "", 0), "fake.jsonl", time.Millisecond)
+	w.maxBackoff = 4 * time.Millisecond
+	w.logEveryNth = 3
+	w.load = func(string) (*goalrec.Library, error) { return rl.Load() }
+	var stats atomic.Int64
+	t0 := time.Unix(1000, 0)
+	w.stat = func(string) (os.FileInfo, error) {
+		// First stat (baseline) sees t0; every later stat sees a changed
+		// file, which triggers the first load. The state then never
+		// changes again, so continued retries prove the failing-mode
+		// retry path.
+		if stats.Add(1) == 1 {
+			return fakeInfo{t0}, nil
+		}
+		return fakeInfo{t0.Add(time.Second)}, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.run(ctx)
+	}()
+
+	deadline := time.After(10 * time.Second)
+	for srv.Epoch() == epoch0 {
+		select {
+		case <-deadline:
+			cancel()
+			<-done
+			t.Fatalf("watcher never recovered; failures=%d log:\n%s", rl.Failures(), buf.String())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Let a few healthy, unchanged polls pass: they must be silent no-ops.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	<-done
+
+	if rl.Failures() != 7 {
+		t.Errorf("failures = %d, want 7", rl.Failures())
+	}
+	if got := srv.ReloadFailureStreak(); got != 0 {
+		t.Errorf("streak after recovery = %d, want 0", got)
+	}
+
+	logs := buf.String()
+	if n := strings.Count(logs, "fake.jsonl failing:"); n != 1 {
+		t.Errorf("ok->failing logged %d times, want 1:\n%s", n, logs)
+	}
+	if n := strings.Count(logs, "still failing after"); n != 2 {
+		t.Errorf("heartbeats = %d, want 2 (streaks 3 and 6):\n%s", n, logs)
+	}
+	if !strings.Contains(logs, "still failing after 3 attempts") ||
+		!strings.Contains(logs, "still failing after 6 attempts") {
+		t.Errorf("missing streak heartbeats:\n%s", logs)
+	}
+	if n := strings.Count(logs, "recovered"); n != 1 {
+		t.Errorf("failing->ok logged %d times, want 1:\n%s", n, logs)
+	}
+	if n := strings.Count(logs, "swapped in"); n != 1 {
+		t.Errorf("swaps logged = %d, want 1 (healthy unchanged polls must be silent):\n%s", n, logs)
+	}
+}
+
+// TestWatcherIgnoresUnchangedFile pins the healthy fast path: an unchanged
+// file triggers neither loads nor logs.
+func TestWatcherIgnoresUnchangedFile(t *testing.T) {
+	lib := watchTestLibrary(t)
+	srv := server.New(lib, nil)
+	var buf bytes.Buffer
+	w := newLibraryWatcher(srv, log.New(&buf, "", 0), "fake.jsonl", time.Millisecond)
+	var loads atomic.Int64
+	w.load = func(string) (*goalrec.Library, error) {
+		loads.Add(1)
+		return lib, nil
+	}
+	w.stat = func(string) (os.FileInfo, error) { return fakeInfo{time.Unix(1000, 0)}, nil }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.run(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	<-done
+
+	if loads.Load() != 0 {
+		t.Errorf("unchanged file loaded %d times", loads.Load())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unchanged file produced logs:\n%s", buf.String())
+	}
+}

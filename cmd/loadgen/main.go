@@ -5,6 +5,13 @@
 //	goalrecd -library recipes.jsonl -addr :8080 &
 //	loadgen -url http://localhost:8080 -library recipes.jsonl \
 //	        -concurrency 8 -requests 2000 -strategy breadth
+//
+// With -overload the generator expects to be shed: 503 (admission control)
+// and 504 (request deadline) responses are counted and reported but are
+// not failures — only transport errors and unexpected statuses are. This
+// is the mode the soak job runs against a gated daemon. -duration runs for
+// a wall-clock interval (cycling the sampled requests) instead of a fixed
+// request count.
 package main
 
 import (
@@ -36,6 +43,22 @@ type result struct {
 	err     error
 }
 
+// config carries everything runLoad needs; flags populate it in run and
+// tests populate it directly.
+type config struct {
+	url         string
+	strategy    string
+	k           int
+	concurrency int
+	requests    int
+	duration    time.Duration // > 0 switches from request-count to wall-clock mode
+	activityLen int
+	seed        uint64
+	overload    bool
+	lib         *goalrec.Library
+	out         io.Writer
+}
+
 func run() error {
 	url := flag.String("url", "http://localhost:8080", "goalrecd base URL")
 	libPath := flag.String("library", "", "library file used to sample query activities")
@@ -43,8 +66,10 @@ func run() error {
 	k := flag.Int("k", 10, "list length to request")
 	concurrency := flag.Int("concurrency", 4, "parallel clients")
 	requests := flag.Int("requests", 1000, "total requests to send")
+	duration := flag.Duration("duration", 0, "run for this long instead of a fixed request count (cycles the sampled requests)")
 	activityLen := flag.Int("activity-len", 3, "actions per sampled query")
 	seed := flag.Uint64("seed", 1, "sampling seed")
+	overload := flag.Bool("overload", false, "expect shedding: 503/504 responses are reported, not failures")
 	flag.Parse()
 	if *libPath == "" {
 		return fmt.Errorf("-library is required")
@@ -53,16 +78,36 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	actions := lib.Actions()
+	return runLoad(config{
+		url:         *url,
+		strategy:    *strategyName,
+		k:           *k,
+		concurrency: *concurrency,
+		requests:    *requests,
+		duration:    *duration,
+		activityLen: *activityLen,
+		seed:        *seed,
+		overload:    *overload,
+		lib:         lib,
+		out:         os.Stdout,
+	})
+}
+
+func runLoad(cfg config) error {
+	actions := cfg.lib.Actions()
 	if len(actions) == 0 {
 		return fmt.Errorf("library has no actions")
 	}
 
 	// Pre-build the request bodies deterministically.
-	rng := xrand.New(*seed)
-	bodies := make([][]byte, *requests)
+	rng := xrand.New(cfg.seed)
+	nBodies := cfg.requests
+	if cfg.duration > 0 && nBodies < 256 {
+		nBodies = 256
+	}
+	bodies := make([][]byte, nBodies)
 	for i := range bodies {
-		n := *activityLen
+		n := cfg.activityLen
 		if n > len(actions) {
 			n = len(actions)
 		}
@@ -71,7 +116,7 @@ func run() error {
 			activity = append(activity, actions[idx])
 		}
 		body, err := json.Marshal(map[string]interface{}{
-			"activity": activity, "strategy": *strategyName, "k": *k,
+			"activity": activity, "strategy": cfg.strategy, "k": cfg.k,
 		})
 		if err != nil {
 			return err
@@ -81,18 +126,18 @@ func run() error {
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	jobs := make(chan []byte)
-	results := make([]result, 0, *requests)
+	results := make([]result, 0, nBodies)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 
 	start := time.Now()
-	for w := 0; w < *concurrency; w++ {
+	for w := 0; w < cfg.concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for body := range jobs {
 				t0 := time.Now()
-				resp, err := client.Post(*url+"/v1/recommend", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(cfg.url+"/v1/recommend", "application/json", bytes.NewReader(body))
 				r := result{latency: time.Since(t0), err: err}
 				if err == nil {
 					r.status = resp.StatusCode
@@ -105,28 +150,45 @@ func run() error {
 			}
 		}()
 	}
-	for _, b := range bodies {
-		jobs <- b
+	if cfg.duration > 0 {
+		deadline := start.Add(cfg.duration)
+	feed:
+		for {
+			for _, b := range bodies {
+				if time.Now().After(deadline) {
+					break feed
+				}
+				jobs <- b
+			}
+		}
+	} else {
+		for _, b := range bodies {
+			jobs <- b
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	var latencies []time.Duration
-	errors, non200 := 0, 0
+	errors, shed, timedOut, unexpected := 0, 0, 0, 0
 	for _, r := range results {
 		switch {
 		case r.err != nil:
 			errors++
-		case r.status != http.StatusOK:
-			non200++
-		default:
+		case r.status == http.StatusOK:
 			latencies = append(latencies, r.latency)
+		case r.status == http.StatusServiceUnavailable:
+			shed++
+		case r.status == http.StatusGatewayTimeout:
+			timedOut++
+		default:
+			unexpected++
 		}
 	}
-	fmt.Printf("requests: %d  ok: %d  non-200: %d  errors: %d\n",
-		len(results), len(latencies), non200, errors)
-	fmt.Printf("elapsed: %v  throughput: %.1f req/s\n",
+	fmt.Fprintf(cfg.out, "requests: %d  ok: %d  shed(503): %d  deadline(504): %d  other: %d  errors: %d\n",
+		len(results), len(latencies), shed, timedOut, unexpected, errors)
+	fmt.Fprintf(cfg.out, "elapsed: %v  throughput: %.1f req/s\n",
 		elapsed.Round(time.Millisecond), float64(len(results))/elapsed.Seconds())
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
@@ -134,11 +196,14 @@ func run() error {
 			i := int(p * float64(len(latencies)-1))
 			return latencies[i]
 		}
-		fmt.Printf("latency: p50=%v p90=%v p95=%v p99=%v max=%v\n",
+		fmt.Fprintf(cfg.out, "latency: p50=%v p90=%v p95=%v p99=%v max=%v\n",
 			pct(0.50), pct(0.90), pct(0.95), pct(0.99), latencies[len(latencies)-1])
 	}
-	if errors > 0 || non200 > 0 {
-		return fmt.Errorf("%d transport errors, %d non-200 responses", errors, non200)
+	if errors > 0 || unexpected > 0 {
+		return fmt.Errorf("%d transport errors, %d unexpected statuses", errors, unexpected)
+	}
+	if !cfg.overload && (shed > 0 || timedOut > 0) {
+		return fmt.Errorf("%d shed, %d deadline-exceeded responses (run with -overload to expect shedding)", shed, timedOut)
 	}
 	return nil
 }

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"goalrec"
+	"goalrec/internal/server"
+)
+
+func loadTestLibrary(t *testing.T) *goalrec.Library {
+	t.Helper()
+	b := goalrec.NewBuilder()
+	for _, impl := range [][]string{
+		{"salad", "potatoes", "carrots", "pickles"},
+		{"soup", "carrots", "onions"},
+		{"stew", "potatoes", "onions", "beef"},
+	} {
+		if err := b.AddImplementation(impl[0], impl[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestRunLoadAllOK(t *testing.T) {
+	lib := loadTestLibrary(t)
+	ts := httptest.NewServer(server.New(lib, nil))
+	defer ts.Close()
+	var out bytes.Buffer
+	err := runLoad(config{
+		url: ts.URL, strategy: "breadth", k: 5,
+		concurrency: 4, requests: 50, activityLen: 2, seed: 1,
+		lib: lib, out: &out,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: 50") {
+		t.Errorf("summary missing ok count:\n%s", out.String())
+	}
+}
+
+// blockedGateServer returns a server whose single admission slot is held
+// by a reload that blocks until the returned release func is called —
+// every expensive request it sees is shed deterministically.
+func blockedGateServer(t *testing.T, lib *goalrec.Library) (*httptest.Server, func()) {
+	t.Helper()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := server.New(lib, nil,
+		server.WithReloader(func() (*goalrec.Library, error) {
+			close(entered)
+			<-release
+			return lib, nil
+		}),
+		server.WithMaxInflight(1),
+		server.WithAdmissionWait(time.Millisecond))
+	ts := httptest.NewServer(srv)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := ts.Client().Post(ts.URL+"/v1/reload", "application/json", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	return ts, func() {
+		close(release)
+		<-done
+		ts.Close()
+	}
+}
+
+// TestRunLoadOverloadMode pins the shed accounting: with the gate held
+// shut, every request is a 503 — a failure in strict mode, expected and
+// reported in -overload mode.
+func TestRunLoadOverloadMode(t *testing.T) {
+	lib := loadTestLibrary(t)
+	ts, release := blockedGateServer(t, lib)
+	defer release()
+
+	base := config{
+		url: ts.URL, strategy: "breadth", k: 5,
+		concurrency: 2, requests: 10, activityLen: 2, seed: 1,
+		lib: lib,
+	}
+
+	var strict bytes.Buffer
+	cfg := base
+	cfg.out = &strict
+	if err := runLoad(cfg); err == nil {
+		t.Fatalf("strict mode accepted shed responses:\n%s", strict.String())
+	}
+
+	var overload bytes.Buffer
+	cfg = base
+	cfg.overload = true
+	cfg.out = &overload
+	if err := runLoad(cfg); err != nil {
+		t.Fatalf("overload mode rejected shed responses: %v\n%s", err, overload.String())
+	}
+	if !strings.Contains(overload.String(), "shed(503): 10") {
+		t.Errorf("summary missing shed count:\n%s", overload.String())
+	}
+}
+
+// TestRunLoadDurationMode checks wall-clock mode terminates and cycles the
+// request sample.
+func TestRunLoadDurationMode(t *testing.T) {
+	lib := loadTestLibrary(t)
+	ts := httptest.NewServer(server.New(lib, nil))
+	defer ts.Close()
+	var out bytes.Buffer
+	start := time.Now()
+	err := runLoad(config{
+		url: ts.URL, strategy: "breadth", k: 5,
+		concurrency: 4, requests: 8, duration: 100 * time.Millisecond,
+		activityLen: 2, seed: 1, lib: lib, out: &out,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("duration mode ran for %v", elapsed)
+	}
+}

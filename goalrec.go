@@ -2,6 +2,7 @@ package goalrec
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,12 @@ import (
 	"goalrec/internal/strategy"
 	"goalrec/internal/vectorspace"
 )
+
+// ErrCanceled marks a recommendation query aborted by its context before it
+// completed. Errors returned by RecommendContext wrap both ErrCanceled and
+// the context's own error, so errors.Is matches any of ErrCanceled,
+// context.Canceled and context.DeadlineExceeded.
+var ErrCanceled = strategy.ErrCanceled
 
 // Stats summarizes a library's shape; see the embedded field docs in
 // internal/core. Connectivity (mean implementations per action) is the
@@ -444,6 +451,14 @@ type Recommender interface {
 	// Recommend returns up to k actions the user has not performed, ranked
 	// best-first. Unknown action names in the activity are ignored.
 	Recommend(activity []string, k int) []Recommendation
+	// RecommendContext is Recommend with a request lifecycle: scoring polls
+	// ctx at coarse checkpoints and aborts with an error wrapping
+	// ErrCanceled (and ctx.Err()) once the context is done. The four
+	// goal-based strategies cancel mid-loop; baseline recommenders observe
+	// the context at entry only. On a nil error the result is bit-identical
+	// to Recommend; on cancellation it is nil except where a strategy
+	// documents a meaningful partial prefix (Focus).
+	RecommendContext(ctx context.Context, activity []string, k int) ([]Recommendation, error)
 }
 
 // namedRecommender adapts an id-level recommender to the string API.
@@ -455,13 +470,23 @@ type namedRecommender struct {
 func (n *namedRecommender) Name() string { return n.rec.Name() }
 
 func (n *namedRecommender) Recommend(activity []string, k int) []Recommendation {
+	out, _ := n.RecommendContext(context.Background(), activity, k)
+	return out
+}
+
+func (n *namedRecommender) RecommendContext(ctx context.Context, activity []string, k int) ([]Recommendation, error) {
 	ids := n.lib.resolve(activity)
-	scored := n.rec.Recommend(ids, k)
+	scored, err := strategy.RecommendContext(ctx, n.rec, ids, k)
 	out := make([]Recommendation, len(scored))
 	for i, s := range scored {
 		out[i] = Recommendation{Action: n.lib.vocab.ActionName(s.Action), Score: s.Score}
 	}
-	return out
+	if err != nil {
+		// Surface whatever valid partial prefix the strategy produced
+		// alongside the cancellation.
+		return out, fmt.Errorf("goalrec: %w", err)
+	}
+	return out, nil
 }
 
 // Recommender constructs a goal-based recommender over the library.

@@ -1,0 +1,183 @@
+// Package faultinject provides deterministic fault injection for the
+// request-lifecycle tests: scriptable reloaders that fail, stall or return
+// partial libraries; HTTP handler wrappers that add latency or cancel the
+// request context mid-flight; and a context that cancels after a fixed
+// number of polls, pinning the strategies' cancellation checkpoints without
+// timing dependence.
+//
+// Everything here is test infrastructure: it lives in an internal package
+// (not _test files) so the server, strategy and cmd test suites can share
+// one set of faults.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goalrec"
+)
+
+// ErrInjected is the default error injected by a Reloader.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Reloader is a scriptable stand-in for a library load function — the thing
+// server.WithReloader and goalrecd's -watch loop call. Configure the
+// failure schedule, then pass Load as the reload function.
+//
+// The zero value succeeds on every call with an empty library; set Lib (or
+// Build) for a real success path.
+type Reloader struct {
+	// FailFirst makes the first n calls fail with Err.
+	FailFirst int
+	// FailAlways makes every call fail with Err.
+	FailAlways bool
+	// Err is the injected error; nil selects ErrInjected.
+	Err error
+	// Delay stalls every call (success or failure) before returning,
+	// simulating a slow library source.
+	Delay time.Duration
+	// Lib is the library returned by successful calls. Nil (and nil Build)
+	// returns an empty library.
+	Lib *goalrec.Library
+	// Build, when set, overrides Lib: it is called with the 1-based call
+	// number and produces that call's result, enabling partial-library and
+	// alternating-outcome scripts.
+	Build func(call int) (*goalrec.Library, error)
+
+	mu       sync.Mutex
+	calls    int
+	failures int
+}
+
+// Load implements the reload function contract.
+func (r *Reloader) Load() (*goalrec.Library, error) {
+	r.mu.Lock()
+	r.calls++
+	call := r.calls
+	r.mu.Unlock()
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	fail := r.FailAlways || call <= r.FailFirst
+	if fail {
+		r.mu.Lock()
+		r.failures++
+		r.mu.Unlock()
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		return nil, fmt.Errorf("%w (call %d)", ErrInjected, call)
+	}
+	if r.Build != nil {
+		return r.Build(call)
+	}
+	if r.Lib != nil {
+		return r.Lib, nil
+	}
+	return goalrec.NewBuilder().Build(), nil
+}
+
+// Calls returns how many times Load has been invoked.
+func (r *Reloader) Calls() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+// Failures returns how many calls were failed by the schedule.
+func (r *Reloader) Failures() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failures
+}
+
+// PartialLibrary returns a copy of lib truncated to at most n
+// implementations (goal order, insertion order within a goal) — a "partial
+// reload" fault: the source was readable but incomplete.
+func PartialLibrary(lib *goalrec.Library, n int) *goalrec.Library {
+	b := goalrec.NewBuilder()
+	kept := 0
+	for _, goal := range lib.Goals() {
+		for _, impl := range lib.ImplementationsOf(goal) {
+			if kept >= n {
+				return b.Build()
+			}
+			// Source implementations are valid by construction.
+			_ = b.AddImplementation(impl.Goal, impl.Actions...)
+			kept++
+		}
+	}
+	return b.Build()
+}
+
+// SlowHandler delays every request by d before invoking h, honoring the
+// request context: a request whose context expires while stalled is
+// abandoned without reaching h.
+func SlowHandler(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// CancelAfter serves h with a request context that is canceled d after the
+// request arrives — the server-side shape of a client hanging up mid-query.
+func CancelAfter(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		timer := time.AfterFunc(d, cancel)
+		defer timer.Stop()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// CancelAfterPolls returns a context that reports cancellation after its
+// Err has been consulted n times. Its Done channel is non-nil (so
+// checkpoint-polling code engages) but never closes. It makes "cancel
+// exactly at the first in-loop checkpoint" a deterministic test: pass n=1
+// so the entry check passes and the first loop checkpoint aborts.
+func CancelAfterPolls(n int64) *PollCountingContext {
+	return &PollCountingContext{n: n, done: make(chan struct{})}
+}
+
+// PollCountingContext is the context returned by CancelAfterPolls. Polls
+// reports how many times Err has been consulted, which doubles as proof
+// that a query reached its checkpoints.
+type PollCountingContext struct {
+	n     int64
+	polls atomic.Int64
+	done  chan struct{}
+}
+
+// Deadline implements context.Context.
+func (c *PollCountingContext) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Done implements context.Context; the channel never closes.
+func (c *PollCountingContext) Done() <-chan struct{} { return c.done }
+
+// Value implements context.Context.
+func (c *PollCountingContext) Value(interface{}) interface{} { return nil }
+
+// Err implements context.Context: nil for the first n polls,
+// context.Canceled afterwards.
+func (c *PollCountingContext) Err() error {
+	if c.polls.Add(1) > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Polls returns how many times Err has been consulted so far.
+func (c *PollCountingContext) Polls() int64 { return c.polls.Load() }

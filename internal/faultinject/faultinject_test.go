@@ -1,0 +1,136 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"goalrec"
+)
+
+func testLib(t *testing.T) *goalrec.Library {
+	t.Helper()
+	b := goalrec.NewBuilder()
+	for _, impl := range [][]string{
+		{"salad", "potatoes", "carrots"},
+		{"salad", "potatoes", "pickles"},
+		{"soup", "carrots", "onions"},
+	} {
+		if err := b.AddImplementation(impl[0], impl[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestReloaderSchedule(t *testing.T) {
+	lib := testLib(t)
+	r := &Reloader{FailFirst: 2, Lib: lib}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Load(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i+1, err)
+		}
+	}
+	got, err := r.Load()
+	if err != nil || got != lib {
+		t.Fatalf("third call = (%v, %v), want the configured library", got, err)
+	}
+	if r.Calls() != 3 || r.Failures() != 2 {
+		t.Errorf("calls/failures = %d/%d, want 3/2", r.Calls(), r.Failures())
+	}
+
+	always := &Reloader{FailAlways: true, Err: errors.New("boom")}
+	if _, err := always.Load(); err == nil || err.Error() != "boom" {
+		t.Errorf("FailAlways err = %v", err)
+	}
+}
+
+func TestReloaderBuildScript(t *testing.T) {
+	lib := testLib(t)
+	r := &Reloader{Build: func(call int) (*goalrec.Library, error) {
+		return PartialLibrary(lib, call), nil
+	}}
+	first, err := r.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NumImplementations() != 1 {
+		t.Errorf("partial library impls = %d, want 1", first.NumImplementations())
+	}
+	second, err := r.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.NumImplementations() != 2 {
+		t.Errorf("partial library impls = %d, want 2", second.NumImplementations())
+	}
+}
+
+func TestPartialLibraryWhole(t *testing.T) {
+	lib := testLib(t)
+	whole := PartialLibrary(lib, 100)
+	if whole.NumImplementations() != lib.NumImplementations() {
+		t.Errorf("impls = %d, want %d", whole.NumImplementations(), lib.NumImplementations())
+	}
+}
+
+func TestSlowHandlerHonorsContext(t *testing.T) {
+	reached := false
+	h := SlowHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached = true
+	}), time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SlowHandler ignored the canceled context")
+	}
+	if reached {
+		t.Error("inner handler ran despite canceled context")
+	}
+}
+
+func TestCancelAfterCancelsInnerContext(t *testing.T) {
+	sawCancel := make(chan error, 1)
+	h := CancelAfter(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			sawCancel <- r.Context().Err()
+		case <-time.After(5 * time.Second):
+			sawCancel <- nil
+		}
+	}), time.Millisecond)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if err := <-sawCancel; !errors.Is(err, context.Canceled) {
+		t.Fatalf("inner context err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCancelAfterPolls(t *testing.T) {
+	ctx := CancelAfterPolls(2)
+	if ctx.Done() == nil {
+		t.Fatal("Done() must be non-nil so checkpoint polling engages")
+	}
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("poll 1 err = %v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("poll 2 err = %v", err)
+	}
+	if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("poll 3 err = %v, want context.Canceled", err)
+	}
+	if ctx.Polls() != 3 {
+		t.Errorf("polls = %d, want 3", ctx.Polls())
+	}
+}

@@ -4,6 +4,7 @@
 // Endpoints:
 //
 //	GET  /healthz                     liveness probe
+//	GET  /readyz                      readiness probe (503 while draining)
 //	GET  /v1/stats                    library statistics
 //	POST /v1/recommend                {"activity": [...], "strategy": "...", "k": N}
 //	POST /v1/spaces                   {"activity": [...]} → goal space with progress, action space
@@ -17,10 +18,20 @@
 // consistent epoch; ingests and reloads publish the next epoch without
 // blocking in-flight queries. Every response carries the epoch it was
 // answered from.
+//
+// The request lifecycle is hardened for production traffic (see DESIGN.md,
+// "Request lifecycle & failure modes"): WithRequestTimeout bounds every
+// request with a deadline (504 on expiry), the request context is
+// propagated into the scoring loops so client disconnects abort queries
+// mid-flight (499), and WithMaxInflight puts a bounded-concurrency
+// admission gate in front of the expensive endpoints, shedding excess load
+// as 503 + Retry-After after a short bounded wait.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"log"
@@ -28,6 +39,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"goalrec"
 )
@@ -35,6 +47,21 @@ import (
 // maxBodyBytes bounds request bodies; activities and ingest batches are
 // small relative to this.
 const maxBodyBytes = 1 << 20
+
+// maxActivityActions bounds the activity length accepted by the scoring
+// endpoints: longer activities are rejected with a 400 before any CPU is
+// spent on them.
+const maxActivityActions = 10_000
+
+// statusClientClosedRequest is the nginx-convention status for a request
+// aborted because the client went away; it is never seen by that client,
+// but keeps the error accounting honest.
+const statusClientClosedRequest = 499
+
+// defaultAdmissionWait is how long an over-limit request may wait for an
+// admission slot before being shed. Short by design: queueing beyond a few
+// request-times only converts overload into latency.
+const defaultAdmissionWait = 10 * time.Millisecond
 
 // bundle pairs one epoch's library snapshot with the recommenders built
 // over it. Queries that grabbed a bundle keep using it even while a newer
@@ -87,6 +114,36 @@ func WithReloader(load func() (*goalrec.Library, error)) Option {
 	return func(s *Server) { s.reload = load }
 }
 
+// WithRequestTimeout bounds every request with a deadline. A request whose
+// scoring outlives d is aborted mid-query and answered with a 504 whose
+// body is {"error": "deadline exceeded"}. Zero (the default) disables the
+// per-request deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithMaxInflight puts a bounded-concurrency admission gate in front of
+// the expensive endpoints (recommend, spaces, explain, reload): at most n
+// such requests run concurrently. An over-limit request waits briefly for
+// a slot (see WithAdmissionWait) and is then shed as a 503 with a
+// Retry-After header. n <= 0 (the default) disables the gate.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.gate = make(chan struct{}, n)
+		} else {
+			s.gate = nil
+		}
+	}
+}
+
+// WithAdmissionWait sets how long an over-limit request may wait for an
+// admission slot before being shed (default 10ms). Only meaningful with
+// WithMaxInflight.
+func WithAdmissionWait(d time.Duration) Option {
+	return func(s *Server) { s.gateWait = d }
+}
+
 // Server routes recommendation requests against the current epoch of an
 // evolving library.
 type Server struct {
@@ -98,33 +155,56 @@ type Server struct {
 	mux *http.ServeMux
 	log *log.Logger
 
+	// Request-lifecycle knobs (see WithRequestTimeout / WithMaxInflight).
+	timeout  time.Duration
+	gate     chan struct{}
+	gateWait time.Duration
+
+	// draining flips when the process has been told to shut down; /readyz
+	// reports 503 so load balancers stop routing here while in-flight
+	// requests finish.
+	draining atomic.Bool
+
+	// reloadStreak counts consecutive reload failures; any successful
+	// reload resets it. Surfaced in /readyz and /v1/metrics.
+	reloadStreak atomic.Int64
+
 	// Operational counters, per instance (kept off the global expvar
 	// registry so multiple servers can coexist in one process).
-	requests *expvar.Map
-	errors   *expvar.Map
+	requests  *expvar.Map
+	errors    *expvar.Map
+	lifecycle *expvar.Map // sheds, canceled, deadline_exceeded, reload_failures
 }
 
 // New returns a Server seeded with lib as its first epoch. logger may be
 // nil to disable request logging.
 func New(lib *goalrec.Library, logger *log.Logger, opts ...Option) *Server {
 	s := &Server{
-		engine:   goalrec.NewEngineFromLibrary(lib),
-		mux:      http.NewServeMux(),
-		log:      logger,
-		requests: new(expvar.Map).Init(),
-		errors:   new(expvar.Map).Init(),
+		engine:    goalrec.NewEngineFromLibrary(lib),
+		mux:       http.NewServeMux(),
+		log:       logger,
+		gateWait:  defaultAdmissionWait,
+		requests:  new(expvar.Map).Init(),
+		errors:    new(expvar.Map).Init(),
+		lifecycle: new(expvar.Map).Init(),
+	}
+	// Pre-seed the lifecycle counters so /v1/metrics always reports them,
+	// even at zero — dashboards should not have to handle absent keys.
+	for _, key := range []string{"sheds", "canceled", "deadline_exceeded", "reload_failures"} {
+		s.lifecycle.Add(key, 0)
 	}
 	s.cur.Store(newBundle(s.engine.Snapshot()))
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /readyz", s.counted("readyz", s.handleReady))
 	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
-	s.mux.HandleFunc("POST /v1/recommend", s.counted("recommend", s.handleRecommend))
-	s.mux.HandleFunc("POST /v1/spaces", s.counted("spaces", s.handleSpaces))
-	s.mux.HandleFunc("POST /v1/explain", s.counted("explain", s.handleExplain))
+	s.mux.HandleFunc("POST /v1/recommend", s.counted("recommend", s.gated("recommend", s.handleRecommend)))
+	s.mux.HandleFunc("POST /v1/spaces", s.counted("spaces", s.gated("spaces", s.handleSpaces)))
+	s.mux.HandleFunc("POST /v1/explain", s.counted("explain", s.gated("explain", s.handleExplain)))
 	s.mux.HandleFunc("POST /v1/implementations", s.counted("implementations", s.handleIngest))
-	s.mux.HandleFunc("POST /v1/reload", s.counted("reload", s.handleReload))
+	s.mux.HandleFunc("POST /v1/reload", s.counted("reload", s.gated("reload", s.handleReload)))
 	s.mux.HandleFunc("GET /v1/metrics", s.counted("metrics", s.handleMetrics))
 	return s
 }
@@ -160,13 +240,40 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// counted wraps a handler with per-endpoint request accounting and panic
-// recovery: a panicking handler is logged with its stack and answered with
-// a JSON 500 (when nothing has been written yet) instead of killing the
-// daemon's connection serving.
+// SetDraining marks the server as (not) draining. While draining, /readyz
+// answers 503 so load balancers route new traffic elsewhere; everything
+// else keeps serving so in-flight and straggler requests complete.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is draining.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// NoteReloadFailure records a failed library reload (from /v1/reload or an
+// external watch loop) and returns the current consecutive-failure streak.
+func (s *Server) NoteReloadFailure() int64 {
+	s.lifecycle.Add("reload_failures", 1)
+	return s.reloadStreak.Add(1)
+}
+
+// NoteReloadSuccess resets the consecutive reload-failure streak.
+func (s *Server) NoteReloadSuccess() { s.reloadStreak.Store(0) }
+
+// ReloadFailureStreak returns the current consecutive reload-failure
+// streak.
+func (s *Server) ReloadFailureStreak() int64 { return s.reloadStreak.Load() }
+
+// counted wraps a handler with per-endpoint request accounting, the
+// optional per-request deadline, and panic recovery: a panicking handler
+// is logged with its stack and answered with a JSON 500 (when nothing has
+// been written yet) instead of killing the daemon's connection serving.
 func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(name, 1)
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -182,6 +289,42 @@ func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
 			}
 		}()
 		h(sw, r)
+	}
+}
+
+// gated wraps an expensive handler with the admission gate. Without
+// WithMaxInflight the wrapper is free. Over the limit, the request waits
+// up to gateWait for a slot and is then shed: 503 plus a Retry-After so
+// well-behaved clients back off instead of hammering.
+func (s *Server) gated(name string, h http.HandlerFunc) http.HandlerFunc {
+	if s.gate == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+		default:
+			// Full: wait briefly for a slot, but give up on shed timeout or
+			// the client hanging up.
+			t := time.NewTimer(s.gateWait)
+			defer t.Stop()
+			select {
+			case s.gate <- struct{}{}:
+			case <-t.C:
+				s.lifecycle.Add("sheds", 1)
+				s.logf("server: shedding %s (inflight limit %d)", name, cap(s.gate))
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusServiceUnavailable, "overloaded, retry later")
+				return
+			case <-r.Context().Done():
+				s.lifecycle.Add("sheds", 1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusServiceUnavailable, "overloaded, retry later")
+				return
+			}
+		}
+		defer func() { <-s.gate }()
+		h(w, r)
 	}
 }
 
@@ -234,6 +377,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReady is the readiness probe: 503 while draining (so load
+// balancers stop routing here during shutdown), 200 otherwise. It also
+// surfaces the reload-failure streak — a persistently failing reload means
+// the instance is serving an increasingly stale epoch, which operators
+// want visible even while the instance stays ready.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]interface{}{
+		"status":                status,
+		"epoch":                 s.bundle().lib.Epoch(),
+		"reload_failure_streak": s.reloadStreak.Load(),
+	})
+}
+
 // statsResponse mirrors goalrec.Stats with wire-friendly names.
 type statsResponse struct {
 	Epoch           uint64  `json:"epoch"`
@@ -259,8 +421,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s}\n",
-		s.bundle().lib.Epoch(), s.requests.String(), s.errors.String())
+	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"reload_failure_streak\": %d}\n",
+		s.bundle().lib.Epoch(), s.requests.String(), s.errors.String(),
+		s.lifecycle.String(), s.reloadStreak.Load())
 }
 
 // recommendRequest is the /v1/recommend body.
@@ -297,13 +460,43 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) b
 	return true
 }
 
+// validActivity enforces the shared activity bounds: non-empty and at most
+// maxActivityActions actions. It writes the 400 itself on violation.
+func (s *Server) validActivity(w http.ResponseWriter, activity []string) bool {
+	if len(activity) == 0 {
+		s.writeError(w, http.StatusBadRequest, "activity must not be empty")
+		return false
+	}
+	if len(activity) > maxActivityActions {
+		s.writeError(w, http.StatusBadRequest,
+			"activity too long: %d actions (limit %d)", len(activity), maxActivityActions)
+		return false
+	}
+	return true
+}
+
+// writeContextError maps a canceled or deadline-expired scoring error onto
+// the wire: 504 {"error": "deadline exceeded"} when the request deadline
+// ran out, 499 (client closed request) when the client hung up. It also
+// bumps the matching lifecycle counter.
+func (s *Server) writeContextError(w http.ResponseWriter, endpoint string, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.lifecycle.Add("deadline_exceeded", 1)
+		s.logf("server: %s hit the request deadline", endpoint)
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		return
+	}
+	s.lifecycle.Add("canceled", 1)
+	s.logf("server: %s canceled by the client", endpoint)
+	s.writeError(w, statusClientClosedRequest, "client closed request")
+}
+
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var req recommendRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Activity) == 0 {
-		s.writeError(w, http.StatusBadRequest, "activity must not be empty")
+	if !s.validActivity(w, req.Activity) {
 		return
 	}
 	if req.K == 0 {
@@ -319,7 +512,11 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	list := rec.Recommend(req.Activity, req.K)
+	list, err := rec.RecommendContext(r.Context(), req.Activity, req.K)
+	if err != nil {
+		s.writeContextError(w, "recommend", err)
+		return
+	}
 	resp := recommendResponse{
 		Epoch:           b.lib.Epoch(),
 		Strategy:        rec.Name(),
@@ -358,8 +555,11 @@ func (s *Server) handleSpaces(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Activity) == 0 {
-		s.writeError(w, http.StatusBadRequest, "activity must not be empty")
+	if !s.validActivity(w, req.Activity) {
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		s.writeContextError(w, "spaces", err)
 		return
 	}
 	b := s.bundle()
@@ -401,8 +601,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if len(req.Activity) == 0 || req.Action == "" {
+	if req.Action == "" {
 		s.writeError(w, http.StatusBadRequest, "activity and action are required")
+		return
+	}
+	if !s.validActivity(w, req.Activity) {
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		s.writeContextError(w, "explain", err)
 		return
 	}
 	b := s.bundle()
@@ -481,10 +688,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The old epoch keeps serving; reload failure must never take the
 		// working library down with it.
-		s.logf("reload failed: %v (keeping epoch %d)", err, s.Epoch())
+		streak := s.NoteReloadFailure()
+		s.logf("reload failed: %v (keeping epoch %d, failure streak %d)", err, s.Epoch(), streak)
 		s.writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
 		return
 	}
+	s.NoteReloadSuccess()
 	epoch := s.Swap(lib)
 	s.logf("reload swapped in %d implementations at epoch %d", lib.NumImplementations(), epoch)
 	s.writeJSON(w, http.StatusOK, reloadResponse{

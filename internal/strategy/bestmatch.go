@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -138,36 +139,59 @@ func (bm *BestMatch) actionVector(a core.ActionID, goalSpace []core.GoalID) vect
 // Recommend implements Recommender (Algorithm 4, Best Match Ranking). The
 // returned Score is the negated distance, so higher still means better.
 func (bm *BestMatch) Recommend(activity []core.ActionID, k int) []ScoredAction {
+	out, _ := bm.RecommendContext(context.Background(), activity, k)
+	return out
+}
+
+// RecommendContext implements ContextRecommender: every scoring path —
+// candidate-major (serial and sharded), goal-major, the legacy postings
+// walk, and the sparse non-cosine loop — polls ctx at coarse checkpoints. A
+// canceled query returns nil: Best Match ranks by distance over the full
+// candidate pool, so a partial scoring is not a valid prefix.
+func (bm *BestMatch) RecommendContext(ctx context.Context, activity []core.ActionID, k int) ([]ScoredAction, error) {
+	if err := entryErr(ctx); err != nil {
+		return nil, err
+	}
 	if k == 0 {
-		return nil
+		return nil, nil
 	}
 	h := intset.FromUnsorted(intset.Clone(activity))
 	candidates := bm.lib.Candidates(h)
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 	goalSpace := bm.lib.GoalSpace(h)
 
-	var scored []ScoredAction
+	var (
+		scored []ScoredAction
+		err    error
+	)
 	if bm.metric == vectorspace.Cosine {
-		scored = bm.recommendCosine(h, candidates, goalSpace)
+		scored, err = bm.recommendCosine(ctx, h, candidates, goalSpace)
 	} else {
+		tick := newTicker(ctx)
 		profile := bm.Profile(h)
 		scored = make([]ScoredAction, 0, len(candidates))
 		for _, a := range candidates {
+			if err = tick.tick(1); err != nil {
+				return nil, err
+			}
 			vec := bm.actionVector(a, goalSpace)
 			d := bm.metric.Distance(profile, vec)
 			scored = append(scored, ScoredAction{Action: a, Score: -d})
 		}
 	}
-	return TopK(scored, k)
+	if err != nil {
+		return nil, err
+	}
+	return TopK(scored, k), nil
 }
 
 // recommendCosine is the allocation-light fast path: it stamps the goal
 // space, builds the dense profile from the AG-idx, then scores every
 // candidate through whichever scoring path the per-query cost estimates
 // favor.
-func (bm *BestMatch) recommendCosine(h, candidates []core.ActionID, goalSpace []core.GoalID) []ScoredAction {
+func (bm *BestMatch) recommendCosine(ctx context.Context, h, candidates []core.ActionID, goalSpace []core.GoalID) ([]ScoredAction, error) {
 	s := bm.pool.Get().(*bmScratch)
 	defer bm.pool.Put(s)
 
@@ -212,11 +236,11 @@ func (bm *BestMatch) recommendCosine(h, candidates []core.ActionID, goalSpace []
 
 	switch bm.pickMode(candidates, goalSpace) {
 	case bmGoalMajor:
-		return bm.scoreGoalMajor(s, candidates, goalSpace, profNorm)
+		return bm.scoreGoalMajor(ctx, s, candidates, goalSpace, profNorm)
 	case bmPostings:
-		return bm.scorePostings(s, candidates, profNorm)
+		return bm.scorePostings(ctx, s, candidates, profNorm)
 	default:
-		return bm.scoreCandidateMajor(s, candidates, profNorm)
+		return bm.scoreCandidateMajor(ctx, s, candidates, profNorm)
 	}
 }
 
@@ -248,8 +272,9 @@ func (bm *BestMatch) pickMode(candidates []core.ActionID, goalSpace []core.GoalI
 // fall inside the stamped goal space. For large pools the loop is sharded
 // across a bounded worker pool; the scratch is read-only during scoring and
 // every worker writes a disjoint range of scored, so the merge is a no-op
-// and the result is deterministic.
-func (bm *BestMatch) scoreCandidateMajor(s *bmScratch, candidates []core.ActionID, profNorm float64) []ScoredAction {
+// and the result is deterministic. Each worker polls ctx with its own
+// checkpoint counter and the first cancellation aborts the whole query.
+func (bm *BestMatch) scoreCandidateMajor(ctx context.Context, s *bmScratch, candidates []core.ActionID, profNorm float64) ([]ScoredAction, error) {
 	scored := make([]ScoredAction, len(candidates))
 	shardMin := bm.shardMin
 	if shardMin <= 0 {
@@ -260,28 +285,44 @@ func (bm *BestMatch) scoreCandidateMajor(s *bmScratch, candidates []core.ActionI
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if len(candidates) < shardMin || workers < 2 {
+		tick := newTicker(ctx)
 		for i, a := range candidates {
+			if err := tick.tick(1); err != nil {
+				return nil, err
+			}
 			scored[i] = bm.scoreOne(s, a, profNorm)
 		}
-		return scored
+		return scored, nil
 	}
 	chunk := (len(candidates) + workers - 1) / workers
+	shards := (len(candidates) + chunk - 1) / chunk
+	errs := make([]error, shards)
 	var wg sync.WaitGroup
-	for lo := 0; lo < len(candidates); lo += chunk {
+	for shard, lo := 0, 0; lo < len(candidates); shard, lo = shard+1, lo+chunk {
 		hi := lo + chunk
 		if hi > len(candidates) {
 			hi = len(candidates)
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(shard, lo, hi int) {
 			defer wg.Done()
+			tick := newTicker(ctx)
 			for i := lo; i < hi; i++ {
+				if err := tick.tick(1); err != nil {
+					errs[shard] = err
+					return
+				}
 				scored[i] = bm.scoreOne(s, candidates[i], profNorm)
 			}
-		}(lo, hi)
+		}(shard, lo, hi)
 	}
 	wg.Wait()
-	return scored
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return scored, nil
 }
 
 // scoreOne computes one candidate's negated cosine distance from the stamped
@@ -311,7 +352,7 @@ func (bm *BestMatch) scoreOne(s *bmScratch, a core.ActionID, profNorm float64) S
 // connectivity — at high connectivity this is orders of magnitude below the
 // candidate-major walk. All accumulated quantities are integer-valued, so
 // the scores are bit-identical to the candidate-major path.
-func (bm *BestMatch) scoreGoalMajor(s *bmScratch, candidates []core.ActionID, goalSpace []core.GoalID, profNorm float64) []ScoredAction {
+func (bm *BestMatch) scoreGoalMajor(ctx context.Context, s *bmScratch, candidates []core.ActionID, goalSpace []core.GoalID, profNorm float64) ([]ScoredAction, error) {
 	if s.dot == nil {
 		n := bm.lib.NumActions()
 		s.dot = make([]float64, n)
@@ -319,10 +360,15 @@ func (bm *BestMatch) scoreGoalMajor(s *bmScratch, candidates []core.ActionID, go
 		s.cnt = make([]int32, n)
 	}
 	s.actTouched = s.actTouched[:0]
+	tick := newTicker(ctx)
+	var tickErr error
 	for i, g := range goalSpace {
 		pg := s.profile[i]
 		s.gTouched = s.gTouched[:0]
 		for _, p := range bm.lib.ImplsOfGoal(g) {
+			if tickErr = tick.tick(1); tickErr != nil {
+				break
+			}
 			for _, a := range bm.lib.Actions(p) {
 				c := s.cnt[a]
 				if c == 0 {
@@ -339,6 +385,17 @@ func (bm *BestMatch) scoreGoalMajor(s *bmScratch, candidates []core.ActionID, go
 		for _, a := range s.gTouched {
 			s.cnt[a] = 0
 		}
+		if tickErr != nil {
+			break
+		}
+	}
+	if tickErr != nil {
+		// Return the pooled accumulators clean before aborting.
+		for _, a := range s.actTouched {
+			s.dot[a] = 0
+			s.sumsq[a] = 0
+		}
+		return nil, tickErr
 	}
 	scored := make([]ScoredAction, len(candidates))
 	for i, a := range candidates {
@@ -352,15 +409,21 @@ func (bm *BestMatch) scoreGoalMajor(s *bmScratch, candidates []core.ActionID, go
 		s.dot[a] = 0
 		s.sumsq[a] = 0
 	}
-	return scored
+	return scored, nil
 }
 
 // scorePostings is the pre-AG-idx candidate loop — every candidate walks its
 // full A-GI posting list with a random GI-G lookup per posting. Kept as the
 // reference implementation for equivalence tests and old-vs-new benchmarks.
-func (bm *BestMatch) scorePostings(s *bmScratch, candidates []core.ActionID, profNorm float64) []ScoredAction {
+// The context is polled at candidate boundaries, where the per-candidate
+// candCount scratch is already cleared.
+func (bm *BestMatch) scorePostings(ctx context.Context, s *bmScratch, candidates []core.ActionID, profNorm float64) ([]ScoredAction, error) {
+	tick := newTicker(ctx)
 	scored := make([]ScoredAction, 0, len(candidates))
 	for _, a := range candidates {
+		if err := tick.tick(1); err != nil {
+			return nil, err
+		}
 		dot, sumsq := 0.0, 0.0
 		s.slotTouched = s.slotTouched[:0]
 		for _, p := range bm.lib.ImplsOfAction(a) {
@@ -387,5 +450,5 @@ func (bm *BestMatch) scorePostings(s *bmScratch, candidates []core.ActionID, pro
 			s.candCount[i] = 0
 		}
 	}
-	return scored
+	return scored, nil
 }

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -102,13 +103,25 @@ func (b *Breadth) Name() string {
 
 // Recommend implements Recommender.
 func (b *Breadth) Recommend(activity []core.ActionID, k int) []ScoredAction {
+	out, _ := b.RecommendContext(context.Background(), activity, k)
+	return out
+}
+
+// RecommendContext implements ContextRecommender: the implementation-space
+// accumulation loop polls ctx at coarse checkpoints. A canceled query
+// returns nil — partially accumulated scores would rank candidates
+// incorrectly, so none are surfaced.
+func (b *Breadth) RecommendContext(ctx context.Context, activity []core.ActionID, k int) ([]ScoredAction, error) {
+	if err := entryErr(ctx); err != nil {
+		return nil, err
+	}
 	if k == 0 {
-		return nil
+		return nil, nil
 	}
 	h := intset.FromUnsorted(intset.Clone(activity))
 	space := b.lib.ImplementationSpace(h)
 	if len(space) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	s := b.pool.Get().(*breadthScratch)
@@ -122,7 +135,12 @@ func (b *Breadth) Recommend(activity []core.ActionID, k int) []ScoredAction {
 			s.inH[a] = true
 		}
 	}
+	tick := newTicker(ctx)
+	var tickErr error
 	for _, p := range space {
+		if tickErr = tick.tick(1); tickErr != nil {
+			break
+		}
 		acts := b.lib.Actions(p)
 		var comm float64
 		switch b.weighting {
@@ -148,11 +166,18 @@ func (b *Breadth) Recommend(activity []core.ActionID, k int) []ScoredAction {
 			s.inH[a] = false
 		}
 	}
+	if tickErr != nil {
+		// The pooled scratch must go back clean even on an aborted query.
+		for _, a := range s.touched {
+			s.scores[a] = 0
+		}
+		return nil, tickErr
+	}
 
 	scored := make([]ScoredAction, 0, len(s.touched))
 	for _, a := range s.touched {
 		scored = append(scored, ScoredAction{Action: a, Score: s.scores[a]})
 		s.scores[a] = 0
 	}
-	return TopK(scored, k)
+	return TopK(scored, k), nil
 }

@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -64,6 +65,15 @@ func key(h []core.ActionID, k int) string {
 
 // Recommend implements Recommender.
 func (c *Cached) Recommend(activity []core.ActionID, k int) []ScoredAction {
+	out, _ := c.RecommendContext(context.Background(), activity, k)
+	return out
+}
+
+// RecommendContext implements ContextRecommender. A cache hit is served
+// regardless of the context (it costs nothing to return); a miss delegates
+// to the inner recommender with ctx, and aborted queries are never cached —
+// a canceled partial result must not poison later complete queries.
+func (c *Cached) RecommendContext(ctx context.Context, activity []core.ActionID, k int) ([]ScoredAction, error) {
 	h := intset.FromUnsorted(intset.Clone(activity))
 	ck := key(h, k)
 
@@ -74,12 +84,15 @@ func (c *Cached) Recommend(activity []core.ActionID, k int) []ScoredAction {
 		cached := el.Value.(*cacheEntry).list
 		c.mu.Unlock()
 		// Return a copy: callers may re-sort or truncate.
-		return append([]ScoredAction(nil), cached...)
+		return append([]ScoredAction(nil), cached...), nil
 	}
 	c.misses++
 	c.mu.Unlock()
 
-	list := c.inner.Recommend(h, k)
+	list, err := RecommendContext(ctx, c.inner, h, k)
+	if err != nil {
+		return list, err
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -91,7 +104,7 @@ func (c *Cached) Recommend(activity []core.ActionID, k int) []ScoredAction {
 			delete(c.byK, oldest.Value.(*cacheEntry).key)
 		}
 	}
-	return append([]ScoredAction(nil), list...)
+	return append([]ScoredAction(nil), list...), nil
 }
 
 // Stats returns cache hits and misses so far.

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"sort"
 
 	"goalrec/internal/core"
@@ -61,17 +62,34 @@ type rankedImpl struct {
 
 // Recommend implements Recommender.
 func (f *Focus) Recommend(activity []core.ActionID, k int) []ScoredAction {
+	out, _ := f.RecommendContext(context.Background(), activity, k)
+	return out
+}
+
+// RecommendContext implements ContextRecommender: the implementation-space
+// scoring loop and the emission walk poll ctx at coarse checkpoints. On
+// cancellation during emission the returned prefix is a valid partial
+// result (Focus emits best-implementation-first); cancellation during
+// scoring returns nil.
+func (f *Focus) RecommendContext(ctx context.Context, activity []core.ActionID, k int) ([]ScoredAction, error) {
+	if err := entryErr(ctx); err != nil {
+		return nil, err
+	}
 	if k == 0 {
-		return nil
+		return nil, nil
 	}
 	h := intset.FromUnsorted(intset.Clone(activity))
 	space := f.lib.ImplementationSpace(h)
 	if len(space) == 0 {
-		return nil
+		return nil, nil
 	}
 
+	tick := newTicker(ctx)
 	ranked := make([]rankedImpl, 0, len(space))
 	for _, p := range space {
+		if err := tick.tick(1); err != nil {
+			return nil, err
+		}
 		missing := intset.DifferenceLen(f.lib.Actions(p), h)
 		if missing == 0 {
 			// Fully covered implementations have nothing left to recommend.
@@ -100,6 +118,9 @@ func (f *Focus) Recommend(activity []core.ActionID, k int) []ScoredAction {
 		seen = make(map[core.ActionID]struct{})
 	)
 	for _, ri := range ranked {
+		if err := tick.tick(1); err != nil {
+			return out, err
+		}
 		for _, a := range f.lib.Actions(ri.id) {
 			if intset.Contains(h, a) {
 				continue
@@ -110,9 +131,9 @@ func (f *Focus) Recommend(activity []core.ActionID, k int) []ScoredAction {
 			seen[a] = struct{}{}
 			out = append(out, ScoredAction{Action: a, Score: ri.score})
 			if k > 0 && len(out) == k {
-				return out
+				return out, nil
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,174 @@
+// Request-lifecycle tests for the public API: RecommendContext on every
+// recommender, ErrCanceled semantics, and the acceptance pin that a
+// canceled context aborts an in-flight Best Match query at 1M
+// implementations before it completes.
+package goalrec_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"goalrec"
+	"goalrec/internal/faultinject"
+)
+
+func lifecycleLibrary(t testing.TB) *goalrec.Library {
+	t.Helper()
+	b := goalrec.NewBuilder()
+	add := func(goal string, actions ...string) {
+		t.Helper()
+		if err := b.AddImplementation(goal, actions...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("olivier salad", "potatoes", "carrots", "pickles")
+	add("mashed potatoes", "potatoes", "nutmeg", "butter")
+	add("pan-fried carrots", "carrots", "nutmeg")
+	return b.Build()
+}
+
+func TestRecommendContextPublicAPI(t *testing.T) {
+	lib := lifecycleLibrary(t)
+	for _, s := range goalrec.Strategies() {
+		t.Run(string(s), func(t *testing.T) {
+			rec := lib.MustRecommender(s)
+			want := rec.Recommend([]string{"potatoes", "carrots"}, 5)
+			got, err := rec.RecommendContext(context.Background(), []string{"potatoes", "carrots"}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("RecommendContext = %v, want %v", got, want)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := rec.RecommendContext(ctx, []string{"potatoes"}, 5); !errors.Is(err, goalrec.ErrCanceled) || !errors.Is(err, context.Canceled) {
+				t.Errorf("canceled err = %v, want ErrCanceled wrapping context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestRecommendContextBaselines pins the degraded contract for recommenders
+// without internal checkpoints: the context is observed at entry.
+func TestRecommendContextBaselines(t *testing.T) {
+	lib := lifecycleLibrary(t)
+	corpus := lib.NewCorpus([][]string{
+		{"potatoes", "carrots"},
+		{"potatoes", "nutmeg"},
+		{"carrots", "nutmeg", "butter"},
+	})
+	rec := corpus.PopularityRecommender()
+	if _, err := rec.RecommendContext(context.Background(), []string{"potatoes"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rec.RecommendContext(ctx, []string{"potatoes"}, 3); !errors.Is(err, goalrec.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// millionLibrary builds the README's reference configuration — 1M
+// implementations over a 10k-action space — once per test process.
+var millionOnce struct {
+	sync.Once
+	lib *goalrec.Library
+}
+
+func millionLibrary(t testing.TB) *goalrec.Library {
+	t.Helper()
+	millionOnce.Do(func() {
+		const (
+			impls   = 1_000_000
+			actions = 10_000
+		)
+		actionNames := make([]string, actions)
+		for i := range actionNames {
+			actionNames[i] = "a" + strconv.Itoa(i)
+		}
+		r := rand.New(rand.NewSource(1))
+		b := goalrec.NewBuilder()
+		buf := make([]string, 0, 16)
+		for i := 0; i < impls; i++ {
+			n := 2 + r.Intn(12)
+			buf = buf[:0]
+			for j := 0; j < n; j++ {
+				buf = append(buf, actionNames[r.Intn(actions)])
+			}
+			if err := b.AddImplementation("g"+strconv.Itoa(i/2), buf...); err != nil {
+				panic(err)
+			}
+		}
+		millionOnce.lib = b.Build()
+	})
+	return millionOnce.lib
+}
+
+// TestBestMatchCancellationAtScale is the acceptance pin: a canceled
+// context aborts an in-flight Best Match query over 1M implementations
+// before it completes. faultinject.CancelAfterPolls(1) lets the query pass
+// its entry check, then cancels deterministically at the first scoring
+// checkpoint — no timing dependence — and the poll count proves the query
+// was genuinely in flight when it died.
+func TestBestMatchCancellationAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-implementation library build in -short mode")
+	}
+	lib := millionLibrary(t)
+	if got := lib.NumImplementations(); got != 1_000_000 {
+		t.Fatalf("library size = %d", got)
+	}
+	rec := lib.MustRecommender(goalrec.BestMatch)
+	activity := []string{"a1", "a2", "a3", "a4", "a5"}
+
+	// The uncanceled query completes and returns a full list.
+	full, err := rec.RecommendContext(context.Background(), activity, 10)
+	if err != nil || len(full) != 10 {
+		t.Fatalf("baseline query = (%d results, %v)", len(full), err)
+	}
+
+	ctx := faultinject.CancelAfterPolls(1)
+	start := time.Now()
+	got, err := rec.RecommendContext(ctx, activity, 10)
+	elapsed := time.Since(start)
+	if !errors.Is(err, goalrec.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("aborted Best Match returned %d results", len(got))
+	}
+	if polls := ctx.Polls(); polls < 2 {
+		t.Fatalf("query never reached an in-loop checkpoint (polls = %d)", polls)
+	}
+	t.Logf("aborted after %v (uncanceled query returns %d results)", elapsed, len(full))
+
+	// The recommender must remain fully usable after an aborted query.
+	again, err := rec.RecommendContext(context.Background(), activity, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(again) != fmt.Sprint(full) {
+		t.Errorf("post-abort results diverge from baseline")
+	}
+}
+
+// TestRecommendContextDeadlinePublicAPI covers the deadline flavor end to
+// end: an expired deadline surfaces context.DeadlineExceeded through the
+// public wrapper.
+func TestRecommendContextDeadlinePublicAPI(t *testing.T) {
+	lib := lifecycleLibrary(t)
+	rec := lib.MustRecommender(goalrec.Breadth)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	if _, err := rec.RecommendContext(ctx, []string{"potatoes"}, 5); !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, goalrec.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.DeadlineExceeded", err)
+	}
+}

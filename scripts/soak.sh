@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Soak test: run a race-instrumented goalrecd under sustained overload and
+# check the request-lifecycle contract end to end:
+#
+#   - loadgen -overload hammers the daemon past its -max-inflight gate;
+#     every response must be 200, 503 (shed) or 504 (deadline) — anything
+#     else fails the run (loadgen exits nonzero).
+#   - the daemon must survive the whole run with the race detector silent
+#     and shut down cleanly on SIGTERM (exit code 0).
+#
+# Tunables (env): SOAK_DURATION (default 30s), SOAK_LIBRARY, SOAK_ADDR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${SOAK_DURATION:-30s}"
+ADDR="${SOAK_ADDR:-127.0.0.1:18080}"
+
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# A library big enough that scoring (not HTTP plumbing) is the bottleneck —
+# otherwise the admission gate never fills and shedding goes unexercised.
+LIB="${SOAK_LIBRARY:-$TMP/soak.jsonl}"
+if [ ! -f "$LIB" ]; then
+    echo "soak: generating synthetic library"
+    awk 'BEGIN{
+        srand(7)
+        for (i = 0; i < 50000; i++) {
+            n = 3 + int(rand() * 6)
+            printf "{\"goal\":\"g%d\",\"actions\":[", i % 20000
+            for (j = 0; j < n; j++)
+                printf "%s\"a%d\"", (j ? "," : ""), int(rand() * 500)
+            print "]}"
+        }
+    }' >"$LIB"
+fi
+
+echo "soak: building race-instrumented goalrecd and loadgen"
+go build -race -o "$TMP/goalrecd" ./cmd/goalrecd
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+"$TMP/goalrecd" -library "$LIB" -addr "$ADDR" -quiet \
+    -max-inflight 2 -admission-wait 200us -request-timeout 250ms \
+    -watch 100ms 2>"$TMP/goalrecd.log" &
+DAEMON_PID=$!
+
+ready=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$ready" ]; then
+    echo "soak: daemon never became ready" >&2
+    cat "$TMP/goalrecd.log" >&2
+    exit 1
+fi
+
+echo "soak: overloading for $DURATION"
+"$TMP/loadgen" -url "http://$ADDR" -library "$LIB" -overload \
+    -concurrency 16 -duration "$DURATION" -strategy best-match
+
+echo "soak: final metrics"
+curl -fsS "http://$ADDR/v1/metrics"
+
+echo "soak: sending SIGTERM"
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+    status=$?
+    echo "soak: daemon exited with status $status (race detected or unclean shutdown)" >&2
+    cat "$TMP/goalrecd.log" >&2
+    exit 1
+fi
+DAEMON_PID=""
+echo "soak: clean shutdown, PASS"
