@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench microbench vet fmt lint cover experiments soak clean BENCH_PR1.json
+.PHONY: all build test race bench microbench vet fmt lint cover experiments soak clean BENCH_PR1.json BENCH_PR4.json
 
 all: vet test build
 
@@ -13,14 +13,21 @@ test:
 race:
 	go test -race ./...
 
-bench: BENCH_PR1.json
+bench: BENCH_PR4.json
 
 # Figure 7 sweep at the README's reference configuration; the JSON feeds the
-# README performance table.
+# README performance table. BENCH_PR1.json is the pre-kernel baseline the
+# PR-4 acceptance ratios are measured against; BENCH_PR4.json is the current
+# scoring stack (counter-kernel Focus/Breadth) on the same sweep and seed.
 BENCH_PR1.json:
 	go run ./cmd/experiments -skip-datasets \
 		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
 		-bench-json BENCH_PR1.json
+
+BENCH_PR4.json:
+	go run ./cmd/experiments -skip-datasets \
+		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
+		-bench-json BENCH_PR4.json
 
 microbench:
 	go test -run=XXX -bench=. -benchmem .

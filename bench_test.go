@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"goalrec"
 	"goalrec/internal/core"
 	"goalrec/internal/eval"
 	"goalrec/internal/experiments"
@@ -238,6 +239,45 @@ func BenchmarkStrategyBreadth(b *testing.B) {
 func BenchmarkStrategyBestMatch(b *testing.B) {
 	benchStrategy(b, func(l *core.Library) strategy.Recommender {
 		return strategy.NewBestMatch(l)
+	})
+}
+
+// BenchmarkRecommendBatch compares the batch fan-out against per-item
+// sequential calls over one shared recommender; on multi-core hosts the
+// batch path amortizes the worker pool across the whole activity set.
+func BenchmarkRecommendBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bld := goalrec.NewBuilder()
+	for i := 0; i < 20000; i++ {
+		acts := make([]string, 2+rng.Intn(8))
+		for j := range acts {
+			acts[j] = fmt.Sprintf("a%d", rng.Intn(2000))
+		}
+		if err := bld.AddImplementation(fmt.Sprintf("g%d", i/2), acts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	lib := bld.Build()
+	rec := lib.MustRecommender(goalrec.Breadth)
+	activities := make([][]string, 64)
+	for i := range activities {
+		acts := make([]string, 5)
+		for j := range acts {
+			acts[j] = fmt.Sprintf("a%d", rng.Intn(2000))
+		}
+		activities[i] = acts
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, h := range activities {
+				rec.Recommend(h, 10)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			goalrec.RecommendBatch(rec, activities, 10)
+		}
 	})
 }
 

@@ -24,6 +24,11 @@
 // caps concurrent expensive requests, shedding the excess as 503 +
 // Retry-After.
 //
+// -pprof-addr starts a second listener serving net/http/pprof (off by
+// default). Keeping the profiler off the serving address means it is never
+// exposed to recommendation traffic and can be bound to localhost while the
+// API listens publicly.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
 // 503 (draining) so load balancers stop routing here, then in-flight
 // requests get up to 10s to finish.
@@ -37,6 +42,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +67,7 @@ func run() error {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; expired requests answer 504 (0 disables)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent expensive requests; excess is shed as 503 (0 disables)")
 	admissionWait := flag.Duration("admission-wait", 10*time.Millisecond, "how long an over-limit request may wait for a slot before being shed (needs -max-inflight)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	flag.Parse()
 	if *libPath == "" {
 		return errors.New("-library is required")
@@ -95,6 +102,29 @@ func run() error {
 		Addr:              *addr,
 		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		// The profiler gets its own mux and listener: nothing pprof-related
+		// is ever routable through the serving address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof listener failed: %v", err)
+			}
+		}()
 	}
 
 	watchDone := make(chan struct{})
@@ -137,6 +167,9 @@ func run() error {
 		<-watchDone
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if pprofSrv != nil {
+			_ = pprofSrv.Shutdown(ctx)
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			return err
 		}

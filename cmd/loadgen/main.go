@@ -41,6 +41,7 @@ type result struct {
 	latency time.Duration
 	status  int
 	err     error
+	items   int // activities carried by the request (1 unbatched)
 }
 
 // config carries everything runLoad needs; flags populate it in run and
@@ -55,6 +56,7 @@ type config struct {
 	activityLen int
 	seed        uint64
 	overload    bool
+	batch       int // > 1 sends /v1/recommend/batch with this many activities per request
 	lib         *goalrec.Library
 	out         io.Writer
 }
@@ -70,6 +72,7 @@ func run() error {
 	activityLen := flag.Int("activity-len", 3, "actions per sampled query")
 	seed := flag.Uint64("seed", 1, "sampling seed")
 	overload := flag.Bool("overload", false, "expect shedding: 503/504 responses are reported, not failures")
+	batch := flag.Int("batch", 1, "activities per request; > 1 targets /v1/recommend/batch")
 	flag.Parse()
 	if *libPath == "" {
 		return fmt.Errorf("-library is required")
@@ -88,6 +91,7 @@ func run() error {
 		activityLen: *activityLen,
 		seed:        *seed,
 		overload:    *overload,
+		batch:       *batch,
 		lib:         lib,
 		out:         os.Stdout,
 	})
@@ -99,14 +103,20 @@ func runLoad(cfg config) error {
 		return fmt.Errorf("library has no actions")
 	}
 
-	// Pre-build the request bodies deterministically.
+	// Pre-build the request bodies deterministically. In batch mode the same
+	// sampled activities are grouped batch-at-a-time into
+	// /v1/recommend/batch bodies, so -batch N at the same offered load sends
+	// 1/N the requests while scoring the same activities.
 	rng := xrand.New(cfg.seed)
-	nBodies := cfg.requests
-	if cfg.duration > 0 && nBodies < 256 {
-		nBodies = 256
+	batch := cfg.batch
+	if batch < 1 {
+		batch = 1
 	}
-	bodies := make([][]byte, nBodies)
-	for i := range bodies {
+	nActivities := cfg.requests
+	if cfg.duration > 0 && nActivities < 256 {
+		nActivities = 256
+	}
+	sample := func() []string {
 		n := cfg.activityLen
 		if n > len(actions) {
 			n = len(actions)
@@ -115,18 +125,48 @@ func runLoad(cfg config) error {
 		for _, idx := range rng.SampleInt32(int32(len(actions)), n) {
 			activity = append(activity, actions[idx])
 		}
-		body, err := json.Marshal(map[string]interface{}{
-			"activity": activity, "strategy": cfg.strategy, "k": cfg.k,
-		})
-		if err != nil {
-			return err
+		return activity
+	}
+	path := "/v1/recommend"
+	var bodies [][]byte
+	var bodyItems []int
+	if batch == 1 {
+		for i := 0; i < nActivities; i++ {
+			body, err := json.Marshal(map[string]interface{}{
+				"activity": sample(), "strategy": cfg.strategy, "k": cfg.k,
+			})
+			if err != nil {
+				return err
+			}
+			bodies = append(bodies, body)
+			bodyItems = append(bodyItems, 1)
 		}
-		bodies[i] = body
+	} else {
+		path = "/v1/recommend/batch"
+		for done := 0; done < nActivities; {
+			n := batch
+			if n > nActivities-done {
+				n = nActivities - done
+			}
+			activities := make([][]string, n)
+			for i := range activities {
+				activities[i] = sample()
+			}
+			body, err := json.Marshal(map[string]interface{}{
+				"activities": activities, "strategy": cfg.strategy, "k": cfg.k,
+			})
+			if err != nil {
+				return err
+			}
+			bodies = append(bodies, body)
+			bodyItems = append(bodyItems, n)
+			done += n
+		}
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	jobs := make(chan []byte)
-	results := make([]result, 0, nBodies)
+	jobs := make(chan int)
+	results := make([]result, 0, len(bodies))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 
@@ -135,10 +175,10 @@ func runLoad(cfg config) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for body := range jobs {
+			for i := range jobs {
 				t0 := time.Now()
-				resp, err := client.Post(cfg.url+"/v1/recommend", "application/json", bytes.NewReader(body))
-				r := result{latency: time.Since(t0), err: err}
+				resp, err := client.Post(cfg.url+path, "application/json", bytes.NewReader(bodies[i]))
+				r := result{latency: time.Since(t0), err: err, items: bodyItems[i]}
 				if err == nil {
 					r.status = resp.StatusCode
 					_, _ = io.Copy(io.Discard, resp.Body)
@@ -154,16 +194,16 @@ func runLoad(cfg config) error {
 		deadline := start.Add(cfg.duration)
 	feed:
 		for {
-			for _, b := range bodies {
+			for i := range bodies {
 				if time.Now().After(deadline) {
 					break feed
 				}
-				jobs <- b
+				jobs <- i
 			}
 		}
 	} else {
-		for _, b := range bodies {
-			jobs <- b
+		for i := range bodies {
+			jobs <- i
 		}
 	}
 	close(jobs)
@@ -171,13 +211,14 @@ func runLoad(cfg config) error {
 	elapsed := time.Since(start)
 
 	var latencies []time.Duration
-	errors, shed, timedOut, unexpected := 0, 0, 0, 0
+	errors, shed, timedOut, unexpected, okActivities := 0, 0, 0, 0, 0
 	for _, r := range results {
 		switch {
 		case r.err != nil:
 			errors++
 		case r.status == http.StatusOK:
 			latencies = append(latencies, r.latency)
+			okActivities += r.items
 		case r.status == http.StatusServiceUnavailable:
 			shed++
 		case r.status == http.StatusGatewayTimeout:
@@ -188,8 +229,9 @@ func runLoad(cfg config) error {
 	}
 	fmt.Fprintf(cfg.out, "requests: %d  ok: %d  shed(503): %d  deadline(504): %d  other: %d  errors: %d\n",
 		len(results), len(latencies), shed, timedOut, unexpected, errors)
-	fmt.Fprintf(cfg.out, "elapsed: %v  throughput: %.1f req/s\n",
-		elapsed.Round(time.Millisecond), float64(len(results))/elapsed.Seconds())
+	fmt.Fprintf(cfg.out, "elapsed: %v  throughput: %.1f req/s  recommendations: %.1f activities/s\n",
+		elapsed.Round(time.Millisecond), float64(len(results))/elapsed.Seconds(),
+		float64(okActivities)/elapsed.Seconds())
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		pct := func(p float64) time.Duration {

@@ -44,6 +44,26 @@ func TestRunLoadAllOK(t *testing.T) {
 	}
 }
 
+// TestRunLoadBatchMode drives /v1/recommend/batch: 50 activities at -batch 8
+// become 7 requests (6×8 + 1×2), all of which must succeed.
+func TestRunLoadBatchMode(t *testing.T) {
+	lib := loadTestLibrary(t)
+	ts := httptest.NewServer(server.New(lib, nil))
+	defer ts.Close()
+	var out bytes.Buffer
+	err := runLoad(config{
+		url: ts.URL, strategy: "breadth", k: 5,
+		concurrency: 4, requests: 50, activityLen: 2, seed: 1,
+		batch: 8, lib: lib, out: &out,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "requests: 7  ok: 7") {
+		t.Errorf("summary should show 7 batched requests:\n%s", out.String())
+	}
+}
+
 // blockedGateServer returns a server whose single admission slot is held
 // by a reload that blocks until the returned release func is called —
 // every expensive request it sees is shed deterministically.

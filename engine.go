@@ -1,6 +1,7 @@
 package goalrec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,18 +34,19 @@ type Engine struct {
 }
 
 // engineState bundles one epoch's snapshot with its lazily built recommender
-// set. Swapping the whole state pointer at publish time is what invalidates
-// cached recommenders (and their strategy.NewCached entries) by epoch
-// instead of letting them leak stale scores.
+// set, keyed by strategy plus resolved options. Swapping the whole state
+// pointer at publish time is what invalidates cached recommenders (and
+// their strategy.NewCached entries) by epoch instead of letting them leak
+// stale scores: every WithCache LRU lives in this map and dies with it.
 type engineState struct {
 	lib *Library
 
 	mu   sync.Mutex
-	recs map[Strategy]Recommender
+	recs map[string]Recommender
 }
 
 func newEngineState(lib *Library) *engineState {
-	return &engineState{lib: lib, recs: make(map[Strategy]Recommender)}
+	return &engineState{lib: lib, recs: make(map[string]Recommender)}
 }
 
 // NewEngine returns an empty Engine at epoch 0.
@@ -146,25 +148,87 @@ func (e *Engine) Swap(lib *Library) *Library {
 }
 
 // Recommender returns a recommender over the current epoch's snapshot.
-// Calls without options share one recommender per strategy from the epoch's
-// recommender set; passing options builds a fresh instance. Either way the
+// Calls whose options resolve identically share one instance from the
+// epoch's recommender set (recommenders are deterministic and concurrent-
+// safe, so sharing — including a shared WithCache LRU — is sound). The
 // result is bound to its snapshot: it stays consistent (and valid) after
 // later epochs are published, and the per-epoch set is dropped wholesale on
-// publish so no cached state outlives its library.
+// publish so no cached state outlives its library. For a handle that
+// follows epochs instead, use LiveRecommender.
 func (e *Engine) Recommender(s Strategy, opts ...RecommenderOption) (Recommender, error) {
-	st := e.state.Load()
-	if len(opts) > 0 {
-		return st.lib.Recommender(s, opts...)
+	return e.recommenderFor(e.state.Load(), s, opts)
+}
+
+// recommenderFor returns (building on first use) st's shared recommender
+// for the strategy/options pair.
+func (e *Engine) recommenderFor(st *engineState, s Strategy, opts []RecommenderOption) (Recommender, error) {
+	o := resolveRecOptions(opts)
+	if o.err != nil {
+		return nil, o.err
 	}
+	key := o.sharingKey(s)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if rec, ok := st.recs[s]; ok {
+	if rec, ok := st.recs[key]; ok {
 		return rec, nil
 	}
-	rec, err := st.lib.Recommender(s)
+	rec, err := st.lib.Recommender(s, opts...)
 	if err != nil {
 		return nil, err
 	}
-	st.recs[s] = rec
+	st.recs[key] = rec
 	return rec, nil
+}
+
+// LiveRecommender returns a recommender that follows the engine's epochs:
+// every Recommend/RecommendContext call resolves the snapshot current at
+// that moment, and a RecommendBatch resolves one snapshot for the whole
+// batch. Because the per-epoch recommender sets are dropped on publish,
+// the cached path (WithCache) can never serve rankings from a superseded
+// library — an ingested implementation is visible on the very next call.
+// Invalid options are reported here, at construction.
+func (e *Engine) LiveRecommender(s Strategy, opts ...RecommenderOption) (Recommender, error) {
+	if _, err := e.recommenderFor(e.state.Load(), s, opts); err != nil {
+		return nil, err
+	}
+	return &liveRecommender{e: e, s: s, opts: opts}, nil
+}
+
+// liveRecommender resolves the engine's current epoch on every call. The
+// options were validated at construction, so resolution cannot fail later:
+// the epoch's recommender is rebuilt from the same option list.
+type liveRecommender struct {
+	e    *Engine
+	s    Strategy
+	opts []RecommenderOption
+}
+
+// current returns the recommender of the engine's current epoch.
+func (l *liveRecommender) current() Recommender {
+	rec, err := l.e.recommenderFor(l.e.state.Load(), l.s, l.opts)
+	if err != nil {
+		// Unreachable: the options were validated at construction and the
+		// strategy constant cannot change.
+		panic(err)
+	}
+	return rec
+}
+
+// Name implements Recommender.
+func (l *liveRecommender) Name() string { return l.current().Name() }
+
+// Recommend implements Recommender against the current epoch.
+func (l *liveRecommender) Recommend(activity []string, k int) []Recommendation {
+	return l.current().Recommend(activity, k)
+}
+
+// RecommendContext implements Recommender against the current epoch.
+func (l *liveRecommender) RecommendContext(ctx context.Context, activity []string, k int) ([]Recommendation, error) {
+	return l.current().RecommendContext(ctx, activity, k)
+}
+
+// RecommendBatch implements Recommender: the epoch is resolved once, so
+// every activity of the batch scores against the same snapshot.
+func (l *liveRecommender) RecommendBatch(ctx context.Context, activities [][]string, k int) []BatchResult {
+	return l.current().RecommendBatch(ctx, activities, k)
 }

@@ -1,6 +1,7 @@
 package goalrec
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -180,7 +181,8 @@ func TestEngineRecommenderPerEpoch(t *testing.T) {
 		t.Fatal("epoch-2 recommender missing epoch-2 data")
 	}
 
-	// Options bypass the shared set.
+	// Identical resolved options share one per-epoch instance (including
+	// its cache); differing options get their own.
 	opt1, err := e.Recommender(Breadth, WithCache(8))
 	if err != nil {
 		t.Fatal(err)
@@ -189,10 +191,72 @@ func TestEngineRecommenderPerEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if opt1 == opt2 {
-		t.Fatal("option-built recommenders should be distinct instances")
+	if opt1 != opt2 {
+		t.Fatal("identical options should share one per-epoch recommender")
+	}
+	opt3, err := e.Recommender(Breadth, WithBreadthWeighting("count"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt3 == opt1 {
+		t.Fatal("differing options should not share an instance")
 	}
 	if _, err := e.Recommender(Strategy("nope")); err == nil {
+		t.Fatal("want error for unknown strategy")
+	}
+}
+
+// TestLiveRecommenderFollowsEpochs is the epoch-invalidation regression
+// test for the cached path: a WithCache recommender obtained from
+// LiveRecommender must surface an ingested implementation on the very next
+// call — never a ranking cached against a superseded epoch.
+func TestLiveRecommenderFollowsEpochs(t *testing.T) {
+	e := NewEngine()
+	if err := e.AddImplementation("pancakes", "milk", "eggs", "flour"); err != nil {
+		t.Fatal(err)
+	}
+	live, err := e.LiveRecommender(Breadth, WithCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	activity := []string{"eggs"}
+	// Two queries: the second is served from the epoch's cache.
+	live.Recommend(activity, 10)
+	for _, rec := range live.Recommend(activity, 10) {
+		if rec.Action == "butter" {
+			t.Fatal("butter recommended before it was ingested")
+		}
+	}
+
+	if err := e.AddImplementation("omelette", "eggs", "butter"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range live.Recommend(activity, 10) {
+		found = found || rec.Action == "butter"
+	}
+	if !found {
+		t.Fatal("cached live recommender kept serving the previous epoch's ranking")
+	}
+
+	// A batch resolves one epoch for all items and sees the ingest too.
+	results := live.RecommendBatch(context.Background(), [][]string{activity, {"milk"}}, 10)
+	if len(results) != 2 {
+		t.Fatalf("batch results = %d, want 2", len(results))
+	}
+	found = false
+	for _, rec := range results[0].Recommendations {
+		found = found || rec.Action == "butter"
+	}
+	if !found {
+		t.Fatal("live batch missing the ingested implementation")
+	}
+
+	// Invalid configurations fail at construction, not at query time.
+	if _, err := e.LiveRecommender(Breadth, WithBreadthWeighting("nope")); err == nil {
+		t.Fatal("want error for invalid weighting")
+	}
+	if _, err := e.LiveRecommender(Strategy("bogus")); err == nil {
 		t.Fatal("want error for unknown strategy")
 	}
 }

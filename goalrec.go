@@ -386,6 +386,23 @@ type recOptions struct {
 	err       error // first invalid option, surfaced by Library.Recommender
 }
 
+// resolveRecOptions applies opts over the defaults.
+func resolveRecOptions(opts []RecommenderOption) recOptions {
+	o := recOptions{metric: vectorspace.Cosine, weighting: strategy.Overlap}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// sharingKey canonicalizes the resolved options for per-epoch recommender
+// sharing: two option lists that resolve identically yield the same key and
+// share one instance (sound — recommenders are deterministic and safe for
+// concurrent use).
+func (o recOptions) sharingKey(s Strategy) string {
+	return fmt.Sprintf("%s/%s/%s/%d", s, o.metric, o.weighting, o.cacheSize)
+}
+
 // WithDistanceMetric selects the Best Match distance: "cosine" (default),
 // "euclidean", "manhattan" or "jaccard". It is ignored by other strategies.
 // An unknown name is reported as an error by Library.Recommender (and panics
@@ -459,6 +476,19 @@ type Recommender interface {
 	// to Recommend; on cancellation it is nil except where a strategy
 	// documents a meaningful partial prefix (Focus).
 	RecommendContext(ctx context.Context, activity []string, k int) ([]Recommendation, error)
+	// RecommendBatch scores many activities under one context, fanned out
+	// over a GOMAXPROCS-bounded worker pool, and returns one result per
+	// activity in input order. All activities are answered from the same
+	// snapshot (one epoch per batch). A done ctx aborts the remaining
+	// items, whose results carry the ErrCanceled-wrapping error.
+	RecommendBatch(ctx context.Context, activities [][]string, k int) []BatchResult
+}
+
+// BatchResult is one activity's outcome within a batch recommendation:
+// either its ranked list or the error that aborted it.
+type BatchResult struct {
+	Recommendations []Recommendation
+	Err             error
 }
 
 // namedRecommender adapts an id-level recommender to the string API.
@@ -491,10 +521,7 @@ func (n *namedRecommender) RecommendContext(ctx context.Context, activity []stri
 
 // Recommender constructs a goal-based recommender over the library.
 func (l *Library) Recommender(s Strategy, opts ...RecommenderOption) (Recommender, error) {
-	o := recOptions{metric: vectorspace.Cosine, weighting: strategy.Overlap}
-	for _, opt := range opts {
-		opt(&o)
-	}
+	o := resolveRecOptions(opts)
 	if o.err != nil {
 		return nil, o.err
 	}
@@ -517,18 +544,29 @@ func (l *Library) Recommender(s Strategy, opts ...RecommenderOption) (Recommende
 	return &namedRecommender{rec: rec, lib: l}, nil
 }
 
-// RecommendBatch runs the recommender over many activities in parallel
-// (bounded by GOMAXPROCS) and returns the lists in input order. Recommenders
-// from this package are safe for concurrent use, so this is the throughput
-// path for offline scoring jobs.
-func RecommendBatch(rec Recommender, activities [][]string, k int) [][]Recommendation {
-	out := make([][]Recommendation, len(activities))
+// RecommendBatch implements Recommender: per-item RecommendContext fanned
+// out over the shared pool. All items score against this recommender's one
+// library snapshot.
+func (n *namedRecommender) RecommendBatch(ctx context.Context, activities [][]string, k int) []BatchResult {
+	return fanOutBatch(ctx, n, activities, k)
+}
+
+// fanOutBatch is the shared batch executor: it scores every activity with
+// rec.RecommendContext under ctx, using up to GOMAXPROCS workers, and
+// returns results in input order. RecommendContext observes ctx at entry,
+// so once the context is done the remaining items drain immediately with
+// the cancellation error instead of running to completion.
+func fanOutBatch(ctx context.Context, rec Recommender, activities [][]string, k int) []BatchResult {
+	out := make([]BatchResult, len(activities))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(activities) {
 		workers = len(activities)
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		for i, activity := range activities {
+			out[i].Recommendations, out[i].Err = rec.RecommendContext(ctx, activity, k)
+		}
+		return out
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -537,7 +575,7 @@ func RecommendBatch(rec Recommender, activities [][]string, k int) [][]Recommend
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = rec.Recommend(activities[i], k)
+				out[i].Recommendations, out[i].Err = rec.RecommendContext(ctx, activities[i], k)
 			}
 		}()
 	}
@@ -546,6 +584,20 @@ func RecommendBatch(rec Recommender, activities [][]string, k int) [][]Recommend
 	}
 	close(jobs)
 	wg.Wait()
+	return out
+}
+
+// RecommendBatch runs the recommender over many activities in parallel
+// (bounded by GOMAXPROCS) and returns the lists in input order. Recommenders
+// from this package are safe for concurrent use, so this is the throughput
+// path for offline scoring jobs. For per-item errors and cancellation use
+// the Recommender.RecommendBatch method directly.
+func RecommendBatch(rec Recommender, activities [][]string, k int) [][]Recommendation {
+	results := rec.RecommendBatch(context.Background(), activities, k)
+	out := make([][]Recommendation, len(results))
+	for i, r := range results {
+		out[i] = r.Recommendations
+	}
 	return out
 }
 

@@ -7,6 +7,7 @@
 //	GET  /readyz                      readiness probe (503 while draining)
 //	GET  /v1/stats                    library statistics
 //	POST /v1/recommend                {"activity": [...], "strategy": "...", "k": N}
+//	POST /v1/recommend/batch          {"activities": [[...], ...], "strategy": "...", "k": N}
 //	POST /v1/spaces                   {"activity": [...]} → goal space with progress, action space
 //	POST /v1/explain                  {"activity": [...], "action": "..."} → per-goal justification
 //	POST /v1/implementations          {"implementations": [{"goal": ..., "actions": [...]}, ...]} live ingest
@@ -201,6 +202,7 @@ func New(lib *goalrec.Library, logger *log.Logger, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /readyz", s.counted("readyz", s.handleReady))
 	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
 	s.mux.HandleFunc("POST /v1/recommend", s.counted("recommend", s.gated("recommend", s.handleRecommend)))
+	s.mux.HandleFunc("POST /v1/recommend/batch", s.counted("recommend_batch", s.gated("recommend_batch", s.handleRecommendBatch)))
 	s.mux.HandleFunc("POST /v1/spaces", s.counted("spaces", s.gated("spaces", s.handleSpaces)))
 	s.mux.HandleFunc("POST /v1/explain", s.counted("explain", s.gated("explain", s.handleExplain)))
 	s.mux.HandleFunc("POST /v1/implementations", s.counted("implementations", s.handleIngest))
@@ -528,6 +530,110 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("recommend strategy=%s k=%d activity=%d results=%d epoch=%d",
 		rec.Name(), req.K, len(req.Activity), len(list), resp.Epoch)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// maxBatchActivities bounds how many activities one batch request may
+// carry; a batch occupies one admission slot, so an unbounded batch would
+// let a single request monopolize the gate.
+const maxBatchActivities = 256
+
+// batchRecommendRequest is the /v1/recommend/batch body: one strategy and k
+// applied to many activities.
+type batchRecommendRequest struct {
+	Activities [][]string `json:"activities"`
+	Strategy   string     `json:"strategy"` // default "breadth"
+	Metric     string     `json:"metric"`   // best-match distance, default "cosine"
+	K          int        `json:"k"`        // default 10
+}
+
+// batchItemPayload is one activity's outcome, in input order. An invalid
+// activity gets a per-item error while the rest of the batch still scores.
+type batchItemPayload struct {
+	Recommendations []recommendationPayload `json:"recommendations"`
+	UnknownActions  []string                `json:"unknown_actions,omitempty"`
+	Error           string                  `json:"error,omitempty"`
+}
+
+// batchRecommendResponse is the /v1/recommend/batch reply. Every item was
+// answered from the same snapshot: Epoch is the epoch of the whole batch.
+type batchRecommendResponse struct {
+	Epoch    uint64             `json:"epoch"`
+	Strategy string             `json:"strategy"`
+	Results  []batchItemPayload `json:"results"`
+}
+
+// handleRecommendBatch scores many activities in one request: the body is
+// decoded once, one bundle (snapshot + recommender) is resolved for the
+// whole batch, and the activities fan out over the library's worker pool —
+// all under this request's single admission slot and deadline. Per-item
+// validation failures are reported per item; a deadline or disconnect
+// mid-batch fails the whole request (504/499), since the remaining items
+// can no longer be answered.
+func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRecommendRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Activities) == 0 {
+		s.writeError(w, http.StatusBadRequest, "activities must not be empty")
+		return
+	}
+	if len(req.Activities) > maxBatchActivities {
+		s.writeError(w, http.StatusBadRequest,
+			"too many activities: %d (limit %d)", len(req.Activities), maxBatchActivities)
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.K < 0 || req.K > 1000 {
+		s.writeError(w, http.StatusBadRequest, "k must be in [1, 1000]")
+		return
+	}
+	b := s.bundle()
+	rec, err := b.recommender(req.Strategy, req.Metric)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	results := make([]batchItemPayload, len(req.Activities))
+	scorable := make([]int, 0, len(req.Activities))
+	for i, activity := range req.Activities {
+		switch {
+		case len(activity) == 0:
+			results[i].Error = "activity must not be empty"
+		case len(activity) > maxActivityActions:
+			results[i].Error = fmt.Sprintf("activity too long: %d actions (limit %d)",
+				len(activity), maxActivityActions)
+		default:
+			scorable = append(scorable, i)
+		}
+	}
+	batch := make([][]string, len(scorable))
+	for j, i := range scorable {
+		batch[j] = req.Activities[i]
+	}
+	for j, res := range rec.RecommendBatch(r.Context(), batch, req.K) {
+		if res.Err != nil {
+			s.writeContextError(w, "recommend/batch", res.Err)
+			return
+		}
+		i := scorable[j]
+		results[i].Recommendations = make([]recommendationPayload, len(res.Recommendations))
+		for n, rcm := range res.Recommendations {
+			results[i].Recommendations[n] = recommendationPayload{Action: rcm.Action, Score: rcm.Score}
+		}
+		results[i].UnknownActions = b.lib.UnknownActions(req.Activities[i])
+	}
+	resp := batchRecommendResponse{
+		Epoch:    b.lib.Epoch(),
+		Strategy: rec.Name(),
+		Results:  results,
+	}
+	s.logf("recommend/batch strategy=%s k=%d activities=%d epoch=%d",
+		rec.Name(), req.K, len(req.Activities), resp.Epoch)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

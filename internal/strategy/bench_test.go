@@ -99,6 +99,32 @@ func BenchmarkBestMatchSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkScanKernelSharded measures the kernelized Focus/Breadth scan at
+// worker counts {1, 2, 4} on the densest cell — the regime the sharded
+// implementation scan targets. workers=1 is the sequential kernel the
+// BENCH_PR4 speedups come from; higher counts show the intra-query scaling
+// on multi-core hosts.
+func BenchmarkScanKernelSharded(b *testing.B) {
+	lib := benchLibrary(20000, 500, 3)
+	queries := benchQueries(500, 64, 5, 4)
+	for _, workers := range []int{1, 2, 4} {
+		fc := NewFocus(lib, Completeness)
+		fc.SetConcurrency(workers, 1)
+		fcl := NewFocus(lib, Closeness)
+		fcl.SetConcurrency(workers, 1)
+		br := NewBreadth(lib)
+		br.SetConcurrency(workers, 1)
+		for _, rec := range []Recommender{fc, fcl, br} {
+			rec := rec
+			b.Run(fmt.Sprintf("%s/workers=%d", rec.Name(), workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rec.Recommend(queries[i%len(queries)], 10)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTopKSelection compares the bounded-heap selection against the full
 // sort it replaced, at the pool sizes a dense library produces.
 func BenchmarkTopKSelection(b *testing.B) {

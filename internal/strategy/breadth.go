@@ -56,22 +56,48 @@ func ParseBreadthWeighting(name string) (BreadthWeighting, error) {
 	return Overlap, fmt.Errorf("strategy: unknown breadth weighting %q", name)
 }
 
+// breadthShardMaxActions bounds the action-id space for which the sharded
+// path is allowed: each worker carries a dense float64 score array of that
+// size, so above the bound a query falls back to the sequential kernel
+// rather than multiplying a very large allocation by the worker count.
+const breadthShardMaxActions = 1 << 20
+
 // Breadth is the paper's Algorithm 2: it walks every implementation of the
 // user's implementation space once and accumulates a weight into the score
 // of every candidate action the implementation contains, so that actions
-// participating in many well-connected implementations rank first. Scores
-// accumulate in a pooled dense array, so a query allocates only its result.
+// participating in many well-connected implementations rank first.
+//
+// The walk runs on the shared counter kernel (see kernel.go): one pass over
+// H's posting rows yields |A_p ∩ H| for every associated implementation, so
+// every weighting's comm follows from the counter and the stored |A_p| with
+// no per-implementation set operations and no materialized, sorted IS(H).
+// Large queries shard the pass; each worker accumulates into its own dense
+// score array and the arrays are merged in fixed worker order. Every comm is
+// integer-valued, so float64 score sums are exact in any order and all paths
+// rank bit-identically. Scratch is pooled, so a query allocates only its
+// result.
 type Breadth struct {
 	lib       *core.Library
 	weighting BreadthWeighting
+	conc      concurrency
 	pool      sync.Pool // *breadthScratch
 }
 
-// breadthScratch is the pooled per-query accumulator.
+// breadthScratch is the pooled per-query state: the kernel counters plus the
+// merged score accumulator, dense H membership, and the per-worker
+// accumulators of the sharded path.
 type breadthScratch struct {
-	scores  []float64 // indexed by action id, zeroed via touched
-	touched []core.ActionID
+	overlapScratch
+	scores  []float64 // indexed by action id, zeroed via actTouched
+	actions []core.ActionID
 	inH     []bool // dense H membership, set and cleared per query
+	workers []breadthWorker
+}
+
+// breadthWorker is one shard's private score accumulator.
+type breadthWorker struct {
+	scores  []float64
+	actions []core.ActionID
 }
 
 // NewBreadth returns a Breadth strategy over lib with the default Overlap
@@ -91,6 +117,15 @@ func NewBreadthWeighted(lib *core.Library, w BreadthWeighting) *Breadth {
 		}
 	}
 	return b
+}
+
+// SetConcurrency tunes the sharded implementation scan: maxWorkers bounds
+// the per-query worker pool (≤ 0 selects GOMAXPROCS) and shardMin is the
+// posting-stream size below which a query stays sequential (≤ 0 selects the
+// default). Rankings are bit-identical for every setting. It must be called
+// before the strategy starts serving queries.
+func (b *Breadth) SetConcurrency(maxWorkers, shardMin int) {
+	b.conc = concurrency{maxWorkers: maxWorkers, shardMin: shardMin}
 }
 
 // Name implements Recommender.
@@ -119,14 +154,24 @@ func (b *Breadth) RecommendContext(ctx context.Context, activity []core.ActionID
 		return nil, nil
 	}
 	h := intset.FromUnsorted(intset.Clone(activity))
-	space := b.lib.ImplementationSpace(h)
-	if len(space) == 0 {
+	stream := b.lib.OverlapStream(h)
+	if stream == 0 {
 		return nil, nil
 	}
 
+	workers := b.conc.workersFor(stream, b.lib.NumImplementations())
+	if workers > 1 && b.lib.NumActions() > breadthShardMaxActions {
+		workers = 1
+	}
 	s := b.pool.Get().(*breadthScratch)
 	defer b.pool.Put(s)
-	s.touched = s.touched[:0]
+	s.actions = s.actions[:0]
+	// The sequential path accumulates straight into the scratch's main
+	// arrays; sharded workers each get a private accumulator, merged below.
+	ws := []breadthWorker{{scores: s.scores, actions: s.actions}}
+	if workers > 1 {
+		ws = s.shardWorkers(workers, len(s.scores))
+	}
 
 	// Dense H membership: every slot visit below becomes an O(1) array read
 	// instead of a binary search over h.
@@ -135,49 +180,105 @@ func (b *Breadth) RecommendContext(ctx context.Context, activity []core.ActionID
 			s.inH[a] = true
 		}
 	}
-	tick := newTicker(ctx)
-	var tickErr error
-	for _, p := range space {
-		if tickErr = tick.tick(1); tickErr != nil {
-			break
-		}
-		acts := b.lib.Actions(p)
-		var comm float64
-		switch b.weighting {
-		case Count:
-			comm = 1
-		case Union:
-			comm = float64(intset.UnionLen(acts, h))
-		default:
-			comm = float64(intset.IntersectionLen(acts, h))
-		}
-		for _, a := range acts {
-			if s.inH[a] {
-				continue
+
+	// Kernel pass: each shard's visit accumulates comm — derived from the
+	// counter and |A_p| alone — into its score array. comm is always
+	// integer-valued, so the float64 sums are exact regardless of
+	// accumulation or merge order.
+	err := s.run(ctx, b.lib, h, workers, func(shard int, touched []core.ImplID, tick *ticker) error {
+		scores, actions := ws[shard].scores, ws[shard].actions
+		var err error
+		for _, p := range touched {
+			if err = tick.tick(1); err != nil {
+				break
 			}
-			if s.scores[a] == 0 {
-				s.touched = append(s.touched, a)
+			var comm float64
+			switch b.weighting {
+			case Count:
+				comm = 1
+			case Union:
+				// |A_p ∪ H| = |A_p| + |H| − |A_p ∩ H|; unknown-to-library
+				// activity ids count toward |H| exactly as the set union did.
+				comm = float64(b.lib.ImplLen(p) + len(h) - int(s.cnt[p]))
+			default:
+				comm = float64(s.cnt[p])
 			}
-			s.scores[a] += comm
+			for _, a := range b.lib.Actions(p) {
+				if s.inH[a] {
+					continue
+				}
+				if scores[a] == 0 {
+					actions = append(actions, a)
+				}
+				scores[a] += comm
+			}
 		}
-	}
+		ws[shard].actions = actions
+		return err
+	})
+
 	for _, a := range h {
 		if a >= 0 && int(a) < len(s.inH) {
 			s.inH[a] = false
 		}
 	}
-	if tickErr != nil {
-		// The pooled scratch must go back clean even on an aborted query.
-		for _, a := range s.touched {
-			s.scores[a] = 0
+	if err != nil {
+		// The pooled scratch must go back clean even on an aborted query:
+		// every shard may hold partial scores.
+		for i := range ws {
+			for _, a := range ws[i].actions {
+				ws[i].scores[a] = 0
+			}
+			ws[i].actions = ws[i].actions[:0]
 		}
-		return nil, tickErr
+		if workers == 1 {
+			s.actions = ws[0].actions
+		}
+		return nil, err
 	}
 
-	scored := make([]ScoredAction, 0, len(s.touched))
-	for _, a := range s.touched {
+	if workers == 1 {
+		scored := make([]ScoredAction, 0, len(ws[0].actions))
+		for _, a := range ws[0].actions {
+			scored = append(scored, ScoredAction{Action: a, Score: ws[0].scores[a]})
+			ws[0].scores[a] = 0
+		}
+		s.actions = ws[0].actions[:0]
+		return TopK(scored, k), nil
+	}
+
+	// Deterministic merge: fold the per-worker partial sums into the main
+	// accumulator in fixed worker order. Integer-valued terms keep the fold
+	// exact, and TopK ranks under a total order, so the result matches the
+	// sequential kernel bit for bit.
+	merged := s.actions
+	for i := range ws {
+		for _, a := range ws[i].actions {
+			if s.scores[a] == 0 {
+				merged = append(merged, a)
+			}
+			s.scores[a] += ws[i].scores[a]
+			ws[i].scores[a] = 0
+		}
+		ws[i].actions = ws[i].actions[:0]
+	}
+	s.actions = merged
+	scored := make([]ScoredAction, 0, len(merged))
+	for _, a := range merged {
 		scored = append(scored, ScoredAction{Action: a, Score: s.scores[a]})
 		s.scores[a] = 0
 	}
 	return TopK(scored, k), nil
+}
+
+// shardWorkers returns the n private per-shard accumulators of the sharded
+// path, grown on demand and with their touched lists truncated.
+func (s *breadthScratch) shardWorkers(n, numActions int) []breadthWorker {
+	for len(s.workers) < n {
+		s.workers = append(s.workers, breadthWorker{scores: make([]float64, numActions)})
+	}
+	for i := 0; i < n; i++ {
+		s.workers[i].actions = s.workers[i].actions[:0]
+	}
+	return s.workers[:n]
 }

@@ -3,12 +3,22 @@ package strategy
 import (
 	"container/list"
 	"context"
-	"fmt"
-	"strings"
+	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"goalrec/internal/core"
 	"goalrec/internal/intset"
+)
+
+// maxCacheShards bounds the number of independently locked LRU segments and
+// minShardCap is the smallest per-segment capacity worth splitting into:
+// keys spread by hash, so at full sharding concurrent queries contend on one
+// mutex only 1/16 of the time, while tiny caches stay single-shard and keep
+// exact global LRU order.
+const (
+	maxCacheShards = 16
+	minShardCap    = 64
 )
 
 // Cached wraps a Recommender with a bounded LRU cache keyed by the
@@ -16,15 +26,26 @@ import (
 // repeat heavily (the same cart, the same wardrobe), and every strategy is
 // deterministic over an immutable library, so caching is sound. The wrapper
 // is safe for concurrent use.
+//
+// The cache is sharded: the compact binary query key is FNV-1a hashed once,
+// the hash picks one of up to maxCacheShards independent LRU segments, and
+// only that segment's mutex is taken — concurrent hits stop serializing on a
+// single lock. Hit/miss counters are atomics, so they stay exact without
+// joining any lock.
 type Cached struct {
 	inner Recommender
-	cap   int
 
+	shards []cacheShard
+	mask   uint64 // len(shards) - 1; shard count is a power of two
+
+	hits, misses atomic.Uint64
+}
+
+type cacheShard struct {
 	mu  sync.Mutex
+	cap int
 	lru *list.List // of *cacheEntry, front = most recent
 	byK map[string]*list.Element
-
-	hits, misses uint64
 }
 
 type cacheEntry struct {
@@ -32,35 +53,51 @@ type cacheEntry struct {
 	list []ScoredAction
 }
 
-// NewCached wraps inner with an LRU of the given capacity (entries).
-// capacity ≤ 0 selects 1024.
+// NewCached wraps inner with an LRU of the given total capacity (entries),
+// split evenly across power-of-two many shards — as many as keep each shard
+// at minShardCap entries, up to maxCacheShards. capacity ≤ 0 selects 1024.
 func NewCached(inner Recommender, capacity int) *Cached {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Cached{
-		inner: inner,
-		cap:   capacity,
-		lru:   list.New(),
-		byK:   make(map[string]*list.Element, capacity),
+	n := 1
+	for n < maxCacheShards && capacity/(n*2) >= minShardCap {
+		n *= 2
 	}
+	perShard := (capacity + n - 1) / n
+	c := &Cached{inner: inner, shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap: perShard,
+			lru: list.New(),
+			byK: make(map[string]*list.Element, perShard),
+		}
+	}
+	return c
 }
 
 // Name implements Recommender.
 func (c *Cached) Name() string { return c.inner.Name() }
 
-// key canonicalizes the query. The activity is sorted/deduplicated first so
-// permutations share an entry.
-func key(h []core.ActionID, k int) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", k)
-	for i, a := range h {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%d", a)
+// cacheKey canonicalizes the query into a compact binary key: k as 8
+// little-endian bytes, then each action id as 4. The activity is sorted and
+// deduplicated by the caller, so permutations share an entry. The key is
+// appended to buf (reusing its capacity) and returned alongside its FNV-1a
+// hash — no per-query string formatting.
+func cacheKey(buf []byte, h []core.ActionID, k int) ([]byte, uint64) {
+	buf = binary.LittleEndian.AppendUint64(buf[:0], uint64(int64(k)))
+	for _, a := range h {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
 	}
-	return b.String()
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	hash := uint64(fnvOffset64)
+	for _, b := range buf {
+		hash = (hash ^ uint64(b)) * fnvPrime64
+	}
+	return buf, hash
 }
 
 // Recommend implements Recommender.
@@ -75,33 +112,38 @@ func (c *Cached) Recommend(activity []core.ActionID, k int) []ScoredAction {
 // a canceled partial result must not poison later complete queries.
 func (c *Cached) RecommendContext(ctx context.Context, activity []core.ActionID, k int) ([]ScoredAction, error) {
 	h := intset.FromUnsorted(intset.Clone(activity))
-	ck := key(h, k)
+	var kb [128]byte
+	key, hash := cacheKey(kb[:0], h, k)
+	sh := &c.shards[hash&c.mask]
 
-	c.mu.Lock()
-	if el, ok := c.byK[ck]; ok {
-		c.lru.MoveToFront(el)
-		c.hits++
+	sh.mu.Lock()
+	// The map index with string(key) is a lookup-only conversion: Go elides
+	// the string allocation, so a hit allocates nothing but the result copy.
+	if el, ok := sh.byK[string(key)]; ok {
+		sh.lru.MoveToFront(el)
 		cached := el.Value.(*cacheEntry).list
-		c.mu.Unlock()
+		sh.mu.Unlock()
+		c.hits.Add(1)
 		// Return a copy: callers may re-sort or truncate.
 		return append([]ScoredAction(nil), cached...), nil
 	}
-	c.misses++
-	c.mu.Unlock()
+	sh.mu.Unlock()
+	c.misses.Add(1)
 
 	list, err := RecommendContext(ctx, c.inner, h, k)
 	if err != nil {
 		return list, err
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, raced := c.byK[ck]; !raced {
-		c.byK[ck] = c.lru.PushFront(&cacheEntry{key: ck, list: list})
-		for c.lru.Len() > c.cap {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.byK, oldest.Value.(*cacheEntry).key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, raced := sh.byK[string(key)]; !raced {
+		ck := string(key) // materialize only when actually inserting
+		sh.byK[ck] = sh.lru.PushFront(&cacheEntry{key: ck, list: list})
+		for sh.lru.Len() > sh.cap {
+			oldest := sh.lru.Back()
+			sh.lru.Remove(oldest)
+			delete(sh.byK, oldest.Value.(*cacheEntry).key)
 		}
 	}
 	return append([]ScoredAction(nil), list...), nil
@@ -109,14 +151,17 @@ func (c *Cached) RecommendContext(ctx context.Context, activity []core.ActionID,
 
 // Stats returns cache hits and misses so far.
 func (c *Cached) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Len returns the current number of cached entries.
 func (c *Cached) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }

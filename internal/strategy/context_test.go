@@ -51,10 +51,18 @@ func ctxTestRecommenders(lib *core.Library) map[string]ContextRecommender {
 	goalMajor.mode = bmGoalMajor
 	postings := NewBestMatch(lib)
 	postings.mode = bmPostings
+	// Two-worker sharded kernels: with the ctxBigLibrary stream split in
+	// half, each worker still crosses its own checkInterval checkpoint.
+	shFocus := NewFocus(lib, Completeness)
+	shFocus.SetConcurrency(2, 1)
+	shBreadth := NewBreadth(lib)
+	shBreadth.SetConcurrency(2, 1)
 	return map[string]ContextRecommender{
 		"focus-cmp":             NewFocus(lib, Completeness),
 		"focus-cl":              NewFocus(lib, Closeness),
+		"focus-sharded":         shFocus,
 		"breadth":               NewBreadth(lib),
+		"breadth-sharded":       shBreadth,
 		"best-match-auto":       NewBestMatch(lib),
 		"best-match-candidate":  candMajor,
 		"best-match-sharded":    sharded,
@@ -121,8 +129,13 @@ func TestRecommendContextPreCanceled(t *testing.T) {
 			if name == "cached-breadth" {
 				return // hit-path may legitimately serve from cache
 			}
-			if got != nil && name != "focus-cmp" && name != "focus-cl" {
-				t.Errorf("canceled query returned results: %d", len(got))
+			switch name {
+			case "focus-cmp", "focus-cl", "focus-sharded":
+				// Focus documents a partial-prefix return on cancellation.
+			default:
+				if got != nil {
+					t.Errorf("canceled query returned results: %d", len(got))
+				}
 			}
 		})
 	}
@@ -152,7 +165,7 @@ func TestRecommendContextAbortsMidQuery(t *testing.T) {
 				t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
 			}
 			switch name {
-			case "focus-cmp", "focus-cl", "cached-breadth":
+			case "focus-cmp", "focus-cl", "focus-sharded", "cached-breadth":
 				// Focus may return a valid partial prefix; Cached returns
 				// whatever its inner aborted with.
 			default:

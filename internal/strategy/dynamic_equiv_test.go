@@ -33,13 +33,21 @@ func randomActivity(rng *rand.Rand) []core.ActionID {
 }
 
 // rankings returns the full best-first lists (k = -1) of all four goal-based
-// strategies over lib for each activity.
+// strategies over lib for each activity, with Focus and Breadth contributing
+// both their sequential and their forced-sharded (4-worker) kernels — every
+// snapshot comparison below therefore pins the sharded scan too.
 func rankings(lib *core.Library, activities [][]core.ActionID) [][]strategy.ScoredAction {
+	shFocus := strategy.NewFocus(lib, strategy.Completeness)
+	shFocus.SetConcurrency(4, 1)
+	shBreadth := strategy.NewBreadth(lib)
+	shBreadth.SetConcurrency(4, 1)
 	recs := []strategy.Recommender{
 		strategy.NewFocus(lib, strategy.Completeness),
 		strategy.NewFocus(lib, strategy.Closeness),
 		strategy.NewBreadth(lib),
 		strategy.NewBestMatch(lib),
+		shFocus,
+		shBreadth,
 	}
 	var out [][]strategy.ScoredAction
 	for _, rec := range recs {
@@ -116,6 +124,72 @@ func TestDynamicSnapshotStrategyEquivalence(t *testing.T) {
 		if got, want := rankings(f.snap, activities), rankings(f.ref, activities); !reflect.DeepEqual(got, want) {
 			t.Fatalf("held %d: rankings mutated", i)
 		}
+	}
+}
+
+// TestShardedSequentialBitIdentical pins that the sharded implementation
+// scan returns rankings bit-identical to the sequential kernel — scores
+// included — at worker counts {1, 4}, for both Focus measures and all three
+// Breadth weightings. Run under -race this also proves the workers share no
+// mutable state.
+func TestShardedSequentialBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var bld core.Builder
+	for i := 0; i < 600; i++ {
+		goal, acts := randomImpl(rng)
+		if _, err := bld.Add(goal, acts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib := bld.Build()
+
+	type build func(lib *core.Library, workers int) strategy.Recommender
+	builders := map[string]build{
+		"focus-cmp": func(lib *core.Library, w int) strategy.Recommender {
+			f := strategy.NewFocus(lib, strategy.Completeness)
+			f.SetConcurrency(w, 1)
+			return f
+		},
+		"focus-cl": func(lib *core.Library, w int) strategy.Recommender {
+			f := strategy.NewFocus(lib, strategy.Closeness)
+			f.SetConcurrency(w, 1)
+			return f
+		},
+		"breadth-overlap": func(lib *core.Library, w int) strategy.Recommender {
+			b := strategy.NewBreadthWeighted(lib, strategy.Overlap)
+			b.SetConcurrency(w, 1)
+			return b
+		},
+		"breadth-count": func(lib *core.Library, w int) strategy.Recommender {
+			b := strategy.NewBreadthWeighted(lib, strategy.Count)
+			b.SetConcurrency(w, 1)
+			return b
+		},
+		"breadth-union": func(lib *core.Library, w int) strategy.Recommender {
+			b := strategy.NewBreadthWeighted(lib, strategy.Union)
+			b.SetConcurrency(w, 1)
+			return b
+		},
+	}
+
+	activities := make([][]core.ActionID, 60)
+	for i := range activities {
+		activities[i] = randomActivity(rng)
+	}
+	for name, mk := range builders {
+		t.Run(name, func(t *testing.T) {
+			seq := mk(lib, 1)
+			sharded := mk(lib, 4)
+			for i, h := range activities {
+				for _, k := range []int{-1, 1, 5} {
+					want := seq.Recommend(h, k)
+					got := sharded.Recommend(h, k)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("activity %d, k=%d: sharded diverges from sequential:\ngot  %v\nwant %v", i, k, got, want)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -152,6 +152,43 @@ func TestBreadthAgainstOracle(t *testing.T) {
 	}
 }
 
+// TestShardedFocusAgainstOracle forces the multi-worker kernel on every
+// query — four workers with a shard threshold of one posting — so the
+// sharded accumulate/merge/select paths face the oracle even on the tiny
+// random libraries quick generates.
+func TestShardedFocusAgainstOracle(t *testing.T) {
+	for _, m := range []FocusMeasure{Completeness, Closeness} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			f := func(lib *core.Library, rawH []core.ActionID, k int) bool {
+				h := intset.FromUnsorted(intset.Clone(rawH))
+				fc := NewFocus(lib, m)
+				fc.SetConcurrency(4, 1)
+				got := Actions(fc.Recommend(h, k))
+				want := newOracle(lib).oracleFocus(h, m, k)
+				return reflect.DeepEqual(got, want)
+			}
+			if err := quick.Check(f, oracleConfig()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestShardedBreadthAgainstOracle(t *testing.T) {
+	f := func(lib *core.Library, rawH []core.ActionID, k int) bool {
+		h := intset.FromUnsorted(intset.Clone(rawH))
+		b := NewBreadth(lib)
+		b.SetConcurrency(4, 1)
+		got := b.Recommend(h, k)
+		want := newOracle(lib).oracleBreadth(h, k)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, oracleConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestBreadthScratchReuse exercises the pooled scratch across many
 // consecutive queries on one recommender instance — a stale-scratch bug
 // would leak scores between queries.
@@ -166,6 +203,35 @@ func TestBreadthScratchReuse(t *testing.T) {
 		want := o.oracleBreadth(h, 8)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("query %d diverged from oracle:\ngot  %v\nwant %v", i, got, want)
+		}
+	}
+}
+
+// TestShardedScratchReuse hammers one sharded Focus and one sharded Breadth
+// instance with interleaved canceled and completed queries: every aborted
+// query must leave the pooled counters, touched lists and per-worker score
+// accumulators clean, so the completed queries stay oracle-exact.
+func TestShardedScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	lib := testlib.RandomLibrary(r, 150, 30, 15, 7)
+	o := newOracle(lib)
+	fc := NewFocus(lib, Completeness)
+	fc.SetConcurrency(4, 1)
+	br := NewBreadth(lib)
+	br.SetConcurrency(4, 1)
+	for i := 0; i < 200; i++ {
+		h := intset.FromUnsorted(testlib.RandomActivity(r, 30, 6))
+		if i%3 == 1 {
+			// Cancel at the first checkpoint past entry; the next queries
+			// must be unaffected by whatever partial state this one built.
+			fc.RecommendContext(newCancelAfterPolls(1), h, 8)
+			br.RecommendContext(newCancelAfterPolls(1), h, 8)
+		}
+		if got, want := Actions(fc.Recommend(h, 8)), o.oracleFocus(h, Completeness, 8); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: sharded focus diverged from oracle:\ngot  %v\nwant %v", i, got, want)
+		}
+		if got, want := br.Recommend(h, 8), o.oracleBreadth(h, 8); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: sharded breadth diverged from oracle:\ngot  %v\nwant %v", i, got, want)
 		}
 	}
 }

@@ -172,3 +172,35 @@ func TestRecommendContextDeadlinePublicAPI(t *testing.T) {
 		t.Fatalf("err = %v, want ErrCanceled wrapping context.DeadlineExceeded", err)
 	}
 }
+
+// TestRecommendBatchCanceled pins batch cancellation semantics: a done
+// context drains every item with an ErrCanceled-wrapping per-item error,
+// and results stay in input order.
+func TestRecommendBatchCanceled(t *testing.T) {
+	lib := lifecycleLibrary(t)
+	rec := lib.MustRecommender(goalrec.Breadth)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	activities := [][]string{{"potatoes"}, {"carrots"}, {"nutmeg"}}
+	results := rec.RecommendBatch(ctx, activities, 5)
+	if len(results) != len(activities) {
+		t.Fatalf("results = %d, want %d", len(results), len(activities))
+	}
+	for i, res := range results {
+		if !errors.Is(res.Err, goalrec.ErrCanceled) || !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("item %d err = %v, want ErrCanceled wrapping context.Canceled", i, res.Err)
+		}
+	}
+
+	// The same recommender answers the batch normally once the context is
+	// live, each item bit-identical to its sequential query.
+	for i, res := range rec.RecommendBatch(context.Background(), activities, 5) {
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+		want := rec.Recommend(activities[i], 5)
+		if fmt.Sprint(res.Recommendations) != fmt.Sprint(want) {
+			t.Errorf("item %d diverges from sequential:\n got %v\nwant %v", i, res.Recommendations, want)
+		}
+	}
+}
