@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench microbench vet fmt lint cover experiments soak clean BENCH_PR1.json BENCH_PR4.json
+.PHONY: all build test race bench benchdiff microbench vet fmt lint cover experiments soak clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json
 
 all: vet test build
 
@@ -13,12 +13,13 @@ test:
 race:
 	go test -race ./...
 
-bench: BENCH_PR4.json
+bench: BENCH_PR5.json
 
 # Figure 7 sweep at the README's reference configuration; the JSON feeds the
 # README performance table. BENCH_PR1.json is the pre-kernel baseline the
-# PR-4 acceptance ratios are measured against; BENCH_PR4.json is the current
-# scoring stack (counter-kernel Focus/Breadth) on the same sweep and seed.
+# PR-4 acceptance ratios are measured against; BENCH_PR4.json is the
+# counter-kernel scoring stack; BENCH_PR5.json is the same sweep and seed on
+# the bound-driven pruned kernels over the impact-ordered layout.
 BENCH_PR1.json:
 	go run ./cmd/experiments -skip-datasets \
 		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
@@ -27,7 +28,20 @@ BENCH_PR1.json:
 BENCH_PR4.json:
 	go run ./cmd/experiments -skip-datasets \
 		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
+		-scaling-queries 200 \
 		-bench-json BENCH_PR4.json
+
+BENCH_PR5.json:
+	go run ./cmd/experiments -skip-datasets \
+		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
+		-scaling-queries 200 \
+		-pruning -impact-ordering \
+		-bench-json BENCH_PR5.json
+
+# Per-cell latency deltas between the previous stack and the pruned one;
+# exits non-zero on any >15% regression (the CI gate).
+benchdiff:
+	go run ./scripts/benchdiff BENCH_PR4.json BENCH_PR5.json
 
 microbench:
 	go test -run=XXX -bench=. -benchmem .

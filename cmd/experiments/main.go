@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
 
 	"goalrec/internal/experiments"
+	"goalrec/internal/strategy"
 )
 
 func main() {
@@ -64,6 +66,9 @@ func run() error {
 	scalingSizes := flag.String("scaling-sizes", "5000,20000,80000", "comma-separated library sizes for the Figure 7 sweep")
 	scalingActions := flag.Int("scaling-actions", 3000, "action-space size for the Figure 7 sweep")
 	benchJSON := flag.String("bench-json", "", "also write the Figure 7 sweep points as JSON to this file")
+	scalingQueries := flag.Int("scaling-queries", 0, "query activities timed per Figure 7 cell (0 selects the default)")
+	pruning := flag.Bool("pruning", false, "run the Figure 7 sweep on the bound-driven pruned kernels")
+	impactOrdering := flag.Bool("impact-ordering", false, "impact-order each swept library before timing")
 	flag.Parse()
 
 	sizes, err := parseSizes(*scalingSizes)
@@ -150,6 +155,8 @@ func run() error {
 		fmt.Fprintf(out, "# scalability (Figure 7)\n\n")
 		points := experiments.Scalability(experiments.ScalabilityConfig{
 			Sizes: sizes, Actions: *scalingActions, Seed: *seed,
+			Queries: *scalingQueries,
+			Pruning: *pruning, ImpactOrdering: *impactOrdering,
 		})
 		if err := emit(experiments.Figure7Table(points)); err != nil {
 			return err
@@ -167,12 +174,31 @@ func run() error {
 }
 
 // benchPoint is the JSON shape of one Figure 7 cell, consumed by the README
-// performance table and by BENCH_PR1.json (`make bench`).
+// performance table, `make bench` and scripts/benchdiff.
 type benchPoint struct {
-	Method          string  `json:"method"`
-	Implementations int     `json:"implementations"`
-	Connectivity    float64 `json:"connectivity"`
-	MeanLatencyMS   float64 `json:"mean_latency_ms"`
+	Method          string                       `json:"method"`
+	Implementations int                          `json:"implementations"`
+	Connectivity    float64                      `json:"connectivity"`
+	MeanLatencyMS   float64                      `json:"mean_latency_ms"`
+	Pruning         *strategy.PruneStatsSnapshot `json:"pruning,omitempty"`
+}
+
+// benchFile is the stamped envelope written since PR 5. Earlier bench files
+// (BENCH_PR1/PR4) are bare point arrays; scripts/benchdiff reads both.
+type benchFile struct {
+	GitCommit string       `json:"git_commit"`
+	Date      string       `json:"date"`
+	Points    []benchPoint `json:"points"`
+}
+
+// gitCommit resolves the working tree's HEAD for provenance stamping; bench
+// numbers without the commit they were measured at are unreviewable.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func writeBenchJSON(path string, points []experiments.ScalabilityPoint) error {
@@ -183,9 +209,14 @@ func writeBenchJSON(path string, points []experiments.ScalabilityPoint) error {
 			Implementations: p.Implementations,
 			Connectivity:    p.Connectivity,
 			MeanLatencyMS:   float64(p.MeanLatency) / float64(time.Millisecond),
+			Pruning:         p.Prune,
 		}
 	}
-	data, err := json.MarshalIndent(rows, "", "  ")
+	data, err := json.MarshalIndent(benchFile{
+		GitCommit: gitCommit(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Points:    rows,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -68,12 +68,27 @@ func run() error {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent expensive requests; excess is shed as 503 (0 disables)")
 	admissionWait := flag.Duration("admission-wait", 10*time.Millisecond, "how long an over-limit request may wait for a slot before being shed (needs -max-inflight)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	pruning := flag.Bool("pruning", false, "serve with the bound-driven pruned kernels (rankings unchanged; counters in /v1/metrics)")
+	impactOrdering := flag.Bool("impact-ordering", false, "re-lay-out each loaded library in impact order for pruning effectiveness")
 	flag.Parse()
 	if *libPath == "" {
 		return errors.New("-library is required")
 	}
 
-	lib, err := goalrec.LoadLibraryFile(*libPath)
+	// loadLib is the single load path — initial load, /v1/reload and the
+	// -watch loop all apply the same layout policy.
+	loadLib := func(path string) (*goalrec.Library, error) {
+		lib, err := goalrec.LoadLibraryFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if *impactOrdering {
+			lib = lib.ImpactOrdered()
+		}
+		return lib, nil
+	}
+
+	lib, err := loadLib(*libPath)
 	if err != nil {
 		return err
 	}
@@ -87,8 +102,11 @@ func run() error {
 
 	opts := []server.Option{
 		server.WithReloader(func() (*goalrec.Library, error) {
-			return goalrec.LoadLibraryFile(*libPath)
+			return loadLib(*libPath)
 		}),
+	}
+	if *pruning {
+		opts = append(opts, server.WithPruning())
 	}
 	if *requestTimeout > 0 {
 		opts = append(opts, server.WithRequestTimeout(*requestTimeout))
@@ -133,6 +151,7 @@ func run() error {
 		ctx, cancel := context.WithCancel(context.Background())
 		stopWatch = cancel
 		w := newLibraryWatcher(api, logger, *libPath, *watch)
+		w.load = loadLib
 		go func() {
 			defer close(watchDone)
 			w.run(ctx)

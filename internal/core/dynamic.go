@@ -231,26 +231,39 @@ func (d *DynamicLibrary) extendLocked() *Library {
 	slots := int(d.implOff[hi])
 
 	nl := &Library{
-		implGoal:   d.implGoal[:hi:hi],
-		implOff:    d.implOff[: hi+1 : hi+1],
-		implActs:   d.implActs[:slots:slots],
-		actOff:     prev.actOff,
-		actPost:    prev.actPost,
-		goalOff:    prev.goalOff,
-		goalPost:   prev.goalPost,
-		agOff:      prev.agOff,
-		agGoal:     prev.agGoal,
-		agCnt:      prev.agCnt,
-		goalSlots:  prev.goalSlots,
-		numActions: d.numActions,
-		numGoals:   d.numGoals,
-		epoch:      d.epoch,
+		implGoal:      d.implGoal[:hi:hi],
+		implOff:       d.implOff[: hi+1 : hi+1],
+		implActs:      d.implActs[:slots:slots],
+		actOff:        prev.actOff,
+		actPost:       prev.actPost,
+		goalOff:       prev.goalOff,
+		goalPost:      prev.goalPost,
+		agOff:         prev.agOff,
+		agGoal:        prev.agGoal,
+		agCnt:         prev.agCnt,
+		gaOff:         prev.gaOff,
+		gaAct:         prev.gaAct,
+		gaCnt:         prev.gaCnt,
+		goalSlots:     prev.goalSlots,
+		blkOff:        prev.blkOff,
+		blkLast:       prev.blkLast,
+		blkMinLen:     prev.blkMinLen,
+		blkMaxLen:     prev.blkMaxLen,
+		maxImplLen:    prev.maxImplLen,
+		implLenSorted: prev.implLenSorted,
+		bounds:        &boundAux{}, // degrees changed; suffix bounds re-derive lazily
+		numActions:    d.numActions,
+		numGoals:      d.numGoals,
+		epoch:         d.epoch,
 
 		ovActPost:   maps.Clone(prev.ovActPost),
 		ovGoalPost:  maps.Clone(prev.ovGoalPost),
 		ovAgGoal:    maps.Clone(prev.ovAgGoal),
 		ovAgCnt:     maps.Clone(prev.ovAgCnt),
+		ovGaAct:     maps.Clone(prev.ovGaAct),
+		ovGaCnt:     maps.Clone(prev.ovGaCnt),
 		ovGoalSlots: maps.Clone(prev.ovGoalSlots),
+		ovBlocks:    maps.Clone(prev.ovBlocks),
 	}
 	if nl.ovActPost == nil {
 		nl.ovActPost = make(map[ActionID][]ImplID)
@@ -259,18 +272,45 @@ func (d *DynamicLibrary) extendLocked() *Library {
 		nl.ovAgCnt = make(map[ActionID][]int32)
 		nl.ovGoalSlots = make(map[GoalID]int32)
 	}
+	if nl.ovBlocks == nil {
+		nl.ovBlocks = make(map[ActionID]PostingBlocks)
+	}
+	if nl.ovGaAct == nil {
+		nl.ovGaAct = make(map[GoalID][]ActionID)
+		nl.ovGaCnt = make(map[GoalID][]int32)
+	}
+	prevLen := int32(0)
+	if lo > 0 {
+		prevLen = d.implOff[lo] - d.implOff[lo-1]
+	}
+	for p := lo; p < hi; p++ {
+		n := d.implOff[p+1] - d.implOff[p]
+		if n > nl.maxImplLen {
+			nl.maxImplLen = n
+		}
+		if n < prevLen {
+			nl.implLenSorted = false
+		}
+		prevLen = n
+	}
 
 	// Group the pending implementations by action and goal.
 	pendAct := make(map[ActionID][]ImplID)
 	pendGoal := make(map[GoalID][]ImplID)
 	pendSlots := make(map[GoalID]int32)
 	pendAG := make(map[ActionID]map[GoalID]int32)
+	pendGA := make(map[GoalID]map[ActionID]int32)
 	for p := lo; p < hi; p++ {
 		id := ImplID(p)
 		g := d.implGoal[p]
 		acts := d.implActs[d.implOff[p]:d.implOff[p+1]]
 		pendGoal[g] = append(pendGoal[g], id)
 		pendSlots[g] += int32(len(acts))
+		ga := pendGA[g]
+		if ga == nil {
+			ga = make(map[ActionID]int32)
+			pendGA[g] = ga
+		}
 		for _, a := range acts {
 			pendAct[a] = append(pendAct[a], id)
 			ag := pendAG[a]
@@ -279,14 +319,22 @@ func (d *DynamicLibrary) extendLocked() *Library {
 				pendAG[a] = ag
 			}
 			ag[g]++
+			ga[a]++
 		}
 	}
 
 	// A-GI-idx rows: old row (overlay or base CSR) followed by the new ids.
+	// Each merged row's block-max metadata is rebuilt alongside it — the same
+	// O(row) cost class as materializing the row — so threshold-aware scans
+	// stay available on extended snapshots.
 	for a, ids := range pendAct {
 		old := prev.ImplsOfAction(a)
 		row := make([]ImplID, 0, len(old)+len(ids))
-		nl.ovActPost[a] = append(append(row, old...), ids...)
+		merged := append(append(row, old...), ids...)
+		nl.ovActPost[a] = merged
+		var blk PostingBlocks
+		blk.Last, blk.MinLen, blk.MaxLen = nl.appendRowBlocks(merged, nil, nil, nil)
+		nl.ovBlocks[a] = blk
 	}
 
 	// G-GI-idx rows and per-goal walk costs.
@@ -334,6 +382,45 @@ func (d *DynamicLibrary) extendLocked() *Library {
 			mc = append(mc, delta[dg[j]])
 		}
 		nl.ovAgGoal[a], nl.ovAgCnt[a] = mg, mc
+	}
+
+	// GA-idx rows: the transpose merge — old (action, count) row of each
+	// touched goal merged with the pending per-action increments.
+	for g, delta := range pendGA {
+		oldA, oldC := prev.ActionsOfGoal(g)
+		da := make([]ActionID, 0, len(delta))
+		for a := range delta {
+			da = append(da, a)
+		}
+		da = intset.FromUnsorted(da) // map keys: distinct already, just sorts
+		ma := make([]ActionID, 0, len(oldA)+len(da))
+		mc := make([]int32, 0, len(oldA)+len(da))
+		i, j := 0, 0
+		for i < len(oldA) && j < len(da) {
+			switch {
+			case oldA[i] < da[j]:
+				ma = append(ma, oldA[i])
+				mc = append(mc, oldC[i])
+				i++
+			case oldA[i] > da[j]:
+				ma = append(ma, da[j])
+				mc = append(mc, delta[da[j]])
+				j++
+			default:
+				ma = append(ma, oldA[i])
+				mc = append(mc, oldC[i]+delta[da[j]])
+				i, j = i+1, j+1
+			}
+		}
+		for ; i < len(oldA); i++ {
+			ma = append(ma, oldA[i])
+			mc = append(mc, oldC[i])
+		}
+		for ; j < len(da); j++ {
+			ma = append(ma, da[j])
+			mc = append(mc, delta[da[j]])
+		}
+		nl.ovGaAct[g], nl.ovGaCnt[g] = ma, mc
 	}
 	return nl
 }

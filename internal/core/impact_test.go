@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"goalrec/internal/intset"
+)
+
+func TestImpactOrderRelabeling(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		lib := randomLibrary(r, 1+r.Intn(300), 1+r.Intn(30), 12)
+		ord, perm := ImpactOrder(lib)
+
+		if ord.NumImplementations() != lib.NumImplementations() ||
+			ord.NumActions() != lib.NumActions() || ord.NumGoals() != lib.NumGoals() {
+			t.Fatalf("shape changed: (%d,%d,%d) -> (%d,%d,%d)",
+				lib.NumImplementations(), lib.NumActions(), lib.NumGoals(),
+				ord.NumImplementations(), ord.NumActions(), ord.NumGoals())
+		}
+
+		// The permutation is a bijection and inverse-consistent.
+		seen := make([]bool, lib.NumActions())
+		for n, o := range perm.ActionOld {
+			if seen[o] {
+				t.Fatalf("old id %d mapped twice", o)
+			}
+			seen[o] = true
+			if perm.ActionNew[o] != ActionID(n) {
+				t.Fatalf("ActionNew[%d] = %d, want %d", o, perm.ActionNew[o], n)
+			}
+		}
+
+		// New ids are degree-descending and degrees are preserved.
+		prev := int(^uint(0) >> 1)
+		for n := 0; n < ord.NumActions(); n++ {
+			d := ord.ActionDegree(ActionID(n))
+			if d != lib.ActionDegree(perm.ActionOld[n]) {
+				t.Fatalf("degree of new id %d: %d, want %d", n, d, lib.ActionDegree(perm.ActionOld[n]))
+			}
+			if d > prev {
+				t.Fatalf("degrees not descending at new id %d: %d after %d", n, d, prev)
+			}
+			prev = d
+		}
+
+		// The multiset of (goal, relabeled action set) pairs is unchanged.
+		key := func(l *Library, p ImplID, toNew func(ActionID) ActionID) string {
+			acts := intset.Clone(l.Actions(p))
+			for i := range acts {
+				acts[i] = toNew(acts[i])
+			}
+			acts = intset.FromUnsorted(acts)
+			out := make([]byte, 0, 4*len(acts)+4)
+			out = append(out, byte(l.Goal(p)), byte(l.Goal(p)>>8))
+			for _, a := range acts {
+				out = append(out, byte(a), byte(a>>8), ',')
+			}
+			return string(out)
+		}
+		counts := map[string]int{}
+		for p := 0; p < lib.NumImplementations(); p++ {
+			counts[key(lib, ImplID(p), func(a ActionID) ActionID { return perm.ActionNew[a] })]++
+		}
+		for p := 0; p < ord.NumImplementations(); p++ {
+			counts[key(ord, ImplID(p), func(a ActionID) ActionID { return a })]--
+		}
+		for k, c := range counts {
+			if c != 0 {
+				t.Fatalf("implementation multiset diverged at %q (%+d)", k, c)
+			}
+		}
+
+		checkBlocks(t, ord)
+	}
+}
+
+func TestImpactOrderImplementationClustering(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	lib := randomLibrary(r, 400, 10, 12)
+	ord, _ := ImpactOrder(lib)
+	// Implementation ids are |A_p|-ascending: block-local min/max lengths
+	// collapse to near-equality, which is what makes the Focus bounds sharp.
+	prev := 0
+	for p := 0; p < ord.NumImplementations(); p++ {
+		n := ord.ImplLen(ImplID(p))
+		if n < prev {
+			t.Fatalf("impl %d has length %d after %d: not length-clustered", p, n, prev)
+		}
+		prev = n
+	}
+}

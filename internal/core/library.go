@@ -196,6 +196,36 @@ func (l *Library) buildIndexes() {
 			}
 		}
 	}
+
+	// GA-idx: the transpose of the AG-idx — per-goal sorted (action, count)
+	// pairs, count = number of the goal's implementations containing the
+	// action. Iterating actions in increasing id order leaves every goal row
+	// sorted with no per-goal sort. Goal-major scans read these contiguous
+	// rows instead of dereferencing each implementation of the goal, so
+	// their cost — and cache behavior — is independent of how implementation
+	// ids are laid out (impact ordering scatters a goal's implementations
+	// across the id space).
+	gaCount := make([]int32, nGoal+1)
+	for _, g := range l.agGoal {
+		gaCount[g+1]++
+	}
+	for i := 1; i <= nGoal; i++ {
+		gaCount[i] += gaCount[i-1]
+	}
+	l.gaOff = gaCount
+	l.gaAct = make([]ActionID, gaCount[nGoal])
+	l.gaCnt = make([]int32, gaCount[nGoal])
+	gaCursor := append([]int32(nil), gaCount[:nGoal]...)
+	for a := 0; a < nAct; a++ {
+		for i := l.agOff[a]; i < l.agOff[a+1]; i++ {
+			g := l.agGoal[i]
+			l.gaAct[gaCursor[g]] = ActionID(a)
+			l.gaCnt[gaCursor[g]] = l.agCnt[i]
+			gaCursor[g]++
+		}
+	}
+
+	l.buildBlocks()
 }
 
 // Library is the immutable association-based goal model (Figure 2 of the
@@ -236,7 +266,24 @@ type Library struct {
 	agGoal []GoalID // sorted per action
 	agCnt  []int32  // parallel multiplicities, all ≥ 1
 
+	// GA-idx (transpose of AG-idx): per-goal sorted distinct actions with
+	// the same multiplicities, in CSR form.
+	gaOff []int32 // CSR offsets into gaAct/gaCnt, len numGoals+1
+	gaAct []ActionID
+	gaCnt []int32
+
 	goalSlots []int32 // per-goal Σ |A_p|, the walk cost of the goal's impls
+
+	// Block-max metadata over the A-GI postings (see blocks.go): per-row
+	// fixed-size block summaries in CSR form, aligned with actOff/actPost.
+	blkOff    []int32  // CSR offsets into the blk arrays, len numActions+1
+	blkLast   []ImplID // last implementation id per block
+	blkMinLen []int32  // min |A_p| per block
+	blkMaxLen []int32  // max |A_p| per block
+
+	maxImplLen    int32     // largest |A_p| in the library
+	implLenSorted bool      // |A_p| non-decreasing in id (impact-ordered layout)
+	bounds        *boundAux // lazily derived suffix bounds, shared by copies
 
 	// Copy-on-write overlays, non-nil only on extended snapshots: merged
 	// rows for the actions/goals touched since the last flat index build.
@@ -246,7 +293,10 @@ type Library struct {
 	ovGoalPost  map[GoalID][]ImplID
 	ovAgGoal    map[ActionID][]GoalID
 	ovAgCnt     map[ActionID][]int32
+	ovGaAct     map[GoalID][]ActionID
+	ovGaCnt     map[GoalID][]int32
 	ovGoalSlots map[GoalID]int32
+	ovBlocks    map[ActionID]PostingBlocks
 
 	numActions int
 	numGoals   int
@@ -297,6 +347,10 @@ func (l *Library) implActions(p ImplID) []ActionID {
 func (l *Library) ImplLen(p ImplID) int {
 	return int(l.implOff[p+1] - l.implOff[p])
 }
+
+// NumPostings returns the total posting count Σ_p |A_p| — the A-GI-idx
+// size, used by cost models choosing between scan directions.
+func (l *Library) NumPostings() int { return len(l.implActs) }
 
 // ImplsOfAction returns the sorted implementation ids containing action a
 // (A-GI-idx lookup); this is the implementation space IS(a) of the paper.
@@ -360,6 +414,35 @@ func (l *Library) GoalsOfAction(a ActionID) ([]GoalID, []int32) {
 	}
 	lo, hi := l.agOff[a], l.agOff[a+1]
 	return l.agGoal[lo:hi], l.agCnt[lo:hi]
+}
+
+// ActionsOfGoal returns the GA-idx row of goal g: the sorted distinct
+// actions appearing in the goal's implementations, with the per-action
+// multiplicity (how many of the goal's implementations contain the action).
+// It is the transpose view of GoalsOfAction. Both slices are views into the
+// library and must not be modified. Ids outside the library yield empty
+// slices.
+func (l *Library) ActionsOfGoal(g GoalID) ([]ActionID, []int32) {
+	if g < 0 || int(g) >= l.numGoals {
+		return nil, nil
+	}
+	if l.ovGaAct != nil {
+		if row, ok := l.ovGaAct[g]; ok {
+			return row, l.ovGaCnt[g]
+		}
+	}
+	if int(g)+1 >= len(l.gaOff) {
+		return nil, nil
+	}
+	lo, hi := l.gaOff[g], l.gaOff[g+1]
+	return l.gaAct[lo:hi], l.gaCnt[lo:hi]
+}
+
+// GoalActionCount returns the number of distinct actions of goal g: the
+// GA-idx row length, the exact cost of a goal-major visit of the goal.
+func (l *Library) GoalActionCount(g GoalID) int {
+	acts, _ := l.ActionsOfGoal(g)
+	return len(acts)
 }
 
 // GoalDegree returns the number of distinct goals action a contributes to:

@@ -16,6 +16,9 @@ type ScalabilityPoint struct {
 	Connectivity    float64
 	Method          string
 	MeanLatency     time.Duration
+	// Prune carries this cell's pruning counters when the sweep ran with
+	// Pruning; nil otherwise.
+	Prune *strategy.PruneStatsSnapshot
 }
 
 // ScalabilityConfig parameterizes the Figure 7 sweep.
@@ -34,6 +37,12 @@ type ScalabilityConfig struct {
 	ActivityLen int
 	// Seed drives generation.
 	Seed uint64
+	// Pruning runs the sweep on the bound-driven pruned kernels and records
+	// their counters per cell.
+	Pruning bool
+	// ImpactOrdering re-lays-out each swept library in impact order before
+	// timing, the layout the pruned kernels are designed for.
+	ImpactOrdering bool
 }
 
 func (c *ScalabilityConfig) fill() {
@@ -83,28 +92,49 @@ func Scalability(cfg ScalabilityConfig) []ScalabilityPoint {
 	var points []ScalabilityPoint
 	for _, size := range cfg.Sizes {
 		lib := scalabilityLibrary(cfg, size, rng.Split())
+		if cfg.ImpactOrdering {
+			lib, _ = core.ImpactOrder(lib)
+		}
 		conn := lib.Stats().Connectivity
 		queries := make([][]core.ActionID, cfg.Queries)
 		qrng := rng.Split()
 		for i := range queries {
 			queries[i] = toActions(qrng.SampleInt32(int32(cfg.Actions), cfg.ActivityLen))
 		}
-		for _, rec := range []strategy.Recommender{
-			strategy.NewFocus(lib, strategy.Completeness),
-			strategy.NewFocus(lib, strategy.Closeness),
-			strategy.NewBreadth(lib),
-			strategy.NewBestMatch(lib),
+		for _, mk := range []func() strategy.Recommender{
+			func() strategy.Recommender { return strategy.NewFocus(lib, strategy.Completeness) },
+			func() strategy.Recommender { return strategy.NewFocus(lib, strategy.Closeness) },
+			func() strategy.Recommender { return strategy.NewBreadth(lib) },
+			func() strategy.Recommender { return strategy.NewBestMatch(lib) },
 		} {
+			rec := mk()
+			var stats *strategy.PruneStats
+			if cfg.Pruning {
+				stats = new(strategy.PruneStats)
+				switch r := rec.(type) {
+				case *strategy.Focus:
+					r.EnablePruning(stats)
+				case *strategy.Breadth:
+					r.EnablePruning(stats)
+				case *strategy.BestMatch:
+					r.EnablePruning(stats)
+				}
+			}
 			start := time.Now()
 			for _, q := range queries {
 				rec.Recommend(q, 10)
 			}
-			points = append(points, ScalabilityPoint{
+			p := ScalabilityPoint{
 				Implementations: size,
 				Connectivity:    conn,
 				Method:          rec.Name(),
 				MeanLatency:     time.Since(start) / time.Duration(len(queries)),
-			})
+			}
+			if stats != nil {
+				snap := stats.Snapshot()
+				p.Prune = &snap
+			}
+			points = append(points, p)
 		}
 	}
 	return points

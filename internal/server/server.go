@@ -71,12 +71,18 @@ const defaultAdmissionWait = 10 * time.Millisecond
 type bundle struct {
 	lib *goalrec.Library
 
+	// pruneStats, when non-nil, enables the bound-driven pruned kernels for
+	// every recommender in this bundle and receives their counters. The sink
+	// is the Server's, shared across epochs, so the cumulative counters
+	// survive swaps.
+	pruneStats *goalrec.PruneStats
+
 	mu   sync.Mutex
 	recs map[string]goalrec.Recommender // lazily built per strategy/metric
 }
 
-func newBundle(lib *goalrec.Library) *bundle {
-	return &bundle{lib: lib, recs: make(map[string]goalrec.Recommender)}
+func (s *Server) newBundle(lib *goalrec.Library) *bundle {
+	return &bundle{lib: lib, pruneStats: s.pruneStats, recs: make(map[string]goalrec.Recommender)}
 }
 
 // recommender returns (building on first use) the bundle's recommender for
@@ -97,8 +103,13 @@ func (b *bundle) recommender(strategyName, metric string) (goalrec.Recommender, 
 	// Serving workloads repeat activities heavily; strategies are
 	// deterministic over the immutable snapshot, so an LRU per recommender
 	// is sound — and it dies with the bundle, never serving a stale epoch.
-	rec, err := b.lib.Recommender(goalrec.Strategy(strategyName),
-		goalrec.WithDistanceMetric(metric), goalrec.WithCache(4096))
+	opts := []goalrec.RecommenderOption{
+		goalrec.WithDistanceMetric(metric), goalrec.WithCache(4096),
+	}
+	if b.pruneStats != nil {
+		opts = append(opts, goalrec.WithPruningStats(b.pruneStats))
+	}
+	rec, err := b.lib.Recommender(goalrec.Strategy(strategyName), opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +156,14 @@ func WithAdmissionWait(d time.Duration) Option {
 	return func(s *Server) { s.gateWait = d }
 }
 
+// WithPruning switches every served recommender to the bound-driven pruned
+// kernels. Rankings are bit-identical to the default kernels; the pruning
+// counters (blocks and candidates skipped, work ratios) are surfaced under
+// "pruning" in /v1/metrics, cumulative across epochs.
+func WithPruning() Option {
+	return func(s *Server) { s.pruneStats = new(goalrec.PruneStats) }
+}
+
 // Server routes recommendation requests against the current epoch of an
 // evolving library.
 type Server struct {
@@ -160,6 +179,10 @@ type Server struct {
 	timeout  time.Duration
 	gate     chan struct{}
 	gateWait time.Duration
+
+	// pruneStats is non-nil iff WithPruning: the shared sink every bundle's
+	// recommenders count into.
+	pruneStats *goalrec.PruneStats
 
 	// draining flips when the process has been told to shut down; /readyz
 	// reports 503 so load balancers stop routing here while in-flight
@@ -194,10 +217,11 @@ func New(lib *goalrec.Library, logger *log.Logger, opts ...Option) *Server {
 	for _, key := range []string{"sheds", "canceled", "deadline_exceeded", "reload_failures"} {
 		s.lifecycle.Add(key, 0)
 	}
-	s.cur.Store(newBundle(s.engine.Snapshot()))
+	// Options first: the seed bundle must already see pruning configuration.
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.cur.Store(s.newBundle(s.engine.Snapshot()))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /readyz", s.counted("readyz", s.handleReady))
 	s.mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
@@ -233,7 +257,7 @@ func (s *Server) install(lib *goalrec.Library) uint64 {
 	if cur := s.cur.Load(); cur != nil && lib.Epoch() <= cur.lib.Epoch() {
 		return cur.lib.Epoch()
 	}
-	s.cur.Store(newBundle(lib))
+	s.cur.Store(s.newBundle(lib))
 	return lib.Epoch()
 }
 
@@ -423,9 +447,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"reload_failure_streak\": %d}\n",
+	// Snapshot() on a nil sink yields zeros, so the pruning block is always
+	// present; "enabled" says whether the counters can ever move.
+	prune, err := json.Marshal(s.pruneStats.Snapshot())
+	if err != nil {
+		prune = []byte("{}")
+	}
+	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"pruning\": {\"enabled\": %t, \"counters\": %s}, \"reload_failure_streak\": %d}\n",
 		s.bundle().lib.Epoch(), s.requests.String(), s.errors.String(),
-		s.lifecycle.String(), s.reloadStreak.Load())
+		s.lifecycle.String(), s.pruneStats != nil, prune, s.reloadStreak.Load())
 }
 
 // recommendRequest is the /v1/recommend body.

@@ -271,3 +271,68 @@ func TestConcurrentRequests(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPruningServer drives every strategy through a pruning-enabled server,
+// checks the responses match an unpruned twin bit-for-bit, and verifies the
+// metrics endpoint reports the pruning block with live counters.
+func TestPruningServer(t *testing.T) {
+	pruned := httptest.NewServer(New(testLibrary(t), nil, WithPruning()))
+	t.Cleanup(pruned.Close)
+	plain := newTestServer(t)
+
+	for _, strategy := range []string{"focus-cmp", "focus-cl", "breadth", "best-match"} {
+		body := `{"activity": ["potatoes", "carrots"], "strategy": "` + strategy + `", "k": 3}`
+		resp, got := postJSON(t, pruned.URL+"/v1/recommend", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d: %s", strategy, resp.StatusCode, got)
+		}
+		_, want := postJSON(t, plain.URL+"/v1/recommend", body)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: pruned response diverged:\ngot  %s\nwant %s", strategy, got, want)
+		}
+	}
+
+	resp, err := http.Get(pruned.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Pruning struct {
+			Enabled  bool                       `json:"enabled"`
+			Counters goalrec.PruneStatsSnapshot `json:"counters"`
+		} `json:"pruning"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.Pruning.Enabled {
+		t.Error("metrics report pruning disabled on a WithPruning server")
+	}
+	if metrics.Pruning.Counters.ImplsAssociated == 0 {
+		t.Errorf("pruning counters never moved: %+v", metrics.Pruning.Counters)
+	}
+}
+
+// TestPruningDisabledMetrics pins the metrics shape without WithPruning: the
+// pruning block is present, disabled, all zeros.
+func TestPruningDisabledMetrics(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Pruning struct {
+			Enabled  bool                       `json:"enabled"`
+			Counters goalrec.PruneStatsSnapshot `json:"counters"`
+		} `json:"pruning"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Pruning.Enabled || metrics.Pruning.Counters != (goalrec.PruneStatsSnapshot{}) {
+		t.Errorf("unexpected pruning block: %+v", metrics.Pruning)
+	}
+}

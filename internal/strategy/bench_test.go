@@ -125,6 +125,45 @@ func BenchmarkScanKernelSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkPrunedStrategies runs every strategy's threshold-aware scan — on
+// both the natural and the impact-ordered layout — against its unpruned
+// twin on the densest cell. Besides the comparison, this is the CI smoke
+// that exercises every pruned code path at -benchtime=1x.
+func BenchmarkPrunedStrategies(b *testing.B) {
+	base := benchLibrary(20000, 500, 3)
+	impact, _ := core.ImpactOrder(base)
+	queries := benchQueries(500, 64, 5, 4)
+	for _, layout := range []struct {
+		name string
+		lib  *core.Library
+	}{{"plain", base}, {"impact", impact}} {
+		build := []struct {
+			name string
+			mk   func(*core.Library) Recommender
+		}{
+			{"focus-cmp", func(l *core.Library) Recommender { return NewFocus(l, Completeness) }},
+			{"focus-cl", func(l *core.Library) Recommender { return NewFocus(l, Closeness) }},
+			{"breadth", func(l *core.Library) Recommender { return NewBreadth(l) }},
+			{"best-match", func(l *core.Library) Recommender { return NewBestMatch(l) }},
+		}
+		for _, mk := range build {
+			for _, pruned := range []bool{false, true} {
+				rec := mk.mk(layout.lib)
+				variant := "unpruned"
+				if pruned {
+					variant = "pruned"
+					rec.(interface{ EnablePruning(*PruneStats) }).EnablePruning(nil)
+				}
+				b.Run(fmt.Sprintf("%s/%s/%s", layout.name, mk.name, variant), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						rec.Recommend(queries[i%len(queries)], 10)
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkTopKSelection compares the bounded-heap selection against the full
 // sort it replaced, at the pool sizes a dense library produces.
 func BenchmarkTopKSelection(b *testing.B) {

@@ -25,9 +25,10 @@ import (
 //     classical loop, shrunk from O(|IS(a)|) postings with random GI-G
 //     lookups to a sequential O(|AG(a)|) scan, and sharded across a bounded
 //     worker pool for large candidate pools;
-//   - goal-major: one pass over the implementations of GS(H) accumulates
-//     every candidate's dot product and norm simultaneously, costing
-//     O(Σ_{g∈GS(H)} Σ_{p∈impls(g)} |A_p|) regardless of connectivity.
+//   - goal-major: one pass over the GA-idx rows of GS(H) (goal → distinct
+//     actions with multiplicities) accumulates every candidate's dot product
+//     and norm simultaneously, costing O(Σ_{g∈GS(H)} |AG⁻¹(g)|) regardless
+//     of connectivity or the implementation-id layout.
 //
 // Both paths accumulate the same integer-valued sums in float64, so they are
 // bit-identical; the cheaper one is chosen per query from exact index-derived
@@ -42,6 +43,8 @@ type BestMatch struct {
 	mode       bmMode
 	maxWorkers int // ≤ 0 selects GOMAXPROCS
 	shardMin   int // minimum candidate pool to shard; ≤ 0 selects default
+	pruning    bool
+	stats      *PruneStats
 }
 
 // bmMode selects the cosine scoring path.
@@ -68,16 +71,19 @@ type bmScratch struct {
 
 	// Goal-major accumulators, indexed by action id and allocated on first
 	// goal-major query. dot and sumsq are zeroed between queries via
-	// actTouched; cnt is zeroed between goals via goalTouched.
+	// actTouched.
 	dot        []float64
 	sumsq      []float64
-	cnt        []int32
 	actTouched []core.ActionID
-	gTouched   []core.ActionID
 
 	// Legacy candidate-major postings-path buffers.
 	candCount   []float64 // candidate counts per goal-space slot
 	slotTouched []int32   // slots touched by the current candidate
+
+	// Pruned-path buffers: descending prefix sums of the squared profile and
+	// the degree-ordered candidate list.
+	prefix []float64
+	ord    []bmCand
 }
 
 // NewBestMatch returns a Best Match strategy over lib using the cosine
@@ -167,7 +173,7 @@ func (bm *BestMatch) RecommendContext(ctx context.Context, activity []core.Actio
 		err    error
 	)
 	if bm.metric == vectorspace.Cosine {
-		scored, err = bm.recommendCosine(ctx, h, candidates, goalSpace)
+		scored, err = bm.recommendCosine(ctx, h, candidates, goalSpace, k)
 	} else {
 		tick := newTicker(ctx)
 		profile := bm.Profile(h)
@@ -191,7 +197,7 @@ func (bm *BestMatch) RecommendContext(ctx context.Context, activity []core.Actio
 // space, builds the dense profile from the AG-idx, then scores every
 // candidate through whichever scoring path the per-query cost estimates
 // favor.
-func (bm *BestMatch) recommendCosine(ctx context.Context, h, candidates []core.ActionID, goalSpace []core.GoalID) ([]ScoredAction, error) {
+func (bm *BestMatch) recommendCosine(ctx context.Context, h, candidates []core.ActionID, goalSpace []core.GoalID, k int) ([]ScoredAction, error) {
 	s := bm.pool.Get().(*bmScratch)
 	defer bm.pool.Put(s)
 
@@ -234,7 +240,16 @@ func (bm *BestMatch) recommendCosine(ctx context.Context, h, candidates []core.A
 	}
 	profNorm = math.Sqrt(profNorm)
 
-	switch bm.pickMode(candidates, goalSpace) {
+	mode := bm.pickMode(candidates, goalSpace)
+	// The pruned walk replaces candidate-major scoring when a bounded top-k
+	// is wanted and the bound preparation (profile sort) is proportionate.
+	// Its output is the exact top k under the total order, which the caller's
+	// TopK pass leaves untouched.
+	if bm.pruning && k > 0 && k < len(candidates) && mode == bmCandidateMajor &&
+		profNorm > 0 && len(goalSpace) <= bmPruneMaxGoalSpace {
+		return bm.scoreCosinePruned(ctx, s, candidates, profNorm, k)
+	}
+	switch mode {
 	case bmGoalMajor:
 		return bm.scoreGoalMajor(ctx, s, candidates, goalSpace, profNorm)
 	case bmPostings:
@@ -246,9 +261,8 @@ func (bm *BestMatch) recommendCosine(ctx context.Context, h, candidates []core.A
 
 // pickMode resolves the scoring path for one query. In auto mode it compares
 // the exact slot counts each path will visit: candidate-major walks every
-// candidate's AG row, goal-major walks every slot of every goal-space
-// implementation (with roughly twice the per-slot work for the incremental
-// norm bookkeeping).
+// candidate's AG row, goal-major walks every GA row of the goal space (with
+// roughly twice the per-slot work for the scatter-write bookkeeping).
 func (bm *BestMatch) pickMode(candidates []core.ActionID, goalSpace []core.GoalID) bmMode {
 	if bm.mode != bmAuto {
 		return bm.mode
@@ -259,7 +273,7 @@ func (bm *BestMatch) pickMode(candidates []core.ActionID, goalSpace []core.GoalI
 	}
 	goalCost := 0
 	for _, g := range goalSpace {
-		goalCost += bm.lib.GoalWalkCost(g)
+		goalCost += bm.lib.GoalActionCount(g)
 	}
 	if 2*goalCost <= candCost {
 		return bmGoalMajor
@@ -345,48 +359,37 @@ func (bm *BestMatch) scoreOne(s *bmScratch, a core.ActionID, profNorm float64) S
 	return ScoredAction{Action: a, Score: -(1 - sim)}
 }
 
-// scoreGoalMajor scores every candidate at once by walking the goal space
-// implementation lists: each occurrence of action a under goal g adds
-// profile[g] to a's dot product and advances the incremental ‖a⃗‖² by
-// 2·count+1. Work is Σ_{g∈GS(H)} Σ_{p∈impls(g)} |A_p|, independent of
-// connectivity — at high connectivity this is orders of magnitude below the
-// candidate-major walk. All accumulated quantities are integer-valued, so
-// the scores are bit-identical to the candidate-major path.
+// scoreGoalMajor scores every candidate at once by walking the goal space's
+// GA-idx rows: goal g's row pairs each distinct action a with its
+// multiplicity m (implementations of g containing a), adding m·profile[g]
+// to a's dot product and m² to ‖a⃗‖². Work is Σ_{g∈GS(H)} |distinct
+// actions of g| over contiguous rows — independent of connectivity and of
+// the implementation-id layout (no per-implementation dereferences, so
+// impact ordering cannot scatter this walk). Every accumulated term is the
+// same integer-valued float the candidate-major path multiplies, summed
+// exactly below 2^53, so the scores are bit-identical to scoreOne.
 func (bm *BestMatch) scoreGoalMajor(ctx context.Context, s *bmScratch, candidates []core.ActionID, goalSpace []core.GoalID, profNorm float64) ([]ScoredAction, error) {
 	if s.dot == nil {
 		n := bm.lib.NumActions()
 		s.dot = make([]float64, n)
 		s.sumsq = make([]float64, n)
-		s.cnt = make([]int32, n)
 	}
 	s.actTouched = s.actTouched[:0]
 	tick := newTicker(ctx)
 	var tickErr error
 	for i, g := range goalSpace {
 		pg := s.profile[i]
-		s.gTouched = s.gTouched[:0]
-		for _, p := range bm.lib.ImplsOfGoal(g) {
-			if tickErr = tick.tick(1); tickErr != nil {
-				break
-			}
-			for _, a := range bm.lib.Actions(p) {
-				c := s.cnt[a]
-				if c == 0 {
-					s.gTouched = append(s.gTouched, a)
-					if s.sumsq[a] == 0 {
-						s.actTouched = append(s.actTouched, a)
-					}
-				}
-				s.dot[a] += pg
-				s.sumsq[a] += float64(2*c + 1)
-				s.cnt[a] = c + 1
-			}
-		}
-		for _, a := range s.gTouched {
-			s.cnt[a] = 0
-		}
-		if tickErr != nil {
+		acts, mult := bm.lib.ActionsOfGoal(g)
+		if tickErr = tick.tick(len(acts)); tickErr != nil {
 			break
+		}
+		for j, a := range acts {
+			m := float64(mult[j])
+			if s.sumsq[a] == 0 {
+				s.actTouched = append(s.actTouched, a)
+			}
+			s.dot[a] += m * pg
+			s.sumsq[a] += m * m
 		}
 	}
 	if tickErr != nil {

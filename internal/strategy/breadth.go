@@ -81,6 +81,8 @@ type Breadth struct {
 	weighting BreadthWeighting
 	conc      concurrency
 	pool      sync.Pool // *breadthScratch
+	pruning   bool
+	stats     *PruneStats
 }
 
 // breadthScratch is the pooled per-query state: the kernel counters plus the
@@ -157,6 +159,9 @@ func (b *Breadth) RecommendContext(ctx context.Context, activity []core.ActionID
 	stream := b.lib.OverlapStream(h)
 	if stream == 0 {
 		return nil, nil
+	}
+	if b.pruning && k > 0 && k <= breadthPruneMaxK {
+		return b.recommendPruned(ctx, h, stream, k)
 	}
 
 	workers := b.conc.workersFor(stream, b.lib.NumImplementations())

@@ -48,6 +48,8 @@ type Focus struct {
 	measure FocusMeasure
 	conc    concurrency
 	pool    sync.Pool // *focusScratch
+	pruning bool
+	stats   *PruneStats
 }
 
 // focusScratch is the pooled per-query state: the kernel counters plus the
@@ -134,6 +136,9 @@ func (f *Focus) RecommendContext(ctx context.Context, activity []core.ActionID, 
 	stream := f.lib.OverlapStream(h)
 	if stream == 0 {
 		return nil, nil
+	}
+	if f.pruning && k > 0 {
+		return f.recommendPruned(ctx, h, stream, k)
 	}
 
 	workers := f.conc.workersFor(stream, f.lib.NumImplementations())

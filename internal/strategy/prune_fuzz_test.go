@@ -1,0 +1,34 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/testlib"
+)
+
+// FuzzPrunedRankings derives a random library and activity from the fuzzed
+// seeds and asserts that every pruned path — all four strategies, sequential
+// and four-worker sharded, on plain and impact-ordered layouts — returns
+// rankings bit-identical to the unpruned kernel.
+func FuzzPrunedRankings(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(42), int64(77))
+	f.Add(int64(-9), int64(1<<40))
+	f.Add(int64(123456789), int64(-3))
+	f.Fuzz(func(t *testing.T, libSeed, querySeed int64) {
+		r := rand.New(rand.NewSource(libSeed))
+		n := 1 + r.Intn(800)
+		actionSpace := 2 + r.Intn(30)
+		lib := testlib.RandomLibrary(r, n, actionSpace, 15, 8)
+		if libSeed%2 == 0 {
+			lib, _ = core.ImpactOrder(lib)
+		}
+		qr := rand.New(rand.NewSource(querySeed))
+		h := intset.FromUnsorted(testlib.RandomActivity(qr, actionSpace, 6))
+		k := 1 + qr.Intn(12)
+		checkPrunedEquiv(t, lib, h, k)
+	})
+}

@@ -1,0 +1,265 @@
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/testlib"
+)
+
+// checkPrunedEquiv asserts that every pruned path — all four strategies,
+// sequential and sharded — returns the exact slice the unpruned kernel
+// returns for (h, k), scores included. It is shared with FuzzPrunedRankings.
+func checkPrunedEquiv(t *testing.T, lib *core.Library, h []core.ActionID, k int) {
+	t.Helper()
+	type pair struct {
+		name   string
+		plain  Recommender
+		pruned Recommender
+	}
+	var pairs []pair
+	for _, m := range []FocusMeasure{Completeness, Closeness} {
+		for _, workers := range []int{1, 4} {
+			p := NewFocus(lib, m)
+			q := NewFocus(lib, m)
+			if workers > 1 {
+				p.SetConcurrency(workers, 1)
+				q.SetConcurrency(workers, 1)
+			}
+			q.EnablePruning(nil)
+			pairs = append(pairs, pair{fmt.Sprintf("%s/w%d", m, workers), p, q})
+		}
+	}
+	for _, w := range []BreadthWeighting{Overlap, Count, Union} {
+		for _, workers := range []int{1, 4} {
+			p := NewBreadthWeighted(lib, w)
+			q := NewBreadthWeighted(lib, w)
+			if workers > 1 {
+				p.SetConcurrency(workers, 1)
+				q.SetConcurrency(workers, 1)
+			}
+			q.EnablePruning(nil)
+			pairs = append(pairs, pair{fmt.Sprintf("breadth-%s/w%d", w, workers), p, q})
+		}
+	}
+	{
+		p := NewBestMatch(lib)
+		q := NewBestMatch(lib)
+		q.mode = bmCandidateMajor // the pruned walk replaces this path
+		q.EnablePruning(nil)
+		pairs = append(pairs, pair{"best-match", p, q})
+	}
+	for _, pr := range pairs {
+		got := pr.pruned.Recommend(h, k)
+		want := pr.plain.Recommend(h, k)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: pruned ranking diverged (k=%d, h=%v):\ngot  %v\nwant %v", pr.name, k, h, got, want)
+		}
+	}
+}
+
+// TestPrunedRankingsMatchUnpruned drives the pruned kernels against the
+// default kernels over random libraries, alternating plain and
+// impact-ordered layouts so both loose and tight block bounds are exercised.
+func TestPrunedRankingsMatchUnpruned(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(1500)
+		actionSpace := 2 + r.Intn(24)
+		lib := testlib.RandomLibrary(r, n, actionSpace, 20, 9)
+		if trial%2 == 1 {
+			lib, _ = core.ImpactOrder(lib)
+		}
+		for q := 0; q < 5; q++ {
+			h := intset.FromUnsorted(testlib.RandomActivity(r, actionSpace, 6))
+			k := 1 + r.Intn(15)
+			checkPrunedEquiv(t, lib, h, k)
+		}
+	}
+}
+
+// TestPrunedStatsCountSkips pins that the counters actually record pruning
+// on a layout built to allow it: long posting rows, length-clustered
+// (impact-ordered) implementations and a small k.
+func TestPrunedStatsCountSkips(t *testing.T) {
+	// The Focus floor is established chunk by chunk, so the library must
+	// span several id chunks for later blocks to be skippable; the candidate
+	// walks additionally need skewed action degrees, or the suffix bound
+	// never drops below the floor. r.Intn(1+r.Intn(...)) skews toward hot
+	// low ids the way the scalability benchmark's Zipf draw does.
+	r := rand.New(rand.NewSource(9))
+	var b core.Builder
+	for i := 0; i < 6*prunedChunkIDs; i++ {
+		acts := make([]core.ActionID, 1+r.Intn(9))
+		for j := range acts {
+			acts[j] = core.ActionID(r.Intn(1 + r.Intn(200)))
+		}
+		if _, err := b.Add(core.GoalID(r.Intn(500)), acts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib, _ := core.ImpactOrder(b.Build())
+	h := intset.FromUnsorted([]core.ActionID{1, 2, 3})
+
+	var focusStats PruneStats
+	fc := NewFocus(lib, Closeness)
+	fc.EnablePruning(&focusStats)
+	fc.Recommend(h, 1)
+	if s := focusStats.Snapshot(); s.BlocksSkipped == 0 || s.BlocksTotal <= s.BlocksSkipped {
+		t.Fatalf("focus-cl skipped no blocks on a prunable layout: %+v", s)
+	} else if s.ImplsAssociated == 0 {
+		t.Fatalf("focus-cl recorded no posting stream: %+v", s)
+	}
+
+	var breadthStats PruneStats
+	br := NewBreadth(lib)
+	br.EnablePruning(&breadthStats)
+	br.Recommend(h, 1)
+	if s := breadthStats.Snapshot(); s.CandidatesSkipped == 0 || s.CandidatesScored == 0 {
+		t.Fatalf("breadth skipped no candidates on a prunable layout: %+v", s)
+	}
+
+	var bmStats PruneStats
+	bm := NewBestMatch(lib)
+	bm.mode = bmCandidateMajor
+	bm.EnablePruning(&bmStats)
+	bm.Recommend(h, 1)
+	if s := bmStats.Snapshot(); s.CandidatesSkipped == 0 || s.CandidatesScored == 0 {
+		t.Fatalf("best-match skipped no candidates on a prunable layout: %+v", s)
+	}
+}
+
+// TestPrunedNilStatsSink verifies that every pruned path runs with a nil
+// stats sink (the common production configuration when metrics are off).
+func TestPrunedNilStatsSink(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	lib := testlib.RandomLibrary(r, 500, 12, 10, 7)
+	h := intset.FromUnsorted(testlib.RandomActivity(r, 12, 4))
+	checkPrunedEquiv(t, lib, h, 5)
+}
+
+// TestPrunedAbortScratchInvariants hammers the pruned paths with thousands
+// of mid-scan aborts at varying checkpoint depths and asserts, after every
+// abort, that the pooled scratch went back clean: Focus/Breadth overlap
+// counters zeroed, Breadth score accumulators and H-membership cleared. A
+// completed query follows each abort and must stay bit-identical to an
+// unpruned twin — the end-to-end proof that no partial state leaked.
+func TestPrunedAbortScratchInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	lib := testlib.RandomLibrary(r, 2500, 24, 20, 9)
+
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			fc := NewFocus(lib, Closeness)
+			fcPlain := NewFocus(lib, Closeness)
+			br := NewBreadth(lib)
+			brPlain := NewBreadth(lib)
+			if workers > 1 {
+				fc.SetConcurrency(workers, 1)
+				fcPlain.SetConcurrency(workers, 1)
+				br.SetConcurrency(workers, 1)
+				brPlain.SetConcurrency(workers, 1)
+			}
+			fc.EnablePruning(nil)
+			br.EnablePruning(nil)
+			bm := NewBestMatch(lib)
+			bm.mode = bmCandidateMajor
+			bm.EnablePruning(nil)
+			bmPlain := NewBestMatch(lib)
+
+			checkFocus := func(i int) {
+				s := fc.pool.Get().(*focusScratch)
+				defer fc.pool.Put(s)
+				for p, c := range s.cnt {
+					if c != 0 {
+						t.Fatalf("abort %d: focus counter %d left at %d", i, p, c)
+					}
+				}
+				for w := range s.touched {
+					if len(s.touched[w]) != 0 {
+						t.Fatalf("abort %d: focus touched[%d] not truncated", i, w)
+					}
+				}
+			}
+			checkBreadth := func(i int) {
+				s := br.pool.Get().(*breadthScratch)
+				defer br.pool.Put(s)
+				for p, c := range s.cnt {
+					if c != 0 {
+						t.Fatalf("abort %d: breadth counter %d left at %d", i, p, c)
+					}
+				}
+				for a, in := range s.inH {
+					if in {
+						t.Fatalf("abort %d: breadth inH[%d] left set", i, a)
+					}
+				}
+				for a, v := range s.scores {
+					if v != 0 {
+						t.Fatalf("abort %d: breadth score[%d] left at %v", i, a, v)
+					}
+				}
+				for w := range s.workers {
+					for a, v := range s.workers[w].scores {
+						if v != 0 {
+							t.Fatalf("abort %d: breadth worker %d score[%d] left at %v", i, w, a, v)
+						}
+					}
+				}
+			}
+
+			for i := 0; i < 1500; i++ {
+				h := intset.FromUnsorted(testlib.RandomActivity(r, 24, 6))
+				polls := int64(1 + i%9)
+				fc.RecommendContext(newCancelAfterPolls(polls), h, 6)
+				checkFocus(i)
+				br.RecommendContext(newCancelAfterPolls(polls), h, 6)
+				checkBreadth(i)
+				bm.RecommendContext(newCancelAfterPolls(polls), h, 6)
+
+				if i%5 == 0 {
+					if got, want := fc.Recommend(h, 6), fcPlain.Recommend(h, 6); !reflect.DeepEqual(got, want) {
+						t.Fatalf("query %d: focus diverged after aborts:\ngot  %v\nwant %v", i, got, want)
+					}
+					if got, want := br.Recommend(h, 6), brPlain.Recommend(h, 6); !reflect.DeepEqual(got, want) {
+						t.Fatalf("query %d: breadth diverged after aborts:\ngot  %v\nwant %v", i, got, want)
+					}
+					if got, want := bm.Recommend(h, 6), bmPlain.Recommend(h, 6); !reflect.DeepEqual(got, want) {
+						t.Fatalf("query %d: best-match diverged after aborts:\ngot  %v\nwant %v", i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrunedDynamicSnapshots runs the pruned Focus scan over extended
+// (overlay) snapshots, whose block metadata is rebuilt per touched row, and
+// checks it against the unpruned kernel on the same snapshot.
+func TestPrunedDynamicSnapshots(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	d := core.NewDynamicLibrary()
+	d.SetCompactionThreshold(1 << 30) // force the overlay path
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 400; i++ {
+			size := 1 + r.Intn(7)
+			acts := make([]core.ActionID, size)
+			for j := range acts {
+				acts[j] = core.ActionID(r.Intn(16))
+			}
+			if _, err := d.Add(core.GoalID(r.Intn(12)), acts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lib := d.Snapshot()
+		for q := 0; q < 4; q++ {
+			h := intset.FromUnsorted(testlib.RandomActivity(r, 16, 5))
+			checkPrunedEquiv(t, lib, h, 1+r.Intn(10))
+		}
+	}
+}

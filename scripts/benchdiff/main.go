@@ -1,0 +1,144 @@
+// Command benchdiff compares two bench JSON files produced by `make bench`
+// (cmd/experiments -bench-json) and prints the per-benchmark latency deltas:
+//
+//	go run ./scripts/benchdiff BENCH_PR4.json BENCH_PR5.json
+//
+// A cell whose latency regressed by more than -threshold percent (default
+// 15) is flagged and makes the command exit non-zero, so `make benchdiff`
+// works as a CI gate. Both the legacy bare-array shape (BENCH_PR1/PR4) and
+// the stamped {git_commit, date, points} envelope are accepted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type point struct {
+	Method          string  `json:"method"`
+	Implementations int     `json:"implementations"`
+	MeanLatencyMS   float64 `json:"mean_latency_ms"`
+}
+
+type stampedFile struct {
+	GitCommit string  `json:"git_commit"`
+	Date      string  `json:"date"`
+	Points    []point `json:"points"`
+}
+
+// readBench loads either bench JSON shape and returns the points plus a
+// provenance label for the report header.
+func readBench(path string) ([]point, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var stamped stampedFile
+	if err := json.Unmarshal(data, &stamped); err == nil && len(stamped.Points) > 0 {
+		label := path
+		if stamped.GitCommit != "" {
+			label = fmt.Sprintf("%s (%.12s, %s)", path, stamped.GitCommit, stamped.Date)
+		}
+		return stamped.Points, label, nil
+	}
+	var bare []point
+	if err := json.Unmarshal(data, &bare); err != nil {
+		return nil, "", fmt.Errorf("%s: not a bench JSON file: %w", path, err)
+	}
+	return bare, path, nil
+}
+
+type row struct {
+	name     string
+	oldMS    float64
+	newMS    float64
+	deltaPct float64
+}
+
+// diff joins the two point sets on (method, implementations) and computes
+// the latency delta for every cell present in both.
+func diff(oldPts, newPts []point) (rows []row, onlyOld, onlyNew []string) {
+	key := func(p point) string { return fmt.Sprintf("%s@%d", p.Method, p.Implementations) }
+	oldBy := make(map[string]point, len(oldPts))
+	for _, p := range oldPts {
+		oldBy[key(p)] = p
+	}
+	seen := make(map[string]bool, len(newPts))
+	for _, np := range newPts {
+		k := key(np)
+		seen[k] = true
+		op, ok := oldBy[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		r := row{name: k, oldMS: op.MeanLatencyMS, newMS: np.MeanLatencyMS}
+		if op.MeanLatencyMS > 0 {
+			r.deltaPct = (np.MeanLatencyMS - op.MeanLatencyMS) / op.MeanLatencyMS * 100
+		}
+		rows = append(rows, r)
+	}
+	for _, p := range oldPts {
+		if !seen[key(p)] {
+			onlyOld = append(onlyOld, key(p))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return rows, onlyOld, onlyNew
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "flag latency regressions above this percentage and exit non-zero")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldPts, oldLabel, err := readBench(flag.Arg(0))
+	if err == nil {
+		var newPts []point
+		var newLabel string
+		newPts, newLabel, err = readBench(flag.Arg(1))
+		if err == nil {
+			err = report(os.Stdout, oldPts, newPts, oldLabel, newLabel, *threshold)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// report prints the comparison and returns an error when any cell regressed
+// beyond the threshold.
+func report(w *os.File, oldPts, newPts []point, oldLabel, newLabel string, threshold float64) error {
+	rows, onlyOld, onlyNew := diff(oldPts, newPts)
+	fmt.Fprintf(w, "benchdiff: %s -> %s\n", oldLabel, newLabel)
+	var regressed []string
+	for _, r := range rows {
+		mark := ""
+		if r.deltaPct > threshold {
+			mark = "  REGRESSION"
+			regressed = append(regressed, r.name)
+		}
+		fmt.Fprintf(w, "  %-28s %10.4fms -> %10.4fms  %+7.1f%%%s\n", r.name, r.oldMS, r.newMS, r.deltaPct, mark)
+	}
+	for _, k := range onlyOld {
+		fmt.Fprintf(w, "  %-28s only in old file\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Fprintf(w, "  %-28s only in new file\n", k)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no comparable cells between the two files")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d cell(s) regressed beyond %.0f%%: %v", len(regressed), threshold, regressed)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const legacyJSON = `[
+  {"method": "focus-cmp", "implementations": 1000, "mean_latency_ms": 1.0},
+  {"method": "breadth", "implementations": 1000, "mean_latency_ms": 4.0}
+]`
+
+const stampedJSON = `{
+  "git_commit": "deadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+  "date": "2026-01-01T00:00:00Z",
+  "points": [
+    {"method": "focus-cmp", "implementations": 1000, "mean_latency_ms": 0.4},
+    {"method": "breadth", "implementations": 1000, "mean_latency_ms": 4.2},
+    {"method": "best-match", "implementations": 1000, "mean_latency_ms": 2.0}
+  ]
+}`
+
+func TestReadBenchBothShapes(t *testing.T) {
+	legacy, label, err := readBench(writeFile(t, "legacy.json", legacyJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != 2 || label == "" {
+		t.Fatalf("legacy shape misread: %d points, label %q", len(legacy), label)
+	}
+	stamped, label, err := readBench(writeFile(t, "stamped.json", stampedJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamped) != 3 {
+		t.Fatalf("stamped shape misread: %d points", len(stamped))
+	}
+	if want := "deadbeefdead"; label == "" || !contains(label, want) {
+		t.Fatalf("stamped label %q missing commit prefix %q", label, want)
+	}
+	if _, _, err := readBench(writeFile(t, "bad.json", `{"points": "nope"`)); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiffJoinsAndFlags(t *testing.T) {
+	oldPts := []point{
+		{Method: "focus-cmp", Implementations: 1000, MeanLatencyMS: 1.0},
+		{Method: "breadth", Implementations: 1000, MeanLatencyMS: 4.0},
+		{Method: "gone", Implementations: 1000, MeanLatencyMS: 1.0},
+	}
+	newPts := []point{
+		{Method: "focus-cmp", Implementations: 1000, MeanLatencyMS: 0.4},
+		{Method: "breadth", Implementations: 1000, MeanLatencyMS: 4.2},
+		{Method: "best-match", Implementations: 1000, MeanLatencyMS: 2.0},
+	}
+	rows, onlyOld, onlyNew := diff(oldPts, newPts)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Sorted by name: breadth first, then focus-cmp.
+	if rows[0].name != "breadth@1000" || rows[0].deltaPct < 4.9 || rows[0].deltaPct > 5.1 {
+		t.Fatalf("breadth row = %+v", rows[0])
+	}
+	if rows[1].name != "focus-cmp@1000" || rows[1].deltaPct < -61 || rows[1].deltaPct > -59 {
+		t.Fatalf("focus row = %+v", rows[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "gone@1000" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "best-match@1000" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestReportThreshold(t *testing.T) {
+	oldPts := []point{{Method: "m", Implementations: 1, MeanLatencyMS: 1.0}}
+	slower := []point{{Method: "m", Implementations: 1, MeanLatencyMS: 1.3}}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := report(devnull, oldPts, slower, "a", "b", 15); err == nil {
+		t.Fatal("30% regression passed a 15% threshold")
+	}
+	if err := report(devnull, oldPts, slower, "a", "b", 50); err != nil {
+		t.Fatalf("30%% regression failed a 50%% threshold: %v", err)
+	}
+	if err := report(devnull, oldPts, nil, "a", "b", 15); err == nil {
+		t.Fatal("empty comparison passed")
+	}
+}
