@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench benchdiff microbench vet fmt lint cover experiments soak clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json
+.PHONY: all build test race bench benchdiff microbench vet fmt lint cover experiments soak restart-replay clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json
 
 all: vet test build
 
@@ -13,7 +13,7 @@ test:
 race:
 	go test -race ./...
 
-bench: BENCH_PR5.json
+bench: BENCH_PR6.json
 
 # Figure 7 sweep at the README's reference configuration; the JSON feeds the
 # README performance table. BENCH_PR1.json is the pre-kernel baseline the
@@ -38,10 +38,20 @@ BENCH_PR5.json:
 		-pruning -impact-ordering \
 		-bench-json BENCH_PR5.json
 
-# Per-cell latency deltas between the previous stack and the pruned one;
-# exits non-zero on any >15% regression (the CI gate).
+# BENCH_PR6.json is the PR-5 sweep plus the cold-start cells (legacy
+# decode+rebuild vs mmap snapshot open, as cold_start_ms).
+BENCH_PR6.json:
+	go run ./cmd/experiments -skip-datasets \
+		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
+		-scaling-queries 200 \
+		-pruning -impact-ordering -cold-start \
+		-bench-json BENCH_PR6.json
+
+# Per-cell latency deltas between the previous stack and the current one;
+# exits non-zero on any >15% regression (the CI gate). The cold-start cells
+# are new in PR 6 and report as informational.
 benchdiff:
-	go run ./scripts/benchdiff BENCH_PR4.json BENCH_PR5.json
+	go run ./scripts/benchdiff BENCH_PR5.json BENCH_PR6.json
 
 microbench:
 	go test -run=XXX -bench=. -benchmem .
@@ -71,6 +81,12 @@ cover:
 # every response to be 200/503/504 plus a clean SIGTERM shutdown.
 soak:
 	./scripts/soak.sh
+
+# Ingest into a race-instrumented goalrecd with a durable store, SIGTERM it,
+# restart on the same directory, and require the epoch and exact rankings to
+# survive the WAL replay.
+restart-replay:
+	./scripts/restart_replay.sh
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

@@ -69,6 +69,7 @@ func run() error {
 	scalingQueries := flag.Int("scaling-queries", 0, "query activities timed per Figure 7 cell (0 selects the default)")
 	pruning := flag.Bool("pruning", false, "run the Figure 7 sweep on the bound-driven pruned kernels")
 	impactOrdering := flag.Bool("impact-ordering", false, "impact-order each swept library before timing")
+	coldStart := flag.Bool("cold-start", false, "also measure cold start (legacy decode+rebuild vs mmap snapshot open) at the sweep sizes")
 	flag.Parse()
 
 	sizes, err := parseSizes(*scalingSizes)
@@ -164,6 +165,18 @@ func run() error {
 		if err := emit(experiments.ConnectivitySweep(20000, []int{8000, 2000, 500}, *seed)); err != nil {
 			return err
 		}
+		if *coldStart {
+			cs, err := experiments.ColdStart(experiments.ScalabilityConfig{
+				Sizes: sizes, Actions: *scalingActions, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := emit(experiments.ColdStartTable(cs)); err != nil {
+				return err
+			}
+			points = append(points, cs...)
+		}
 		if *benchJSON != "" {
 			if err := writeBenchJSON(*benchJSON, points); err != nil {
 				return err
@@ -176,11 +189,14 @@ func run() error {
 // benchPoint is the JSON shape of one Figure 7 cell, consumed by the README
 // performance table, `make bench` and scripts/benchdiff.
 type benchPoint struct {
-	Method          string                       `json:"method"`
-	Implementations int                          `json:"implementations"`
-	Connectivity    float64                      `json:"connectivity"`
-	MeanLatencyMS   float64                      `json:"mean_latency_ms"`
-	Pruning         *strategy.PruneStatsSnapshot `json:"pruning,omitempty"`
+	Method          string  `json:"method"`
+	Implementations int     `json:"implementations"`
+	Connectivity    float64 `json:"connectivity"`
+	MeanLatencyMS   float64 `json:"mean_latency_ms"`
+	// ColdStartMS duplicates the latency for the cold-start/* cells so the
+	// restart-cost numbers are addressable by name in the bench JSON.
+	ColdStartMS float64                      `json:"cold_start_ms,omitempty"`
+	Pruning     *strategy.PruneStatsSnapshot `json:"pruning,omitempty"`
 }
 
 // benchFile is the stamped envelope written since PR 5. Earlier bench files
@@ -210,6 +226,9 @@ func writeBenchJSON(path string, points []experiments.ScalabilityPoint) error {
 			Connectivity:    p.Connectivity,
 			MeanLatencyMS:   float64(p.MeanLatency) / float64(time.Millisecond),
 			Pruning:         p.Prune,
+		}
+		if strings.HasPrefix(p.Method, "cold-start/") {
+			rows[i].ColdStartMS = rows[i].MeanLatencyMS
 		}
 	}
 	data, err := json.MarshalIndent(benchFile{

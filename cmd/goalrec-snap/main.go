@@ -1,0 +1,169 @@
+// Command goalrec-snap inspects and converts goalrec library files.
+//
+//	goalrec-snap inspect lib.gsnp          print header, sections, ratios
+//	goalrec-snap verify  lib.gsnp          deep-validate every section
+//	goalrec-snap convert [-compress] [-format snapshot|binary|json] in out
+//
+// convert sniffs the input format (JSON lines, legacy binary, or snapshot)
+// and writes the requested output format — the migration path from
+// pre-snapshot library files to the memory-mappable format goalrecd's
+// -snapshot-dir store and LoadLibraryFile consume.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"goalrec"
+	"goalrec/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "goalrec-snap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: goalrec-snap inspect|verify|convert ...")
+	}
+	switch args[0] {
+	case "inspect":
+		if len(args) != 2 {
+			return errors.New("usage: goalrec-snap inspect <file.gsnp>")
+		}
+		return inspect(args[1])
+	case "verify":
+		if len(args) != 2 {
+			return errors.New("usage: goalrec-snap verify <file.gsnp>")
+		}
+		return verify(args[1])
+	case "convert":
+		fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+		compress := fs.Bool("compress", false, "block-compress posting lists (snapshot output only)")
+		format := fs.String("format", "snapshot", "output format: snapshot, binary, or json")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 2 {
+			return errors.New("usage: goalrec-snap convert [-compress] [-format snapshot|binary|json] <in> <out>")
+		}
+		return convert(fs.Arg(0), fs.Arg(1), *format, *compress)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want inspect, verify, or convert)", args[0])
+	}
+}
+
+func inspect(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	d, err := core.DescribeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: snapshot v%d, %d bytes\n", path, d.Version, d.FileBytes)
+	fmt.Printf("  implementations %d, actions %d, goals %d, slots %d\n",
+		d.Implementations, d.Actions, d.Goals, d.Slots)
+	fmt.Printf("  epoch %d, max impl len %d\n", d.Epoch, d.MaxImplLen)
+	fmt.Printf("  postings %s, vocabulary %v, length-sorted layout %v\n",
+		map[bool]string{true: "block-compressed", false: "raw"}[d.Compressed],
+		d.HasVocabulary, d.LenSorted)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  section\toffset\telem\tcount\tbytes\tshare")
+	var used uint64
+	for _, s := range d.Sections {
+		used += s.Bytes
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%.1f%%\n",
+			s.Name, s.Offset, s.ElemSize, s.Count, s.Bytes,
+			100*float64(s.Bytes)/float64(d.FileBytes))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("  header+padding: %d bytes (%.1f%% of file)\n",
+		d.FileBytes-used, 100*float64(d.FileBytes-used)/float64(d.FileBytes))
+	if d.Compressed {
+		// Ratio of the compressed posting storage (offsets + blob) to the
+		// 4 bytes/entry the raw section would take.
+		var compBytes uint64
+		for _, s := range d.Sections {
+			if s.Name == "postings-compressed-offsets" || s.Name == "postings-compressed-blob" {
+				compBytes += s.Bytes
+			}
+		}
+		raw := 4 * d.Slots
+		if raw > 0 {
+			fmt.Printf("  posting compression: %d -> %d bytes (%.2fx)\n",
+				raw, compBytes, float64(raw)/float64(compBytes))
+		}
+	}
+	return nil
+}
+
+func verify(path string) error {
+	snap, err := core.OpenSnapshot(path)
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	if err := core.VerifySnapshot(snap); err != nil {
+		return err
+	}
+	lib := snap.Library()
+	fmt.Printf("%s: ok (%d implementations, epoch %d)\n", path, lib.NumImplementations(), lib.Epoch())
+	return nil
+}
+
+func convert(in, out, format string, compress bool) error {
+	switch format {
+	case "snapshot", "binary", "json":
+	default:
+		return fmt.Errorf("unknown output format %q (want snapshot, binary, or json)", format)
+	}
+	lib, err := goalrec.LoadLibraryFile(in)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "snapshot":
+		if err := lib.SaveSnapshotFile(out, compress); err != nil {
+			return err
+		}
+	case "binary":
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := lib.SaveBinary(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	case "json":
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := lib.SaveJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown output format %q (want snapshot, binary, or json)", format)
+	}
+	fmt.Printf("%s -> %s (%s, %d implementations)\n", in, out, format, lib.NumImplementations())
+	return nil
+}

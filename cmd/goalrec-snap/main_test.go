@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goalrec"
+)
+
+func testLibraryFile(t *testing.T, dir string) (string, *goalrec.Library) {
+	t.Helper()
+	b := goalrec.NewBuilder()
+	for i := 0; i < 80; i++ {
+		if err := b.AddImplementation(fmt.Sprintf("goal-%d", i%9),
+			fmt.Sprintf("act-%d", i%13), fmt.Sprintf("act-%d", (i*5)%17)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lib := b.Build()
+	path := filepath.Join(dir, "lib.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SaveJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, lib
+}
+
+// JSON -> compressed snapshot -> inspect/verify -> back to JSON, all through
+// the CLI entry point.
+func TestConvertInspectVerifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath, lib := testLibraryFile(t, dir)
+	snapPath := filepath.Join(dir, "lib.gsnp")
+
+	if err := run([]string{"convert", "-compress", jsonPath, snapPath}); err != nil {
+		t.Fatalf("convert to snapshot: %v", err)
+	}
+	if err := run([]string{"inspect", snapPath}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := run([]string{"verify", snapPath}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	backPath := filepath.Join(dir, "back.json")
+	if err := run([]string{"convert", "-format", "json", snapPath, backPath}); err != nil {
+		t.Fatalf("convert back to json: %v", err)
+	}
+	got, err := goalrec.LoadLibraryFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumImplementations() != lib.NumImplementations() {
+		t.Fatalf("round trip lost implementations: %d != %d", got.NumImplementations(), lib.NumImplementations())
+	}
+
+	binPath := filepath.Join(dir, "lib.bin")
+	if err := run([]string{"convert", "-format", "binary", snapPath, binPath}); err != nil {
+		t.Fatalf("convert to legacy binary: %v", err)
+	}
+	if got, err := goalrec.LoadLibraryFile(binPath); err != nil || got.NumImplementations() != lib.NumImplementations() {
+		t.Fatalf("legacy binary output unreadable: %v", err)
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"bogus"},
+		{"inspect"},
+		{"verify"},
+		{"convert", "only-one-arg"},
+		{"convert", "-format", "yaml", "a", "b"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -20,6 +20,15 @@
 // changes; a file that fails to load is logged and the current epoch keeps
 // serving, with exponential-backoff retries until the load heals.
 //
+// With -snapshot-dir the daemon is durable: it recovers from the newest
+// memory-mapped snapshot in the directory plus the ingest WAL's tail, then
+// journals every /v1/implementations batch to the WAL before applying it.
+// Restarting the process resumes at the exact epoch it last acknowledged.
+// -library then becomes an optional seed, used only when the directory is
+// empty. -wal-sync fsyncs each WAL append; -compact-wal-bytes sets the WAL
+// size that triggers background compaction into a fresh snapshot;
+// -snapshot-compress writes snapshots with block-compressed postings.
+//
 // -request-timeout bounds every request (504 on expiry) and -max-inflight
 // caps concurrent expensive requests, shedding the excess as 503 +
 // Retry-After.
@@ -70,9 +79,16 @@ func run() error {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	pruning := flag.Bool("pruning", false, "serve with the bound-driven pruned kernels (rankings unchanged; counters in /v1/metrics)")
 	impactOrdering := flag.Bool("impact-ordering", false, "re-lay-out each loaded library in impact order for pruning effectiveness")
+	snapshotDir := flag.String("snapshot-dir", "", "durable store directory: mmap snapshots + ingest WAL (empty disables persistence)")
+	walSync := flag.Bool("wal-sync", false, "fsync every WAL append (needs -snapshot-dir)")
+	compactWALBytes := flag.Int64("compact-wal-bytes", 0, "WAL size that triggers background compaction into a snapshot; 0 selects the default (needs -snapshot-dir)")
+	snapshotCompress := flag.Bool("snapshot-compress", false, "write snapshots with block-compressed posting lists (needs -snapshot-dir)")
 	flag.Parse()
-	if *libPath == "" {
-		return errors.New("-library is required")
+	if *libPath == "" && *snapshotDir == "" {
+		return errors.New("one of -library or -snapshot-dir is required")
+	}
+	if *watch > 0 && *libPath == "" {
+		return errors.New("-watch needs -library")
 	}
 
 	// loadLib is the single load path — initial load, /v1/reload and the
@@ -88,22 +104,17 @@ func run() error {
 		return lib, nil
 	}
 
-	lib, err := loadLib(*libPath)
-	if err != nil {
-		return err
-	}
-
 	logger := log.New(os.Stderr, "goalrecd: ", log.LstdFlags)
 	reqLogger := logger
 	if *quiet {
 		reqLogger = nil
 	}
-	logger.Printf("loaded library: %s", lib.Stats())
 
-	opts := []server.Option{
-		server.WithReloader(func() (*goalrec.Library, error) {
+	var opts []server.Option
+	if *libPath != "" {
+		opts = append(opts, server.WithReloader(func() (*goalrec.Library, error) {
 			return loadLib(*libPath)
-		}),
+		}))
 	}
 	if *pruning {
 		opts = append(opts, server.WithPruning())
@@ -114,7 +125,46 @@ func run() error {
 	if *maxInflight > 0 {
 		opts = append(opts, server.WithMaxInflight(*maxInflight), server.WithAdmissionWait(*admissionWait))
 	}
-	api := server.New(lib, reqLogger, opts...)
+
+	var api *server.Server
+	var store *goalrec.Store
+	if *snapshotDir != "" {
+		var err error
+		store, err = goalrec.OpenStore(*snapshotDir, goalrec.StoreOptions{
+			SyncWAL:           *walSync,
+			CompactAtWALBytes: *compactWALBytes,
+			CompressPostings:  *snapshotCompress,
+			Logger:            logger,
+		})
+		if err != nil {
+			return err
+		}
+		engine := store.Engine()
+		logger.Printf("recovered store %s at epoch %d: %s", *snapshotDir, engine.Epoch(), engine.Snapshot().Stats())
+		// -library seeds an empty store only; a recovered lineage wins over
+		// the seed file so restarts never roll acknowledged ingests back.
+		if engine.Len() == 0 && *libPath != "" {
+			lib, err := loadLib(*libPath)
+			if err != nil {
+				store.Close()
+				return err
+			}
+			engine.Swap(lib)
+			if err := store.Err(); err != nil {
+				store.Close()
+				return err
+			}
+			logger.Printf("seeded store from %s: %s", *libPath, lib.Stats())
+		}
+		api = server.NewFromEngine(engine, reqLogger, opts...)
+	} else {
+		lib, err := loadLib(*libPath)
+		if err != nil {
+			return err
+		}
+		logger.Printf("loaded library: %s", lib.Stats())
+		api = server.New(lib, reqLogger, opts...)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -170,12 +220,24 @@ func run() error {
 		errCh <- nil
 	}()
 
+	// closeStore runs only after the HTTP server has fully drained: readers
+	// may hold mapped snapshot memory until their requests finish.
+	closeStore := func() {
+		if store == nil {
+			return
+		}
+		if err := store.Close(); err != nil {
+			logger.Printf("closing store: %v", err)
+		}
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		stopWatch()
 		<-watchDone
+		closeStore()
 		return err
 	case sig := <-stop:
 		// Flip to draining first so /readyz tells load balancers to stop
@@ -189,7 +251,9 @@ func run() error {
 		if pprofSrv != nil {
 			_ = pprofSrv.Shutdown(ctx)
 		}
-		if err := srv.Shutdown(ctx); err != nil {
+		err := srv.Shutdown(ctx)
+		closeStore()
+		if err != nil {
 			return err
 		}
 		return <-errCh

@@ -31,7 +31,25 @@ type Engine struct {
 	vocab *core.Vocabulary
 	dyn   *core.DynamicLibrary
 	state atomic.Pointer[engineState]
+
+	// journal, when non-nil, receives every publishing write before it is
+	// applied (write-ahead). A Store attaches itself here; the zero engine
+	// journals nothing.
+	journal engineJournal
 }
+
+// engineJournal is the write-ahead hook a Store installs on an Engine: the
+// engine calls logBatch under its writer lock before applying an ingest
+// batch, and logSwap after a wholesale swap has been published.
+type engineJournal interface {
+	logBatch(epoch uint64, impls []Implementation) error
+	logSwap(lib *Library)
+}
+
+// ErrJournal marks an ingest rejected because its write-ahead journal append
+// failed: nothing was applied, and the store that owns the journal has
+// latched the failure (see Store). Match with errors.Is.
+var ErrJournal = errors.New("goalrec: journal append failed")
 
 // engineState bundles one epoch's snapshot with its lazily built recommender
 // set, keyed by strategy plus resolved options. Swapping the whole state
@@ -89,13 +107,35 @@ func (e *Engine) AddImplementation(goal string, actions ...string) error {
 // implementation, and publishes whatever was added as the next epoch. It
 // returns the number added; on error the earlier valid implementations of
 // the batch are still published (mirroring core.DynamicLibrary semantics).
+//
+// When a journal is attached (Store), the batch's valid prefix is appended
+// to it — at the epoch the publish will carry — before anything is applied.
+// A journal failure rejects the whole batch with an error matching
+// ErrJournal: nothing is published that the log does not hold.
 func (e *Engine) AddImplementations(impls []Implementation) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	added := 0
+	valid := 0
 	var firstErr error
 	for _, impl := range impls {
+		if err := validateImplementation(impl); err != nil {
+			firstErr = err
+			break
+		}
+		valid++
+	}
+	if valid == 0 {
+		return 0, firstErr
+	}
+	if e.journal != nil {
+		if err := e.journal.logBatch(e.dyn.Epoch()+1, impls[:valid]); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	added := 0
+	for _, impl := range impls[:valid] {
 		if err := e.addLocked(impl.Goal, impl.Actions); err != nil {
+			// Unreachable after validation; surface it over the shape error.
 			firstErr = err
 			break
 		}
@@ -105,6 +145,24 @@ func (e *Engine) AddImplementations(impls []Implementation) (int, error) {
 		e.publishLocked()
 	}
 	return added, firstErr
+}
+
+// validateImplementation performs addLocked's full error surface without
+// mutating anything, so a batch can be journaled before it is applied. The
+// error texts match addLocked's exactly.
+func validateImplementation(impl Implementation) error {
+	if impl.Goal == "" {
+		return errors.New("goalrec: empty goal name")
+	}
+	for _, a := range impl.Actions {
+		if a == "" {
+			return fmt.Errorf("goalrec: implementation of %q has an empty action name", impl.Goal)
+		}
+	}
+	if len(impl.Actions) == 0 {
+		return fmt.Errorf("goalrec: adding implementation of %q: %w", impl.Goal, core.ErrEmptyActivity)
+	}
+	return nil
 }
 
 func (e *Engine) addLocked(goal string, actions []string) error {
@@ -144,7 +202,52 @@ func (e *Engine) Swap(lib *Library) *Library {
 	stamped := e.dyn.Swap(lib.lib)
 	nl := &Library{lib: stamped, vocab: lib.vocab}
 	e.state.Store(newEngineState(nl))
+	if e.journal != nil {
+		// A swap supersedes every journaled batch: the store persists the new
+		// epoch as a full snapshot and resets the log.
+		e.journal.logSwap(nl)
+	}
 	return nl
+}
+
+// newEngineAdopting seeds an Engine from a persisted snapshot, preserving
+// the snapshot's epoch so the lineage resumes where the writing process
+// stopped (unlike NewEngineFromLibrary, which starts a new lineage at
+// epoch 1).
+func newEngineAdopting(lib *Library) *Engine {
+	e := &Engine{vocab: lib.vocab, dyn: core.NewDynamicLibrary()}
+	e.dyn.Swap(lib.lib)
+	if ep := lib.Epoch(); ep > 1 {
+		// Swap stamped epoch 1; only ever move forward.
+		if err := e.dyn.RestoreEpoch(ep); err != nil {
+			panic(err) // unreachable: 1 < ep
+		}
+	}
+	e.state.Store(newEngineState(&Library{lib: e.dyn.Snapshot(), vocab: lib.vocab}))
+	return e
+}
+
+// restoreEpoch forces the engine's epoch forward to ep and republishes, so a
+// WAL replay lands on exactly the epoch the log recorded even if some
+// batches were already covered by the base snapshot.
+func (e *Engine) restoreEpoch(ep uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn.Epoch() == ep {
+		return nil
+	}
+	if err := e.dyn.RestoreEpoch(ep); err != nil {
+		return err
+	}
+	e.state.Store(newEngineState(&Library{lib: e.dyn.Snapshot(), vocab: e.vocab}))
+	return nil
+}
+
+// setJournal attaches (or detaches, with nil) the write-ahead journal.
+func (e *Engine) setJournal(j engineJournal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.journal = j
 }
 
 // Recommender returns a recommender over the current epoch's snapshot.

@@ -739,6 +739,46 @@ func LoadLibraryBinary(r io.Reader) (*Library, error) {
 	return &Library{lib: lib, vocab: vocab}, nil
 }
 
+// SaveSnapshotFile writes the library in the memory-mappable snapshot
+// format: aligned fixed-width little-endian sections that OpenSnapshotFile
+// loads zero-copy, with no decode or index rebuild. compressPostings
+// selects delta-encoded block-compressed posting lists — a smaller file,
+// paid for with a lazy per-block decode on scans.
+func (l *Library) SaveSnapshotFile(path string, compressPostings bool) error {
+	return core.WriteSnapshotFile(path, l.lib, l.vocab, core.SnapshotOptions{CompressPostings: compressPostings})
+}
+
+// Snapshot is a library backed by a memory-mapped snapshot file. Close it
+// only once nothing references the library any more — its slices alias the
+// mapping directly.
+type Snapshot struct {
+	lib  *Library
+	snap *core.Snapshot
+}
+
+// Library returns the mapped library. It is served exactly like a built
+// one; every accessor reads the mapping zero-copy.
+func (s *Snapshot) Library() *Library { return s.lib }
+
+// Close releases the mapping.
+func (s *Snapshot) Close() error { return s.snap.Close() }
+
+// OpenSnapshotFile memory-maps a snapshot written by SaveSnapshotFile. The
+// open is O(header + section table): the library's data pages fault in on
+// first touch instead of being decoded up front.
+func OpenSnapshotFile(path string) (*Snapshot, error) {
+	snap, err := core.OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	vocab := snap.Vocabulary()
+	if vocab == nil {
+		snap.Close()
+		return nil, fmt.Errorf("goalrec: snapshot %s carries no vocabulary", path)
+	}
+	return &Snapshot{lib: &Library{lib: snap.Library(), vocab: vocab}, snap: snap}, nil
+}
+
 // RelatedGoal is one goal associated with a reference goal through shared
 // actions — the latent goal-goal associations the model captures.
 type RelatedGoal struct {
@@ -857,7 +897,10 @@ func (l *Library) ExportDOT(w io.Writer, maxImpls int) error {
 }
 
 // LoadLibraryFile opens path and loads it with the format sniffed from the
-// first byte: '{' selects JSON lines, anything else the binary snapshot.
+// leading bytes: '{' selects JSON lines, the "GSNP" magic a memory-mapped
+// snapshot, anything else the binary snapshot. A mapped snapshot's pages
+// stay mapped for the life of the process — callers that need to release
+// the mapping should use OpenSnapshotFile directly and Close it.
 func LoadLibraryFile(path string) (*Library, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -871,6 +914,13 @@ func LoadLibraryFile(path string) (*Library, error) {
 	}
 	if head[0] == '{' {
 		return LoadLibraryJSON(br)
+	}
+	if magic, err := br.Peek(4); err == nil && string(magic) == "GSNP" {
+		snap, err := OpenSnapshotFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return snap.Library(), nil
 	}
 	return LoadLibraryBinary(br)
 }

@@ -149,7 +149,7 @@ func (l *Library) boundsAux() *boundAux {
 	aux.once.Do(func() {
 		sfx := make([]int32, l.numActions+1)
 		for a := l.numActions - 1; a >= 0; a-- {
-			d := int32(len(l.ImplsOfAction(ActionID(a))))
+			d := int32(l.ActionDegree(ActionID(a)))
 			if d < sfx[a+1] {
 				d = sfx[a+1]
 			}

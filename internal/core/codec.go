@@ -121,12 +121,16 @@ func ReadBinary(r io.Reader) (*Library, error) {
 		return nil, fmt.Errorf("core: unsupported snapshot version %d", hdr[1])
 	}
 	nImpl, nSlots := int(hdr[2]), int(hdr[5])
+	nAct, nGoal := int(hdr[3]), int(hdr[4])
 	// Sanity bounds: reject sizes a corrupt header could use to force huge
 	// allocations. maxSnapshotEntries is far above any real library (the
 	// paper's full-scale foodmart has ~1.9M slots).
 	const maxSnapshotEntries = 1 << 26
 	if nImpl < 0 || nSlots < 0 || nImpl > maxSnapshotEntries || nSlots > maxSnapshotEntries {
 		return nil, fmt.Errorf("core: implausible snapshot sizes (impls=%d, slots=%d)", nImpl, nSlots)
+	}
+	if nAct < 0 || nGoal < 0 || nAct > maxSnapshotEntries || nGoal > maxSnapshotEntries {
+		return nil, fmt.Errorf("core: implausible snapshot dimensions (actions=%d, goals=%d)", nAct, nGoal)
 	}
 	if nSlots < nImpl {
 		return nil, fmt.Errorf("core: corrupt snapshot: %d slots for %d implementations", nSlots, nImpl)
@@ -172,12 +176,20 @@ func ReadBinary(r io.Reader) (*Library, error) {
 			maxAction = last
 		}
 	}
+	// The declared id spaces bound the index allocations below; ids past them
+	// mean the header and body disagree. The declared spaces may legitimately
+	// exceed the largest id present (trailing ids with no implementations), so
+	// they — not the scanned maxima — become the library's dimensions.
+	if int(maxAction) >= nAct || int(maxGoal) >= nGoal {
+		return nil, fmt.Errorf("core: corrupt snapshot: id (action %d, goal %d) outside declared spaces (%d actions, %d goals)",
+			maxAction, maxGoal, nAct, nGoal)
+	}
 	lib := &Library{
 		implGoal:   implGoal,
 		implOff:    implOff,
 		implActs:   implActs,
-		numActions: int(maxAction) + 1,
-		numGoals:   int(maxGoal) + 1,
+		numActions: nAct,
+		numGoals:   nGoal,
 	}
 	lib.buildIndexes()
 	return lib, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -212,6 +213,45 @@ func TestReadBinaryRejectsCorruption(t *testing.T) {
 	}
 	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
 		t.Error("truncated body accepted")
+	}
+
+	// Header/body dimension disagreements must fail descriptively instead of
+	// building an index with out-of-range ids or an enormous allocation.
+	mutate := func(name string, f func(d []byte)) {
+		d := append([]byte(nil), data...)
+		f(d)
+		if _, err := ReadBinary(bytes.NewReader(d)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	mutate("huge action space", func(d []byte) { binary.LittleEndian.PutUint32(d[12:], 1<<30) })
+	mutate("huge goal space", func(d []byte) { binary.LittleEndian.PutUint32(d[16:], 1<<30) })
+	mutate("zero action space", func(d []byte) { binary.LittleEndian.PutUint32(d[12:], 0) })
+	mutate("zero goal space", func(d []byte) { binary.LittleEndian.PutUint32(d[16:], 0) })
+	mutate("huge slot count", func(d []byte) { binary.LittleEndian.PutUint32(d[20:], 1<<30) })
+}
+
+// The declared id spaces may exceed the largest id actually present (ids
+// interned but never used); the loader must preserve them instead of
+// shrinking the library's dimensions to the scanned maxima.
+func TestReadBinaryPreservesDeclaredDims(t *testing.T) {
+	b := NewBuilder(2, 2)
+	if _, err := b.Add(3, []ActionID{1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	lib := b.Build()
+	lib.numActions = 9
+	lib.numGoals = 7
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumActions() != 9 || got.NumGoals() != 7 {
+		t.Fatalf("declared dims lost: got (%d actions, %d goals), want (9, 7)", got.NumActions(), got.NumGoals())
 	}
 }
 

@@ -178,19 +178,23 @@ func (d *DynamicLibrary) snapshotLocked() *Library {
 }
 
 // Swap replaces the store's contents with lib, which becomes the next
-// epoch's snapshot. The implementation CSR is copied so the lineage never
-// appends into memory it shares with the caller; lib itself is not mutated.
-// It returns the stamped snapshot.
+// epoch's snapshot. The implementation CSR is borrowed as full-slice
+// (len == cap) views — the lineage's own appends reallocate before the first
+// write, so memory shared with the caller (or with a memory-mapped snapshot)
+// is never mutated and Swap is O(1) regardless of library size. lib itself
+// is not mutated. It returns the stamped snapshot.
 func (d *DynamicLibrary) Swap(lib *Library) *Library {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := lib.NumImplementations()
-	d.implGoal = append(make([]GoalID, 0, n), lib.implGoal...)
-	d.implOff = append(make([]int32, 0, n+1), lib.implOff...)
-	if len(d.implOff) == 0 {
-		d.implOff = append(d.implOff, 0)
+	d.implGoal = lib.implGoal[:n:n]
+	if len(lib.implOff) >= n+1 {
+		d.implOff = lib.implOff[: n+1 : n+1]
+	} else {
+		d.implOff = []int32{0}
 	}
-	d.implActs = append(make([]ActionID, 0, len(lib.implActs)), lib.implActs...)
+	slots := len(lib.implActs)
+	d.implActs = lib.implActs[:slots:slots]
 	d.numActions = lib.numActions
 	d.numGoals = lib.numGoals
 	d.epoch++
@@ -199,6 +203,22 @@ func (d *DynamicLibrary) Swap(lib *Library) *Library {
 	// its own indexes (flat or overlay) serve as the prefix to extend.
 	d.flatImpls = n
 	return d.cur
+}
+
+// RestoreEpoch forces the lineage's epoch counter to e and restamps the
+// current snapshot, so a store recovering from a persisted snapshot + WAL
+// resumes exactly where the previous process stopped. Restoring backwards
+// would violate the strictly-increasing epoch contract and is rejected.
+func (d *DynamicLibrary) RestoreEpoch(e uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e < d.epoch {
+		return fmt.Errorf("core: cannot restore epoch %d below current %d", e, d.epoch)
+	}
+	d.initLocked()
+	d.epoch = e
+	d.cur = d.cur.withEpoch(e)
+	return nil
 }
 
 // buildFlatLocked derives a fully indexed (flat) library over everything
@@ -236,6 +256,7 @@ func (d *DynamicLibrary) extendLocked() *Library {
 		implActs:      d.implActs[:slots:slots],
 		actOff:        prev.actOff,
 		actPost:       prev.actPost,
+		cp:            prev.cp,
 		goalOff:       prev.goalOff,
 		goalPost:      prev.goalPost,
 		agOff:         prev.agOff,

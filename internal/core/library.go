@@ -252,7 +252,12 @@ type Library struct {
 	implActs []ActionID // concatenated, per-impl sorted action lists
 
 	actOff  []int32  // CSR offsets into actPost, len numActions+1
-	actPost []ImplID // A-GI-idx postings, sorted per action
+	actPost []ImplID // A-GI-idx postings, sorted per action; nil when compressed
+
+	// cp, non-nil only on snapshot-loaded libraries with block-compressed
+	// postings, replaces actPost with a delta-varint blob decoded per block
+	// (see postings.go). actOff still carries the row lengths.
+	cp *compressedPostings
 
 	goalOff  []int32  // CSR offsets into goalPost, len numGoals+1
 	goalPost []ImplID // G-GI-idx postings, sorted per goal
@@ -354,21 +359,17 @@ func (l *Library) NumPostings() int { return len(l.implActs) }
 
 // ImplsOfAction returns the sorted implementation ids containing action a
 // (A-GI-idx lookup); this is the implementation space IS(a) of the paper.
-// The returned slice is a view and must not be modified. Ids outside the
-// library yield an empty slice.
+// The returned slice is a view and must not be modified — except over
+// block-compressed postings, where the row is decoded into a fresh slice.
+// Hot paths should prefer PostingRow/PostingRowRange/PostingRowCursor, which
+// reuse caller buffers and decode lazily. Ids outside the library yield an
+// empty slice.
 func (l *Library) ImplsOfAction(a ActionID) []ImplID {
-	if a < 0 || int(a) >= l.numActions {
-		return nil
+	row, ok := l.rawRow(a)
+	if ok {
+		return row
 	}
-	if l.ovActPost != nil {
-		if row, ok := l.ovActPost[a]; ok {
-			return row
-		}
-	}
-	if int(a)+1 >= len(l.actOff) {
-		return nil // id newer than the base epoch's indexes, never touched
-	}
-	return l.actPost[l.actOff[a]:l.actOff[a+1]]
+	return l.decodeRowAppend(a, nil)
 }
 
 // ImplsOfGoal returns the sorted implementation ids fulfilling goal g
@@ -390,9 +391,21 @@ func (l *Library) ImplsOfGoal(g GoalID) []ImplID {
 }
 
 // ActionDegree returns the connectivity of one action: the number of
-// implementations it participates in.
+// implementations it participates in. It reads the CSR offsets, so it is
+// O(1) even over block-compressed postings.
 func (l *Library) ActionDegree(a ActionID) int {
-	return len(l.ImplsOfAction(a))
+	if a < 0 || int(a) >= l.numActions {
+		return 0
+	}
+	if l.ovActPost != nil {
+		if row, ok := l.ovActPost[a]; ok {
+			return len(row)
+		}
+	}
+	if int(a)+1 >= len(l.actOff) {
+		return 0
+	}
+	return int(l.actOff[a+1] - l.actOff[a])
 }
 
 // GoalsOfAction returns the AG-idx row of action a: the sorted distinct

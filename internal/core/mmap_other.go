@@ -1,0 +1,20 @@
+//go:build !unix
+
+package core
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a memory-mapping syscall surface falls back
+// to reading the whole file; the zero-copy section views then alias the heap
+// buffer instead of a mapping, preserving the format contract (not the
+// page-in cost profile).
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only and returns the mapping plus its release
+// function. Empty files map to a nil slice with a no-op release.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("core: snapshot too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import "encoding/binary"
+
+// Delta-varint block codec for A-GI posting rows (see DESIGN.md, "Snapshot
+// format & WAL"). A posting row is strictly increasing, so each entry is
+// stored as the uvarint gap to its predecessor; blocks follow the exact
+// PostingBlockEntries boundaries of the block-max metadata (blocks.go), and
+// the predecessor of a block's first entry is the previous block's Last value
+// (−1 for the first block). A block can therefore be decoded knowing only the
+// shared block metadata — no other block — which is what lets the pruned
+// scans skip a block without ever touching its bytes.
+
+// appendBlockEncoded appends the delta-varint encoding of one block's entries
+// to dst. prev is the entry preceding row[0] (−1 at the start of a posting
+// row, the previous block's Last otherwise); row must be strictly increasing
+// with row[0] > prev.
+func appendBlockEncoded(dst []byte, prev ImplID, row []ImplID) []byte {
+	v := int64(prev)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, p := range row {
+		n := binary.PutUvarint(tmp[:], uint64(int64(p)-v))
+		dst = append(dst, tmp[:n]...)
+		v = int64(p)
+	}
+	return dst
+}
+
+// decodeBlockAppend appends n entries decoded from blob to dst, starting from
+// predecessor prev. A truncated or malformed varint stream ends the decode
+// early rather than panicking; deep validation is VerifySnapshot's job.
+func decodeBlockAppend(blob []byte, prev ImplID, n int, dst []ImplID) []ImplID {
+	v := int64(prev)
+	for i := 0; i < n; i++ {
+		d, w := binary.Uvarint(blob)
+		if w <= 0 {
+			break
+		}
+		blob = blob[w:]
+		v += int64(d)
+		dst = append(dst, ImplID(v))
+	}
+	return dst
+}

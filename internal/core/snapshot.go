@@ -1,0 +1,901 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// The zero-copy snapshot format (see DESIGN.md, "Snapshot format & WAL"): a
+// 64-byte little-endian header, a CRC-guarded section table, and one
+// 64-byte-aligned section per index array. Every CSR section — implementation
+// rows, A-GI-idx, G-GI-idx, AG-idx, GA-idx, goal slots, and the block-max
+// metadata — is a fixed-width little-endian array, so OpenSnapshot serves
+// them as unsafe.Slice views straight over the mapping: cold start is header
+// parsing plus page-in, independent of library size. The A-GI postings may
+// additionally be stored delta-varint block-compressed (postenc.go), in
+// which case actPost is replaced by a blob + per-block byte offsets and rows
+// decode lazily, block by block, on first use.
+//
+// Unlike WriteBinary/ReadBinary (codec.go), which persist only the
+// implementation CSR and rebuild every index on load, a snapshot persists all
+// derived indexes. Scalar derivations (maxImplLen, implLenSorted, epoch) live
+// in the header so opening never scans a section.
+
+const (
+	snapshotMagic   = uint32(0x504e5347) // "GSNP" when read little-endian
+	snapshotVersion = uint32(1)
+
+	// snapAlign is the byte alignment of every section, generous enough for
+	// any element type and cache-line friendly.
+	snapAlign = 64
+
+	// snapHeaderSize is the fixed header length; the section table follows.
+	snapHeaderSize = 64
+	snapSectSize   = 24 // bytes per section-table entry
+
+	// snapMaxSections bounds the table a corrupt header can demand.
+	snapMaxSections = 64
+
+	// snapMaxName bounds one vocabulary name, mirroring the named codec.
+	snapMaxName = 1 << 16
+)
+
+// Header flag bits.
+const (
+	snapFlagCompressed = 1 << 0 // A-GI postings are block-compressed
+	snapFlagVocab      = 1 << 1 // vocabulary sections present
+	snapFlagLenSorted  = 1 << 2 // |A_p| non-decreasing in id
+)
+
+// Section identifiers. Element widths are fixed per section.
+const (
+	secImplGoal   = 1 + iota // int32 × nImpl
+	secImplOff               // int32 × nImpl+1
+	secImplActs              // int32 × nSlots
+	secActOff                // int32 × nAct+1
+	secActPost               // int32 × nSlots (uncompressed postings only)
+	secGoalOff               // int32 × nGoal+1
+	secGoalPost              // int32 × nImpl
+	secAgOff                 // int32 × nAct+1
+	secAgGoal                // int32 × nAG
+	secAgCnt                 // int32 × nAG
+	secGaOff                 // int32 × nGoal+1
+	secGaAct                 // int32 × nGA
+	secGaCnt                 // int32 × nGA
+	secGoalSlots             // int32 × nGoal
+	secBlkOff                // int32 × nAct+1
+	secBlkLast               // int32 × nBlk
+	secBlkMinLen             // int32 × nBlk
+	secBlkMaxLen             // int32 × nBlk
+	secPostOff               // uint64 × nBlk+1 (compressed postings only)
+	secPostBlob              // byte × blob len (compressed postings only)
+	secVocActOff             // uint64 × nActNames+1
+	secVocActStr             // byte × action-name blob
+	secVocGoalOff            // uint64 × nGoalNames+1
+	secVocGoalStr            // byte × goal-name blob
+)
+
+// hostLittleEndian reports the byte order of this process; on the (rare)
+// big-endian host the zero-copy views degrade to decoded copies.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// i32View reinterprets b as n little-endian 32-bit values. On little-endian
+// hosts this is a zero-copy cast (b must be 4-byte aligned); otherwise the
+// values are decoded into a fresh slice.
+func i32View[T ~int32](b []byte, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = T(int32(binary.LittleEndian.Uint32(b[4*i:])))
+	}
+	return out
+}
+
+// u64View is i32View's 64-bit counterpart.
+func u64View(b []byte, n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// i32Bytes is the write-side inverse of i32View on little-endian hosts.
+func i32Bytes[T ~int32](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+// SnapshotOptions configures WriteSnapshot.
+type SnapshotOptions struct {
+	// CompressPostings stores the A-GI posting rows delta-varint
+	// block-compressed instead of as a raw id array. Rows then decode
+	// lazily per block at query time; rankings are unaffected.
+	CompressPostings bool
+}
+
+// snapWriter tracks the byte offset of a buffered stream and pads sections
+// to the format alignment.
+type snapWriter struct {
+	w   *bufio.Writer
+	off uint64
+	err error
+}
+
+func (sw *snapWriter) write(b []byte) {
+	if sw.err != nil {
+		return
+	}
+	n, err := sw.w.Write(b)
+	sw.off += uint64(n)
+	sw.err = err
+}
+
+func (sw *snapWriter) writeI32s(s []int32) { writeI32Slice(sw, s) }
+
+func writeI32Slice[T ~int32](sw *snapWriter, s []T) {
+	if hostLittleEndian {
+		sw.write(i32Bytes(s))
+		return
+	}
+	var buf [4]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint32(buf[:], uint32(int32(v)))
+		sw.write(buf[:])
+	}
+}
+
+func (sw *snapWriter) writeU64s(s []uint64) {
+	if hostLittleEndian && len(s) > 0 {
+		sw.write(unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s)))
+		return
+	}
+	var buf [8]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		sw.write(buf[:])
+	}
+}
+
+// padTo advances the stream to absolute offset target with zero bytes.
+func (sw *snapWriter) padTo(target uint64) {
+	var zeros [snapAlign]byte
+	for sw.err == nil && sw.off < target {
+		n := target - sw.off
+		if n > snapAlign {
+			n = snapAlign
+		}
+		sw.write(zeros[:n])
+	}
+}
+
+func alignUp(off uint64) uint64 {
+	return (off + snapAlign - 1) &^ uint64(snapAlign-1)
+}
+
+// snapSection is one planned section: identity, geometry and a payload
+// writer. Offsets are assigned by the planner before anything is emitted.
+type snapSection struct {
+	id    uint32
+	elem  uint32
+	count uint64
+	off   uint64
+	emit  func(sw *snapWriter)
+}
+
+// packNames flattens a name list into (cumulative byte offsets, blob).
+func packNames(names []string) ([]uint64, []byte) {
+	off := make([]uint64, 1, len(names)+1)
+	var blob []byte
+	for _, s := range names {
+		blob = append(blob, s...)
+		off = append(off, uint64(len(blob)))
+	}
+	return off, blob
+}
+
+// WriteSnapshot writes l (and optionally its vocabulary) to w in the
+// zero-copy snapshot format. Every index row is read through the accessor
+// surface, so flat, extended (overlay) and snapshot-loaded libraries all
+// serialize to the same canonical flat layout — which is also what lets WAL
+// compaction rewrite a live mmap-backed library without flattening it in
+// memory first.
+func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOptions) error {
+	nImpl := l.NumImplementations()
+	nAct, nGoal := l.numActions, l.numGoals
+	nSlots := len(l.implActs)
+
+	// Derived flat offsets. ActionDegree/GoalDegree/... resolve overlays, so
+	// these are the offsets a flat rebuild would produce.
+	actOff := make([]int32, nAct+1)
+	blkOff := make([]int32, nAct+1)
+	nAG := uint64(0)
+	for a := 0; a < nAct; a++ {
+		d := l.ActionDegree(ActionID(a))
+		actOff[a+1] = actOff[a] + int32(d)
+		blkOff[a+1] = blkOff[a] + int32((d+PostingBlockEntries-1)/PostingBlockEntries)
+		nAG += uint64(l.GoalDegree(ActionID(a)))
+	}
+	if int(actOff[nAct]) != nSlots {
+		return fmt.Errorf("core: inconsistent library: %d postings for %d slots", actOff[nAct], nSlots)
+	}
+	nBlk := uint64(blkOff[nAct])
+	goalOff := make([]int32, nGoal+1)
+	gaOff := make([]int32, nGoal+1)
+	goalSlots := make([]int32, nGoal)
+	nGA := uint64(0)
+	for g := 0; g < nGoal; g++ {
+		goalOff[g+1] = goalOff[g] + int32(len(l.ImplsOfGoal(GoalID(g))))
+		gaOff[g+1] = gaOff[g] + int32(l.GoalActionCount(GoalID(g)))
+		goalSlots[g] = int32(l.GoalWalkCost(GoalID(g)))
+		nGA += uint64(l.GoalActionCount(GoalID(g)))
+	}
+	if int(goalOff[nGoal]) != nImpl {
+		return fmt.Errorf("core: inconsistent library: %d goal postings for %d implementations", goalOff[nGoal], nImpl)
+	}
+
+	flags := uint32(0)
+	if l.implLenSorted {
+		flags |= snapFlagLenSorted
+	}
+
+	// Compressed postings pre-pass: the blob must be materialized to size the
+	// section table. rowBuf keeps the pass allocation-bounded.
+	var blob []byte
+	var blobOff []uint64
+	if opts.CompressPostings {
+		flags |= snapFlagCompressed
+		blobOff = append(make([]uint64, 0, nBlk+1), 0)
+		var rowBuf []ImplID
+		for a := 0; a < nAct; a++ {
+			var row []ImplID
+			row, rowBuf = l.PostingRow(ActionID(a), rowBuf)
+			prev := ImplID(-1)
+			for lo := 0; lo < len(row); lo += PostingBlockEntries {
+				hi := lo + PostingBlockEntries
+				if hi > len(row) {
+					hi = len(row)
+				}
+				blob = appendBlockEncoded(blob, prev, row[lo:hi])
+				blobOff = append(blobOff, uint64(len(blob)))
+				prev = row[hi-1]
+			}
+		}
+	}
+
+	var actNameOff, goalNameOff []uint64
+	var actNameBlob, goalNameBlob []byte
+	if vocab != nil {
+		flags |= snapFlagVocab
+		actNameOff, actNameBlob = packNames(vocab.Actions.Names())
+		goalNameOff, goalNameBlob = packNames(vocab.Goals.Names())
+	}
+
+	// emitRows streams every A-GI posting row (the raw actPost section).
+	emitRows := func(sw *snapWriter) {
+		var rowBuf []ImplID
+		for a := 0; a < nAct && sw.err == nil; a++ {
+			var row []ImplID
+			row, rowBuf = l.PostingRow(ActionID(a), rowBuf)
+			writeI32Slice(sw, row)
+		}
+	}
+	// emitBlocks streams one of the three block-metadata arrays, derived per
+	// row so overlay rows serialize their own merged metadata.
+	emitBlocks := func(pick func(PostingBlocks) []int32, fromLast bool) func(sw *snapWriter) {
+		return func(sw *snapWriter) {
+			var scratchLast []ImplID
+			var scratchMin, scratchMax []int32
+			for a := 0; a < nAct && sw.err == nil; a++ {
+				blk := l.ActionPostingBlocks(ActionID(a))
+				want := int(blkOff[a+1] - blkOff[a])
+				if blk.NumBlocks() != want {
+					// Hand-assembled libraries may lack block metadata;
+					// derive it from the row.
+					row := l.ImplsOfAction(ActionID(a))
+					scratchLast, scratchMin, scratchMax = l.appendRowBlocks(row, scratchLast[:0], scratchMin[:0], scratchMax[:0])
+					blk = PostingBlocks{Last: scratchLast, MinLen: scratchMin, MaxLen: scratchMax}
+				}
+				if fromLast {
+					writeI32Slice(sw, blk.Last)
+				} else {
+					writeI32Slice(sw, pick(blk))
+				}
+			}
+		}
+	}
+
+	secs := []snapSection{
+		{id: secImplGoal, elem: 4, count: uint64(nImpl), emit: func(sw *snapWriter) { writeI32Slice(sw, l.implGoal) }},
+		{id: secImplOff, elem: 4, count: uint64(nImpl + 1), emit: func(sw *snapWriter) { sw.writeI32s(l.implOff) }},
+		{id: secImplActs, elem: 4, count: uint64(nSlots), emit: func(sw *snapWriter) { writeI32Slice(sw, l.implActs) }},
+		{id: secActOff, elem: 4, count: uint64(nAct + 1), emit: func(sw *snapWriter) { sw.writeI32s(actOff) }},
+	}
+	if !opts.CompressPostings {
+		secs = append(secs, snapSection{id: secActPost, elem: 4, count: uint64(nSlots), emit: emitRows})
+	}
+	secs = append(secs,
+		snapSection{id: secGoalOff, elem: 4, count: uint64(nGoal + 1), emit: func(sw *snapWriter) { sw.writeI32s(goalOff) }},
+		snapSection{id: secGoalPost, elem: 4, count: uint64(nImpl), emit: func(sw *snapWriter) {
+			for g := 0; g < nGoal && sw.err == nil; g++ {
+				writeI32Slice(sw, l.ImplsOfGoal(GoalID(g)))
+			}
+		}},
+		snapSection{id: secAgOff, elem: 4, count: uint64(nAct + 1), emit: func(sw *snapWriter) {
+			off := int32(0)
+			agOff := make([]int32, 1, nAct+1)
+			for a := 0; a < nAct; a++ {
+				off += int32(l.GoalDegree(ActionID(a)))
+				agOff = append(agOff, off)
+			}
+			sw.writeI32s(agOff)
+		}},
+		snapSection{id: secAgGoal, elem: 4, count: nAG, emit: func(sw *snapWriter) {
+			for a := 0; a < nAct && sw.err == nil; a++ {
+				goals, _ := l.GoalsOfAction(ActionID(a))
+				writeI32Slice(sw, goals)
+			}
+		}},
+		snapSection{id: secAgCnt, elem: 4, count: nAG, emit: func(sw *snapWriter) {
+			for a := 0; a < nAct && sw.err == nil; a++ {
+				_, cnts := l.GoalsOfAction(ActionID(a))
+				sw.writeI32s(cnts)
+			}
+		}},
+		snapSection{id: secGaOff, elem: 4, count: uint64(nGoal + 1), emit: func(sw *snapWriter) { sw.writeI32s(gaOff) }},
+		snapSection{id: secGaAct, elem: 4, count: nGA, emit: func(sw *snapWriter) {
+			for g := 0; g < nGoal && sw.err == nil; g++ {
+				acts, _ := l.ActionsOfGoal(GoalID(g))
+				writeI32Slice(sw, acts)
+			}
+		}},
+		snapSection{id: secGaCnt, elem: 4, count: nGA, emit: func(sw *snapWriter) {
+			for g := 0; g < nGoal && sw.err == nil; g++ {
+				_, cnts := l.ActionsOfGoal(GoalID(g))
+				sw.writeI32s(cnts)
+			}
+		}},
+		snapSection{id: secGoalSlots, elem: 4, count: uint64(nGoal), emit: func(sw *snapWriter) { sw.writeI32s(goalSlots) }},
+		snapSection{id: secBlkOff, elem: 4, count: uint64(nAct + 1), emit: func(sw *snapWriter) { sw.writeI32s(blkOff) }},
+		snapSection{id: secBlkLast, elem: 4, count: nBlk, emit: emitBlocks(nil, true)},
+		snapSection{id: secBlkMinLen, elem: 4, count: nBlk, emit: emitBlocks(func(b PostingBlocks) []int32 { return b.MinLen }, false)},
+		snapSection{id: secBlkMaxLen, elem: 4, count: nBlk, emit: emitBlocks(func(b PostingBlocks) []int32 { return b.MaxLen }, false)},
+	)
+	if opts.CompressPostings {
+		secs = append(secs,
+			snapSection{id: secPostOff, elem: 8, count: uint64(len(blobOff)), emit: func(sw *snapWriter) { sw.writeU64s(blobOff) }},
+			snapSection{id: secPostBlob, elem: 1, count: uint64(len(blob)), emit: func(sw *snapWriter) { sw.write(blob) }},
+		)
+	}
+	if vocab != nil {
+		secs = append(secs,
+			snapSection{id: secVocActOff, elem: 8, count: uint64(len(actNameOff)), emit: func(sw *snapWriter) { sw.writeU64s(actNameOff) }},
+			snapSection{id: secVocActStr, elem: 1, count: uint64(len(actNameBlob)), emit: func(sw *snapWriter) { sw.write(actNameBlob) }},
+			snapSection{id: secVocGoalOff, elem: 8, count: uint64(len(goalNameOff)), emit: func(sw *snapWriter) { sw.writeU64s(goalNameOff) }},
+			snapSection{id: secVocGoalStr, elem: 1, count: uint64(len(goalNameBlob)), emit: func(sw *snapWriter) { sw.write(goalNameBlob) }},
+		)
+	}
+
+	// Assign aligned offsets.
+	off := alignUp(uint64(snapHeaderSize + snapSectSize*len(secs)))
+	for i := range secs {
+		secs[i].off = off
+		off = alignUp(off + secs[i].count*uint64(secs[i].elem))
+	}
+
+	// Header + table, CRC-stamped.
+	hdr := make([]byte, snapHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], flags)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(secs)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(nImpl))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(nAct))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(nGoal))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(nSlots))
+	binary.LittleEndian.PutUint64(hdr[48:], l.epoch)
+	binary.LittleEndian.PutUint32(hdr[56:], uint32(l.maxImplLen))
+	table := make([]byte, snapSectSize*len(secs))
+	for i, s := range secs {
+		e := table[snapSectSize*i:]
+		binary.LittleEndian.PutUint32(e[0:], s.id)
+		binary.LittleEndian.PutUint32(e[4:], s.elem)
+		binary.LittleEndian.PutUint64(e[8:], s.off)
+		binary.LittleEndian.PutUint64(e[16:], s.count)
+	}
+	crc := crc32.ChecksumIEEE(hdr[:60])
+	crc = crc32.Update(crc, crc32.IEEETable, table)
+	binary.LittleEndian.PutUint32(hdr[60:], crc)
+
+	sw := &snapWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	sw.write(hdr)
+	sw.write(table)
+	for i := range secs {
+		sw.padTo(secs[i].off)
+		secs[i].emit(sw)
+		if want := secs[i].off + secs[i].count*uint64(secs[i].elem); sw.err == nil && sw.off != want {
+			return fmt.Errorf("core: snapshot section %d wrote %d bytes, want %d", secs[i].id, sw.off-secs[i].off, want-secs[i].off)
+		}
+	}
+	if sw.err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", sw.err)
+	}
+	return sw.w.Flush()
+}
+
+// WriteSnapshotFile writes the snapshot to path atomically: a same-directory
+// temp file is written, synced, and renamed into place.
+func WriteSnapshotFile(path string, l *Library, vocab *Vocabulary, opts SnapshotOptions) (err error) {
+	f, err := os.CreateTemp(filepathDir(path), ".snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = WriteSnapshot(f, l, vocab, opts); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// filepathDir is filepath.Dir without importing path/filepath for one call.
+func filepathDir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			if i == 0 {
+				return path[:1]
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// Snapshot is an open snapshot file: a Library (and optional Vocabulary)
+// whose index arrays are zero-copy views over the underlying mapping. The
+// mapping must outlive every use of the Library; Close releases it.
+type Snapshot struct {
+	lib   *Library
+	vocab *Vocabulary
+	unmap func() error
+}
+
+// Library returns the snapshot's library. Its index arrays alias the mapping
+// until Close.
+func (s *Snapshot) Library() *Library { return s.lib }
+
+// Vocabulary returns the snapshot's vocabulary, or nil for an id-level
+// snapshot.
+func (s *Snapshot) Vocabulary() *Vocabulary { return s.vocab }
+
+// Close releases the mapping. The snapshot's Library (and every library
+// extended from it) must not be used afterwards.
+func (s *Snapshot) Close() error {
+	if s.unmap == nil {
+		return nil
+	}
+	u := s.unmap
+	s.unmap = nil
+	return u()
+}
+
+// OpenSnapshot memory-maps the snapshot at path and returns zero-copy views
+// over it. Opening validates the header CRC and the section geometry — O(#
+// sections), not O(library) — so a snapshot of any size opens in page-in
+// time. Deep content validation is available via VerifySnapshot.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, unmap, err := mmapFile(f)
+	if err != nil {
+		return nil, err
+	}
+	s, err := OpenSnapshotBytes(data)
+	if err != nil {
+		unmap()
+		return nil, fmt.Errorf("core: snapshot %s: %w", path, err)
+	}
+	s.unmap = unmap
+	return s, nil
+}
+
+// snapshotSections parses and CRC-checks the header plus section table.
+func snapshotSections(data []byte) (map[uint32]snapSection, uint32, error) {
+	if len(data) < snapHeaderSize {
+		return nil, 0, fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != snapshotMagic {
+		return nil, 0, fmt.Errorf("bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != snapshotVersion {
+		return nil, 0, fmt.Errorf("unsupported snapshot version %d", v)
+	}
+	flags := binary.LittleEndian.Uint32(data[8:])
+	nSec := int(binary.LittleEndian.Uint32(data[12:]))
+	if nSec <= 0 || nSec > snapMaxSections {
+		return nil, 0, fmt.Errorf("implausible section count %d", nSec)
+	}
+	tableEnd := snapHeaderSize + snapSectSize*nSec
+	if tableEnd > len(data) {
+		return nil, 0, fmt.Errorf("truncated section table (%d sections, %d bytes)", nSec, len(data))
+	}
+	crc := crc32.ChecksumIEEE(data[:60])
+	crc = crc32.Update(crc, crc32.IEEETable, data[snapHeaderSize:tableEnd])
+	if want := binary.LittleEndian.Uint32(data[60:]); crc != want {
+		return nil, 0, fmt.Errorf("header checksum mismatch (%#x != %#x)", crc, want)
+	}
+	secs := make(map[uint32]snapSection, nSec)
+	for i := 0; i < nSec; i++ {
+		e := data[snapHeaderSize+snapSectSize*i:]
+		s := snapSection{
+			id:    binary.LittleEndian.Uint32(e[0:]),
+			elem:  binary.LittleEndian.Uint32(e[4:]),
+			off:   binary.LittleEndian.Uint64(e[8:]),
+			count: binary.LittleEndian.Uint64(e[16:]),
+		}
+		if s.elem != 1 && s.elem != 4 && s.elem != 8 {
+			return nil, 0, fmt.Errorf("section %d: bad element size %d", s.id, s.elem)
+		}
+		if s.off%snapAlign != 0 {
+			return nil, 0, fmt.Errorf("section %d: misaligned offset %d", s.id, s.off)
+		}
+		end := s.off + s.count*uint64(s.elem)
+		if s.off < uint64(tableEnd) || end < s.off || end > uint64(len(data)) {
+			return nil, 0, fmt.Errorf("section %d: range [%d, %d) outside file of %d bytes", s.id, s.off, end, len(data))
+		}
+		if _, dup := secs[s.id]; dup {
+			return nil, 0, fmt.Errorf("duplicate section %d", s.id)
+		}
+		secs[s.id] = s
+	}
+	return secs, flags, nil
+}
+
+// OpenSnapshotBytes builds a Snapshot over an in-memory image. The returned
+// library's arrays alias data; the caller owns data's lifetime (OpenSnapshot
+// wires it to the file mapping).
+func OpenSnapshotBytes(data []byte) (*Snapshot, error) {
+	secs, flags, err := snapshotSections(data)
+	if err != nil {
+		return nil, err
+	}
+	nImpl := binary.LittleEndian.Uint64(data[16:])
+	nAct := binary.LittleEndian.Uint64(data[24:])
+	nGoal := binary.LittleEndian.Uint64(data[32:])
+	nSlots := binary.LittleEndian.Uint64(data[40:])
+	const maxDim = math.MaxInt32
+	if nImpl > maxDim || nAct > maxDim || nGoal > maxDim || nSlots > maxDim {
+		return nil, fmt.Errorf("implausible dimensions (impls=%d acts=%d goals=%d slots=%d)", nImpl, nAct, nGoal, nSlots)
+	}
+
+	sec := func(id uint32, elem uint32, count uint64) ([]byte, error) {
+		s, ok := secs[id]
+		if !ok {
+			return nil, fmt.Errorf("missing section %d", id)
+		}
+		if s.elem != elem {
+			return nil, fmt.Errorf("section %d: element size %d, want %d", id, s.elem, elem)
+		}
+		if s.count != count {
+			return nil, fmt.Errorf("section %d: %d entries, want %d", id, s.count, count)
+		}
+		return data[s.off : s.off+s.count*uint64(s.elem)], nil
+	}
+	i32Sec := func(id uint32, count uint64) ([]int32, error) {
+		b, err := sec(id, 4, count)
+		if err != nil {
+			return nil, err
+		}
+		return i32View[int32](b, int(count)), nil
+	}
+
+	lib := &Library{
+		numActions: int(nAct),
+		numGoals:   int(nGoal),
+		epoch:      binary.LittleEndian.Uint64(data[48:]),
+		maxImplLen: int32(binary.LittleEndian.Uint32(data[56:])),
+		bounds:     &boundAux{},
+	}
+	lib.implLenSorted = flags&snapFlagLenSorted != 0
+
+	var b []byte
+	if b, err = sec(secImplGoal, 4, nImpl); err == nil {
+		lib.implGoal = i32View[GoalID](b, int(nImpl))
+		lib.implOff, err = i32Sec(secImplOff, nImpl+1)
+	}
+	if err == nil {
+		if b, err = sec(secImplActs, 4, nSlots); err == nil {
+			lib.implActs = i32View[ActionID](b, int(nSlots))
+		}
+	}
+	if err == nil {
+		lib.actOff, err = i32Sec(secActOff, nAct+1)
+	}
+	if err == nil {
+		if b, err = sec(secGoalOff, 4, nGoal+1); err == nil {
+			lib.goalOff = i32View[int32](b, int(nGoal+1))
+		}
+	}
+	if err == nil {
+		if b, err = sec(secGoalPost, 4, nImpl); err == nil {
+			lib.goalPost = i32View[ImplID](b, int(nImpl))
+		}
+	}
+	if err == nil {
+		lib.agOff, err = i32Sec(secAgOff, nAct+1)
+	}
+	var nAG uint64
+	if err == nil {
+		nAG = secs[secAgGoal].count
+		if b, err = sec(secAgGoal, 4, nAG); err == nil {
+			lib.agGoal = i32View[GoalID](b, int(nAG))
+			lib.agCnt, err = i32Sec(secAgCnt, nAG)
+		}
+	}
+	if err == nil {
+		lib.gaOff, err = i32Sec(secGaOff, nGoal+1)
+	}
+	var nGA uint64
+	if err == nil {
+		nGA = secs[secGaAct].count
+		if b, err = sec(secGaAct, 4, nGA); err == nil {
+			lib.gaAct = i32View[ActionID](b, int(nGA))
+			lib.gaCnt, err = i32Sec(secGaCnt, nGA)
+		}
+	}
+	if err == nil {
+		lib.goalSlots, err = i32Sec(secGoalSlots, nGoal)
+	}
+	if err == nil {
+		lib.blkOff, err = i32Sec(secBlkOff, nAct+1)
+	}
+	var nBlk uint64
+	if err == nil {
+		nBlk = secs[secBlkLast].count
+		if b, err = sec(secBlkLast, 4, nBlk); err == nil {
+			lib.blkLast = i32View[ImplID](b, int(nBlk))
+			lib.blkMinLen, err = i32Sec(secBlkMinLen, nBlk)
+		}
+	}
+	if err == nil {
+		lib.blkMaxLen, err = i32Sec(secBlkMaxLen, nBlk)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if flags&snapFlagCompressed != 0 {
+		pb, err := sec(secPostOff, 8, nBlk+1)
+		if err != nil {
+			return nil, err
+		}
+		blobSec, ok := secs[secPostBlob]
+		if !ok {
+			return nil, fmt.Errorf("missing section %d", secPostBlob)
+		}
+		cp := &compressedPostings{
+			blobOff: u64View(pb, int(nBlk+1)),
+			blob:    data[blobSec.off : blobSec.off+blobSec.count],
+		}
+		// O(1) geometry checks so block decodes can index fearlessly.
+		if cp.blobOff[0] != 0 || cp.blobOff[nBlk] > blobSec.count {
+			return nil, fmt.Errorf("posting blob offsets span [%d, %d] over %d bytes", cp.blobOff[0], cp.blobOff[nBlk], blobSec.count)
+		}
+		lib.cp = cp
+	} else {
+		b, err := sec(secActPost, 4, nSlots)
+		if err != nil {
+			return nil, err
+		}
+		lib.actPost = i32View[ImplID](b, int(nSlots))
+	}
+
+	// O(1) CSR spot checks: the cheap invariants every accessor leans on.
+	if nImpl > 0 || nSlots > 0 {
+		if lib.implOff[0] != 0 || uint64(lib.implOff[nImpl]) != nSlots {
+			return nil, fmt.Errorf("implementation offsets span [%d, %d] over %d slots", lib.implOff[0], lib.implOff[nImpl], nSlots)
+		}
+	}
+	if lib.actOff[0] != 0 || uint64(lib.actOff[nAct]) != nSlots {
+		return nil, fmt.Errorf("posting offsets span [%d, %d] over %d slots", lib.actOff[0], lib.actOff[nAct], nSlots)
+	}
+	if lib.blkOff[0] != 0 || uint64(lib.blkOff[nAct]) != nBlk {
+		return nil, fmt.Errorf("block offsets span [%d, %d] over %d blocks", lib.blkOff[0], lib.blkOff[nAct], nBlk)
+	}
+	if lib.goalOff[0] != 0 || uint64(lib.goalOff[nGoal]) != nImpl {
+		return nil, fmt.Errorf("goal offsets span [%d, %d] over %d implementations", lib.goalOff[0], lib.goalOff[nGoal], nImpl)
+	}
+
+	snap := &Snapshot{lib: lib}
+	if flags&snapFlagVocab != 0 {
+		actNames, err := unpackNames(secs, data, secVocActOff, secVocActStr)
+		if err != nil {
+			return nil, fmt.Errorf("action vocabulary: %w", err)
+		}
+		goalNames, err := unpackNames(secs, data, secVocGoalOff, secVocGoalStr)
+		if err != nil {
+			return nil, fmt.Errorf("goal vocabulary: %w", err)
+		}
+		if len(actNames) < int(nAct) || len(goalNames) < int(nGoal) {
+			return nil, fmt.Errorf("vocabulary (%d actions, %d goals) does not cover id space (%d, %d)",
+				len(actNames), len(goalNames), nAct, nGoal)
+		}
+		vocab := NewVocabulary()
+		for _, s := range actNames {
+			vocab.Actions.Intern(s)
+		}
+		for _, s := range goalNames {
+			vocab.Goals.Intern(s)
+		}
+		if vocab.Actions.Len() != len(actNames) || vocab.Goals.Len() != len(goalNames) {
+			return nil, fmt.Errorf("vocabulary contains duplicate names")
+		}
+		snap.vocab = vocab
+	}
+	return snap, nil
+}
+
+// unpackNames decodes one (offsets, blob) vocabulary section pair.
+func unpackNames(secs map[uint32]snapSection, data []byte, offID, strID uint32) ([]string, error) {
+	offSec, ok := secs[offID]
+	if !ok {
+		return nil, fmt.Errorf("missing section %d", offID)
+	}
+	strSec, ok := secs[strID]
+	if !ok {
+		return nil, fmt.Errorf("missing section %d", strID)
+	}
+	if offSec.elem != 8 || strSec.elem != 1 || offSec.count == 0 {
+		return nil, fmt.Errorf("malformed vocabulary sections")
+	}
+	off := u64View(data[offSec.off:offSec.off+8*offSec.count], int(offSec.count))
+	blob := data[strSec.off : strSec.off+strSec.count]
+	if off[0] != 0 || off[len(off)-1] != uint64(len(blob)) {
+		return nil, fmt.Errorf("name offsets span [%d, %d] over %d bytes", off[0], off[len(off)-1], len(blob))
+	}
+	names := make([]string, 0, len(off)-1)
+	for i := 0; i+1 < len(off); i++ {
+		lo, hi := off[i], off[i+1]
+		if hi < lo || hi-lo > snapMaxName || hi > uint64(len(blob)) {
+			return nil, fmt.Errorf("implausible name %d: bytes [%d, %d)", i, lo, hi)
+		}
+		names = append(names, string(blob[lo:hi]))
+	}
+	return names, nil
+}
+
+// VerifySnapshot walks every section of an open snapshot and checks the deep
+// CSR invariants — monotone offsets, strictly increasing sorted rows, ids in
+// range, block metadata consistent with the (decoded) rows. It is linear in
+// the snapshot and intended for tooling (goalrec-snap verify) and tests, not
+// for the open path.
+func VerifySnapshot(s *Snapshot) error {
+	l := s.lib
+	nImpl := l.NumImplementations()
+	nAct, nGoal := l.numActions, l.numGoals
+	for p := 0; p < nImpl; p++ {
+		lo, hi := l.implOff[p], l.implOff[p+1]
+		if hi < lo {
+			return fmt.Errorf("core: implementation %d: negative extent", p)
+		}
+		acts := l.implActs[lo:hi]
+		if len(acts) == 0 {
+			return fmt.Errorf("core: implementation %d: empty activity", p)
+		}
+		for i, a := range acts {
+			if a < 0 || int(a) >= nAct {
+				return fmt.Errorf("core: implementation %d: action %d out of range", p, a)
+			}
+			if i > 0 && acts[i-1] >= a {
+				return fmt.Errorf("core: implementation %d: action list not strictly increasing", p)
+			}
+		}
+		if g := l.implGoal[p]; g < 0 || int(g) >= nGoal {
+			return fmt.Errorf("core: implementation %d: goal %d out of range", p, g)
+		}
+	}
+	var rowBuf []ImplID
+	for a := 0; a < nAct; a++ {
+		if l.actOff[a+1] < l.actOff[a] {
+			return fmt.Errorf("core: action %d: negative posting extent", a)
+		}
+		var row []ImplID
+		row, rowBuf = l.PostingRow(ActionID(a), rowBuf)
+		if len(row) != int(l.actOff[a+1]-l.actOff[a]) {
+			return fmt.Errorf("core: action %d: posting row decodes to %d entries, want %d", a, len(row), l.actOff[a+1]-l.actOff[a])
+		}
+		blk := l.ActionPostingBlocks(ActionID(a))
+		if blk.NumBlocks() != (len(row)+PostingBlockEntries-1)/PostingBlockEntries {
+			return fmt.Errorf("core: action %d: %d blocks for %d postings", a, blk.NumBlocks(), len(row))
+		}
+		for i, p := range row {
+			if p < 0 || int(p) >= nImpl {
+				return fmt.Errorf("core: action %d: posting %d out of range", a, p)
+			}
+			if i > 0 && row[i-1] >= p {
+				return fmt.Errorf("core: action %d: posting row not strictly increasing", a)
+			}
+			if (i+1)%PostingBlockEntries == 0 || i == len(row)-1 {
+				if blk.Last[i/PostingBlockEntries] != p {
+					return fmt.Errorf("core: action %d: block %d last %d != row %d", a, i/PostingBlockEntries, blk.Last[i/PostingBlockEntries], p)
+				}
+			}
+		}
+	}
+	for g := 0; g < nGoal; g++ {
+		if l.goalOff[g+1] < l.goalOff[g] {
+			return fmt.Errorf("core: goal %d: negative posting extent", g)
+		}
+		for _, p := range l.ImplsOfGoal(GoalID(g)) {
+			if p < 0 || int(p) >= nImpl {
+				return fmt.Errorf("core: goal %d: posting %d out of range", g, p)
+			}
+			if l.implGoal[p] != GoalID(g) {
+				return fmt.Errorf("core: goal %d: posting %d fulfills goal %d", g, p, l.implGoal[p])
+			}
+		}
+		acts, cnts := l.ActionsOfGoal(GoalID(g))
+		for i, a := range acts {
+			if a < 0 || int(a) >= nAct {
+				return fmt.Errorf("core: goal %d: GA action %d out of range", g, a)
+			}
+			if i > 0 && acts[i-1] >= a {
+				return fmt.Errorf("core: goal %d: GA row not strictly increasing", g)
+			}
+			if cnts[i] <= 0 {
+				return fmt.Errorf("core: goal %d: non-positive GA count", g)
+			}
+		}
+	}
+	for a := 0; a < nAct; a++ {
+		goals, cnts := l.GoalsOfAction(ActionID(a))
+		for i, g := range goals {
+			if g < 0 || int(g) >= nGoal {
+				return fmt.Errorf("core: action %d: AG goal %d out of range", a, g)
+			}
+			if i > 0 && goals[i-1] >= g {
+				return fmt.Errorf("core: action %d: AG row not strictly increasing", a)
+			}
+			if cnts[i] <= 0 {
+				return fmt.Errorf("core: action %d: non-positive AG count", a)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"goalrec/internal/core"
+	"goalrec/internal/xrand"
+)
+
+// ColdStart measures how long a process takes to get a library serving from
+// disk, the cost every restart pays. Two load paths per swept size:
+//
+//	cold-start/decode — the legacy binary codec: read the file, decode every
+//	  section, rebuild the postings and AG indexes.
+//	cold-start/mmap   — the snapshot format: mmap the file and validate the
+//	  header and section table; the data pages fault in lazily.
+//
+// Both paths read a just-written file, so the page cache is warm for each —
+// the measured gap is decode-and-index work, not disk. The mmap number is
+// the true "time to first query possible"; queries then pay page-faults as
+// they touch data, which the per-query sweeps already capture.
+func ColdStart(cfg ScalabilityConfig) ([]ScalabilityPoint, error) {
+	cfg.fill()
+	rng := xrand.New(cfg.Seed)
+	dir, err := os.MkdirTemp("", "goalrec-coldstart-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	const reps = 3
+	var points []ScalabilityPoint
+	for _, size := range cfg.Sizes {
+		lib := scalabilityLibrary(cfg, size, rng.Split())
+		conn := lib.Stats().Connectivity
+
+		binPath := filepath.Join(dir, fmt.Sprintf("lib-%d.bin", size))
+		f, err := os.Create(binPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := core.WriteBinary(f, lib); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		snapPath := filepath.Join(dir, fmt.Sprintf("lib-%d.gsnp", size))
+		if err := core.WriteSnapshotFile(snapPath, lib, nil, core.SnapshotOptions{CompressPostings: true}); err != nil {
+			return nil, err
+		}
+
+		decode := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			f, err := os.Open(binPath)
+			if err != nil {
+				return nil, err
+			}
+			got, err := core.ReadBinary(bufio.NewReaderSize(f, 1<<20))
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			decode += time.Since(start)
+			if got.NumImplementations() != size {
+				return nil, fmt.Errorf("decode load returned %d implementations, want %d", got.NumImplementations(), size)
+			}
+		}
+
+		mapped := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			snap, err := core.OpenSnapshot(snapPath)
+			if err != nil {
+				return nil, err
+			}
+			n := snap.Library().NumImplementations()
+			mapped += time.Since(start)
+			if err := snap.Close(); err != nil {
+				return nil, err
+			}
+			if n != size {
+				return nil, fmt.Errorf("mmap load returned %d implementations, want %d", n, size)
+			}
+		}
+
+		points = append(points,
+			ScalabilityPoint{Implementations: size, Connectivity: conn,
+				Method: "cold-start/decode", MeanLatency: decode / reps},
+			ScalabilityPoint{Implementations: size, Connectivity: conn,
+				Method: "cold-start/mmap", MeanLatency: mapped / reps},
+		)
+	}
+	return points, nil
+}
+
+// ColdStartTable renders the cold-start points with the decode-to-mmap
+// speedup per size.
+func ColdStartTable(points []ScalabilityPoint) *Table {
+	t := &Table{
+		ID:      "CS",
+		Title:   "cold start: time until a loaded library can serve",
+		Columns: []string{"implementations", "path", "load time", "speedup"},
+	}
+	decodeBy := make(map[int]time.Duration)
+	for _, p := range points {
+		if p.Method == "cold-start/decode" {
+			decodeBy[p.Implementations] = p.MeanLatency
+		}
+	}
+	for _, p := range points {
+		speedup := ""
+		if p.Method == "cold-start/mmap" && p.MeanLatency > 0 {
+			if d, ok := decodeBy[p.Implementations]; ok {
+				speedup = fmt.Sprintf("%.0fx", float64(d)/float64(p.MeanLatency))
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Implementations), p.Method, p.MeanLatency.String(), speedup)
+	}
+	return t
+}

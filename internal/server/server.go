@@ -203,8 +203,15 @@ type Server struct {
 // New returns a Server seeded with lib as its first epoch. logger may be
 // nil to disable request logging.
 func New(lib *goalrec.Library, logger *log.Logger, opts ...Option) *Server {
+	return NewFromEngine(goalrec.NewEngineFromLibrary(lib), logger, opts...)
+}
+
+// NewFromEngine returns a Server that serves an existing engine — typically
+// one recovered by goalrec.OpenStore, whose ingests are already journaled.
+// The server starts at whatever epoch the engine currently publishes.
+func NewFromEngine(engine *goalrec.Engine, logger *log.Logger, opts ...Option) *Server {
 	s := &Server{
-		engine:    goalrec.NewEngineFromLibrary(lib),
+		engine:    engine,
 		mux:       http.NewServeMux(),
 		log:       logger,
 		gateWait:  defaultAdmissionWait,
@@ -801,7 +808,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	epoch := s.install(s.engine.Snapshot())
 	s.logf("ingest added=%d of %d epoch=%d", added, len(impls), epoch)
 	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, ingestResponse{
+		// A journal failure means durability is gone, not that the request
+		// was malformed: nothing was applied, and the operator must act.
+		status := http.StatusBadRequest
+		if errors.Is(err, goalrec.ErrJournal) {
+			status = http.StatusInternalServerError
+			s.errors.Add("ingest_journal", 1)
+		}
+		s.writeJSON(w, status, ingestResponse{
 			Epoch: epoch, Added: added, Error: err.Error(),
 		})
 		return

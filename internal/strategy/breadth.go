@@ -94,6 +94,7 @@ type breadthScratch struct {
 	actions []core.ActionID
 	inH     []bool // dense H membership, set and cleared per query
 	workers []breadthWorker
+	rowBuf  []core.ImplID // posting decode buffer for the candidate-major walk
 }
 
 // breadthWorker is one shard's private score accumulator.

@@ -1,0 +1,145 @@
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/testlib"
+)
+
+// openSnapshotLibrary round-trips lib through an on-disk snapshot and returns
+// the mmap-backed load.
+func openSnapshotLibrary(t *testing.T, lib *core.Library, compress bool) *core.Library {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lib.gsnp")
+	if err := core.WriteSnapshotFile(path, lib, nil, core.SnapshotOptions{CompressPostings: compress}); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	snap, err := core.OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	t.Cleanup(func() { snap.Close() })
+	return snap.Library()
+}
+
+// checkSnapshotEquiv asserts that a library loaded back from a snapshot —
+// raw and block-compressed — ranks bit-identically to the in-memory builder
+// library on every strategy, plain and pruned, sequential and sharded.
+func checkSnapshotEquiv(t *testing.T, lib *core.Library, h []core.ActionID, k int) {
+	t.Helper()
+	for _, compress := range []bool{false, true} {
+		mlib := openSnapshotLibrary(t, lib, compress)
+
+		type variant struct {
+			name string
+			mk   func(l *core.Library) Recommender
+		}
+		var variants []variant
+		for _, m := range []FocusMeasure{Completeness, Closeness} {
+			m := m
+			for _, pruned := range []bool{false, true} {
+				pruned := pruned
+				variants = append(variants, variant{
+					name: fmt.Sprintf("%s/pruned=%v", m, pruned),
+					mk: func(l *core.Library) Recommender {
+						f := NewFocus(l, m)
+						f.SetConcurrency(4, 1)
+						if pruned {
+							f.EnablePruning(nil)
+						}
+						return f
+					},
+				})
+			}
+		}
+		for _, w := range []BreadthWeighting{Overlap, Count, Union} {
+			w := w
+			for _, pruned := range []bool{false, true} {
+				pruned := pruned
+				variants = append(variants, variant{
+					name: fmt.Sprintf("breadth-%s/pruned=%v", w, pruned),
+					mk: func(l *core.Library) Recommender {
+						b := NewBreadthWeighted(l, w)
+						b.SetConcurrency(4, 1)
+						if pruned {
+							b.EnablePruning(nil)
+						}
+						return b
+					},
+				})
+			}
+		}
+		for _, pruned := range []bool{false, true} {
+			pruned := pruned
+			variants = append(variants, variant{
+				name: fmt.Sprintf("best-match/pruned=%v", pruned),
+				mk: func(l *core.Library) Recommender {
+					bm := NewBestMatch(l)
+					if pruned {
+						bm.EnablePruning(nil)
+					}
+					return bm
+				},
+			})
+		}
+
+		for _, v := range variants {
+			want := v.mk(lib).Recommend(h, k)
+			got := v.mk(mlib).Recommend(h, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("compress=%v %s: snapshot ranking diverged (k=%d, h=%v):\ngot  %v\nwant %v",
+					compress, v.name, k, h, got, want)
+			}
+		}
+	}
+}
+
+// TestSnapshotRankingsMatchBuilder drives all strategies over mmap-loaded
+// snapshots of random libraries, alternating plain and impact-ordered
+// layouts (the latter exercises the pruned cutoff paths on compressed rows).
+func TestSnapshotRankingsMatchBuilder(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		n := 1 + r.Intn(1500)
+		actionSpace := 2 + r.Intn(24)
+		lib := testlib.RandomLibrary(r, n, actionSpace, 20, 9)
+		if trial%2 == 1 {
+			lib, _ = core.ImpactOrder(lib)
+		}
+		h := intset.FromUnsorted(testlib.RandomActivity(r, actionSpace, 6))
+		k := 1 + r.Intn(15)
+		checkSnapshotEquiv(t, lib, h, k)
+	}
+}
+
+// FuzzSnapshotRoundTrip derives a random library and activity from the
+// fuzzed seeds, writes the library to a snapshot file, loads it back via
+// mmap, and asserts every strategy's ranking — pruned paths included — is
+// bit-identical to the in-memory builder library.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(42), int64(77))
+	f.Add(int64(-9), int64(1<<40))
+	f.Fuzz(func(t *testing.T, libSeed, querySeed int64) {
+		r := rand.New(rand.NewSource(libSeed))
+		n := 1 + r.Intn(600)
+		actionSpace := 2 + r.Intn(30)
+		lib := testlib.RandomLibrary(r, n, actionSpace, 15, 8)
+		if libSeed%2 == 0 {
+			lib, _ = core.ImpactOrder(lib)
+		}
+		qr := rand.New(rand.NewSource(querySeed))
+		h := intset.FromUnsorted(testlib.RandomActivity(qr, actionSpace, 6))
+		k := 1 + qr.Intn(12)
+		checkSnapshotEquiv(t, lib, h, k)
+		// The pruned-vs-plain invariant must also hold on the compressed
+		// mmap-backed library itself.
+		checkPrunedEquiv(t, openSnapshotLibrary(t, lib, true), h, k)
+	})
+}

@@ -1,0 +1,71 @@
+package goalrec
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func snapshotAPILibrary(t *testing.T) *Library {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < 120; i++ {
+		if err := b.AddImplementation(
+			fmt.Sprintf("goal-%d", i%11),
+			fmt.Sprintf("act-%d", i%23),
+			fmt.Sprintf("act-%d", (i*3)%23),
+			fmt.Sprintf("act-%d", (i*5)%31),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestSaveOpenSnapshotFile(t *testing.T) {
+	lib := snapshotAPILibrary(t)
+	activity := []string{"act-1", "act-3", "act-5"}
+	for _, compress := range []bool{false, true} {
+		path := filepath.Join(t.TempDir(), "lib.gsnp")
+		if err := lib.SaveSnapshotFile(path, compress); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := OpenSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := snap.Library()
+		if got.NumImplementations() != lib.NumImplementations() {
+			t.Fatalf("compress=%v: %d implementations, want %d", compress, got.NumImplementations(), lib.NumImplementations())
+		}
+		for _, s := range []Strategy{FocusCompleteness, Breadth, BestMatch} {
+			want := lib.MustRecommender(s).Recommend(activity, 8)
+			have := got.MustRecommender(s).Recommend(activity, 8)
+			if !reflect.DeepEqual(have, want) {
+				t.Fatalf("compress=%v: %s rankings differ across snapshot", compress, s)
+			}
+		}
+		if err := snap.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// LoadLibraryFile must route "GSNP" files to the mmap loader while keeping
+// JSON and legacy-binary sniffing intact.
+func TestLoadLibraryFileSniffsSnapshot(t *testing.T) {
+	lib := snapshotAPILibrary(t)
+	path := filepath.Join(t.TempDir(), "lib.gsnp")
+	if err := lib.SaveSnapshotFile(path, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLibraryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumImplementations() != lib.NumImplementations() ||
+		len(got.Actions()) != len(lib.Actions()) {
+		t.Fatal("snapshot loaded via LoadLibraryFile differs")
+	}
+}

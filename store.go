@@ -1,0 +1,468 @@
+package goalrec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"goalrec/internal/core"
+	"goalrec/internal/wal"
+)
+
+// Store gives an Engine a durable home directory: memory-mapped snapshots
+// for instant cold starts plus a write-ahead log for everything ingested
+// since the last snapshot.
+//
+//	store, err := goalrec.OpenStore(dir, goalrec.StoreOptions{})
+//	...
+//	engine := store.Engine()
+//
+// The directory holds snap-<epoch>.gsnp files (the core snapshot format,
+// opened zero-copy via mmap) and one ingest.wal. Opening a store maps the
+// newest loadable snapshot, replays the WAL records its epoch does not cover
+// — reproducing id assignment by interning names in log order — truncates
+// any torn tail, and resumes the lineage at the exact epoch the previous
+// process last published.
+//
+// From then on the store rides the engine's write path: every ingest batch
+// is appended (length-prefixed, checksummed) to the WAL before it is
+// applied, so a crash between append and publish replays the batch on
+// restart instead of losing it. A failed append rejects the ingest with
+// ErrJournal and latches the store into a failed state — no acknowledged
+// write is ever absent from the log. Once the WAL outgrows
+// CompactAtWALBytes, a background compaction writes the current epoch as a
+// fresh snapshot and drops the log records it covers; Engine.Swap snapshots
+// immediately, since a swap supersedes the whole log.
+type Store struct {
+	dir    string
+	opts   StoreOptions
+	engine *Engine
+
+	mu       sync.Mutex // serializes WAL appends and rotation
+	w        *wal.Writer
+	walEpoch uint64 // highest epoch appended to the WAL
+	snapLow  uint64 // epoch covered by the newest snapshot on disk
+
+	failed     atomic.Pointer[error] // sticky first journal failure
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
+
+	// unmaps releases the snapshot mappings opened over the store's
+	// lifetime. Mappings stay live until Close: engine snapshots handed to
+	// readers may reference them indefinitely.
+	unmapMu sync.Mutex
+	unmaps  []func() error
+}
+
+// StoreOptions configures OpenStore. The zero value is production-ready.
+type StoreOptions struct {
+	// SyncWAL fsyncs every WAL append (durability against power loss). Off,
+	// appends reach the page cache synchronously and disk asynchronously —
+	// durable against process crashes, the common failure.
+	SyncWAL bool
+	// CompactAtWALBytes is the WAL size that triggers background compaction
+	// (snapshot + log reset). <= 0 selects 4 MiB.
+	CompactAtWALBytes int64
+	// CompressPostings selects block-compressed posting lists for written
+	// snapshots. Loads stay zero-copy either way; compression trades a
+	// lazy per-block decode on scans for a smaller file and page-in set.
+	CompressPostings bool
+	// KeepSnapshots is how many generations of snapshot files to retain
+	// (the newest is always kept). <= 0 selects 2.
+	KeepSnapshots int
+	// Logger receives compaction and recovery notes; nil disables logging.
+	Logger *log.Logger
+}
+
+const defaultCompactAtWALBytes = 4 << 20
+
+func (o StoreOptions) compactAt() int64 {
+	if o.CompactAtWALBytes <= 0 {
+		return defaultCompactAtWALBytes
+	}
+	return o.CompactAtWALBytes
+}
+
+func (o StoreOptions) keep() int {
+	if o.KeepSnapshots <= 0 {
+		return 2
+	}
+	return o.KeepSnapshots
+}
+
+func (s *Store) logf(format string, args ...interface{}) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf("store: "+format, args...)
+	}
+}
+
+func (s *Store) walPath() string { return filepath.Join(s.dir, "ingest.wal") }
+
+func (s *Store) snapPath(epoch uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snap-%016d.gsnp", epoch))
+}
+
+// snapshotEpochs lists the epochs of the snapshot files present in dir,
+// ascending.
+func snapshotEpochs(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, ent := range ents {
+		var epoch uint64
+		if n, err := fmt.Sscanf(ent.Name(), "snap-%d.gsnp", &epoch); n == 1 && err == nil {
+			out = append(out, epoch)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// OpenStore opens (creating if needed) the persistent store at dir and
+// recovers its engine: newest loadable snapshot mmap-first, then the WAL
+// tail on top. The returned store owns the snapshot mappings and the WAL
+// handle; Close it after the engine is no longer serving.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+
+	epochs, err := snapshotEpochs(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Newest loadable snapshot wins; unreadable ones (torn writes are
+	// impossible — snapshots rename into place — but disks rot) fall back a
+	// generation rather than failing the store.
+	for i := len(epochs) - 1; i >= 0; i-- {
+		path := s.snapPath(epochs[i])
+		snap, err := core.OpenSnapshot(path)
+		if err != nil {
+			s.logf("snapshot %s unloadable: %v (falling back)", path, err)
+			continue
+		}
+		vocab := snap.Vocabulary()
+		if vocab == nil {
+			snap.Close()
+			s.logf("snapshot %s has no vocabulary (falling back)", path)
+			continue
+		}
+		s.engine = newEngineAdopting(&Library{lib: snap.Library(), vocab: vocab})
+		s.snapLow = snap.Library().Epoch()
+		s.unmaps = append(s.unmaps, snap.Close)
+		break
+	}
+	if s.engine == nil {
+		s.engine = NewEngine()
+	}
+
+	// Replay the WAL tail: only records beyond the adopted snapshot's epoch.
+	base := s.engine.Epoch()
+	replayed := 0
+	validSize, err := wal.Replay(s.walPath(), func(payload []byte) error {
+		epoch, impls, err := decodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("goalrec: WAL record after epoch %d: %w", s.engine.Epoch(), err)
+		}
+		s.walEpoch = epoch
+		if epoch <= base {
+			return nil // already covered by the snapshot
+		}
+		if _, err := s.engine.AddImplementations(impls); err != nil {
+			return fmt.Errorf("goalrec: replaying WAL batch at epoch %d: %w", epoch, err)
+		}
+		return s.engine.restoreEpoch(epoch)
+	})
+	if err != nil {
+		s.closeMaps()
+		return nil, err
+	}
+	if e := s.engine.Epoch(); e > base {
+		replayed = int(e - base)
+	}
+	if replayed > 0 {
+		s.logf("replayed %d WAL batches on top of epoch %d, resuming at epoch %d", replayed, base, s.engine.Epoch())
+	}
+
+	w, err := wal.OpenWriter(s.walPath(), validSize, opts.SyncWAL)
+	if err != nil {
+		s.closeMaps()
+		return nil, err
+	}
+	s.w = w
+	s.engine.setJournal(s)
+	return s, nil
+}
+
+// Engine returns the recovered engine. Its ingests and swaps are journaled
+// by this store for as long as the store stays open.
+func (s *Store) Engine() *Engine { return s.engine }
+
+// Err returns the sticky journal failure, or nil while the store is healthy.
+func (s *Store) Err() error {
+	if p := s.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (s *Store) fail(err error) error {
+	e := err
+	s.failed.CompareAndSwap(nil, &e)
+	return s.Err()
+}
+
+// logBatch implements engineJournal: append-before-apply under the engine's
+// writer lock.
+func (s *Store) logBatch(epoch uint64, impls []Implementation) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	payload := encodeBatch(epoch, impls)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Append(payload); err != nil {
+		return s.fail(fmt.Errorf("appending %d implementations at epoch %d: %w", len(impls), epoch, err))
+	}
+	s.walEpoch = epoch
+	if s.w.Size() >= s.opts.compactAt() && s.compacting.CompareAndSwap(false, true) {
+		s.compactWG.Add(1)
+		go func() {
+			defer s.compactWG.Done()
+			s.compact()
+		}()
+	}
+	return nil
+}
+
+// logSwap implements engineJournal: a swap makes the whole log stale, so the
+// new epoch is persisted as a snapshot right away.
+func (s *Store) logSwap(lib *Library) {
+	if err := s.snapshotAndReset(lib); err != nil {
+		s.logf("persisting swapped epoch %d failed: %v", lib.Epoch(), err)
+		_ = s.fail(fmt.Errorf("persisting swapped epoch %d: %w", lib.Epoch(), err))
+	}
+}
+
+// Compact synchronously persists the engine's current epoch as a snapshot
+// and drops the WAL records it covers. Periodic compaction runs this in the
+// background once the WAL outgrows its threshold; tests and shutdown hooks
+// may call it directly.
+func (s *Store) Compact() error {
+	return s.snapshotAndReset(s.engine.Snapshot())
+}
+
+func (s *Store) compact() {
+	defer s.compacting.Store(false)
+	lib := s.engine.Snapshot()
+	if err := s.snapshotAndReset(lib); err != nil {
+		// Compaction failure is not fatal: the WAL still holds everything.
+		s.logf("compaction at epoch %d failed: %v", lib.Epoch(), err)
+		return
+	}
+	s.logf("compacted WAL into snapshot at epoch %d", lib.Epoch())
+}
+
+// snapshotAndReset writes lib as a snapshot file, then truncates the WAL
+// back to just the records the snapshot does not cover (usually none; a
+// concurrent ingest may have appended past lib's epoch, and those records
+// are preserved by re-appending them to the fresh log).
+func (s *Store) snapshotAndReset(lib *Library) error {
+	epoch := lib.Epoch()
+	path := s.snapPath(epoch)
+	// The expensive write happens outside s.mu so ingests keep flowing; the
+	// file renames into place atomically.
+	if err := core.WriteSnapshotFile(path, lib.lib, lib.vocab, core.SnapshotOptions{CompressPostings: s.opts.CompressPostings}); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch < s.snapLow {
+		return nil // a newer snapshot already landed; keep its log
+	}
+	// Carry forward any batches the snapshot does not cover.
+	var tail [][]byte
+	if s.walEpoch > epoch {
+		if _, err := wal.Replay(s.walPath(), func(payload []byte) error {
+			if e, _, err := decodeBatch(payload); err == nil && e > epoch {
+				tail = append(tail, append([]byte(nil), payload...))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if err := s.w.Close(); err != nil {
+		return err
+	}
+	w, err := wal.OpenWriter(s.walPath(), 0, s.opts.SyncWAL) // 0: rewrite from scratch
+	if err != nil {
+		return err
+	}
+	for _, payload := range tail {
+		if err := w.Append(payload); err != nil {
+			s.w = w
+			return s.fail(fmt.Errorf("carrying WAL tail past epoch %d: %w", epoch, err))
+		}
+	}
+	s.w = w
+	s.snapLow = epoch
+	s.pruneSnapshotsLocked(epoch)
+	return nil
+}
+
+// pruneSnapshotsLocked deletes snapshot generations beyond KeepSnapshots,
+// never touching the newest.
+func (s *Store) pruneSnapshotsLocked(newest uint64) {
+	epochs, err := snapshotEpochs(s.dir)
+	if err != nil {
+		return
+	}
+	keep := s.opts.keep()
+	kept := 0
+	for i := len(epochs) - 1; i >= 0; i-- {
+		if epochs[i] > newest {
+			continue // a concurrent newer snapshot: not ours to manage
+		}
+		kept++
+		if kept > keep {
+			_ = os.Remove(s.snapPath(epochs[i]))
+		}
+	}
+}
+
+// Close detaches the store from its engine, syncs and closes the WAL, and
+// releases every snapshot mapping opened during the store's lifetime. The
+// engine remains usable afterwards but is no longer durable. Close only
+// after readers can no longer reach mapped snapshots.
+func (s *Store) Close() error {
+	s.engine.setJournal(nil)
+	s.compactWG.Wait()
+	s.mu.Lock()
+	err := s.w.Close()
+	s.mu.Unlock()
+	s.closeMaps()
+	return err
+}
+
+func (s *Store) closeMaps() {
+	s.unmapMu.Lock()
+	defer s.unmapMu.Unlock()
+	for _, f := range s.unmaps {
+		_ = f()
+	}
+	s.unmaps = nil
+}
+
+// ---------------------------------------------------------------------------
+// WAL payload codec
+// ---------------------------------------------------------------------------
+
+// Batch payloads are name-level, not id-level: replay re-interns names in
+// log order, reproducing the exact id assignment of the original ingests.
+//
+//	kind (1 byte, 1 = batch) | uvarint epoch | uvarint nImpls |
+//	  per impl: uvarint len(goal) | goal | uvarint nActions |
+//	    per action: uvarint len(name) | name
+
+const walKindBatch = 1
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func appendString(dst []byte, v string) []byte {
+	dst = appendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+func encodeBatch(epoch uint64, impls []Implementation) []byte {
+	out := []byte{walKindBatch}
+	out = appendUvarint(out, epoch)
+	out = appendUvarint(out, uint64(len(impls)))
+	for _, impl := range impls {
+		out = appendString(out, impl.Goal)
+		out = appendUvarint(out, uint64(len(impl.Actions)))
+		for _, a := range impl.Actions {
+			out = appendString(out, a)
+		}
+	}
+	return out
+}
+
+type batchDecoder struct{ b []byte }
+
+func (d *batchDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *batchDecoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.b)) {
+		return "", fmt.Errorf("string of %d bytes overruns record", n)
+	}
+	v := string(d.b[:n])
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func decodeBatch(payload []byte) (uint64, []Implementation, error) {
+	if len(payload) == 0 || payload[0] != walKindBatch {
+		return 0, nil, fmt.Errorf("unknown record kind")
+	}
+	d := &batchDecoder{b: payload[1:]}
+	epoch, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > uint64(len(d.b)) { // every impl takes ≥ 1 byte
+		return 0, nil, fmt.Errorf("implausible batch size %d", n)
+	}
+	impls := make([]Implementation, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var impl Implementation
+		if impl.Goal, err = d.str(); err != nil {
+			return 0, nil, err
+		}
+		na, err := d.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		if na > uint64(len(d.b)) {
+			return 0, nil, fmt.Errorf("implausible action count %d", na)
+		}
+		impl.Actions = make([]string, 0, na)
+		for j := uint64(0); j < na; j++ {
+			a, err := d.str()
+			if err != nil {
+				return 0, nil, err
+			}
+			impl.Actions = append(impl.Actions, a)
+		}
+		impls = append(impls, impl)
+	}
+	return epoch, impls, nil
+}
