@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench benchdiff microbench vet fmt lint cover experiments soak restart-replay clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json
+.PHONY: all build test race bench benchdiff microbench vet fmt lint cover experiments soak restart-replay clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
 
 all: vet test build
 
@@ -13,7 +13,7 @@ test:
 race:
 	go test -race ./...
 
-bench: BENCH_PR6.json
+bench: BENCH_PR7.json
 
 # Figure 7 sweep at the README's reference configuration; the JSON feeds the
 # README performance table. BENCH_PR1.json is the pre-kernel baseline the
@@ -47,11 +47,21 @@ BENCH_PR6.json:
 		-pruning -impact-ordering -cold-start \
 		-bench-json BENCH_PR6.json
 
+# BENCH_PR7.json adds the user-append cells: append+recommend over a
+# materialized per-user counter view (user-append/*) against the from-scratch
+# scan the same history pays without one (user-scan/*).
+BENCH_PR7.json:
+	go run ./cmd/experiments -skip-datasets \
+		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
+		-scaling-queries 200 \
+		-pruning -impact-ordering -cold-start -user-append \
+		-bench-json BENCH_PR7.json
+
 # Per-cell latency deltas between the previous stack and the current one;
-# exits non-zero on any >15% regression (the CI gate). The cold-start cells
-# are new in PR 6 and report as informational.
+# exits non-zero on any >15% regression (the CI gate). The user-scan/* and
+# user-append/* cells are new in PR 7 and report as informational.
 benchdiff:
-	go run ./scripts/benchdiff BENCH_PR5.json BENCH_PR6.json
+	go run ./scripts/benchdiff BENCH_PR6.json BENCH_PR7.json
 
 microbench:
 	go test -run=XXX -bench=. -benchmem .

@@ -70,6 +70,7 @@ func run() error {
 	pruning := flag.Bool("pruning", false, "run the Figure 7 sweep on the bound-driven pruned kernels")
 	impactOrdering := flag.Bool("impact-ordering", false, "impact-order each swept library before timing")
 	coldStart := flag.Bool("cold-start", false, "also measure cold start (legacy decode+rebuild vs mmap snapshot open) at the sweep sizes")
+	userAppend := flag.Bool("user-append", false, "also measure append+recommend with a materialized counter view vs a from-scratch scan at the sweep sizes")
 	flag.Parse()
 
 	sizes, err := parseSizes(*scalingSizes)
@@ -176,6 +177,15 @@ func run() error {
 				return err
 			}
 			points = append(points, cs...)
+		}
+		if *userAppend {
+			ua := experiments.UserAppend(experiments.UserAppendConfig{
+				Sizes: sizes, Seed: *seed,
+			})
+			if err := emit(experiments.UserAppendTable(ua)); err != nil {
+				return err
+			}
+			points = append(points, ua...)
 		}
 		if *benchJSON != "" {
 			if err := writeBenchJSON(*benchJSON, points); err != nil {

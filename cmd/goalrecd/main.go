@@ -13,6 +13,14 @@
 //	POST /v1/explain              {"activity": ["potatoes"], "action": "pickles"}
 //	POST /v1/implementations      live-ingest a batch of implementations
 //	POST /v1/reload               re-read the library file and swap it in
+//	POST /v1/users/{id}/actions   append to a stored per-user history
+//	GET  /v1/users/{id}/recommend score a stored history (materialized view)
+//	DELETE /v1/users/{id}         forget a user
+//
+// The daemon always serves the per-user store; -user-capacity caps tracked
+// users and -user-views caps concurrently materialized counter views (the
+// LRU bound on per-user scoring state). With -snapshot-dir user appends and
+// deletes are journaled to the same WAL as ingests and recovered on restart.
 //
 // Every response carries the epoch it was answered from; ingests and
 // reloads advance the epoch without interrupting in-flight requests. With
@@ -83,6 +91,8 @@ func run() error {
 	walSync := flag.Bool("wal-sync", false, "fsync every WAL append (needs -snapshot-dir)")
 	compactWALBytes := flag.Int64("compact-wal-bytes", 0, "WAL size that triggers background compaction into a snapshot; 0 selects the default (needs -snapshot-dir)")
 	snapshotCompress := flag.Bool("snapshot-compress", false, "write snapshots with block-compressed posting lists (needs -snapshot-dir)")
+	userCapacity := flag.Int("user-capacity", 0, "max tracked users in the per-user store; 0 selects the default")
+	userViews := flag.Int("user-views", 0, "max concurrently materialized per-user counter views; 0 selects the default")
 	flag.Parse()
 	if *libPath == "" && *snapshotDir == "" {
 		return errors.New("one of -library or -snapshot-dir is required")
@@ -126,6 +136,8 @@ func run() error {
 		opts = append(opts, server.WithMaxInflight(*maxInflight), server.WithAdmissionWait(*admissionWait))
 	}
 
+	userOpts := goalrec.UserStoreOptions{MaxUsers: *userCapacity, MaxViews: *userViews}
+
 	var api *server.Server
 	var store *goalrec.Store
 	if *snapshotDir != "" {
@@ -135,6 +147,7 @@ func run() error {
 			CompactAtWALBytes: *compactWALBytes,
 			CompressPostings:  *snapshotCompress,
 			Logger:            logger,
+			Users:             userOpts,
 		})
 		if err != nil {
 			return err
@@ -156,6 +169,10 @@ func run() error {
 			}
 			logger.Printf("seeded store from %s: %s", *libPath, lib.Stats())
 		}
+		if n := store.Users().Len(); n > 0 {
+			logger.Printf("recovered %d users from the WAL", n)
+		}
+		opts = append(opts, server.WithUserStore(store.Users()))
 		api = server.NewFromEngine(engine, reqLogger, opts...)
 	} else {
 		lib, err := loadLib(*libPath)
@@ -163,7 +180,9 @@ func run() error {
 			return err
 		}
 		logger.Printf("loaded library: %s", lib.Stats())
-		api = server.New(lib, reqLogger, opts...)
+		engine := goalrec.NewEngineFromLibrary(lib)
+		opts = append(opts, server.WithUserStore(goalrec.NewUserStore(engine, userOpts)))
+		api = server.NewFromEngine(engine, reqLogger, opts...)
 	}
 
 	srv := &http.Server{

@@ -12,6 +12,13 @@
 // is the mode the soak job runs against a gated daemon. -duration runs for
 // a wall-clock interval (cycling the sampled requests) instead of a fixed
 // request count.
+//
+// With -users N the generator exercises the per-user store instead of the
+// stateless endpoints: requests alternate between appending sampled actions
+// to one of N user histories (POST /v1/users/{id}/actions) and scoring a
+// stored history (GET /v1/users/{id}/recommend). A recommend racing a
+// user's first append may see 404; those are counted and reported, not
+// failures.
 package main
 
 import (
@@ -57,6 +64,7 @@ type config struct {
 	seed        uint64
 	overload    bool
 	batch       int // > 1 sends /v1/recommend/batch with this many activities per request
+	users       int // > 0 targets the per-user endpoints, spread over this many users
 	lib         *goalrec.Library
 	out         io.Writer
 }
@@ -73,6 +81,7 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "sampling seed")
 	overload := flag.Bool("overload", false, "expect shedding: 503/504 responses are reported, not failures")
 	batch := flag.Int("batch", 1, "activities per request; > 1 targets /v1/recommend/batch")
+	users := flag.Int("users", 0, "target the per-user endpoints, alternating appends and recommends over this many users (0 disables)")
 	flag.Parse()
 	if *libPath == "" {
 		return fmt.Errorf("-library is required")
@@ -92,6 +101,7 @@ func run() error {
 		seed:        *seed,
 		overload:    *overload,
 		batch:       *batch,
+		users:       *users,
 		lib:         lib,
 		out:         os.Stdout,
 	})
@@ -127,10 +137,31 @@ func runLoad(cfg config) error {
 		}
 		return activity
 	}
-	path := "/v1/recommend"
-	var bodies [][]byte
-	var bodyItems []int
-	if batch == 1 {
+	type reqSpec struct {
+		method string
+		path   string
+		body   []byte
+		items  int
+	}
+	var reqs []reqSpec
+	switch {
+	case cfg.users > 0:
+		// Per-user mode: alternate history appends and stored-history
+		// recommends, spread over cfg.users user ids.
+		recommendPath := fmt.Sprintf("?strategy=%s&k=%d", cfg.strategy, cfg.k)
+		for i := 0; i < nActivities; i++ {
+			id := fmt.Sprintf("u%d", rng.SampleInt32(int32(cfg.users), 1)[0])
+			if i%2 == 0 {
+				body, err := json.Marshal(map[string]interface{}{"actions": sample()})
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, reqSpec{"POST", "/v1/users/" + id + "/actions", body, 1})
+			} else {
+				reqs = append(reqs, reqSpec{"GET", "/v1/users/" + id + "/recommend" + recommendPath, nil, 1})
+			}
+		}
+	case batch == 1:
 		for i := 0; i < nActivities; i++ {
 			body, err := json.Marshal(map[string]interface{}{
 				"activity": sample(), "strategy": cfg.strategy, "k": cfg.k,
@@ -138,11 +169,9 @@ func runLoad(cfg config) error {
 			if err != nil {
 				return err
 			}
-			bodies = append(bodies, body)
-			bodyItems = append(bodyItems, 1)
+			reqs = append(reqs, reqSpec{"POST", "/v1/recommend", body, 1})
 		}
-	} else {
-		path = "/v1/recommend/batch"
+	default:
 		for done := 0; done < nActivities; {
 			n := batch
 			if n > nActivities-done {
@@ -158,15 +187,14 @@ func runLoad(cfg config) error {
 			if err != nil {
 				return err
 			}
-			bodies = append(bodies, body)
-			bodyItems = append(bodyItems, n)
+			reqs = append(reqs, reqSpec{"POST", "/v1/recommend/batch", body, n})
 			done += n
 		}
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	jobs := make(chan int)
-	results := make([]result, 0, len(bodies))
+	results := make([]result, 0, len(reqs))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 
@@ -176,9 +204,24 @@ func runLoad(cfg config) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				spec := reqs[i]
+				var body io.Reader
+				if spec.body != nil {
+					body = bytes.NewReader(spec.body)
+				}
+				req, err := http.NewRequest(spec.method, cfg.url+spec.path, body)
+				if err != nil {
+					mu.Lock()
+					results = append(results, result{err: err, items: spec.items})
+					mu.Unlock()
+					continue
+				}
+				if spec.body != nil {
+					req.Header.Set("Content-Type", "application/json")
+				}
 				t0 := time.Now()
-				resp, err := client.Post(cfg.url+path, "application/json", bytes.NewReader(bodies[i]))
-				r := result{latency: time.Since(t0), err: err, items: bodyItems[i]}
+				resp, err := client.Do(req)
+				r := result{latency: time.Since(t0), err: err, items: spec.items}
 				if err == nil {
 					r.status = resp.StatusCode
 					_, _ = io.Copy(io.Discard, resp.Body)
@@ -194,7 +237,7 @@ func runLoad(cfg config) error {
 		deadline := start.Add(cfg.duration)
 	feed:
 		for {
-			for i := range bodies {
+			for i := range reqs {
 				if time.Now().After(deadline) {
 					break feed
 				}
@@ -202,7 +245,7 @@ func runLoad(cfg config) error {
 			}
 		}
 	} else {
-		for i := range bodies {
+		for i := range reqs {
 			jobs <- i
 		}
 	}
@@ -211,7 +254,7 @@ func runLoad(cfg config) error {
 	elapsed := time.Since(start)
 
 	var latencies []time.Duration
-	errors, shed, timedOut, unexpected, okActivities := 0, 0, 0, 0, 0
+	errors, shed, timedOut, notFound, unexpected, okActivities := 0, 0, 0, 0, 0, 0
 	for _, r := range results {
 		switch {
 		case r.err != nil:
@@ -223,12 +266,15 @@ func runLoad(cfg config) error {
 			shed++
 		case r.status == http.StatusGatewayTimeout:
 			timedOut++
+		case r.status == http.StatusNotFound && cfg.users > 0:
+			// A recommend raced the user's first append; expected in user mode.
+			notFound++
 		default:
 			unexpected++
 		}
 	}
-	fmt.Fprintf(cfg.out, "requests: %d  ok: %d  shed(503): %d  deadline(504): %d  other: %d  errors: %d\n",
-		len(results), len(latencies), shed, timedOut, unexpected, errors)
+	fmt.Fprintf(cfg.out, "requests: %d  ok: %d  shed(503): %d  deadline(504): %d  not_found(404): %d  other: %d  errors: %d\n",
+		len(results), len(latencies), shed, timedOut, notFound, unexpected, errors)
 	fmt.Fprintf(cfg.out, "elapsed: %v  throughput: %.1f req/s  recommendations: %.1f activities/s\n",
 		elapsed.Round(time.Millisecond), float64(len(results))/elapsed.Seconds(),
 		float64(okActivities)/elapsed.Seconds())

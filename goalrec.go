@@ -211,6 +211,12 @@ func (l *Library) resolveSplit(actions []string) ([]core.ActionID, []string) {
 // by the vocabulary — yields nil.
 func (l *Library) UnknownActions(activity []string) []string {
 	_, unknown := l.resolveSplit(activity)
+	return normalizeUnknown(unknown)
+}
+
+// normalizeUnknown sorts and deduplicates an unknown-name list in place,
+// mapping empty to nil — the canonical UnknownActions shape.
+func normalizeUnknown(unknown []string) []string {
 	if len(unknown) == 0 {
 		return nil
 	}
@@ -222,6 +228,42 @@ func (l *Library) UnknownActions(activity []string) []string {
 		}
 	}
 	return out
+}
+
+// resolveBatchSplit is resolveSplit over a whole batch in one vocabulary
+// pass: each distinct name is looked up (and bounds-checked against the
+// snapshot's action space) exactly once, memoized, and reused across
+// activities — batches repeat names heavily, and per-item re-resolution was
+// the dominant non-scoring cost of large batches. Per item it returns the
+// resolved ids and the normalized unknown-name list (same shape as
+// UnknownActions).
+func (l *Library) resolveBatchSplit(activities [][]string) ([][]core.ActionID, [][]string) {
+	const unknownID = core.ActionID(-1)
+	memo := make(map[string]core.ActionID, 64)
+	ids := make([][]core.ActionID, len(activities))
+	unknown := make([][]string, len(activities))
+	for i, activity := range activities {
+		out := make([]core.ActionID, 0, len(activity))
+		var unk []string
+		for _, a := range activity {
+			id, seen := memo[a]
+			if !seen {
+				id = unknownID
+				if v, ok := l.vocab.Actions.Lookup(a); ok && int(v) < l.lib.NumActions() {
+					id = core.ActionID(v)
+				}
+				memo[a] = id
+			}
+			if id == unknownID {
+				unk = append(unk, a)
+			} else {
+				out = append(out, id)
+			}
+		}
+		ids[i] = out
+		unknown[i] = normalizeUnknown(unk)
+	}
+	return ids, unknown
 }
 
 // GoalSpace returns the names of the goals associated with the activity
@@ -571,9 +613,13 @@ type Recommender interface {
 }
 
 // BatchResult is one activity's outcome within a batch recommendation:
-// either its ranked list or the error that aborted it.
+// either its ranked list or the error that aborted it. UnknownActions lists
+// the activity's actions the snapshot could not resolve (deduplicated and
+// sorted, like Library.UnknownActions) — the batch resolves names once, so
+// callers should read it from here instead of re-resolving per item.
 type BatchResult struct {
 	Recommendations []Recommendation
+	UnknownActions  []string
 	Err             error
 }
 
@@ -640,29 +686,43 @@ func (l *Library) Recommender(s Strategy, opts ...RecommenderOption) (Recommende
 	return &namedRecommender{rec: rec, lib: l}, nil
 }
 
-// RecommendBatch implements Recommender: per-item RecommendContext fanned
-// out over the shared pool. All items score against this recommender's one
-// library snapshot.
+// RecommendBatch implements Recommender. Name resolution is hoisted out of
+// the per-item path: one vocabulary pass resolves the whole batch (each
+// distinct name looked up once), then the id-level scoring fans out over the
+// shared pool. All items score against this recommender's one library
+// snapshot, and each result carries its unknown names so callers need no
+// second resolution pass.
 func (n *namedRecommender) RecommendBatch(ctx context.Context, activities [][]string, k int) []BatchResult {
-	return fanOutBatch(ctx, n, activities, k)
+	ids, unknown := n.lib.resolveBatchSplit(activities)
+	out := make([]BatchResult, len(activities))
+	fanOut(len(activities), func(i int) {
+		scored, err := strategy.RecommendContext(ctx, n.rec, ids[i], k)
+		recs := make([]Recommendation, len(scored))
+		for j, s := range scored {
+			recs[j] = Recommendation{Action: n.lib.vocab.ActionName(s.Action), Score: s.Score}
+		}
+		out[i] = BatchResult{Recommendations: recs, UnknownActions: unknown[i]}
+		if err != nil {
+			out[i].Err = fmt.Errorf("goalrec: %w", err)
+		}
+	})
+	return out
 }
 
-// fanOutBatch is the shared batch executor: it scores every activity with
-// rec.RecommendContext under ctx, using up to GOMAXPROCS workers, and
-// returns results in input order. RecommendContext observes ctx at entry,
-// so once the context is done the remaining items drain immediately with
+// fanOut runs work(0..n-1) over up to GOMAXPROCS workers and returns when
+// every index has run. The per-item work observes its context at entry, so
+// once a batch's context is done the remaining items drain immediately with
 // the cancellation error instead of running to completion.
-func fanOutBatch(ctx context.Context, rec Recommender, activities [][]string, k int) []BatchResult {
-	out := make([]BatchResult, len(activities))
+func fanOut(n int, work func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(activities) {
-		workers = len(activities)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, activity := range activities {
-			out[i].Recommendations, out[i].Err = rec.RecommendContext(ctx, activity, k)
+		for i := 0; i < n; i++ {
+			work(i)
 		}
-		return out
+		return
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -671,16 +731,15 @@ func fanOutBatch(ctx context.Context, rec Recommender, activities [][]string, k 
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i].Recommendations, out[i].Err = rec.RecommendContext(ctx, activities[i], k)
+				work(i)
 			}
 		}()
 	}
-	for i := range activities {
+	for i := 0; i < n; i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	return out
 }
 
 // RecommendBatch runs the recommender over many activities in parallel

@@ -2,6 +2,7 @@ package goalrec
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -289,6 +290,51 @@ func TestRecommendBatch(t *testing.T) {
 	}
 	if out := RecommendBatch(rec, nil, 3); len(out) != 0 {
 		t.Errorf("empty batch = %v", out)
+	}
+}
+
+// TestRecommendBatchUnknownActions pins that batch results carry each item's
+// unknown names — shared batch-level resolution must report exactly what
+// per-item UnknownActions would.
+func TestRecommendBatchUnknownActions(t *testing.T) {
+	lib := groceryLibrary(t)
+	rec := lib.MustRecommender(Breadth)
+	activities := [][]string{
+		{"potatoes", "warp-core", "carrots", "warp-core", "antimatter"},
+		{"potatoes"},
+		{"dilithium"},
+	}
+	results := rec.RecommendBatch(context.Background(), activities, 3)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("batch[%d]: %v", i, res.Err)
+		}
+		if want := lib.UnknownActions(activities[i]); !reflect.DeepEqual(res.UnknownActions, want) {
+			t.Errorf("batch[%d] unknown = %v, want %v", i, res.UnknownActions, want)
+		}
+		if want := rec.Recommend(activities[i], 3); !reflect.DeepEqual(res.Recommendations, want) {
+			t.Errorf("batch[%d] diverged from sequential", i)
+		}
+	}
+}
+
+// TestDuplicateActionsDoNotDoubleCount pins that repeating an action name in
+// an activity changes nothing: a history is a set, and neither the single
+// nor the batch path may double-count a duplicated name's postings.
+func TestDuplicateActionsDoNotDoubleCount(t *testing.T) {
+	lib := groceryLibrary(t)
+	clean := []string{"potatoes", "carrots"}
+	dups := []string{"potatoes", "carrots", "potatoes", "carrots", "potatoes"}
+	for _, s := range Strategies() {
+		rec := lib.MustRecommender(s)
+		want := rec.Recommend(clean, 5)
+		if got := rec.Recommend(dups, 5); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: duplicated activity diverged:\ngot  %v\nwant %v", s, got, want)
+		}
+		batch := rec.RecommendBatch(context.Background(), [][]string{dups, clean}, 5)
+		if !reflect.DeepEqual(batch[0].Recommendations, want) || !reflect.DeepEqual(batch[1].Recommendations, want) {
+			t.Errorf("%s: batch with duplicated activity diverged", s)
+		}
 	}
 }
 

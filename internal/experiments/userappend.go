@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"goalrec/internal/core"
+	"goalrec/internal/strategy"
+	"goalrec/internal/xrand"
+)
+
+// UserAppendConfig parameterizes the user-append benchmark: the
+// append+recommend cost with a materialized CounterView (one posting-row
+// walk) against the from-scratch scan the same query pays without one.
+type UserAppendConfig struct {
+	// Sizes lists the library sizes (implementation counts) to sweep.
+	Sizes []int
+	// TopicActions is the per-topic action-space size; the full action space
+	// is Topics * TopicActions.
+	TopicActions int
+	// Topics is the number of disjoint action clusters. Implementations and
+	// user histories each draw from a single topic, the locality that makes a
+	// long history cheap to maintain incrementally: an appended action's
+	// posting row only touches its own topic's implementations. Zero derives
+	// a count that keeps clusters near 2000 implementations as the library
+	// grows — per-user relevant neighborhoods stay bounded while the library
+	// doesn't, which is the regime the materialized view targets.
+	Topics int
+	// ImplLen is the actions per implementation.
+	ImplLen int
+	// HistoryLen is the materialized user history length.
+	HistoryLen int
+	// Appends is the number of append+recommend operations timed per cell.
+	Appends int
+	// Seed drives generation.
+	Seed uint64
+}
+
+func (c *UserAppendConfig) fill() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{8000, 32000}
+	}
+	if c.TopicActions <= 0 {
+		c.TopicActions = 80
+	}
+	if c.ImplLen <= 0 {
+		c.ImplLen = 8
+	}
+	if c.HistoryLen <= 0 {
+		c.HistoryLen = 64
+	}
+	if c.Appends <= 0 {
+		c.Appends = 50
+	}
+}
+
+// topicsFor resolves the topic count for one swept size: the configured
+// value, or a derived count keeping clusters near 2000 implementations.
+func (c UserAppendConfig) topicsFor(size int) int {
+	if c.Topics > 0 {
+		return c.Topics
+	}
+	topics := size / 2000
+	if topics < 10 {
+		topics = 10
+	}
+	if topics > 500 {
+		topics = 500
+	}
+	return topics
+}
+
+// userAppendLibrary builds a topic-clustered library: every implementation
+// samples its actions from one topic's slice of the action space.
+func userAppendLibrary(cfg UserAppendConfig, size, topics int, rng *xrand.RNG) *core.Library {
+	b := core.NewBuilder(size, cfg.ImplLen)
+	for i := 0; i < size; i++ {
+		topic := int(rng.SampleInt32(int32(topics), 1)[0])
+		base := int32(topic * cfg.TopicActions)
+		offs := rng.SampleInt32(int32(cfg.TopicActions), cfg.ImplLen)
+		acts := make([]core.ActionID, len(offs))
+		for j, o := range offs {
+			acts[j] = core.ActionID(base + o)
+		}
+		if _, err := b.Add(core.GoalID(i/2), acts); err != nil {
+			panic(err) // unreachable: lengths and ids are valid by construction
+		}
+	}
+	return b.Build()
+}
+
+// topicActivity samples n distinct actions from one topic.
+func topicActivity(cfg UserAppendConfig, topic, n int, rng *xrand.RNG) []core.ActionID {
+	base := int32(topic * cfg.TopicActions)
+	offs := rng.SampleInt32(int32(cfg.TopicActions), n)
+	acts := make([]core.ActionID, len(offs))
+	for i, o := range offs {
+		acts[i] = core.ActionID(base + o)
+	}
+	return acts
+}
+
+// UserAppend times, per (size, strategy) cell, an append+recommend operation
+// two ways over the same topic-clustered library and user history:
+//
+//	user-scan/<strategy>   — from scratch: rebuild the counters by scanning
+//	  every history action's posting row, then score. The cost a stateless
+//	  server pays on every request for a stored history.
+//	user-append/<strategy> — materialized: one CounterView.Apply along the
+//	  new action's posting row, then score the (tiny) candidate union. The
+//	  cost the user store pays.
+//
+// Both paths produce bit-identical rankings (pinned by the oracle and fuzz
+// tests); the gap here is pure maintenance cost, which is why it widens with
+// library size: the scan touches every row of a 64-action history while the
+// append touches one.
+func UserAppend(cfg UserAppendConfig) []ScalabilityPoint {
+	cfg.fill()
+	rng := xrand.New(cfg.Seed)
+	var points []ScalabilityPoint
+	for _, size := range cfg.Sizes {
+		topics := cfg.topicsFor(size)
+		lib := userAppendLibrary(cfg, size, topics, rng.Split())
+		conn := lib.Stats().Connectivity
+		qrng := rng.Split()
+		topic := int(qrng.SampleInt32(int32(topics), 1)[0])
+		// History plus the stream of actions appended during timing, all from
+		// one topic. The history stays fixed across strategies so cells are
+		// comparable.
+		history := topicActivity(cfg, topic, cfg.HistoryLen, qrng)
+		appends := make([]core.ActionID, cfg.Appends)
+		for i := range appends {
+			appends[i] = topicActivity(cfg, topic, 1, qrng)[0]
+		}
+
+		for _, mk := range []func() strategy.Recommender{
+			func() strategy.Recommender { return strategy.NewFocus(lib, strategy.Completeness) },
+			func() strategy.Recommender { return strategy.NewFocus(lib, strategy.Closeness) },
+			func() strategy.Recommender { return strategy.NewBreadth(lib) },
+			func() strategy.Recommender { return strategy.NewBestMatch(lib) },
+		} {
+			rec := mk()
+			ctx := context.Background()
+
+			// Stateless path: every append re-scans the full history.
+			h := append([]core.ActionID(nil), history...)
+			start := time.Now()
+			for _, a := range appends {
+				h = append(h, a)
+				if _, err := strategy.RecommendContext(ctx, rec, h, 10); err != nil {
+					panic(err)
+				}
+			}
+			scan := time.Since(start) / time.Duration(len(appends))
+			points = append(points, ScalabilityPoint{
+				Implementations: size, Connectivity: conn,
+				Method:      "user-scan/" + rec.Name(),
+				MeanLatency: scan,
+			})
+
+			// Materialized path: the view absorbs each append incrementally.
+			v := strategy.NewCounterView(lib, history)
+			start = time.Now()
+			for _, a := range appends {
+				v.Apply(a)
+				if _, err := strategy.RecommendView(ctx, rec, v, 10); err != nil {
+					panic(err)
+				}
+			}
+			inc := time.Since(start) / time.Duration(len(appends))
+			points = append(points, ScalabilityPoint{
+				Implementations: size, Connectivity: conn,
+				Method:      "user-append/" + rec.Name(),
+				MeanLatency: inc,
+			})
+		}
+	}
+	return points
+}
+
+// UserAppendTable renders the user-append cells with the scan-to-append
+// speedup per (size, strategy).
+func UserAppendTable(points []ScalabilityPoint) *Table {
+	t := &Table{
+		ID:      "UA",
+		Title:   "append+recommend: from-scratch scan vs materialized counter view",
+		Columns: []string{"implementations", "method", "mean latency", "speedup"},
+	}
+	scanBy := make(map[string]time.Duration)
+	for _, p := range points {
+		if len(p.Method) > 10 && p.Method[:10] == "user-scan/" {
+			scanBy[fmt.Sprintf("%d/%s", p.Implementations, p.Method[10:])] = p.MeanLatency
+		}
+	}
+	for _, p := range points {
+		speedup := ""
+		if len(p.Method) > 12 && p.Method[:12] == "user-append/" && p.MeanLatency > 0 {
+			if d, ok := scanBy[fmt.Sprintf("%d/%s", p.Implementations, p.Method[12:])]; ok {
+				speedup = fmt.Sprintf("%.0fx", float64(d)/float64(p.MeanLatency))
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", p.Implementations), p.Method, p.MeanLatency.String(), speedup)
+	}
+	return t
+}

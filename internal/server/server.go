@@ -12,6 +12,15 @@
 //	POST /v1/explain                  {"activity": [...], "action": "..."} → per-goal justification
 //	POST /v1/implementations          {"implementations": [{"goal": ..., "actions": [...]}, ...]} live ingest
 //	POST /v1/reload                   re-read the library source and swap it in
+//	POST /v1/users/{id}/actions       {"actions": [...]} append to the user's stored history
+//	GET  /v1/users/{id}/recommend     ?strategy=&metric=&k= score the stored history
+//	DELETE /v1/users/{id}             forget the user (history + materialized view)
+//
+// The user endpoints (enabled with WithUserStore, 501 otherwise) serve
+// per-user state the server owns: each user's deduplicated activity history
+// plus a materialized counter view, so an append is one posting-row walk and
+// a recommend scores pre-accumulated counters instead of rescanning the
+// history — bit-identical to POSTing the same history to /v1/recommend.
 //
 // The server is epoch-based: it holds an atomic pointer to the current
 // epoch's {library snapshot, recommender set} bundle. Queries load the
@@ -38,6 +47,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -164,6 +174,14 @@ func WithPruning() Option {
 	return func(s *Server) { s.pruneStats = new(goalrec.PruneStats) }
 }
 
+// WithUserStore enables the /v1/users endpoints over us — typically
+// Store.Users() so appends and deletes are journaled. Without it the user
+// endpoints answer 501. The store's counters (materialized hits, cold
+// builds, advances, evictions) appear under "users" in /v1/metrics.
+func WithUserStore(us *goalrec.UserStore) Option {
+	return func(s *Server) { s.users = us }
+}
+
 // Server routes recommendation requests against the current epoch of an
 // evolving library.
 type Server struct {
@@ -183,6 +201,10 @@ type Server struct {
 	// pruneStats is non-nil iff WithPruning: the shared sink every bundle's
 	// recommenders count into.
 	pruneStats *goalrec.PruneStats
+
+	// users is non-nil iff WithUserStore: the per-user history store behind
+	// the /v1/users endpoints.
+	users *goalrec.UserStore
 
 	// draining flips when the process has been told to shut down; /readyz
 	// reports 503 so load balancers stop routing here while in-flight
@@ -239,6 +261,9 @@ func NewFromEngine(engine *goalrec.Engine, logger *log.Logger, opts ...Option) *
 	s.mux.HandleFunc("POST /v1/implementations", s.counted("implementations", s.handleIngest))
 	s.mux.HandleFunc("POST /v1/reload", s.counted("reload", s.gated("reload", s.handleReload)))
 	s.mux.HandleFunc("GET /v1/metrics", s.counted("metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/users/{id}/actions", s.counted("user_append", s.gated("user_append", s.handleUserAppend)))
+	s.mux.HandleFunc("GET /v1/users/{id}/recommend", s.counted("user_recommend", s.gated("user_recommend", s.handleUserRecommend)))
+	s.mux.HandleFunc("DELETE /v1/users/{id}", s.counted("user_delete", s.handleUserDelete))
 	return s
 }
 
@@ -460,9 +485,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if err != nil {
 		prune = []byte("{}")
 	}
-	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"pruning\": {\"enabled\": %t, \"counters\": %s}, \"reload_failure_streak\": %d}\n",
+	users := []byte("{}")
+	if s.users != nil {
+		if u, err := json.Marshal(s.users.Stats()); err == nil {
+			users = u
+		}
+	}
+	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"pruning\": {\"enabled\": %t, \"counters\": %s}, \"users\": {\"enabled\": %t, \"counters\": %s}, \"reload_failure_streak\": %d}\n",
 		s.bundle().lib.Epoch(), s.requests.String(), s.errors.String(),
-		s.lifecycle.String(), s.pruneStats != nil, prune, s.reloadStreak.Load())
+		s.lifecycle.String(), s.pruneStats != nil, prune, s.users != nil, users, s.reloadStreak.Load())
 }
 
 // recommendRequest is the /v1/recommend body.
@@ -662,7 +693,9 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		for n, rcm := range res.Recommendations {
 			results[i].Recommendations[n] = recommendationPayload{Action: rcm.Action, Score: rcm.Score}
 		}
-		results[i].UnknownActions = b.lib.UnknownActions(req.Activities[i])
+		// The batch resolved every name once; its per-item unknown list is
+		// authoritative, so no second vocabulary pass here.
+		results[i].UnknownActions = res.UnknownActions
 	}
 	resp := batchRecommendResponse{
 		Epoch:    b.lib.Epoch(),
@@ -850,4 +883,154 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Epoch:           epoch,
 		Implementations: lib.NumImplementations(),
 	})
+}
+
+// userStoreReady answers the shared preconditions of the /v1/users handlers:
+// a configured store (501 otherwise) and a non-empty path id.
+func (s *Server) userStoreReady(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if s.users == nil {
+		s.writeError(w, http.StatusNotImplemented, "no user store configured")
+		return "", false
+	}
+	id := r.PathValue("id")
+	if id == "" {
+		s.writeError(w, http.StatusBadRequest, "user id must not be empty")
+		return "", false
+	}
+	return id, true
+}
+
+// userAppendRequest is the POST /v1/users/{id}/actions body.
+type userAppendRequest struct {
+	Actions []string `json:"actions"`
+}
+
+// userAppendResponse reports the append: Added counts the actions that were
+// new (duplicates of the stored history are dropped), Total is the history
+// length afterwards.
+type userAppendResponse struct {
+	Epoch uint64 `json:"epoch"`
+	Added int    `json:"added"`
+	Total int    `json:"total"`
+}
+
+func (s *Server) handleUserAppend(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userStoreReady(w, r)
+	if !ok {
+		return
+	}
+	var req userAppendRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.validActivity(w, req.Actions) {
+		return
+	}
+	added, err := s.users.Append(id, req.Actions)
+	if err != nil {
+		switch {
+		case errors.Is(err, goalrec.ErrTooManyUsers):
+			s.writeError(w, http.StatusInsufficientStorage, "%v", err)
+		case errors.Is(err, goalrec.ErrJournal):
+			s.errors.Add("user_journal", 1)
+			s.writeError(w, http.StatusInternalServerError, "%v", err)
+		default:
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	history, herr := s.users.History(id)
+	if herr != nil {
+		// The user raced a delete after the append landed; report the append.
+		history = nil
+	}
+	s.logf("user_append id=%s added=%d total=%d", id, added, len(history))
+	s.writeJSON(w, http.StatusOK, userAppendResponse{
+		Epoch: s.engine.Epoch(), Added: added, Total: len(history),
+	})
+}
+
+// userRecommendResponse is the GET /v1/users/{id}/recommend reply — the same
+// shape as /v1/recommend, answered from the user's stored history.
+type userRecommendResponse struct {
+	Epoch           uint64                  `json:"epoch"`
+	Strategy        string                  `json:"strategy"`
+	Recommendations []recommendationPayload `json:"recommendations"`
+	UnknownActions  []string                `json:"unknown_actions,omitempty"`
+}
+
+func (s *Server) handleUserRecommend(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userStoreReady(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	strategyName := q.Get("strategy")
+	if strategyName == "" {
+		strategyName = string(goalrec.Breadth)
+	}
+	metric := q.Get("metric")
+	if metric == "" {
+		metric = "cosine"
+	}
+	k := 10
+	if kq := q.Get("k"); kq != "" {
+		n, err := strconv.Atoi(kq)
+		if err != nil || n < 1 || n > 1000 {
+			s.writeError(w, http.StatusBadRequest, "k must be in [1, 1000]")
+			return
+		}
+		k = n
+	}
+	res, err := s.users.Recommend(r.Context(), id, goalrec.Strategy(strategyName), k,
+		goalrec.WithDistanceMetric(metric))
+	if err != nil {
+		switch {
+		case errors.Is(err, goalrec.ErrUnknownUser):
+			s.writeError(w, http.StatusNotFound, "unknown user %q", id)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			s.writeContextError(w, "user_recommend", err)
+		default:
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	resp := userRecommendResponse{
+		Epoch:           res.Epoch,
+		Strategy:        strategyName,
+		Recommendations: make([]recommendationPayload, len(res.Recommendations)),
+		UnknownActions:  res.UnknownActions,
+	}
+	for i, rcm := range res.Recommendations {
+		resp.Recommendations[i] = recommendationPayload{Action: rcm.Action, Score: rcm.Score}
+	}
+	s.logf("user_recommend id=%s strategy=%s k=%d results=%d epoch=%d",
+		id, strategyName, k, len(resp.Recommendations), resp.Epoch)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// userDeleteResponse is the DELETE /v1/users/{id} reply.
+type userDeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+func (s *Server) handleUserDelete(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.userStoreReady(w, r)
+	if !ok {
+		return
+	}
+	if err := s.users.Delete(id); err != nil {
+		switch {
+		case errors.Is(err, goalrec.ErrUnknownUser):
+			s.writeError(w, http.StatusNotFound, "unknown user %q", id)
+		case errors.Is(err, goalrec.ErrJournal):
+			s.errors.Add("user_journal", 1)
+			s.writeError(w, http.StatusInternalServerError, "%v", err)
+		default:
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	s.logf("user_delete id=%s", id)
+	s.writeJSON(w, http.StatusOK, userDeleteResponse{Deleted: true})
 }

@@ -200,9 +200,42 @@ func (bm *BestMatch) RecommendContext(ctx context.Context, activity []core.Actio
 func (bm *BestMatch) recommendCosine(ctx context.Context, h, candidates []core.ActionID, goalSpace []core.GoalID, k int) ([]ScoredAction, error) {
 	s := bm.pool.Get().(*bmScratch)
 	defer bm.pool.Put(s)
+	s.stamp(goalSpace)
 
-	// Stamp the goal space; version 0 is never valid after the first wrap,
-	// so bump twice on wraparound.
+	// Dense profile (Equation 9): action a of H adds its per-goal
+	// implementation multiplicities. Every goal of AG(a) is in GS(H) by
+	// construction.
+	for _, a := range h {
+		goals, mult := bm.lib.GoalsOfAction(a)
+		for i, g := range goals {
+			s.profile[s.slot[g]] += float64(mult[i])
+		}
+	}
+	profNorm := s.profileNorm()
+
+	mode := bm.pickMode(candidates, goalSpace)
+	// The pruned walk replaces candidate-major scoring when a bounded top-k
+	// is wanted and the bound preparation (profile sort) is proportionate.
+	// Its output is the exact top k under the total order, which the caller's
+	// TopK pass leaves untouched.
+	if bm.pruning && k > 0 && k < len(candidates) && mode == bmCandidateMajor &&
+		profNorm > 0 && len(goalSpace) <= bmPruneMaxGoalSpace {
+		return bm.scoreCosinePruned(ctx, s, candidates, profNorm, k)
+	}
+	switch mode {
+	case bmGoalMajor:
+		return bm.scoreGoalMajor(ctx, s, candidates, goalSpace, profNorm)
+	case bmPostings:
+		return bm.scorePostings(ctx, s, candidates, profNorm)
+	default:
+		return bm.scoreCandidateMajor(ctx, s, candidates, profNorm)
+	}
+}
+
+// stamp marks goalSpace as the current goal space and zeroes the per-slot
+// profile and candidate-count accumulators. Version 0 is never valid after
+// the first wrap, so the version bumps twice on wraparound.
+func (s *bmScratch) stamp(goalSpace []core.GoalID) {
 	s.version++
 	if s.version == 0 {
 		for i := range s.mark {
@@ -224,32 +257,82 @@ func (bm *BestMatch) recommendCosine(ctx context.Context, h, candidates []core.A
 		s.mark[g] = s.version
 		s.slot[g] = int32(i)
 	}
+}
 
-	// Dense profile (Equation 9): action a of H adds its per-goal
-	// implementation multiplicities. Every goal of AG(a) is in GS(H) by
-	// construction.
-	for _, a := range h {
-		goals, mult := bm.lib.GoalsOfAction(a)
-		for i, g := range goals {
-			s.profile[s.slot[g]] += float64(mult[i])
+// profileNorm returns ‖H⃗‖ from the stamped profile. The squares sum in
+// slot (goal-ascending) order on every path, so the norm is bit-identical
+// between from-scratch and view scoring.
+func (s *bmScratch) profileNorm() float64 {
+	n := 0.0
+	for _, v := range s.profile {
+		n += v * v
+	}
+	return math.Sqrt(n)
+}
+
+// RecommendView implements ViewRecommender: candidates, goal space, and the
+// dense profile all come from the view's materialized state — no posting or
+// AG-row accumulation — and flow into the same scoring paths as a
+// from-scratch query. Views score exact (the pruned candidate walk applies
+// only to from-scratch builds); rankings are bit-identical to
+// RecommendContext over the view's activity.
+func (bm *BestMatch) RecommendView(ctx context.Context, v *CounterView, k int) ([]ScoredAction, error) {
+	if err := entryErr(ctx); err != nil {
+		return nil, err
+	}
+	if v.lib != bm.lib {
+		return nil, ErrViewLibrary
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	candidates := v.Candidates(nil)
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	goalSpace := v.goal
+
+	var (
+		scored []ScoredAction
+		err    error
+	)
+	if bm.metric == vectorspace.Cosine {
+		scored, err = bm.recommendCosineView(ctx, v, candidates, goalSpace)
+	} else {
+		tick := newTicker(ctx)
+		counts := make(map[int32]int, len(goalSpace))
+		for i, g := range goalSpace {
+			counts[int32(g)] = int(v.gcnt[i])
+		}
+		profile := vectorspace.FromCounts(counts)
+		scored = make([]ScoredAction, 0, len(candidates))
+		for _, a := range candidates {
+			if err = tick.tick(1); err != nil {
+				return nil, err
+			}
+			vec := bm.actionVector(a, goalSpace)
+			d := bm.metric.Distance(profile, vec)
+			scored = append(scored, ScoredAction{Action: a, Score: -d})
 		}
 	}
-	profNorm := 0.0
-	for _, v := range s.profile {
-		profNorm += v * v
+	if err != nil {
+		return nil, err
 	}
-	profNorm = math.Sqrt(profNorm)
+	return TopK(scored, k), nil
+}
 
-	mode := bm.pickMode(candidates, goalSpace)
-	// The pruned walk replaces candidate-major scoring when a bounded top-k
-	// is wanted and the bound preparation (profile sort) is proportionate.
-	// Its output is the exact top k under the total order, which the caller's
-	// TopK pass leaves untouched.
-	if bm.pruning && k > 0 && k < len(candidates) && mode == bmCandidateMajor &&
-		profNorm > 0 && len(goalSpace) <= bmPruneMaxGoalSpace {
-		return bm.scoreCosinePruned(ctx, s, candidates, profNorm, k)
+// recommendCosineView mirrors recommendCosine with the profile gathered from
+// the view's goal counters instead of an AG-row pass over H.
+func (bm *BestMatch) recommendCosineView(ctx context.Context, v *CounterView, candidates []core.ActionID, goalSpace []core.GoalID) ([]ScoredAction, error) {
+	s := bm.pool.Get().(*bmScratch)
+	defer bm.pool.Put(s)
+	s.stamp(goalSpace)
+	for i := range goalSpace {
+		s.profile[i] = float64(v.gcnt[i])
 	}
-	switch mode {
+	profNorm := s.profileNorm()
+
+	switch bm.pickMode(candidates, goalSpace) {
 	case bmGoalMajor:
 		return bm.scoreGoalMajor(ctx, s, candidates, goalSpace, profNorm)
 	case bmPostings:

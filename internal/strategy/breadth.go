@@ -198,17 +198,7 @@ func (b *Breadth) RecommendContext(ctx context.Context, activity []core.ActionID
 			if err = tick.tick(1); err != nil {
 				break
 			}
-			var comm float64
-			switch b.weighting {
-			case Count:
-				comm = 1
-			case Union:
-				// |A_p ∪ H| = |A_p| + |H| − |A_p ∩ H|; unknown-to-library
-				// activity ids count toward |H| exactly as the set union did.
-				comm = float64(b.lib.ImplLen(p) + len(h) - int(s.cnt[p]))
-			default:
-				comm = float64(s.cnt[p])
-			}
+			comm := breadthComm(b.weighting, b.lib.ImplLen(p), len(h), s.cnt[p])
 			for _, a := range b.lib.Actions(p) {
 				if s.inH[a] {
 					continue
@@ -274,6 +264,83 @@ func (b *Breadth) RecommendContext(ctx context.Context, activity []core.ActionID
 		scored = append(scored, ScoredAction{Action: a, Score: s.scores[a]})
 		s.scores[a] = 0
 	}
+	return TopK(scored, k), nil
+}
+
+// breadthComm is one implementation's contribution to the score of every
+// candidate action it contains — a pure function of (|A_p|, |H|, |A_p ∩ H|)
+// shared by the from-scratch kernel and the view path. Every value is
+// integer-valued, so float64 sums are exact in any accumulation order.
+func breadthComm(w BreadthWeighting, implLen, hLen int, cnt int32) float64 {
+	switch w {
+	case Count:
+		return 1
+	case Union:
+		// |A_p ∪ H| = |A_p| + |H| − |A_p ∩ H|; unknown-to-library activity
+		// ids count toward |H| exactly as the set union did.
+		return float64(implLen + hLen - int(cnt))
+	default:
+		return float64(cnt)
+	}
+}
+
+// RecommendView implements ViewRecommender: the accumulation walk over the
+// view's materialized counters, scoring exact (no pruned bounds) with
+// rankings bit-identical to RecommendContext over the view's activity.
+func (b *Breadth) RecommendView(ctx context.Context, v *CounterView, k int) ([]ScoredAction, error) {
+	if err := entryErr(ctx); err != nil {
+		return nil, err
+	}
+	if v.lib != b.lib {
+		return nil, ErrViewLibrary
+	}
+	if k == 0 || len(v.impls) == 0 {
+		return nil, nil
+	}
+	s := b.pool.Get().(*breadthScratch)
+	defer b.pool.Put(s)
+	s.actions = s.actions[:0]
+	for _, a := range v.h {
+		if a >= 0 && int(a) < len(s.inH) {
+			s.inH[a] = true
+		}
+	}
+	tick := newTicker(ctx)
+	var tickErr error
+	actions := s.actions
+	for i, p := range v.impls {
+		if tickErr = tick.tick(1); tickErr != nil {
+			break
+		}
+		comm := breadthComm(b.weighting, int(v.lens[i]), len(v.h), v.cnt[i])
+		for _, a := range b.lib.Actions(p) {
+			if s.inH[a] {
+				continue
+			}
+			if s.scores[a] == 0 {
+				actions = append(actions, a)
+			}
+			s.scores[a] += comm
+		}
+	}
+	for _, a := range v.h {
+		if a >= 0 && int(a) < len(s.inH) {
+			s.inH[a] = false
+		}
+	}
+	if tickErr != nil {
+		for _, a := range actions {
+			s.scores[a] = 0
+		}
+		s.actions = actions[:0]
+		return nil, tickErr
+	}
+	scored := make([]ScoredAction, 0, len(actions))
+	for _, a := range actions {
+		scored = append(scored, ScoredAction{Action: a, Score: s.scores[a]})
+		s.scores[a] = 0
+	}
+	s.actions = actions[:0]
 	return TopK(scored, k), nil
 }
 

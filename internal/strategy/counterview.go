@@ -1,0 +1,341 @@
+package strategy
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+)
+
+// ErrViewLibrary reports a CounterView scored against a strategy built over
+// a different library snapshot. Counters are only meaningful against the
+// postings they were accumulated from; callers advance or rebuild the view
+// before scoring (see AdvanceTo).
+var ErrViewLibrary = errors.New("strategy: counter view was built over a different library snapshot")
+
+// CounterView is the kernel's accumulation phase materialized as state: for
+// an activity H it holds cnt[p] = |A_p ∩ H| for every implementation of
+// IS(H), plus everything the scoring phases derive per query today — |A_p|,
+// the action space of IS(H) (candidate source), and the goal-space profile
+// counts Σ_{a∈H} AG(a). A view is built from scratch over a library, delta-
+// updated by Apply along one appended action's posting row, and carried
+// across same-lineage snapshot extensions by AdvanceTo, which replays only
+// the appended posting-row tails. All four strategies score a view through
+// their RecommendView methods with rankings bit-identical to a from-scratch
+// Recommend over the same H.
+//
+// All slices are parallel and id-sorted. A view is single-writer state: the
+// owner serializes Apply/AdvanceTo/RecommendView calls (the per-user store
+// holds one view per user under the user's lock).
+type CounterView struct {
+	lib *core.Library
+
+	h []core.ActionID // sorted distinct activity, including unknown-to-library ids
+
+	impls []core.ImplID // sorted IS(h)
+	cnt   []int32       // cnt[i] = |A_impls[i] ∩ h|
+	lens  []int32       // lens[i] = |A_impls[i]|
+
+	acts []core.ActionID // sorted ∪_{p ∈ IS(h)} A_p; candidates = acts − h
+	goal []core.GoalID   // sorted GS(h)
+	gcnt []int32         // profile counts per goal, aligned with goal
+
+	// Reused merge scratch, never aliased by results.
+	rowBuf  []core.ImplID
+	newBuf  []core.ImplID
+	actBuf  []core.ActionID
+	actAlt  []core.ActionID
+	goalBuf []core.GoalID
+}
+
+// NewCounterView builds a view of activity over lib by applying each
+// distinct action's posting row. Unknown-to-library ids are kept in H (they
+// count toward |H| exactly as the from-scratch kernel counts them) but
+// contribute no postings.
+func NewCounterView(lib *core.Library, activity []core.ActionID) *CounterView {
+	v := &CounterView{}
+	v.Rebuild(lib, activity)
+	return v
+}
+
+// Rebuild resets the view in place (keeping its allocations) and rebuilds it
+// over lib from activity — the swap-invalidation path for views whose
+// library changed lineage.
+func (v *CounterView) Rebuild(lib *core.Library, activity []core.ActionID) {
+	v.lib = lib
+	v.h = v.h[:0]
+	v.impls = v.impls[:0]
+	v.cnt = v.cnt[:0]
+	v.lens = v.lens[:0]
+	v.acts = v.acts[:0]
+	v.goal = v.goal[:0]
+	v.gcnt = v.gcnt[:0]
+	for _, a := range activity {
+		v.Apply(a)
+	}
+}
+
+// Lib returns the library snapshot the counters are valid against.
+func (v *CounterView) Lib() *core.Library { return v.lib }
+
+// Activity returns the view's sorted distinct activity H. The slice is the
+// view's own state and must not be modified.
+func (v *CounterView) Activity() []core.ActionID { return v.h }
+
+// Len returns |H|.
+func (v *CounterView) Len() int { return len(v.h) }
+
+// Candidates appends the candidate actions — the action space of IS(H)
+// minus H, exactly core.Library.Candidates — to dst and returns it.
+func (v *CounterView) Candidates(dst []core.ActionID) []core.ActionID {
+	return intset.Difference(dst, v.acts, v.h)
+}
+
+// Footprint returns the view's approximate heap size in bytes, used by the
+// user store's materialization accounting.
+func (v *CounterView) Footprint() int {
+	return 4*(len(v.h)+len(v.acts)+len(v.goal)) +
+		8*len(v.impls) + 4*(len(v.cnt)+len(v.lens)+len(v.gcnt)) +
+		4*cap(v.rowBuf) + 4*cap(v.newBuf) + 4*(cap(v.actBuf)+cap(v.actAlt)+cap(v.goalBuf))
+}
+
+// Apply adds action a to H and delta-updates every derived array along a's
+// posting and AG rows: cnt along IS(a), first-touch implementations extend
+// impls/lens and union their action sets into acts, and AG(a) folds into the
+// goal profile. It returns false when a is already in H (duplicate appends
+// are no-ops, matching the set semantics of the from-scratch kernel). Cost
+// is O(|IS(a)| + |IS(h)| + |AG(a)|) merge steps — one posting-row walk, no
+// rescan of H's other rows.
+func (v *CounterView) Apply(a core.ActionID) bool {
+	i := sort.Search(len(v.h), func(i int) bool { return v.h[i] >= a })
+	if i < len(v.h) && v.h[i] == a {
+		return false
+	}
+	v.h = append(v.h, 0)
+	copy(v.h[i+1:], v.h[i:])
+	v.h[i] = a
+
+	if a < 0 || int(a) >= v.lib.NumActions() {
+		// Unknown to the library: in H (it counts toward |H|) but rowless.
+		return true
+	}
+	row, buf := v.lib.PostingRow(a, v.rowBuf)
+	v.mergeRow(row)
+	v.rowBuf = buf
+	goals, mult := v.lib.GoalsOfAction(a)
+	v.mergeGoals(goals, mult)
+	return true
+}
+
+// mergeRow folds one sorted posting row into impls/cnt/lens and unions the
+// first-touch implementations' action sets into acts.
+func (v *CounterView) mergeRow(row []core.ImplID) {
+	if len(row) == 0 {
+		return
+	}
+	// First pass: bump existing counters, collect first-touch ids.
+	fresh := v.newBuf[:0]
+	i := 0
+	for _, p := range row {
+		for i < len(v.impls) && v.impls[i] < p {
+			i++
+		}
+		if i < len(v.impls) && v.impls[i] == p {
+			v.cnt[i]++
+			i++
+			continue
+		}
+		fresh = append(fresh, p)
+	}
+	v.newBuf = fresh
+	if len(fresh) == 0 {
+		return
+	}
+	// Backward merge the first-touch ids into the parallel arrays.
+	n := len(v.impls)
+	v.impls = append(v.impls, fresh...)
+	v.cnt = extend32(v.cnt, len(fresh))
+	v.lens = extend32(v.lens, len(fresh))
+	for w, i, j := len(v.impls)-1, n-1, len(fresh)-1; j >= 0; w-- {
+		if i >= 0 && v.impls[i] > fresh[j] {
+			v.impls[w] = v.impls[i]
+			v.cnt[w] = v.cnt[i]
+			v.lens[w] = v.lens[i]
+			i--
+			continue
+		}
+		p := fresh[j]
+		v.impls[w] = p
+		v.cnt[w] = 1
+		v.lens[w] = int32(v.lib.ImplLen(p))
+		j--
+	}
+	v.mergeActsOf(fresh)
+}
+
+// mergeActsOf unions the action sets of the given first-touch
+// implementations into acts.
+func (v *CounterView) mergeActsOf(fresh []core.ImplID) {
+	na := v.actBuf[:0]
+	for _, p := range fresh {
+		na = append(na, v.lib.Actions(p)...)
+	}
+	if len(na) == 0 {
+		v.actBuf = na
+		return
+	}
+	na = intset.FromUnsorted(na)
+	v.actBuf = na
+	v.actAlt = intset.Union(v.actAlt[:0], v.acts, na)
+	v.acts, v.actAlt = v.actAlt, v.acts
+}
+
+// mergeGoals folds one sorted (goal, count) row into the profile.
+func (v *CounterView) mergeGoals(goals []core.GoalID, mult []int32) {
+	if len(goals) == 0 {
+		return
+	}
+	// Count the goals not yet in the profile, then backward-merge.
+	freshCnt := 0
+	i := 0
+	for _, g := range goals {
+		for i < len(v.goal) && v.goal[i] < g {
+			i++
+		}
+		if i < len(v.goal) && v.goal[i] == g {
+			i++
+			continue
+		}
+		freshCnt++
+	}
+	n := len(v.goal)
+	for i := 0; i < freshCnt; i++ {
+		v.goal = append(v.goal, 0)
+	}
+	v.gcnt = extend32(v.gcnt, freshCnt)
+	// Once goals is consumed the untouched prefix is already in place.
+	for w, i, j := len(v.goal)-1, n-1, len(goals)-1; j >= 0; w-- {
+		if i >= 0 && v.goal[i] > goals[j] {
+			v.goal[w] = v.goal[i]
+			v.gcnt[w] = v.gcnt[i]
+			i--
+			continue
+		}
+		if i >= 0 && v.goal[i] == goals[j] {
+			v.goal[w] = v.goal[i]
+			v.gcnt[w] = v.gcnt[i] + mult[j]
+			i--
+			j--
+			continue
+		}
+		v.goal[w] = goals[j]
+		v.gcnt[w] = mult[j]
+		j--
+	}
+}
+
+// extend32 appends n zero entries without a temporary slice.
+func extend32(s []int32, n int) []int32 {
+	for i := 0; i < n; i++ {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// AdvanceTo carries the view from its current snapshot to newLib, which must
+// be a same-lineage extension (DynamicLibrary snapshots append: every posting
+// row of newLib is the old row plus strictly larger implementation ids, and
+// implementation action sets are immutable). Only the appended row tails
+// [oldN, newN) of H's actions are replayed — cost proportional to the delta,
+// not to |IS(H)|. Crossing a Swap (new lineage, ids reassigned) requires
+// Rebuild instead; the engine layer tracks lineage and chooses.
+func (v *CounterView) AdvanceTo(newLib *core.Library) {
+	if newLib == v.lib {
+		return
+	}
+	oldN := core.ImplID(v.lib.NumImplementations())
+	newN := core.ImplID(newLib.NumImplementations())
+	v.lib = newLib
+	if newN <= oldN {
+		// Same implementation content (an epoch-only republish).
+		return
+	}
+	delta := v.newBuf[:0]
+	for _, a := range v.h {
+		if a < 0 || int(a) >= newLib.NumActions() {
+			continue
+		}
+		row, buf := newLib.PostingRowRange(a, oldN, newN, v.rowBuf)
+		delta = append(delta, row...)
+		v.rowBuf = buf
+	}
+	v.newBuf = delta
+	if len(delta) == 0 {
+		return
+	}
+	// Each delta posting is one (action, implementation) incidence: it
+	// contributes 1 to cnt[p] and 1 to the profile count of Goal(p).
+	gs := v.goalBuf[:0]
+	for _, p := range delta {
+		gs = append(gs, newLib.Goal(p))
+	}
+	v.goalBuf = gs
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	var (
+		gd []core.GoalID
+		gm []int32
+	)
+	for i := 0; i < len(gs); {
+		j := i
+		for j < len(gs) && gs[j] == gs[i] {
+			j++
+		}
+		gd = append(gd, gs[i])
+		gm = append(gm, int32(j-i))
+		i = j
+	}
+	v.mergeGoals(gd, gm)
+
+	sort.Slice(delta, func(i, j int) bool { return delta[i] < delta[j] })
+	// Every delta id is ≥ oldN, strictly above every materialized id, so the
+	// merge is a pure append in run-length order.
+	firstTouch := len(v.impls)
+	for i := 0; i < len(delta); {
+		j := i
+		for j < len(delta) && delta[j] == delta[i] {
+			j++
+		}
+		p := delta[i]
+		v.impls = append(v.impls, p)
+		v.cnt = append(v.cnt, int32(j-i))
+		v.lens = append(v.lens, int32(newLib.ImplLen(p)))
+		i = j
+	}
+	v.mergeActsOf(v.impls[firstTouch:])
+}
+
+// ViewRecommender is implemented by strategies that score a materialized
+// CounterView directly — the scoring phase alone, no accumulation pass.
+// Views always score exact: the bound-driven pruned scans apply only to
+// from-scratch builds, where the bounds are derived during accumulation.
+type ViewRecommender interface {
+	Recommender
+	RecommendView(ctx context.Context, v *CounterView, k int) ([]ScoredAction, error)
+}
+
+// RecommendView scores a materialized view through rec. Cache wrappers are
+// unwrapped (a view query bypasses the activity-keyed cache — the view IS
+// the cache); recommenders without a view path fall back to a from-scratch
+// RecommendContext over the view's activity, which is bit-identical by the
+// view invariants.
+func RecommendView(ctx context.Context, rec Recommender, v *CounterView, k int) ([]ScoredAction, error) {
+	if c, ok := rec.(*Cached); ok {
+		rec = c.Underlying()
+	}
+	if vr, ok := rec.(ViewRecommender); ok {
+		return vr.RecommendView(ctx, v, k)
+	}
+	return RecommendContext(ctx, rec, v.Activity(), k)
+}

@@ -1,0 +1,230 @@
+package strategy
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/intset"
+	"goalrec/internal/testlib"
+)
+
+// viewPairs returns every (recommender, same-config recommender) pair the
+// view oracle drives: the first scores from scratch, the second through
+// RecommendView. Both are fresh instances so pooled scratch never crosses.
+func viewPairs(lib *core.Library) map[string][2]Recommender {
+	pairs := map[string][2]Recommender{
+		"focus-cmp":     {NewFocus(lib, Completeness), NewFocus(lib, Completeness)},
+		"focus-cl":      {NewFocus(lib, Closeness), NewFocus(lib, Closeness)},
+		"breadth":       {NewBreadth(lib), NewBreadth(lib)},
+		"breadth-count": {NewBreadthWeighted(lib, Count), NewBreadthWeighted(lib, Count)},
+		"breadth-union": {NewBreadthWeighted(lib, Union), NewBreadthWeighted(lib, Union)},
+		"best-match":    {NewBestMatch(lib), NewBestMatch(lib)},
+	}
+	// Forced Best Match modes: the view path must be exact through every
+	// scoring backend, not just the auto-picked one.
+	gm := [2]Recommender{NewBestMatch(lib), NewBestMatch(lib)}
+	gm[0].(*BestMatch).mode, gm[1].(*BestMatch).mode = bmGoalMajor, bmGoalMajor
+	pairs["best-match-goalmajor"] = gm
+	pp := [2]Recommender{NewBestMatch(lib), NewBestMatch(lib)}
+	pp[0].(*BestMatch).mode, pp[1].(*BestMatch).mode = bmPostings, bmPostings
+	pairs["best-match-postings"] = pp
+	// Pruned from-scratch vs exact view: the "bounds only apply to
+	// from-scratch builds" split must still agree on the ranking.
+	pf := [2]Recommender{NewFocus(lib, Closeness), NewFocus(lib, Closeness)}
+	pf[0].(*Focus).EnablePruning(nil)
+	pairs["focus-cl-pruned"] = pf
+	pb := [2]Recommender{NewBreadth(lib), NewBreadth(lib)}
+	pb[0].(*Breadth).EnablePruning(nil)
+	pairs["breadth-pruned"] = pb
+	return pairs
+}
+
+func checkViewEquiv(t *testing.T, lib *core.Library, v *CounterView, h []core.ActionID, k int) {
+	t.Helper()
+	for name, pr := range viewPairs(lib) {
+		want := pr[0].Recommend(h, k)
+		got, err := RecommendView(context.Background(), pr[1], v, k)
+		if err != nil {
+			t.Fatalf("%s: RecommendView: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: view ranking diverged (k=%d, h=%v):\ngot  %v\nwant %v", name, k, h, got, want)
+		}
+	}
+}
+
+// checkViewState pins the view's derived arrays against the library's own
+// space operations: candidates and goal space must be set-identical to the
+// from-scratch definitions.
+func checkViewState(t *testing.T, lib *core.Library, v *CounterView, h []core.ActionID) {
+	t.Helper()
+	if want := lib.Candidates(h); !sameIDs(v.Candidates(nil), want) {
+		t.Fatalf("view candidates = %v, want %v (h=%v)", v.Candidates(nil), want, h)
+	}
+	if want := lib.GoalSpace(intset.FromUnsorted(intset.Clone(h))); !sameIDs(v.goal, want) {
+		t.Fatalf("view goal space = %v, want %v (h=%v)", v.goal, want, h)
+	}
+	for i, p := range v.impls {
+		if int(v.lens[i]) != lib.ImplLen(p) {
+			t.Fatalf("lens[%d] = %d, want %d", i, v.lens[i], lib.ImplLen(p))
+		}
+		if want := intset.IntersectionLen(lib.Actions(p), v.h); int(v.cnt[i]) != want {
+			t.Fatalf("cnt[%v] = %d, want %d", p, v.cnt[i], want)
+		}
+	}
+}
+
+func sameIDs[T core.ActionID | core.GoalID | core.ImplID](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCounterViewMatchesFromScratch builds views over random libraries and
+// asserts every strategy's view scoring is bit-identical to the from-scratch
+// kernels — including the pruned ones, which views bypass.
+func TestCounterViewMatchesFromScratch(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(900)
+		actionSpace := 2 + r.Intn(28)
+		lib := testlib.RandomLibrary(r, n, actionSpace, 18, 8)
+		if trial%2 == 1 {
+			lib, _ = core.ImpactOrder(lib)
+		}
+		for q := 0; q < 4; q++ {
+			h := testlib.RandomActivity(r, actionSpace+4, 7) // may include unknown ids
+			v := NewCounterView(lib, h)
+			checkViewState(t, lib, v, h)
+			for _, k := range []int{-1, 1, 3, 10} {
+				checkViewEquiv(t, lib, v, h, k)
+			}
+		}
+	}
+}
+
+// TestCounterViewApplyMatchesRebuild grows one view action by action —
+// with deliberate duplicates — and pins every intermediate state against a
+// fresh from-scratch build over the same prefix.
+func TestCounterViewApplyMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		actionSpace := 2 + r.Intn(20)
+		lib := testlib.RandomLibrary(r, 1+r.Intn(600), actionSpace, 12, 7)
+		v := NewCounterView(lib, nil)
+		var h []core.ActionID
+		for step := 0; step < 12; step++ {
+			a := core.ActionID(r.Intn(actionSpace + 2))
+			dup := intset.Contains(intset.FromUnsorted(intset.Clone(h)), a)
+			if got := v.Apply(a); got == dup {
+				t.Fatalf("Apply(%d) = %v with h=%v", a, got, h)
+			}
+			h = append(h, a)
+
+			fresh := NewCounterView(lib, h)
+			if !sameIDs(v.impls, fresh.impls) || !reflect.DeepEqual(v.cnt, fresh.cnt) ||
+				!reflect.DeepEqual(v.lens, fresh.lens) || !sameIDs(v.acts, fresh.acts) ||
+				!sameIDs(v.goal, fresh.goal) || !reflect.DeepEqual(v.gcnt, fresh.gcnt) {
+				t.Fatalf("step %d: applied view diverged from rebuild (h=%v)\napplied: %+v\nrebuilt: %+v", step, h, v, fresh)
+			}
+			checkViewState(t, lib, v, h)
+			checkViewEquiv(t, lib, v, h, 5)
+		}
+	}
+}
+
+// TestCounterViewAdvanceTo extends a DynamicLibrary under a live view and
+// asserts the delta replay reproduces a from-scratch build over the new
+// snapshot exactly — state and rankings.
+func TestCounterViewAdvanceTo(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		dyn := core.NewDynamicLibrary()
+		actionSpace := 2 + r.Intn(20)
+		addRandom := func(n int) {
+			for i := 0; i < n; i++ {
+				acts := make([]core.ActionID, 1+r.Intn(6))
+				for j := range acts {
+					acts[j] = core.ActionID(r.Intn(actionSpace))
+				}
+				if _, err := dyn.Add(core.GoalID(r.Intn(10)), acts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		addRandom(1 + r.Intn(200))
+		lib := dyn.Snapshot()
+		h := testlib.RandomActivity(r, actionSpace+3, 6)
+		v := NewCounterView(lib, h)
+
+		// A few rounds of grow → advance, including a no-growth republish.
+		for round := 0; round < 3; round++ {
+			if round != 1 {
+				addRandom(1 + r.Intn(120))
+			}
+			next := dyn.Snapshot()
+			v.AdvanceTo(next)
+			if v.Lib() != next {
+				t.Fatal("AdvanceTo did not adopt the new snapshot")
+			}
+			fresh := NewCounterView(next, h)
+			if !sameIDs(v.impls, fresh.impls) || !reflect.DeepEqual(v.cnt, fresh.cnt) ||
+				!reflect.DeepEqual(v.lens, fresh.lens) || !sameIDs(v.acts, fresh.acts) ||
+				!sameIDs(v.goal, fresh.goal) || !reflect.DeepEqual(v.gcnt, fresh.gcnt) {
+				t.Fatalf("round %d: advanced view diverged from rebuild (h=%v)", round, h)
+			}
+			checkViewState(t, next, v, h)
+			checkViewEquiv(t, next, v, h, 5)
+			// Appends after the advance must land on the new postings.
+			a := core.ActionID(r.Intn(actionSpace + 2))
+			v.Apply(a)
+			fresh.Apply(a)
+			if !reflect.DeepEqual(v.cnt, fresh.cnt) || !sameIDs(v.impls, fresh.impls) {
+				t.Fatalf("round %d: post-advance Apply diverged", round)
+			}
+			h = append([]core.ActionID(nil), v.h...)
+		}
+	}
+}
+
+// TestRecommendViewDispatch covers the package-level dispatcher: cache
+// wrappers unwrap to the view path, and a view scored against a strategy
+// over a different snapshot is rejected.
+func TestRecommendViewDispatch(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	h := []core.ActionID{0, 3}
+	v := NewCounterView(lib, h)
+
+	cached := NewCached(NewFocus(lib, Closeness), 8)
+	got, err := RecommendView(context.Background(), cached, v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewFocus(lib, Closeness).Recommend(h, 3)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached dispatch = %v, want %v", got, want)
+	}
+	if hits, misses := cached.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("view query went through the cache (hits=%d misses=%d)", hits, misses)
+	}
+
+	other := testlib.RandomLibrary(rand.New(rand.NewSource(1)), 20, 8, 4, 4)
+	for name, rec := range map[string]Recommender{
+		"focus":      NewFocus(other, Completeness),
+		"breadth":    NewBreadth(other),
+		"best-match": NewBestMatch(other),
+	} {
+		if _, err := RecommendView(context.Background(), rec, v, 3); err != ErrViewLibrary {
+			t.Fatalf("%s: stale view accepted (err=%v)", name, err)
+		}
+	}
+}

@@ -156,20 +156,9 @@ func (f *Focus) RecommendContext(ctx context.Context, activity []core.ActionID, 
 			if err = tick.tick(1); err != nil {
 				break
 			}
-			n := f.lib.ImplLen(p)
-			overlap := int(s.cnt[p])
-			missing := n - overlap
-			if missing == 0 {
-				// Fully covered implementations have nothing left to recommend.
-				continue
+			if ri, ok := focusRank(f.measure, p, f.lib.ImplLen(p), int(s.cnt[p])); ok {
+				rb = append(rb, ri)
 			}
-			var score float64
-			if f.measure == Closeness {
-				score = 1 / float64(missing)
-			} else {
-				score = float64(overlap) / float64(n)
-			}
-			rb = append(rb, rankedImpl{id: p, score: score, missing: missing})
 		}
 		s.perShard[shard] = rb
 		return err
@@ -185,9 +174,65 @@ func (f *Focus) RecommendContext(ctx context.Context, activity []core.ActionID, 
 	s.merged = all
 
 	tick := newTicker(ctx)
+	return f.selectEmit(s, all, h, k, &tick)
+}
+
+// RecommendView implements ViewRecommender: the scoring phase alone, a pure
+// pass over the view's materialized counters (no posting-row accumulation).
+// Views always score exact — the pruned bounds apply only to from-scratch
+// builds — and the ranking is bit-identical to RecommendContext over the
+// view's activity.
+func (f *Focus) RecommendView(ctx context.Context, v *CounterView, k int) ([]ScoredAction, error) {
+	if err := entryErr(ctx); err != nil {
+		return nil, err
+	}
+	if v.lib != f.lib {
+		return nil, ErrViewLibrary
+	}
+	if k == 0 || len(v.impls) == 0 {
+		return nil, nil
+	}
+	s := f.pool.Get().(*focusScratch)
+	defer f.pool.Put(s)
+	tick := newTicker(ctx)
+	all := s.merged[:0]
+	for i, p := range v.impls {
+		if err := tick.tick(1); err != nil {
+			s.merged = all
+			return nil, err
+		}
+		if ri, ok := focusRank(f.measure, p, int(v.lens[i]), int(v.cnt[i])); ok {
+			all = append(all, ri)
+		}
+	}
+	s.merged = all
+	return f.selectEmit(s, all, v.h, k, &tick)
+}
+
+// focusRank scores one implementation from its counter — a pure function of
+// (|A_p|, |A_p ∩ H|) shared by the from-scratch kernel and the view path.
+// Fully covered implementations have nothing left to recommend and rank
+// nowhere (ok == false).
+func focusRank(measure FocusMeasure, p core.ImplID, n, overlap int) (rankedImpl, bool) {
+	missing := n - overlap
+	if missing == 0 {
+		return rankedImpl{}, false
+	}
+	var score float64
+	if measure == Closeness {
+		score = 1 / float64(missing)
+	} else {
+		score = float64(overlap) / float64(n)
+	}
+	return rankedImpl{id: p, score: score, missing: missing}, true
+}
+
+// selectEmit ranks the scored implementations under the total order and
+// walks them best-first through emit.
+func (f *Focus) selectEmit(s *focusScratch, all []rankedImpl, h []core.ActionID, k int, tick *ticker) ([]ScoredAction, error) {
 	if k < 0 || len(all) <= k {
 		sortRankedImpls(all)
-		return f.emit(all, h, k, &tick)
+		return f.emit(all, h, k, tick)
 	}
 	// Progressive bounded selection: the walk almost always fills k within
 	// the first k implementations; when deduplication starves it, widen and
@@ -197,12 +242,12 @@ func (f *Focus) RecommendContext(ctx context.Context, activity []core.ActionID, 
 	for m := k; ; m *= 4 {
 		if m >= len(all) {
 			sortRankedImpls(all)
-			return f.emit(all, h, k, &tick)
+			return f.emit(all, h, k, tick)
 		}
 		// Selection is in place, so it runs on a pooled copy: a widened
 		// retry (or the full-sort fallback) must see the merged list intact.
 		s.sel = append(s.sel[:0], all...)
-		out, err := f.emit(topMRankedImpls(s.sel, m), h, k, &tick)
+		out, err := f.emit(topMRankedImpls(s.sel, m), h, k, tick)
 		if err != nil || len(out) == k {
 			return out, err
 		}

@@ -1,0 +1,137 @@
+package userstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/strategy"
+	"goalrec/internal/testlib"
+)
+
+func TestAppendNamesDedup(t *testing.T) {
+	u := &User{ID: "u1"}
+	if got := u.AppendNames([]string{"b", "a", "b", "c"}); !reflect.DeepEqual(got, []string{"b", "a", "c"}) {
+		t.Fatalf("added = %v", got)
+	}
+	if got := u.AppendNames([]string{"c", "d", "a"}); !reflect.DeepEqual(got, []string{"d"}) {
+		t.Fatalf("second added = %v", got)
+	}
+	if want := []string{"b", "a", "c", "d"}; !reflect.DeepEqual(u.Names, want) {
+		t.Fatalf("Names = %v, want %v", u.Names, want)
+	}
+	// Replaying the added suffixes into a fresh user reproduces the history.
+	r := &User{ID: "r"}
+	r.AppendNames([]string{"b", "a", "c"})
+	r.AppendNames([]string{"d"})
+	if !reflect.DeepEqual(r.Names, u.Names) {
+		t.Fatalf("replay = %v, want %v", r.Names, u.Names)
+	}
+}
+
+func TestCapacityAndDelete(t *testing.T) {
+	s := New(Options{MaxUsers: 2, Shards: 4})
+	if _, err := s.GetOrCreate("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetOrCreate("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetOrCreate("c"); err != ErrTooManyUsers {
+		t.Fatalf("over-capacity insert: err = %v", err)
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("delete semantics")
+	}
+	if _, err := s.GetOrCreate("c"); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+	st := s.Stats()
+	if st.Users != 2 || st.Deletes != 1 || st.TooMany != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Get("nope") != nil {
+		t.Fatal("Get of absent user")
+	}
+}
+
+func TestViewLRUEviction(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	s := New(Options{MaxUsers: 100, MaxViews: 2, Shards: 1})
+	mat := func(id string) *User {
+		u, err := s.GetOrCreate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.Mu.Lock()
+		u.View = strategy.NewCounterView(lib, []core.ActionID{0})
+		s.MarkMaterialized(u)
+		u.Mu.Unlock()
+		s.Rebalance()
+		return u
+	}
+	u1, u2 := mat("u1"), mat("u2")
+	s.Touch(u1) // u2 becomes the LRU victim
+	u3 := mat("u3")
+	if u2.View != nil {
+		t.Fatal("LRU victim kept its view")
+	}
+	if u1.View == nil || u3.View == nil {
+		t.Fatal("wrong victim evicted")
+	}
+	st := s.Stats()
+	if st.Views != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Deleting a materialized user releases its budget.
+	s.Delete("u3")
+	if got := s.Stats().Views; got != 1 {
+		t.Fatalf("views after delete = %d", got)
+	}
+	if s.Stats().ViewBytes <= 0 {
+		t.Fatalf("view bytes = %d", s.Stats().ViewBytes)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	lib := testlib.PaperLibrary()
+	s := New(Options{MaxUsers: 1 << 10, MaxViews: 8, Shards: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("u%d", (w*7+i)%32)
+				u, err := s.GetOrCreate(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				u.Mu.Lock()
+				u.AppendNames([]string{fmt.Sprintf("a%d", i%5)})
+				if u.View == nil {
+					u.View = strategy.NewCounterView(lib, nil)
+				}
+				s.MarkMaterialized(u)
+				u.Mu.Unlock()
+				s.Rebalance()
+				if i%17 == 0 {
+					s.Delete(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if int(st.Views) > s.MaxViews() {
+		t.Fatalf("views %d exceed budget %d after quiescence", st.Views, s.MaxViews())
+	}
+	n := 0
+	s.Range(func(u *User) bool { n++; return true })
+	if n != s.Len() {
+		t.Fatalf("Range saw %d users, Len() = %d", n, s.Len())
+	}
+}

@@ -197,6 +197,72 @@ func TestImplausibleLengthIsTornTail(t *testing.T) {
 	}
 }
 
+// TestEveryOffsetTruncation writes interleaved records of very different
+// sizes (mimicking small user-append records between large batch records),
+// truncates at EVERY byte offset, and asserts Replay returns exactly the
+// maximal prefix of complete records — computed independently from the known
+// framing (8-byte header, then 8-byte frame + payload per record).
+func TestEveryOffsetTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mixed.wal")
+	w, err := OpenWriter(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	sizes := []int{200, 3, 17, 450, 1, 90, 8, 300}
+	for i, n := range sizes {
+		p := bytes.Repeat([]byte{byte('a' + i)}, n)
+		payloads = append(payloads, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record boundaries from the framing contract.
+	bounds := []int64{headerSize}
+	for _, p := range payloads {
+		bounds = append(bounds, bounds[len(bounds)-1]+int64(frameSize)+int64(len(p)))
+	}
+	if bounds[len(bounds)-1] != int64(len(full)) {
+		t.Fatalf("framing arithmetic off: computed end %d, file %d", bounds[len(bounds)-1], len(full))
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Expected: all records whose frame ends at or before the cut.
+		wantN := 0
+		for wantN < len(payloads) && bounds[wantN+1] <= int64(cut) {
+			wantN++
+		}
+		recs, size := replayAll(t, path)
+		if len(recs) != wantN {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), wantN)
+		}
+		for i := 0; i < wantN; i++ {
+			if !bytes.Equal(recs[i], payloads[i]) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+		wantSize := int64(0)
+		if cut >= headerSize {
+			wantSize = bounds[wantN]
+		}
+		if size != wantSize {
+			t.Fatalf("cut %d: valid size %d, want %d", cut, size, wantSize)
+		}
+	}
+}
+
 func TestAppendRejectsOversizedPayload(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "big.wal")
 	w, err := OpenWriter(path, 0, false)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 type point struct {
@@ -134,6 +135,9 @@ func report(w *os.File, oldPts, newPts []point, oldLabel, newLabel string, thres
 	for _, k := range onlyNew {
 		fmt.Fprintf(w, "  %-28s only in new file\n", k)
 	}
+	for _, l := range userSpeedups(newPts) {
+		fmt.Fprintf(w, "  %s\n", l)
+	}
 	if len(rows) == 0 {
 		return fmt.Errorf("no comparable cells between the two files")
 	}
@@ -141,4 +145,30 @@ func report(w *os.File, oldPts, newPts []point, oldLabel, newLabel string, thres
 		return fmt.Errorf("%d cell(s) regressed beyond %.0f%%: %v", len(regressed), threshold, regressed)
 	}
 	return nil
+}
+
+// userSpeedups summarizes the user-store cells of one bench file: for every
+// (strategy, size) with both a user-scan/ and a user-append/ cell, the
+// materialization speedup. Informational — the regression gate above already
+// covers the cells individually once both files carry them.
+func userSpeedups(pts []point) []string {
+	scan := make(map[string]float64)
+	for _, p := range pts {
+		if strings.HasPrefix(p.Method, "user-scan/") {
+			scan[fmt.Sprintf("%s@%d", strings.TrimPrefix(p.Method, "user-scan/"), p.Implementations)] = p.MeanLatencyMS
+		}
+	}
+	var out []string
+	for _, p := range pts {
+		if !strings.HasPrefix(p.Method, "user-append/") {
+			continue
+		}
+		k := fmt.Sprintf("%s@%d", strings.TrimPrefix(p.Method, "user-append/"), p.Implementations)
+		if s, ok := scan[k]; ok && p.MeanLatencyMS > 0 {
+			out = append(out, fmt.Sprintf("user view %-24s %10.4fms -> %10.4fms  %6.1fx (scan -> materialized)",
+				k, s, p.MeanLatencyMS, s/p.MeanLatencyMS))
+		}
+	}
+	sort.Strings(out)
+	return out
 }

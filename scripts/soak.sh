@@ -7,12 +7,18 @@
 #     else fails the run (loadgen exits nonzero).
 #   - the daemon must survive the whole run with the race detector silent
 #     and shut down cleanly on SIGTERM (exit code 0).
+#   - a second loadgen phase (-users) drives the per-user store: interleaved
+#     appends and stored-history recommends across SOAK_USERS users, racing
+#     view materialization, eviction and the -watch reload loop.
 #
-# Tunables (env): SOAK_DURATION (default 30s), SOAK_LIBRARY, SOAK_ADDR.
+# Tunables (env): SOAK_DURATION (default 30s), SOAK_USER_DURATION (default
+# 15s), SOAK_USERS (default 200), SOAK_LIBRARY, SOAK_ADDR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DURATION="${SOAK_DURATION:-30s}"
+USER_DURATION="${SOAK_USER_DURATION:-15s}"
+USERS="${SOAK_USERS:-200}"
 ADDR="${SOAK_ADDR:-127.0.0.1:18080}"
 
 TMP="$(mktemp -d)"
@@ -66,6 +72,10 @@ fi
 echo "soak: overloading for $DURATION"
 "$TMP/loadgen" -url "http://$ADDR" -library "$LIB" -overload \
     -concurrency 16 -duration "$DURATION" -strategy best-match
+
+echo "soak: user-store phase for $USER_DURATION (append/recommend over $USERS users)"
+"$TMP/loadgen" -url "http://$ADDR" -library "$LIB" -overload \
+    -concurrency 16 -duration "$USER_DURATION" -strategy breadth -users "$USERS"
 
 echo "soak: final metrics"
 curl -fsS "http://$ADDR/v1/metrics"

@@ -42,11 +42,13 @@ type Store struct {
 	dir    string
 	opts   StoreOptions
 	engine *Engine
+	users  *UserStore
 
 	mu       sync.Mutex // serializes WAL appends and rotation
 	w        *wal.Writer
 	walEpoch uint64 // highest epoch appended to the WAL
 	snapLow  uint64 // epoch covered by the newest snapshot on disk
+	walFloor int64  // WAL size right after the last reset (carried user records)
 
 	failed     atomic.Pointer[error] // sticky first journal failure
 	compacting atomic.Bool
@@ -77,6 +79,9 @@ type StoreOptions struct {
 	KeepSnapshots int
 	// Logger receives compaction and recovery notes; nil disables logging.
 	Logger *log.Logger
+	// Users configures the per-user activity store the Store journals and
+	// recovers alongside the library (capacities; zero values are defaults).
+	Users UserStoreOptions
 }
 
 const defaultCompactAtWALBytes = 4 << 20
@@ -163,23 +168,53 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	if s.engine == nil {
 		s.engine = NewEngine()
 	}
+	s.users = NewUserStore(s.engine, opts.Users)
 
-	// Replay the WAL tail: only records beyond the adopted snapshot's epoch.
+	// Replay the WAL tail. Ingest batches apply only beyond the adopted
+	// snapshot's epoch; user records always apply (snapshots never cover user
+	// state) and replay in log order, so restart reproduces every history
+	// bit-identically — including append/delete interleavings.
 	base := s.engine.Epoch()
 	replayed := 0
 	validSize, err := wal.Replay(s.walPath(), func(payload []byte) error {
-		epoch, impls, err := decodeBatch(payload)
-		if err != nil {
-			return fmt.Errorf("goalrec: WAL record after epoch %d: %w", s.engine.Epoch(), err)
+		if len(payload) == 0 {
+			return fmt.Errorf("goalrec: empty WAL record after epoch %d", s.engine.Epoch())
 		}
-		s.walEpoch = epoch
-		if epoch <= base {
-			return nil // already covered by the snapshot
+		switch payload[0] {
+		case walKindBatch:
+			epoch, impls, err := decodeBatch(payload)
+			if err != nil {
+				return fmt.Errorf("goalrec: WAL record after epoch %d: %w", s.engine.Epoch(), err)
+			}
+			s.walEpoch = epoch
+			if epoch <= base {
+				return nil // already covered by the snapshot
+			}
+			if _, err := s.engine.AddImplementations(impls); err != nil {
+				return fmt.Errorf("goalrec: replaying WAL batch at epoch %d: %w", epoch, err)
+			}
+			return s.engine.restoreEpoch(epoch)
+		case walKindUserAppend:
+			id, names, err := decodeUserAppend(payload)
+			if err != nil {
+				return fmt.Errorf("goalrec: WAL user-append record: %w", err)
+			}
+			if err := s.users.applyReplayAppend(id, names); err != nil {
+				// Capacity may have been lowered since the record was written;
+				// dropping the user beats refusing to open the store.
+				s.logf("replaying user-append for %q: %v (skipped)", id, err)
+			}
+			return nil
+		case walKindUserDelete:
+			id, err := decodeUserDelete(payload)
+			if err != nil {
+				return fmt.Errorf("goalrec: WAL user-delete record: %w", err)
+			}
+			s.users.applyReplayDelete(id)
+			return nil
+		default:
+			return fmt.Errorf("goalrec: unknown WAL record kind %d", payload[0])
 		}
-		if _, err := s.engine.AddImplementations(impls); err != nil {
-			return fmt.Errorf("goalrec: replaying WAL batch at epoch %d: %w", epoch, err)
-		}
-		return s.engine.restoreEpoch(epoch)
 	})
 	if err != nil {
 		s.closeMaps()
@@ -199,12 +234,18 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	}
 	s.w = w
 	s.engine.setJournal(s)
+	s.users.setJournal(s)
 	return s, nil
 }
 
 // Engine returns the recovered engine. Its ingests and swaps are journaled
 // by this store for as long as the store stays open.
 func (s *Store) Engine() *Engine { return s.engine }
+
+// Users returns the WAL-backed per-user activity store recovered alongside
+// the engine. Appends and deletes are journaled for as long as the store
+// stays open; restart replays them so histories come back bit-identically.
+func (s *Store) Users() *UserStore { return s.users }
 
 // Err returns the sticky journal failure, or nil while the store is healthy.
 func (s *Store) Err() error {
@@ -233,13 +274,45 @@ func (s *Store) logBatch(epoch uint64, impls []Implementation) error {
 		return s.fail(fmt.Errorf("appending %d implementations at epoch %d: %w", len(impls), epoch, err))
 	}
 	s.walEpoch = epoch
-	if s.w.Size() >= s.opts.compactAt() && s.compacting.CompareAndSwap(false, true) {
+	s.maybeCompactLocked()
+	return nil
+}
+
+// maybeCompactLocked kicks a background compaction once the WAL grows
+// compactAt bytes past its floor. The floor is the size right after the last
+// reset — compaction carries every user record forward, so measuring growth
+// from zero would re-trigger immediately on a user-heavy log.
+func (s *Store) maybeCompactLocked() {
+	if s.w.Size() >= s.walFloor+s.opts.compactAt() && s.compacting.CompareAndSwap(false, true) {
 		s.compactWG.Add(1)
 		go func() {
 			defer s.compactWG.Done()
 			s.compact()
 		}()
 	}
+}
+
+// logUserAppend implements userJournal: append-before-apply under the user's
+// lock, exactly like ingest batches under the engine's writer lock.
+func (s *Store) logUserAppend(id string, names []string) error {
+	return s.logUserRecord(encodeUserAppend(id, names))
+}
+
+// logUserDelete implements userJournal.
+func (s *Store) logUserDelete(id string) error {
+	return s.logUserRecord(encodeUserDelete(id))
+}
+
+func (s *Store) logUserRecord(payload []byte) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Append(payload); err != nil {
+		return s.fail(fmt.Errorf("appending user record: %w", err))
+	}
+	s.maybeCompactLocked()
 	return nil
 }
 
@@ -289,17 +362,26 @@ func (s *Store) snapshotAndReset(lib *Library) error {
 	if epoch < s.snapLow {
 		return nil // a newer snapshot already landed; keep its log
 	}
-	// Carry forward any batches the snapshot does not cover.
+	// Carry forward what the snapshot does not cover: ingest batches beyond
+	// its epoch, and every user record — snapshots hold only the library, so
+	// user appends/deletes stay in the log (in order) until they are replayed
+	// by the next open.
 	var tail [][]byte
-	if s.walEpoch > epoch {
-		if _, err := wal.Replay(s.walPath(), func(payload []byte) error {
+	if _, err := wal.Replay(s.walPath(), func(payload []byte) error {
+		if len(payload) == 0 {
+			return nil
+		}
+		switch payload[0] {
+		case walKindBatch:
 			if e, _, err := decodeBatch(payload); err == nil && e > epoch {
 				tail = append(tail, append([]byte(nil), payload...))
 			}
-			return nil
-		}); err != nil {
-			return err
+		case walKindUserAppend, walKindUserDelete:
+			tail = append(tail, append([]byte(nil), payload...))
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	if err := s.w.Close(); err != nil {
 		return err
@@ -315,6 +397,7 @@ func (s *Store) snapshotAndReset(lib *Library) error {
 		}
 	}
 	s.w = w
+	s.walFloor = w.Size()
 	s.snapLow = epoch
 	s.pruneSnapshotsLocked(epoch)
 	return nil
@@ -374,7 +457,20 @@ func (s *Store) closeMaps() {
 //	  per impl: uvarint len(goal) | goal | uvarint nActions |
 //	    per action: uvarint len(name) | name
 
-const walKindBatch = 1
+// User records ride the same log:
+//
+//	kind (1 byte, 2 = user-append) | uvarint len(id) | id |
+//	  uvarint nNames | per name: uvarint len(name) | name
+//	kind (1 byte, 3 = user-delete) | uvarint len(id) | id
+//
+// Appends carry the post-dedup suffix, so replaying them through
+// User.AppendNames reproduces the history bit-identically; deletes must stay
+// ordered after the appends they erase, which log order guarantees.
+const (
+	walKindBatch      = 1
+	walKindUserAppend = 2
+	walKindUserDelete = 3
+)
 
 func appendUvarint(dst []byte, v uint64) []byte {
 	var tmp [binary.MaxVarintLen64]byte
@@ -465,4 +561,53 @@ func decodeBatch(payload []byte) (uint64, []Implementation, error) {
 		impls = append(impls, impl)
 	}
 	return epoch, impls, nil
+}
+
+func encodeUserAppend(id string, names []string) []byte {
+	out := []byte{walKindUserAppend}
+	out = appendString(out, id)
+	out = appendUvarint(out, uint64(len(names)))
+	for _, n := range names {
+		out = appendString(out, n)
+	}
+	return out
+}
+
+func decodeUserAppend(payload []byte) (string, []string, error) {
+	if len(payload) == 0 || payload[0] != walKindUserAppend {
+		return "", nil, fmt.Errorf("not a user-append record")
+	}
+	d := &batchDecoder{b: payload[1:]}
+	id, err := d.str()
+	if err != nil {
+		return "", nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(d.b)) { // every name takes ≥ 1 byte
+		return "", nil, fmt.Errorf("implausible name count %d", n)
+	}
+	names := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := d.str()
+		if err != nil {
+			return "", nil, err
+		}
+		names = append(names, name)
+	}
+	return id, names, nil
+}
+
+func encodeUserDelete(id string) []byte {
+	return appendString([]byte{walKindUserDelete}, id)
+}
+
+func decodeUserDelete(payload []byte) (string, error) {
+	if len(payload) == 0 || payload[0] != walKindUserDelete {
+		return "", fmt.Errorf("not a user-delete record")
+	}
+	d := &batchDecoder{b: payload[1:]}
+	return d.str()
 }

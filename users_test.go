@@ -1,0 +1,425 @@
+package goalrec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"goalrec/internal/wal"
+)
+
+// allStrategies is every goal-based strategy, the set the user-store oracle
+// checks bit-identity over.
+var allStrategies = []Strategy{FocusCompleteness, FocusCloseness, Breadth, BestMatch}
+
+// userOracle computes the from-scratch ranking the materialized view must
+// reproduce: the same history POSTed as a plain activity against the same
+// engine snapshot.
+func userOracle(t *testing.T, e *Engine, s Strategy, history []string, k int) []Recommendation {
+	t.Helper()
+	rec, err := e.Recommender(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Recommend(history, k)
+}
+
+// checkUserOracle asserts every strategy's materialized-view ranking equals
+// the from-scratch oracle for the user's history.
+func checkUserOracle(t *testing.T, e *Engine, us *UserStore, id string) {
+	t.Helper()
+	history, err := us.History(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range allStrategies {
+		res, err := us.Recommend(context.Background(), id, s, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		want := userOracle(t, e, s, history, 10)
+		if !reflect.DeepEqual(res.Recommendations, want) {
+			t.Fatalf("%s: materialized ranking diverged for %q (h=%v):\ngot  %v\nwant %v",
+				s, id, history, res.Recommendations, want)
+		}
+	}
+}
+
+// TestUserStoreOracle drives the full view lifecycle — cold build, hits,
+// incremental appends, same-lineage advances after ingests, rebuild after a
+// swap — and pins bit-identity against from-scratch scoring at every step.
+func TestUserStoreOracle(t *testing.T) {
+	e := NewEngine()
+	storeIngest(t, e, 0, 50)
+	us := NewUserStore(e, UserStoreOptions{})
+
+	if _, err := us.Append("u1", []string{"act-1", "act-7"}); err != nil {
+		t.Fatal(err)
+	}
+	checkUserOracle(t, e, us, "u1") // cold build
+	checkUserOracle(t, e, us, "u1") // hit
+
+	// Incremental append onto the live view, with a duplicate and an
+	// unresolvable name.
+	added, err := us.Append("u1", []string{"act-7", "act-13", "unseen-action"})
+	if err != nil || added != 2 {
+		t.Fatalf("append = %d, %v", added, err)
+	}
+	checkUserOracle(t, e, us, "u1")
+	res, err := us.Recommend(context.Background(), "u1", Breadth, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.UnknownActions, []string{"unseen-action"}) {
+		t.Fatalf("unknown = %v", res.UnknownActions)
+	}
+
+	// Same-lineage ingest: the view advances along the appended posting rows.
+	storeIngest(t, e, 50, 30)
+	checkUserOracle(t, e, us, "u1")
+
+	// Swap: new lineage, ids reshuffle, the view must rebuild.
+	b := NewBuilder()
+	for i := 0; i < 40; i++ {
+		if err := b.AddImplementation(fmt.Sprintf("goal-%d", i%9),
+			fmt.Sprintf("act-%d", (i*3)%20), fmt.Sprintf("act-%d", (i*11)%20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Swap(b.Build())
+	checkUserOracle(t, e, us, "u1")
+
+	st := us.Stats()
+	if st.Cold != 1 || st.Rebuilds != 1 || st.Advances != 1 || st.Hits < 1 {
+		t.Fatalf("lifecycle counters = %+v", st)
+	}
+
+	// Delete forgets the user.
+	if err := us.Delete("u1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := us.Recommend(context.Background(), "u1", Breadth, 10); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("recommend after delete: %v", err)
+	}
+	if err := us.Delete("u1"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("second delete: %v", err)
+	}
+}
+
+// TestUserStoreWALRecovery interleaves ingest batches, user appends, and a
+// user delete, restarts the store, and asserts user histories and every
+// strategy's rankings come back bit-identical.
+func TestUserStoreWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, us := s.Engine(), s.Users()
+
+	storeIngest(t, e, 0, 20)
+	mustAppend := func(id string, names ...string) {
+		t.Helper()
+		if _, err := us.Append(id, names); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend("alice", "act-1", "act-7")
+	storeIngest(t, e, 20, 15)
+	mustAppend("bob", "act-2")
+	mustAppend("alice", "act-13", "act-1") // one dup, one new
+	mustAppend("carol", "act-3", "act-5")
+	if err := us.Delete("bob"); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend("bob", "act-9") // recreated after delete: only the new history
+	storeIngest(t, e, 35, 10)
+
+	type userState struct {
+		history  []string
+		rankings map[Strategy][]Recommendation
+	}
+	capture := func(e *Engine, us *UserStore) map[string]userState {
+		out := make(map[string]userState)
+		for _, id := range []string{"alice", "bob", "carol"} {
+			h, err := us.History(id)
+			if err != nil {
+				t.Fatalf("history %q: %v", id, err)
+			}
+			rk := make(map[Strategy][]Recommendation)
+			for _, strat := range allStrategies {
+				res, err := us.Recommend(context.Background(), id, strat, 10)
+				if err != nil {
+					t.Fatalf("recommend %q/%s: %v", id, strat, err)
+				}
+				rk[strat] = res.Recommendations
+			}
+			out[id] = userState{history: h, rankings: rk}
+		}
+		return out
+	}
+	want := capture(e, us)
+	if want["bob"].history[0] != "act-9" || len(want["bob"].history) != 1 {
+		t.Fatalf("bob's recreated history = %v", want["bob"].history)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.Users().Len(); n != 3 {
+		t.Fatalf("users after restart = %d", n)
+	}
+	if got := capture(s2.Engine(), s2.Users()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("user state changed across restart:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Each recovered user also still matches the from-scratch oracle.
+	for _, id := range []string{"alice", "bob", "carol"} {
+		checkUserOracle(t, s2.Engine(), s2.Users(), id)
+	}
+	// The recovered store keeps journaling: append, restart again, verify.
+	if _, err := s2.Users().Append("alice", []string{"act-11"}); err != nil {
+		t.Fatal(err)
+	}
+	wantAlice, _ := s2.Users().History("alice")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got, _ := s3.Users().History("alice"); !reflect.DeepEqual(got, wantAlice) {
+		t.Fatalf("post-restart append lost: %v vs %v", got, wantAlice)
+	}
+}
+
+// TestUserStoreCompactionCarriesUsers compacts a store whose WAL holds user
+// records and asserts they survive: the snapshot covers only the library, so
+// compaction must carry every user record into the fresh log.
+func TestUserStoreCompactionCarriesUsers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeIngest(t, s.Engine(), 0, 30)
+	if _, err := s.Users().Append("u", []string{"act-1", "act-7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Users().Delete("gone"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatal("delete of unknown user must not journal")
+	}
+	if _, err := s.Users().Append("v", []string{"act-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction appends land after the carried records.
+	if _, err := s.Users().Append("u", []string{"act-13"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, _ := s2.Users().History("u"); !reflect.DeepEqual(got, []string{"act-1", "act-7", "act-13"}) {
+		t.Fatalf("u's history after compaction+restart = %v", got)
+	}
+	if got, _ := s2.Users().History("v"); !reflect.DeepEqual(got, []string{"act-2"}) {
+		t.Fatalf("v's history after compaction+restart = %v", got)
+	}
+	checkUserOracle(t, s2.Engine(), s2.Users(), "u")
+}
+
+// TestUserStoreWALTruncationEveryOffset interleaves ingest batches with user
+// appends and deletes, then truncates the WAL at EVERY byte offset and
+// reopens: each cut must recover exactly the state of the complete-record
+// prefix — library epoch consistent with its batches, user histories equal
+// to replaying the surviving user records in order.
+func TestUserStoreWALTruncationEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeIngest(t, s.Engine(), 0, 3)
+	mustAppend := func(id string, names ...string) {
+		t.Helper()
+		if _, err := s.Users().Append(id, names); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend("a", "act-1", "act-7")
+	storeIngest(t, s.Engine(), 3, 2)
+	mustAppend("b", "act-2")
+	mustAppend("a", "act-13")
+	if err := s.Users().Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	storeIngest(t, s.Engine(), 5, 2)
+	mustAppend("b", "act-5")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := os.ReadFile(filepath.Join(dir, "ingest.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		cutDir := t.TempDir()
+		cutWAL := filepath.Join(cutDir, "ingest.wal")
+		if err := os.WriteFile(cutWAL, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// Expected state: replay the truncated file's intact records directly.
+		wantEpoch := uint64(0)
+		wantImpls := 0
+		wantUsers := make(map[string][]string)
+		if _, err := wal.Replay(cutWAL, func(payload []byte) error {
+			switch payload[0] {
+			case walKindBatch:
+				epoch, impls, err := decodeBatch(payload)
+				if err != nil {
+					return err
+				}
+				wantEpoch = epoch
+				wantImpls += len(impls)
+			case walKindUserAppend:
+				id, names, err := decodeUserAppend(payload)
+				if err != nil {
+					return err
+				}
+				wantUsers[id] = append(wantUsers[id], names...)
+			case walKindUserDelete:
+				id, err := decodeUserDelete(payload)
+				if err != nil {
+					return err
+				}
+				delete(wantUsers, id)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("cut %d: manual replay: %v", cut, err)
+		}
+
+		cs, err := OpenStore(cutDir, StoreOptions{})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if got := cs.Engine().Epoch(); got != wantEpoch {
+			t.Fatalf("cut %d: epoch = %d, want %d", cut, got, wantEpoch)
+		}
+		if got := cs.Engine().Len(); got != wantImpls {
+			t.Fatalf("cut %d: impls = %d, want %d", cut, got, wantImpls)
+		}
+		if got := cs.Users().Len(); got != len(wantUsers) {
+			t.Fatalf("cut %d: users = %d, want %d", cut, got, len(wantUsers))
+		}
+		for id, names := range wantUsers {
+			got, err := cs.Users().History(id)
+			if err != nil {
+				t.Fatalf("cut %d: history %q: %v", cut, id, err)
+			}
+			if !reflect.DeepEqual(got, names) {
+				t.Fatalf("cut %d: history %q = %v, want %v", cut, id, got, names)
+			}
+		}
+		cs.Close()
+	}
+}
+
+// TestUserRecommendDuringSwap races queries and appends against repeated
+// Swaps. Every returned ranking must equal the from-scratch oracle of ONE of
+// the two libraries — a mix (stale counters scored against new postings)
+// matches neither. Run under -race this also pins the locking protocol.
+func TestUserRecommendDuringSwap(t *testing.T) {
+	build := func(shift int) *Library {
+		b := NewBuilder()
+		for i := 0; i < 30; i++ {
+			if err := b.AddImplementation(fmt.Sprintf("goal-%d", (i+shift)%7),
+				fmt.Sprintf("act-%d", (i*3+shift)%12), fmt.Sprintf("act-%d", (i*5)%12),
+				fmt.Sprintf("act-%d", (i*7+2*shift)%12)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Build()
+	}
+	libA, libB := build(0), build(1)
+	e := NewEngineFromLibrary(libA)
+	us := NewUserStore(e, UserStoreOptions{})
+
+	history := []string{"act-1", "act-3", "act-5"}
+	if _, err := us.Append("u", history); err != nil {
+		t.Fatal(err)
+	}
+	// Oracles per library, computed on isolated engines so the racing engine's
+	// recommender sets stay untouched.
+	type oracle map[Strategy][]Recommendation
+	oracleFor := func(lib *Library) oracle {
+		o := make(oracle)
+		oe := NewEngineFromLibrary(lib)
+		for _, s := range allStrategies {
+			o[s] = userOracle(t, oe, s, history, 10)
+		}
+		return o
+	}
+	oa, ob := oracleFor(libA), oracleFor(libB)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				e.Swap(libB)
+			} else {
+				e.Swap(libA)
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				s := allStrategies[(w+i)%len(allStrategies)]
+				res, err := us.Recommend(context.Background(), "u", s, 10)
+				if err != nil {
+					t.Errorf("recommend: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(res.Recommendations, oa[s]) && !reflect.DeepEqual(res.Recommendations, ob[s]) {
+					t.Errorf("%s: ranking matches neither library's oracle: %v", s, res.Recommendations)
+					return
+				}
+			}
+		}(w)
+	}
+	close(stop)
+	wg.Wait()
+}
