@@ -35,7 +35,17 @@
 // -library then becomes an optional seed, used only when the directory is
 // empty. -wal-sync fsyncs each WAL append; -compact-wal-bytes sets the WAL
 // size that triggers background compaction into a fresh snapshot;
-// -snapshot-compress writes snapshots with block-compressed postings.
+// -snapshot-compress writes snapshots with block-compressed postings;
+// -scrub-interval re-verifies snapshot checksums and WAL frame CRCs
+// periodically, quarantining corrupt snapshots (renamed to *.quarantine,
+// never deleted) and falling back a generation.
+//
+// Storage faults degrade the store instead of killing it: a persistent
+// write failure flips it read-only — ingests and user writes answer 503
+// with Retry-After while reads keep serving — and a background write probe
+// restores writes automatically once the disk heals. /readyz reports
+// "degraded" (still 200) and both /readyz and /v1/metrics carry a "storage"
+// block with the mode, last error and quarantined files.
 //
 // -request-timeout bounds every request (504 on expiry) and -max-inflight
 // caps concurrent expensive requests, shedding the excess as 503 +
@@ -91,6 +101,7 @@ func run() error {
 	walSync := flag.Bool("wal-sync", false, "fsync every WAL append (needs -snapshot-dir)")
 	compactWALBytes := flag.Int64("compact-wal-bytes", 0, "WAL size that triggers background compaction into a snapshot; 0 selects the default (needs -snapshot-dir)")
 	snapshotCompress := flag.Bool("snapshot-compress", false, "write snapshots with block-compressed posting lists (needs -snapshot-dir)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "re-verify snapshot checksums and WAL CRCs at this interval, quarantining corrupt snapshots; 0 disables the periodic scrub (needs -snapshot-dir; the open-time scrub always runs)")
 	userCapacity := flag.Int("user-capacity", 0, "max tracked users in the per-user store; 0 selects the default")
 	userViews := flag.Int("user-views", 0, "max concurrently materialized per-user counter views; 0 selects the default")
 	flag.Parse()
@@ -146,6 +157,7 @@ func run() error {
 			SyncWAL:           *walSync,
 			CompactAtWALBytes: *compactWALBytes,
 			CompressPostings:  *snapshotCompress,
+			ScrubInterval:     *scrubInterval,
 			Logger:            logger,
 			Users:             userOpts,
 		})
@@ -172,7 +184,7 @@ func run() error {
 		if n := store.Users().Len(); n > 0 {
 			logger.Printf("recovered %d users from the WAL", n)
 		}
-		opts = append(opts, server.WithUserStore(store.Users()))
+		opts = append(opts, server.WithUserStore(store.Users()), server.WithStore(store))
 		api = server.NewFromEngine(engine, reqLogger, opts...)
 	} else {
 		lib, err := loadLib(*libPath)

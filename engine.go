@@ -136,7 +136,7 @@ func (e *Engine) AddImplementations(impls []Implementation) (int, error) {
 	}
 	if e.journal != nil {
 		if err := e.journal.logBatch(e.dyn.Epoch()+1, impls[:valid]); err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrJournal, err)
+			return 0, fmt.Errorf("%w: %w", ErrJournal, err)
 		}
 	}
 	added := 0

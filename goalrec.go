@@ -832,7 +832,7 @@ func OpenSnapshotFile(path string) (*Snapshot, error) {
 	}
 	vocab := snap.Vocabulary()
 	if vocab == nil {
-		snap.Close()
+		_ = snap.Close()
 		return nil, fmt.Errorf("goalrec: snapshot %s carries no vocabulary", path)
 	}
 	return &Snapshot{lib: &Library{lib: snap.Library(), vocab: vocab}, snap: snap}, nil

@@ -4,14 +4,15 @@ package core
 
 import (
 	"io"
-	"os"
+
+	"goalrec/internal/faultfs"
 )
 
 // mmapFile on platforms without a memory-mapping syscall surface falls back
 // to reading the whole file; the zero-copy section views then alias the heap
 // buffer instead of a mapping, preserving the format contract (not the
 // page-in cost profile).
-func mmapFile(f *os.File) ([]byte, func() error, error) {
+func mmapFile(f faultfs.File) ([]byte, func() error, error) {
 	data, err := io.ReadAll(f)
 	if err != nil {
 		return nil, nil, err

@@ -4,13 +4,14 @@ package core
 
 import (
 	"fmt"
-	"os"
 	"syscall"
+
+	"goalrec/internal/faultfs"
 )
 
 // mmapFile maps f read-only and returns the mapping plus its release
 // function. Empty files map to a nil slice with a no-op release.
-func mmapFile(f *os.File) ([]byte, func() error, error) {
+func mmapFile(f faultfs.File) ([]byte, func() error, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, nil, err

@@ -9,6 +9,8 @@ import (
 	"math"
 	"os"
 	"unsafe"
+
+	"goalrec/internal/faultfs"
 )
 
 // The zero-copy snapshot format (see DESIGN.md, "Snapshot format & WAL"): a
@@ -44,6 +46,15 @@ const (
 
 	// snapMaxName bounds one vocabulary name, mirroring the named codec.
 	snapMaxName = 1 << 16
+
+	// snapFooterMagic introduces the optional 8-byte whole-file checksum
+	// footer ("GSUM" read little-endian) appended after the last section:
+	// magic | u32 crc32(everything before the footer). The open path never
+	// reads it — opening stays O(header) — but the scrubber uses it to
+	// detect silent at-rest corruption anywhere in the file, which the
+	// header CRC (header + section table only) cannot see.
+	snapFooterMagic = uint32(0x4d555347)
+	snapFooterSize  = 8
 )
 
 // Header flag bits.
@@ -141,6 +152,7 @@ type SnapshotOptions struct {
 type snapWriter struct {
 	w   *bufio.Writer
 	off uint64
+	crc uint32 // running crc32 of every byte written, for the footer
 	err error
 }
 
@@ -149,6 +161,7 @@ func (sw *snapWriter) write(b []byte) {
 		return
 	}
 	n, err := sw.w.Write(b)
+	sw.crc = crc32.Update(sw.crc, crc32.IEEETable, b[:n])
 	sw.off += uint64(n)
 	sw.err = err
 }
@@ -439,24 +452,113 @@ func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOpti
 			return fmt.Errorf("core: snapshot section %d wrote %d bytes, want %d", secs[i].id, sw.off-secs[i].off, want-secs[i].off)
 		}
 	}
+	// Whole-file checksum footer: everything written so far, sealed.
+	var footer [snapFooterSize]byte
+	binary.LittleEndian.PutUint32(footer[0:], snapFooterMagic)
+	binary.LittleEndian.PutUint32(footer[4:], sw.crc)
+	sw.write(footer[:])
 	if sw.err != nil {
 		return fmt.Errorf("core: writing snapshot: %w", sw.err)
 	}
 	return sw.w.Flush()
 }
 
+// VerifySnapshotChecksum checks the whole-file checksum footer of a snapshot
+// image: every byte of the file, not just the header, must match the CRC the
+// writer sealed it with. It returns ErrNoChecksum for a (pre-footer) image
+// without one — the caller then falls back to structural verification.
+func VerifySnapshotChecksum(data []byte) error {
+	secs, _, err := snapshotSections(data)
+	if err != nil {
+		return err
+	}
+	var end uint64
+	for _, s := range secs {
+		if e := s.off + s.count*uint64(s.elem); e > end {
+			end = e
+		}
+	}
+	if end+snapFooterSize > uint64(len(data)) {
+		return ErrNoChecksum
+	}
+	footer := data[end : end+snapFooterSize]
+	if binary.LittleEndian.Uint32(footer[0:]) != snapFooterMagic {
+		return ErrNoChecksum
+	}
+	want := binary.LittleEndian.Uint32(footer[4:])
+	if got := crc32.ChecksumIEEE(data[:end]); got != want {
+		return fmt.Errorf("core: snapshot checksum mismatch (%#x != %#x)", got, want)
+	}
+	return nil
+}
+
+// ErrNoChecksum reports a snapshot written before the whole-file checksum
+// footer existed; its integrity can still be checked structurally with
+// VerifySnapshot.
+var ErrNoChecksum = fmt.Errorf("core: snapshot has no checksum footer")
+
+// ErrCorruptSnapshot wraps every verification failure ScrubSnapshotFile
+// reports — proof that the bytes at rest are not what the writer sealed.
+// I/O errors reading the file are returned bare: they prove nothing about
+// the data and must not trigger quarantine.
+var ErrCorruptSnapshot = fmt.Errorf("core: snapshot corrupt")
+
+// ScrubSnapshotFile re-reads the snapshot at path in full and verifies its
+// whole-file checksum footer; a legacy image without one is verified
+// structurally instead (deep CSR invariants). A nil return means every byte
+// of the file is what the writer sealed; a verification failure comes back
+// wrapping ErrCorruptSnapshot, anything else is an I/O error. This is the
+// scrubber's primitive — deliberately a fresh read, not a check of an
+// already-open mapping, so it catches at-rest corruption the page cache
+// would hide.
+func ScrubSnapshotFile(fsys faultfs.FS, path string) error {
+	fsys = faultfs.Or(fsys)
+	f, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	data, rerr := io.ReadAll(f)
+	cerr := f.Close()
+	if rerr != nil {
+		return rerr
+	}
+	if cerr != nil {
+		return cerr
+	}
+	err = VerifySnapshotChecksum(data)
+	if err == ErrNoChecksum {
+		s, oerr := OpenSnapshotBytes(data)
+		if oerr != nil {
+			return fmt.Errorf("%w: %w", ErrCorruptSnapshot, oerr)
+		}
+		err = VerifySnapshot(s)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrCorruptSnapshot, err)
+	}
+	return nil
+}
+
 // WriteSnapshotFile writes the snapshot to path atomically: a same-directory
-// temp file is written, synced, and renamed into place.
+// temp file is written, synced, renamed into place, and the directory is
+// fsynced so the rename itself survives power loss.
 func WriteSnapshotFile(path string, l *Library, vocab *Vocabulary, opts SnapshotOptions) (err error) {
-	f, err := os.CreateTemp(filepathDir(path), ".snap-*.tmp")
+	return WriteSnapshotFileFS(faultfs.OS, path, l, vocab, opts)
+}
+
+// WriteSnapshotFileFS is WriteSnapshotFile over an explicit filesystem
+// (fault injection; see internal/faultfs).
+func WriteSnapshotFileFS(fsys faultfs.FS, path string, l *Library, vocab *Vocabulary, opts SnapshotOptions) (err error) {
+	dir := filepathDir(path)
+	f, err := fsys.CreateTemp(dir, ".snap-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	defer func() {
 		if err != nil {
-			f.Close()
-			os.Remove(tmp)
+			_ = f.Close()
+			_ = fsys.Remove(tmp)
 		}
 	}()
 	if err = WriteSnapshot(f, l, vocab, opts); err != nil {
@@ -468,7 +570,10 @@ func WriteSnapshotFile(path string, l *Library, vocab *Vocabulary, opts Snapshot
 	if err = f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err = fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 // filepathDir is filepath.Dir without importing path/filepath for one call.
@@ -517,7 +622,15 @@ func (s *Snapshot) Close() error {
 // sections), not O(library) — so a snapshot of any size opens in page-in
 // time. Deep content validation is available via VerifySnapshot.
 func OpenSnapshot(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	return OpenSnapshotFS(faultfs.OS, path)
+}
+
+// OpenSnapshotFS is OpenSnapshot over an explicit filesystem (fault
+// injection; see internal/faultfs). Reads served from the resulting mapping
+// bypass the filesystem by construction; only the open itself is
+// injectable.
+func OpenSnapshotFS(fsys faultfs.FS, path string) (*Snapshot, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

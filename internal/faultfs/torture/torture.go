@@ -1,0 +1,358 @@
+// Package torture is the crash-point torture harness for the store's
+// persistence stack. A clean run of a realistic workload — ingest batches,
+// user appends and deletes, explicit compactions, restarts — is traced
+// through the fault-injecting filesystem to enumerate every I/O site it
+// touches. The workload is then re-run once per site with that single
+// operation failing (EIO), and once per site with the filesystem crashing at
+// it (every later operation dead, written data surviving — the process-crash
+// model). After each run the torture store is reopened on a clean filesystem
+// and must recover to exactly the state of a reference store built by
+// replaying the acknowledged operations: same epoch, same library, same
+// rankings bit-for-bit, same user histories.
+//
+// The only tolerated divergence is the one operation that was in flight when
+// the fault hit: its WAL frame may have landed in full before the error
+// surfaced, in which case replay legitimately applies it. Recovery must
+// therefore match ref(acked) or ref(acked + in-flight) — nothing else. An
+// acknowledged write missing from recovery, or a write appearing that was
+// neither acked nor in flight, fails the sweep.
+package torture
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"goalrec"
+	"goalrec/internal/faultfs"
+)
+
+// Mutation kinds.
+const (
+	mutIngest = iota
+	mutUserAppend
+	mutUserDelete
+)
+
+// Structural step kinds.
+const (
+	actMut = iota
+	actCompact
+	actRestart
+)
+
+// A step is one workload action. Mutations carry their payload so the
+// reference replay can re-apply exactly the acknowledged subset.
+type step struct {
+	name string
+	kind int // actMut, actCompact, actRestart
+	mut  int // mutation kind, for actMut
+	impl []goalrec.Implementation
+	user string
+	acts []string
+}
+
+// batch builds n deterministic implementations over a small shared
+// vocabulary, mirroring the store tests' corpus so posting lists overlap and
+// rankings are non-trivial.
+func batch(start, n int) []goalrec.Implementation {
+	impls := make([]goalrec.Implementation, n)
+	for i := range impls {
+		id := start + i
+		impls[i] = goalrec.Implementation{
+			Goal: fmt.Sprintf("goal-%d", id%17),
+			Actions: []string{
+				fmt.Sprintf("act-%d", id%29),
+				fmt.Sprintf("act-%d", (id*7)%29),
+				fmt.Sprintf("act-%d", (id*13)%41),
+			},
+		}
+	}
+	return impls
+}
+
+// script is the torture workload: enough ingest to matter, user records
+// interleaved with deletes, two compactions (so two snapshot generations
+// exist and WAL rotation runs twice), and two restarts (so recovery itself
+// is inside the fault envelope).
+func script() []step {
+	return []step{
+		{name: "ingest-a", kind: actMut, mut: mutIngest, impl: batch(0, 8)},
+		{name: "ingest-b", kind: actMut, mut: mutIngest, impl: batch(8, 6)},
+		{name: "u1-append", kind: actMut, mut: mutUserAppend, user: "u1", acts: []string{"act-1", "act-2"}},
+		{name: "compact-1", kind: actCompact},
+		{name: "ingest-c", kind: actMut, mut: mutIngest, impl: batch(14, 7)},
+		{name: "u2-append", kind: actMut, mut: mutUserAppend, user: "u2", acts: []string{"act-3", "act-7"}},
+		{name: "u1-delete", kind: actMut, mut: mutUserDelete, user: "u1"},
+		{name: "restart-1", kind: actRestart},
+		{name: "ingest-d", kind: actMut, mut: mutIngest, impl: batch(21, 5)},
+		{name: "compact-2", kind: actCompact},
+		{name: "ingest-e", kind: actMut, mut: mutIngest, impl: batch(26, 4)},
+		{name: "u1-append-2", kind: actMut, mut: mutUserAppend, user: "u1", acts: []string{"act-5"}},
+		{name: "restart-2", kind: actRestart},
+		{name: "ingest-f", kind: actMut, mut: mutIngest, impl: batch(30, 3)},
+	}
+}
+
+// storeOpts pins every background knob so the clean run's operation sequence
+// is deterministic: no auto-compaction, no periodic scrub, and a probe
+// cadence that never fires inside a run.
+func storeOpts(fsys faultfs.FS, syncWAL bool) goalrec.StoreOptions {
+	return goalrec.StoreOptions{
+		FS:                fsys,
+		SyncWAL:           syncWAL,
+		CompactAtWALBytes: 1 << 40,
+		ProbeInterval:     time.Hour,
+		RecoverAfter:      1 << 20,
+	}
+}
+
+// applyMut applies one mutation to a live store, returning the store's
+// verdict — nil means the write was acknowledged.
+func applyMut(st *goalrec.Store, sp step) error {
+	switch sp.mut {
+	case mutIngest:
+		_, err := st.Engine().AddImplementations(sp.impl)
+		return err
+	case mutUserAppend:
+		_, err := st.Users().Append(sp.user, sp.acts)
+		return err
+	default:
+		return st.Users().Delete(sp.user)
+	}
+}
+
+// fingerprint is the bit-level identity of a recovered store: epoch, library
+// size, full rankings under every strategy, and each user's history. Two
+// stores with equal fingerprints are indistinguishable to every read path
+// the engine serves.
+type fingerprint struct {
+	Epoch uint64
+	Len   int
+	Rank  map[goalrec.Strategy][]goalrec.Recommendation
+	Users map[string][]string
+}
+
+func takeFingerprint(st *goalrec.Store) (*fingerprint, error) {
+	e := st.Engine()
+	fp := &fingerprint{
+		Epoch: e.Epoch(),
+		Len:   e.Len(),
+		Rank:  map[goalrec.Strategy][]goalrec.Recommendation{},
+		Users: map[string][]string{},
+	}
+	if fp.Len > 0 {
+		activity := []string{"act-1", "act-7", "act-13"}
+		for _, s := range []goalrec.Strategy{goalrec.FocusCompleteness, goalrec.FocusCloseness, goalrec.Breadth, goalrec.BestMatch} {
+			rec, err := e.Recommender(s)
+			if err != nil {
+				return nil, fmt.Errorf("recommender %s: %w", s, err)
+			}
+			fp.Rank[s] = rec.Recommend(activity, 10)
+		}
+	}
+	for _, id := range []string{"u1", "u2"} {
+		if h, err := st.Users().History(id); err == nil {
+			fp.Users[id] = h
+		}
+	}
+	return fp, nil
+}
+
+// runResult is what one faulted workload run produced: which script indices
+// were acknowledged, and which single mutation (if any) was in flight when
+// the fault surfaced — the step that may legitimately appear in recovery
+// despite never being acked.
+type runResult struct {
+	acked    []int
+	inFlight int // script index, -1 when no mutation was in flight
+}
+
+// runWorkload executes the script over fsys in dir, absorbing every error
+// the way a real caller would: a rejected write is simply not acked, a
+// failed compaction is retried never (the next one covers it), a failed
+// restart-open aborts the rest (the process is gone). The error verdicts
+// are recorded, never fatal — the invariants are checked after recovery.
+func runWorkload(dir string, fsys faultfs.FS, syncWAL bool) runResult {
+	res := runResult{inFlight: -1}
+	st, err := goalrec.OpenStore(dir, storeOpts(fsys, syncWAL))
+	if err != nil {
+		return res
+	}
+	defer func() {
+		if st != nil {
+			_ = st.Close()
+		}
+	}()
+	for i, sp := range script() {
+		switch sp.kind {
+		case actCompact:
+			_ = st.Compact()
+		case actRestart:
+			_ = st.Close()
+			st, err = goalrec.OpenStore(dir, storeOpts(fsys, syncWAL))
+			if err != nil {
+				st = nil
+				return res
+			}
+		default:
+			healthyBefore := st.Status().Mode == goalrec.StorageHealthy
+			if err := applyMut(st, sp); err != nil {
+				// Only a mutation that found the store healthy can have
+				// reached the log; one rejected at the read-only gate never
+				// touched disk and cannot appear in recovery.
+				if healthyBefore && res.inFlight < 0 {
+					res.inFlight = i
+				}
+				continue
+			}
+			res.acked = append(res.acked, i)
+		}
+	}
+	return res
+}
+
+// harness caches reference fingerprints by acked-set, since many sites fail
+// after the workload's last mutation and share one reference.
+type harness struct {
+	t     *testing.T
+	sync  bool
+	steps []step
+	refs  map[string]*fingerprint
+}
+
+// ref replays exactly the script indices in acked (in order) against a clean
+// store and fingerprints the result.
+func (h *harness) ref(acked []int) *fingerprint {
+	key := fmt.Sprint(acked)
+	if fp, ok := h.refs[key]; ok {
+		return fp
+	}
+	dir, err := os.MkdirTemp("", "torture-ref-*")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := goalrec.OpenStore(dir, storeOpts(nil, h.sync))
+	if err != nil {
+		h.t.Fatalf("ref open: %v", err)
+	}
+	for _, i := range acked {
+		if err := applyMut(st, h.steps[i]); err != nil {
+			h.t.Fatalf("ref replay of %s: %v", h.steps[i].name, err)
+		}
+	}
+	fp, err := takeFingerprint(st)
+	if err != nil {
+		h.t.Fatalf("ref fingerprint: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		h.t.Fatalf("ref close: %v", err)
+	}
+	h.refs[key] = fp
+	return fp
+}
+
+// withInFlight returns acked with the in-flight index spliced in at its
+// script position.
+func withInFlight(acked []int, inFlight int) []int {
+	out := make([]int, 0, len(acked)+1)
+	done := false
+	for _, i := range acked {
+		if !done && inFlight < i {
+			out = append(out, inFlight)
+			done = true
+		}
+		out = append(out, i)
+	}
+	if !done {
+		out = append(out, inFlight)
+	}
+	return out
+}
+
+// checkRecovery reopens the torture directory on a clean filesystem and
+// asserts the recovery invariants against the reference states.
+func (h *harness) checkRecovery(dir string, res runResult, label string) {
+	st, err := goalrec.OpenStore(dir, storeOpts(nil, h.sync))
+	if err != nil {
+		h.t.Fatalf("%s: store did not reopen after the fault: %v", label, err)
+	}
+	got, err := takeFingerprint(st)
+	cerr := st.Close()
+	if err != nil {
+		h.t.Fatalf("%s: fingerprinting recovered store: %v", label, err)
+	}
+	if cerr != nil {
+		h.t.Fatalf("%s: closing recovered store: %v", label, cerr)
+	}
+
+	want := h.ref(res.acked)
+	if got.Epoch < want.Epoch {
+		h.t.Fatalf("%s: epoch went backwards: recovered %d < acked %d", label, got.Epoch, want.Epoch)
+	}
+	if reflect.DeepEqual(got, want) {
+		return
+	}
+	if res.inFlight >= 0 {
+		alt := h.ref(withInFlight(res.acked, res.inFlight))
+		if reflect.DeepEqual(got, alt) {
+			return
+		}
+		h.t.Fatalf("%s: recovered state matches neither ref(acked) nor ref(acked+%s)\nacked=%v inFlight=%d\n got epoch=%d len=%d users=%v\nwant epoch=%d len=%d users=%v\n alt epoch=%d len=%d users=%v",
+			label, h.steps[res.inFlight].name, res.acked, res.inFlight,
+			got.Epoch, got.Len, got.Users, want.Epoch, want.Len, want.Users, alt.Epoch, alt.Len, alt.Users)
+	}
+	h.t.Fatalf("%s: recovered state diverges from the acked reference\nacked=%v\n got epoch=%d len=%d users=%v\nwant epoch=%d len=%d users=%v",
+		label, res.acked, got.Epoch, got.Len, got.Users, want.Epoch, want.Len, want.Users)
+}
+
+// Run executes one torture sweep: a traced clean run to enumerate sites,
+// then one workload per site with that operation either failing with EIO
+// (crash=false) or freezing the filesystem from there on (crash=true).
+func Run(t *testing.T, syncWAL, crash bool) {
+	h := &harness{t: t, sync: syncWAL, steps: script(), refs: map[string]*fingerprint{}}
+
+	// Clean traced run: enumerate every I/O site and pin the expectation
+	// that a fault-free workload acks everything.
+	inj := faultfs.NewInjector(nil)
+	inj.StartTrace()
+	cleanDir := t.TempDir()
+	cleanRes := runWorkload(cleanDir, inj, syncWAL)
+	sites := inj.Trace()
+	if len(sites) == 0 {
+		t.Fatal("traced no I/O sites; the workload never touched the filesystem")
+	}
+	if cleanRes.inFlight >= 0 {
+		t.Fatalf("clean run reported an in-flight failure: %v", cleanRes)
+	}
+	muts := 0
+	for _, sp := range h.steps {
+		if sp.kind == actMut {
+			muts++
+		}
+	}
+	if len(cleanRes.acked) != muts {
+		t.Fatalf("clean run acked %d of %d mutations", len(cleanRes.acked), muts)
+	}
+	h.checkRecovery(cleanDir, cleanRes, "clean")
+	t.Logf("torture: %d I/O sites enumerated (syncWAL=%v crash=%v)", len(sites), syncWAL, crash)
+
+	for _, site := range sites {
+		inj := faultfs.NewInjector(nil)
+		var label string
+		if crash {
+			label = fmt.Sprintf("crash@%s", site)
+			inj.CrashAt(site.Index)
+		} else {
+			label = fmt.Sprintf("fail@%s", site)
+			inj.FailAt(site.Index, faultfs.EIO)
+		}
+		dir := t.TempDir()
+		res := runWorkload(dir, inj, syncWAL)
+		inj.Uncrash()
+		h.checkRecovery(dir, res, label)
+	}
+}

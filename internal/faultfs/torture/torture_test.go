@@ -1,0 +1,29 @@
+package torture
+
+import "testing"
+
+// Four sweeps: {fail, crash} × {async, sync} WAL. The crash sweeps re-run
+// the whole workload once per enumerated site, so they respect -short;
+// scripts/torture.sh (and the CI torture job) run everything, race-enabled.
+
+func TestTortureFailEverySite(t *testing.T) {
+	Run(t, false, false)
+}
+
+func TestTortureFailEverySiteSyncWAL(t *testing.T) {
+	Run(t, true, false)
+}
+
+func TestTortureCrashEverySite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep skipped in -short mode")
+	}
+	Run(t, false, true)
+}
+
+func TestTortureCrashEverySiteSyncWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep skipped in -short mode")
+	}
+	Run(t, true, true)
+}

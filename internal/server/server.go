@@ -182,6 +182,14 @@ func WithUserStore(us *goalrec.UserStore) Option {
 	return func(s *Server) { s.users = us }
 }
 
+// WithStore surfaces the durable store's persistence health: /readyz and
+// /v1/metrics gain a "storage" block (mode, last error, quarantined
+// snapshots, scrub and prune counters), and /readyz reports "degraded" while
+// the store is read-only — still 200, since reads keep serving.
+func WithStore(st *goalrec.Store) Option {
+	return func(s *Server) { s.store = st }
+}
+
 // Server routes recommendation requests against the current epoch of an
 // evolving library.
 type Server struct {
@@ -205,6 +213,10 @@ type Server struct {
 	// users is non-nil iff WithUserStore: the per-user history store behind
 	// the /v1/users endpoints.
 	users *goalrec.UserStore
+
+	// store is non-nil iff WithStore: the durable store whose persistence
+	// health /readyz and /v1/metrics surface.
+	store *goalrec.Store
 
 	// draining flips when the process has been told to shut down; /readyz
 	// reports 503 so load balancers stop routing here while in-flight
@@ -440,18 +452,64 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // surfaces the reload-failure streak — a persistently failing reload means
 // the instance is serving an increasingly stale epoch, which operators
 // want visible even while the instance stays ready.
+// It also reports "degraded" (still 200 — reads keep serving) with a
+// "storage" block while a WithStore store is read-only.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	code := http.StatusOK
+	resp := map[string]interface{}{
+		"epoch":                 s.bundle().lib.Epoch(),
+		"reload_failure_streak": s.reloadStreak.Load(),
+	}
+	if p := s.storagePayload(); p != nil {
+		resp["storage"] = p
+		if p.Mode != goalrec.StorageHealthy {
+			status = "degraded"
+		}
+	}
 	if s.draining.Load() {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, code, map[string]interface{}{
-		"status":                status,
-		"epoch":                 s.bundle().lib.Epoch(),
-		"reload_failure_streak": s.reloadStreak.Load(),
-	})
+	resp["status"] = status
+	s.writeJSON(w, code, resp)
+}
+
+// storageStatusPayload mirrors goalrec.StorageStatus with wire-friendly
+// names.
+type storageStatusPayload struct {
+	Mode          string   `json:"mode"`
+	LastError     string   `json:"last_error,omitempty"`
+	Quarantined   []string `json:"quarantined"`
+	PruneFailures uint64   `json:"prune_failures"`
+	Degradations  uint64   `json:"degradations"`
+	Recoveries    uint64   `json:"recoveries"`
+	ScrubPasses   uint64   `json:"scrub_passes"`
+	ScrubFailures uint64   `json:"scrub_failures"`
+	WALTears      uint64   `json:"wal_tears"`
+}
+
+// storagePayload snapshots the store's health, nil without WithStore.
+func (s *Server) storagePayload() *storageStatusPayload {
+	if s.store == nil {
+		return nil
+	}
+	st := s.store.Status()
+	q := st.Quarantined
+	if q == nil {
+		q = []string{}
+	}
+	return &storageStatusPayload{
+		Mode:          st.Mode,
+		LastError:     st.LastError,
+		Quarantined:   q,
+		PruneFailures: st.PruneFailures,
+		Degradations:  st.Degradations,
+		Recoveries:    st.Recoveries,
+		ScrubPasses:   st.ScrubPasses,
+		ScrubFailures: st.ScrubFailures,
+		WALTears:      st.WALTears,
+	}
 }
 
 // statsResponse mirrors goalrec.Stats with wire-friendly names.
@@ -491,9 +549,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			users = u
 		}
 	}
-	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"pruning\": {\"enabled\": %t, \"counters\": %s}, \"users\": {\"enabled\": %t, \"counters\": %s}, \"reload_failure_streak\": %d}\n",
+	storage := []byte(`{"enabled": false}`)
+	if p := s.storagePayload(); p != nil {
+		if b, err := json.Marshal(p); err == nil {
+			storage = append([]byte(`{"enabled": true, "status": `), b...)
+			storage = append(storage, '}')
+		}
+	}
+	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"pruning\": {\"enabled\": %t, \"counters\": %s}, \"users\": {\"enabled\": %t, \"counters\": %s}, \"storage\": %s, \"reload_failure_streak\": %d}\n",
 		s.bundle().lib.Epoch(), s.requests.String(), s.errors.String(),
-		s.lifecycle.String(), s.pruneStats != nil, prune, s.users != nil, users, s.reloadStreak.Load())
+		s.lifecycle.String(), s.pruneStats != nil, prune, s.users != nil, users, storage, s.reloadStreak.Load())
 }
 
 // recommendRequest is the /v1/recommend body.
@@ -822,6 +887,10 @@ type ingestResponse struct {
 	Epoch uint64 `json:"epoch"`
 	Added int    `json:"added"`
 	Error string `json:"error,omitempty"`
+	// ReadOnly marks the distinct degraded-storage rejection: the store is
+	// serving reads only, and the client should retry after the storage
+	// heals rather than treat the batch as malformed.
+	ReadOnly bool `json:"read_only,omitempty"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -842,15 +911,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.logf("ingest added=%d of %d epoch=%d", added, len(impls), epoch)
 	if err != nil {
 		// A journal failure means durability is gone, not that the request
-		// was malformed: nothing was applied, and the operator must act.
+		// was malformed: nothing was applied, and the operator must act. A
+		// degraded (read-only) store is more specific still: the rejection
+		// is temporary, so it gets 503 + Retry-After instead of a 500.
 		status := http.StatusBadRequest
-		if errors.Is(err, goalrec.ErrJournal) {
+		resp := ingestResponse{Epoch: epoch, Added: added, Error: err.Error()}
+		switch {
+		case errors.Is(err, goalrec.ErrReadOnly):
+			status = http.StatusServiceUnavailable
+			resp.ReadOnly = true
+			w.Header().Set("Retry-After", "1")
+			s.errors.Add("ingest_read_only", 1)
+		case errors.Is(err, goalrec.ErrJournal):
 			status = http.StatusInternalServerError
 			s.errors.Add("ingest_journal", 1)
 		}
-		s.writeJSON(w, status, ingestResponse{
-			Epoch: epoch, Added: added, Error: err.Error(),
-		})
+		s.writeJSON(w, status, resp)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, ingestResponse{Epoch: epoch, Added: added})
@@ -931,6 +1007,10 @@ func (s *Server) handleUserAppend(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, goalrec.ErrTooManyUsers):
 			s.writeError(w, http.StatusInsufficientStorage, "%v", err)
+		case errors.Is(err, goalrec.ErrReadOnly):
+			s.errors.Add("user_read_only", 1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, goalrec.ErrJournal):
 			s.errors.Add("user_journal", 1)
 			s.writeError(w, http.StatusInternalServerError, "%v", err)
@@ -1023,6 +1103,10 @@ func (s *Server) handleUserDelete(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, goalrec.ErrUnknownUser):
 			s.writeError(w, http.StatusNotFound, "unknown user %q", id)
+		case errors.Is(err, goalrec.ErrReadOnly):
+			s.errors.Add("user_read_only", 1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, goalrec.ErrJournal):
 			s.errors.Add("user_journal", 1)
 			s.writeError(w, http.StatusInternalServerError, "%v", err)

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"goalrec"
+	"goalrec/internal/faultfs"
+)
+
+// newDegradableServer builds a server over a real store on an injectable
+// filesystem, so tests can flip the disk out from under it.
+func newDegradableServer(t *testing.T) (*httptest.Server, *goalrec.Store, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.NewInjector(nil)
+	st, err := goalrec.OpenStore(t.TempDir(), goalrec.StoreOptions{
+		FS:            inj,
+		ProbeInterval: 5 * time.Millisecond,
+		RecoverAfter:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := NewFromEngine(st.Engine(), nil, WithUserStore(st.Users()), WithStore(st))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	if _, err := st.Engine().AddImplementations([]goalrec.Implementation{
+		{Goal: "olivier salad", Actions: []string{"potatoes", "carrots", "pickles"}},
+		{Goal: "mashed potatoes", Actions: []string{"potatoes", "nutmeg", "butter"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ts, st, inj
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp, body
+}
+
+func storageBlock(t *testing.T, body map[string]interface{}, key string) map[string]interface{} {
+	t.Helper()
+	blk, ok := body[key].(map[string]interface{})
+	if !ok {
+		t.Fatalf("no %q block in %v", key, body)
+	}
+	return blk
+}
+
+// TestServerDegradedStorageLifecycle walks the whole degraded arc through
+// the HTTP surface: healthy readyz/metrics, 503 + distinct body on ingest
+// while degraded, reads still 200, degraded readyz, then automatic recovery.
+func TestServerDegradedStorageLifecycle(t *testing.T) {
+	ts, st, inj := newDegradableServer(t)
+
+	// Healthy: readyz ok, storage block mode healthy.
+	resp, body := getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthy readyz = %d %v", resp.StatusCode, body)
+	}
+	if blk := storageBlock(t, body, "storage"); blk["mode"] != "healthy" {
+		t.Fatalf("healthy storage block = %v", blk)
+	}
+
+	// Disk full: ingest answers 503 with the distinct read_only body.
+	inj.SetWriteBudget(0)
+	resp, raw := postJSON(t, ts.URL+"/v1/implementations",
+		`{"implementations": [{"goal": "soup", "actions": ["potatoes", "water"]}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded ingest status = %d, body %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded ingest missing Retry-After")
+	}
+	var ing struct {
+		Error    string `json:"error"`
+		ReadOnly bool   `json:"read_only"`
+	}
+	if err := json.Unmarshal(raw, &ing); err != nil || !ing.ReadOnly || ing.Error == "" {
+		t.Fatalf("degraded ingest body = %s (%v)", raw, err)
+	}
+
+	// User writes are 503 too; reads keep serving 200.
+	resp, _ = postJSON(t, ts.URL+"/v1/users/u1/actions", `{"actions": ["potatoes"]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded user append = %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/recommend", `{"activity": ["potatoes"], "k": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read while degraded = %d", resp.StatusCode)
+	}
+
+	// readyz: degraded but still 200; metrics carry the storage block.
+	resp, body = getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("degraded readyz = %d %v", resp.StatusCode, body)
+	}
+	blk := storageBlock(t, body, "storage")
+	if blk["mode"] != "read_only" || blk["last_error"] == "" {
+		t.Fatalf("degraded storage block = %v", blk)
+	}
+	_, body = getJSON(t, ts.URL+"/v1/metrics")
+	mblk := storageBlock(t, body, "storage")
+	if mblk["enabled"] != true {
+		t.Fatalf("metrics storage block = %v", mblk)
+	}
+	if sblk := storageBlock(t, mblk, "status"); sblk["mode"] != "read_only" {
+		t.Fatalf("metrics storage status = %v", sblk)
+	}
+
+	// Space returns; the probe recovers the store and ingest succeeds again.
+	inj.SetWriteBudget(-1)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && st.Status().Mode != goalrec.StorageHealthy {
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/implementations",
+		`{"implementations": [{"goal": "soup", "actions": ["potatoes", "water"]}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after recovery = %d, body %s", resp.StatusCode, raw)
+	}
+	resp, body = getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("recovered readyz = %d %v", resp.StatusCode, body)
+	}
+	if blk := storageBlock(t, body, "storage"); blk["recoveries"] != float64(1) {
+		t.Fatalf("recovered storage block = %v", blk)
+	}
+}
+
+// TestServerMetricsWithoutStore: no WithStore, the storage block stays
+// {"enabled": false} rather than vanishing.
+func TestServerMetricsWithoutStore(t *testing.T) {
+	ts := newTestServer(t)
+	_, body := getJSON(t, ts.URL+"/v1/metrics")
+	blk := storageBlock(t, body, "storage")
+	if blk["enabled"] != false {
+		t.Fatalf("storage block without a store = %v", blk)
+	}
+}

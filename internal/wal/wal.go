@@ -19,6 +19,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+
+	"goalrec/internal/faultfs"
 )
 
 var magic = [4]byte{'G', 'W', 'A', 'L'}
@@ -46,7 +49,13 @@ var ErrCorrupt = errors.New("wal: corrupt log header")
 // records with size 0. fn's payload slice is reused between calls; fn must
 // copy anything it keeps. A non-nil error from fn aborts the replay.
 func Replay(path string, fn func(payload []byte) error) (int64, error) {
-	f, err := os.Open(path)
+	return ReplayFS(faultfs.OS, path, fn)
+}
+
+// ReplayFS is Replay over an explicit filesystem (fault injection; see
+// internal/faultfs).
+func ReplayFS(fsys faultfs.FS, path string, fn func(payload []byte) error) (int64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -102,18 +111,31 @@ func Replay(path string, fn func(payload []byte) error) (int64, error) {
 // Writer appends checksummed records to a log file. Not safe for concurrent
 // use; callers serialize appends.
 type Writer struct {
-	f        *os.File
+	f        faultfs.File
 	syncEach bool
 	size     int64
+
+	// buf is the reusable frame scratch: Append frames every record into it
+	// instead of allocating per record, so sustained ingest does not churn
+	// the allocator with one garbage buffer per acknowledged write.
+	buf []byte
 }
 
 // OpenWriter opens (creating if needed) the log at path for appending.
 // validSize is the offset Replay returned: anything past it — a torn tail —
 // is truncated away first. A fresh or empty log gets the header written and
-// synced. syncEach selects fsync-per-append (durable against power loss) over
-// write-and-let-the-page-cache-flush (durable against process crash only).
+// synced, and the parent directory fsynced so the log's very name survives
+// power loss. syncEach selects fsync-per-append (durable against power loss)
+// over write-and-let-the-page-cache-flush (durable against process crash
+// only).
 func OpenWriter(path string, validSize int64, syncEach bool) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWriterFS(faultfs.OS, path, validSize, syncEach)
+}
+
+// OpenWriterFS is OpenWriter over an explicit filesystem (fault injection;
+// see internal/faultfs).
+func OpenWriterFS(fsys faultfs.FS, path string, validSize int64, syncEach bool) (*Writer, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -123,26 +145,32 @@ func OpenWriter(path string, validSize int64, syncEach bool) (*Writer, error) {
 		copy(hdr[:4], magic[:])
 		binary.LittleEndian.PutUint32(hdr[4:], version)
 		if err := f.Truncate(0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if _, err := f.WriteAt(hdr[:], 0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
+			return nil, err
+		}
+		// A fresh log is a fresh directory entry; without the directory
+		// fsync a power loss can forget the file while keeping its blocks.
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			_ = f.Close()
 			return nil, err
 		}
 		w.size = headerSize
 		return w, nil
 	}
 	if err := f.Truncate(validSize); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	w.size = validSize
@@ -151,19 +179,25 @@ func OpenWriter(path string, validSize int64, syncEach bool) (*Writer, error) {
 
 // Append frames payload and writes it to the log, fsyncing when the writer
 // was opened with syncEach. The record is written with a single write call,
-// so a crash tears at most the final record — which Replay then drops.
+// so a crash tears at most the final record — which Replay then drops. A
+// failed append leaves w.size untouched: the next Append (or Recover)
+// overwrites whatever partial frame landed.
 func (w *Writer) Append(payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("wal: payload of %d bytes exceeds the %d-byte record limit", len(payload), MaxPayload)
 	}
-	rec := make([]byte, frameSize+len(payload))
+	need := frameSize + len(payload)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	rec := w.buf[:need]
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
 	copy(rec[frameSize:], payload)
 	if _, err := w.f.WriteAt(rec, w.size); err != nil {
 		return err
 	}
-	w.size += int64(len(rec))
+	w.size += int64(need)
 	if w.syncEach {
 		return w.f.Sync()
 	}
@@ -176,10 +210,22 @@ func (w *Writer) Size() int64 { return w.size }
 // Sync flushes the log to stable storage.
 func (w *Writer) Sync() error { return w.f.Sync() }
 
+// Recover truncates the log back to its last acknowledged size and syncs it,
+// discarding whatever a failed Append left behind — including a frame that
+// landed intact but was never acknowledged to the caller. It is the
+// write-probe a degraded store uses to test whether the disk heals: success
+// proves the log is writable and byte-exact again.
+func (w *Writer) Recover() error {
+	if err := w.f.Truncate(w.size); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
 // Close syncs and closes the log.
 func (w *Writer) Close() error {
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return err
 	}
 	return w.f.Close()

@@ -1,0 +1,220 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"goalrec/internal/faultfs"
+)
+
+// TestOpenWriterFaults drives OpenWriterFS through an injected failure of
+// each operation a fresh log performs, asserting the error surfaces and a
+// clean retry then succeeds on the same path.
+func TestOpenWriterFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rule faultfs.Rule
+	}{
+		{"open", faultfs.Rule{Op: faultfs.OpOpenFile, Err: faultfs.EIO, Once: true}},
+		{"truncate", faultfs.Rule{Op: faultfs.OpTruncate, Err: faultfs.EIO, Once: true}},
+		{"header-write", faultfs.Rule{Op: faultfs.OpWriteAt, Err: faultfs.ENOSPC, Once: true}},
+		{"header-short-write", faultfs.Rule{Op: faultfs.OpWriteAt, Short: 3, Err: faultfs.ENOSPC, Once: true}},
+		{"sync", faultfs.Rule{Op: faultfs.OpSync, Err: faultfs.EIO, Once: true}},
+		{"dir-sync", faultfs.Rule{Op: faultfs.OpSyncDir, Err: faultfs.EIO, Once: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ingest.wal")
+			inj := faultfs.NewInjector(nil)
+			inj.Fail(tc.rule)
+			if _, err := OpenWriterFS(inj, path, 0, false); !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("OpenWriterFS with %s fault = %v, want injected error", tc.name, err)
+			}
+			// The fault was one-shot: reopening heals, and the possibly-torn
+			// header is rewritten from scratch.
+			w, err := OpenWriterFS(inj, path, 0, false)
+			if err != nil {
+				t.Fatalf("retry OpenWriterFS: %v", err)
+			}
+			if err := w.Append([]byte("rec")); err != nil {
+				t.Fatalf("Append after heal: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			recs, _ := replayAll(t, path)
+			if len(recs) != 1 || string(recs[0]) != "rec" {
+				t.Fatalf("replay after heal = %q, want [rec]", recs)
+			}
+		})
+	}
+}
+
+// TestAppendFaultLeavesSizeAndRecovers: a failed append (short write, full
+// write error, ENOSPC) must not advance the writer, and the next successful
+// append must overwrite the torn frame so replay never sees it.
+func TestAppendFaultLeavesSizeAndRecovers(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rule faultfs.Rule
+	}{
+		{"enospc", faultfs.Rule{Op: faultfs.OpWriteAt, Err: faultfs.ENOSPC, Once: true}},
+		{"short-write", faultfs.Rule{Op: faultfs.OpWriteAt, Short: 5, Err: faultfs.ENOSPC, Once: true}},
+		{"eio", faultfs.Rule{Op: faultfs.OpWriteAt, Err: faultfs.EIO, Once: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ingest.wal")
+			inj := faultfs.NewInjector(nil)
+			w, err := OpenWriterFS(inj, path, 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Append([]byte("first")); err != nil {
+				t.Fatal(err)
+			}
+			sizeBefore := w.Size()
+			inj.Fail(tc.rule)
+			if err := w.Append([]byte("torn-record")); !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("faulted Append = %v, want injected error", err)
+			}
+			if w.Size() != sizeBefore {
+				t.Fatalf("failed append advanced size %d -> %d", sizeBefore, w.Size())
+			}
+			if err := w.Append([]byte("second")); err != nil {
+				t.Fatalf("append after fault: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			recs, size := replayAll(t, path)
+			if len(recs) != 2 || string(recs[0]) != "first" || string(recs[1]) != "second" {
+				t.Fatalf("replay = %q, want [first second]", recs)
+			}
+			if size != w.Size() {
+				t.Fatalf("replay size %d != writer size %d", size, w.Size())
+			}
+		})
+	}
+}
+
+// TestRecoverTruncatesTornTail: Recover discards a partial frame so the
+// on-disk log is byte-exact with the acknowledged state again.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	inj := faultfs.NewInjector(nil)
+	w, err := OpenWriterFS(inj, path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	// Tear a write mid-frame; the torn prefix lands on disk.
+	inj.Fail(faultfs.Rule{Op: faultfs.OpWriteAt, Short: 6, Err: faultfs.ENOSPC, Once: true})
+	if err := w.Append([]byte("never-acked")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn Append = %v, want ENOSPC", err)
+	}
+	if fi, err := faultfs.OS.Stat(path); err != nil || fi.Size() == w.Size() {
+		t.Fatalf("expected a torn tail on disk beyond %d bytes (got %d, %v)", w.Size(), fi.Size(), err)
+	}
+	if err := w.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if fi, err := faultfs.OS.Stat(path); err != nil || fi.Size() != w.Size() {
+		t.Fatalf("after Recover file is %d bytes, want %d (%v)", fi.Size(), w.Size(), err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, path)
+	if len(recs) != 1 || string(recs[0]) != "acked" {
+		t.Fatalf("replay after Recover = %q, want [acked]", recs)
+	}
+}
+
+// TestSyncEachFaultSurfaces: with syncEach, a failing fsync must surface to
+// the caller even though the write itself landed — the durability contract
+// is fsync-inclusive.
+func TestSyncEachFaultSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	inj := faultfs.NewInjector(nil)
+	w, err := OpenWriterFS(inj, path, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Fail(faultfs.Rule{Op: faultfs.OpSync, Err: faultfs.EIO, Once: true})
+	if err := w.Append([]byte("rec")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Append with failing fsync = %v, want EIO", err)
+	}
+	if err := w.Append([]byte("rec2")); err != nil {
+		t.Fatalf("Append after fsync heals: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseSyncFault: Close must report a failing final sync, not swallow it.
+func TestCloseSyncFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	inj := faultfs.NewInjector(nil)
+	w, err := OpenWriterFS(inj, path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	inj.Fail(faultfs.Rule{Op: faultfs.OpSync, Err: faultfs.EIO, Once: true})
+	if err := w.Close(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Close with failing sync = %v, want EIO", err)
+	}
+}
+
+// TestAppendReusesScratch pins the pooled-buffer satellite: sustained
+// appends must not allocate per record.
+func TestAppendReusesScratch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	w, err := OpenWriter(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	payload := bytes.Repeat([]byte("x"), 512)
+	if err := w.Append(payload); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Append allocates %.1f times per record, want 0", allocs)
+	}
+}
+
+func BenchmarkWriterAppend(b *testing.B) {
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "ingest.wal")
+			w, err := OpenWriter(path, 0, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			payload := bytes.Repeat([]byte("y"), size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

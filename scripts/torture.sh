@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Crash-point torture harness: enumerate every filesystem operation the
+# store's persistence stack performs across an ingest/compact/restart
+# workload, then re-run the workload once per site failing that operation
+# with EIO, and once per site crashing the filesystem there (written data
+# survives, the process-crash model). After every run the store must reopen
+# on a clean filesystem and recover bit-identically to a reference replay of
+# the acknowledged writes — the only tolerated delta being the single
+# in-flight operation whose WAL frame may have landed before the error.
+#
+# Runs race-instrumented: the sweeps exercise degrade/probe/compact
+# interleavings that only the detector can vouch for.
+#
+# Tunables (env): TORTURE_COUNT (default 1) repeats each sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${TORTURE_COUNT:-1}"
+
+echo "== torture: fail + crash sweeps, race-instrumented (count=$COUNT) =="
+go test -race -count="$COUNT" -v -run 'TestTorture' ./internal/faultfs/torture/
+
+echo "== torture: targeted store/server fault suites, race-instrumented =="
+go test -race -count="$COUNT" -run 'Fault|Degraded|Quarantine|Scrub|ReadOnly|Torn|Recover|Injector|Passthrough' \
+    ./ ./internal/wal/ ./internal/core/ ./internal/faultfs/ ./internal/server/
+
+echo "torture: all sweeps passed"

@@ -2,15 +2,21 @@ package goalrec
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"goalrec/internal/core"
+	"goalrec/internal/faultfs"
 	"goalrec/internal/wal"
 )
 
@@ -33,14 +39,19 @@ import (
 // is appended (length-prefixed, checksummed) to the WAL before it is
 // applied, so a crash between append and publish replays the batch on
 // restart instead of losing it. A failed append rejects the ingest with
-// ErrJournal and latches the store into a failed state — no acknowledged
-// write is ever absent from the log. Once the WAL outgrows
-// CompactAtWALBytes, a background compaction writes the current epoch as a
-// fresh snapshot and drops the log records it covers; Engine.Swap snapshots
-// immediately, since a swap supersedes the whole log.
+// ErrJournal — no acknowledged write is ever absent from the log. Transient
+// append errors (the kernel's "try again" family) retry in place; a
+// persistent failure flips the store into degraded read-only mode: further
+// writes are rejected with ErrReadOnly while reads keep serving, and a
+// background write probe recovers the store automatically once the log is
+// writable again. Once the WAL outgrows CompactAtWALBytes, a background
+// compaction writes the current epoch as a fresh snapshot and drops the log
+// records older snapshots no longer need; Engine.Swap snapshots immediately,
+// since a swap supersedes the whole log.
 type Store struct {
 	dir    string
 	opts   StoreOptions
+	fs     faultfs.FS
 	engine *Engine
 	users  *UserStore
 
@@ -50,7 +61,26 @@ type Store struct {
 	snapLow  uint64 // epoch covered by the newest snapshot on disk
 	walFloor int64  // WAL size right after the last reset (carried user records)
 
-	failed     atomic.Pointer[error] // sticky first journal failure
+	// stMu guards the degraded-mode state machine; it is never held across
+	// I/O so status queries stay wait-free in practice.
+	stMu       sync.Mutex
+	readOnly   bool
+	lastErr    error
+	quar       []string // base names of quarantined snapshot files
+	probing    bool
+	healStreak int
+
+	degradations  atomic.Uint64
+	recoveries    atomic.Uint64
+	pruneFailures atomic.Uint64
+	scrubPasses   atomic.Uint64
+	scrubFails    atomic.Uint64
+	walTears      atomic.Uint64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	bgWG      sync.WaitGroup // probe + scrub loops
+
 	compacting atomic.Bool
 	compactWG  sync.WaitGroup
 
@@ -59,6 +89,32 @@ type Store struct {
 	// readers may reference them indefinitely.
 	unmapMu sync.Mutex
 	unmaps  []func() error
+}
+
+// ErrReadOnly marks a write rejected because the store is in degraded
+// read-only mode after a persistent storage failure. Reads are unaffected;
+// the store probes the log in the background and lifts the mode on its own
+// once writes succeed again.
+var ErrReadOnly = errors.New("goalrec: store is read-only (storage degraded)")
+
+// Storage modes, as reported by StorageStatus.Mode.
+const (
+	StorageHealthy  = "healthy"
+	StorageReadOnly = "read_only"
+)
+
+// StorageStatus is a point-in-time view of the store's persistence health,
+// surfaced through /readyz and /v1/metrics.
+type StorageStatus struct {
+	Mode          string   // StorageHealthy or StorageReadOnly
+	LastError     string   // most recent storage error; "" while healthy
+	Quarantined   []string // base names of snapshots quarantined so far
+	PruneFailures uint64   // failed snapshot prunes (retried next compaction)
+	Degradations  uint64   // times the store entered read-only mode
+	Recoveries    uint64   // times probation ended in automatic recovery
+	ScrubPasses   uint64   // clean full scrubs
+	ScrubFailures uint64   // corrupt artifacts scrubs have found
+	WALTears      uint64   // mid-log WAL corruption events
 }
 
 // StoreOptions configures OpenStore. The zero value is production-ready.
@@ -82,9 +138,36 @@ type StoreOptions struct {
 	// Users configures the per-user activity store the Store journals and
 	// recovers alongside the library (capacities; zero values are defaults).
 	Users UserStoreOptions
+	// FS is the filesystem the store runs on; nil selects the real one.
+	// Tests inject faults through it (internal/faultfs).
+	FS faultfs.FS
+	// ScrubInterval enables the background scrubber: every interval the
+	// store re-verifies each snapshot's whole-file checksum and the WAL's
+	// frame CRCs, quarantining corrupt snapshots. <= 0 disables the periodic
+	// loop; the open-time scrub always runs.
+	ScrubInterval time.Duration
+	// ProbeInterval is the cadence of the degraded store's write probe.
+	// <= 0 selects 1s.
+	ProbeInterval time.Duration
+	// RecoverAfter is how many consecutive clean write probes end probation
+	// and restore writes. <= 0 selects 3.
+	RecoverAfter int
 }
 
 const defaultCompactAtWALBytes = 4 << 20
+
+// Transient append errors retry in place before the store degrades.
+const (
+	transientRetries = 3
+	transientBackoff = time.Millisecond
+)
+
+// isTransientIOErr reports whether err is worth retrying in place: the
+// kernel-level "try again" family, not a condition — a full disk, a dead
+// device — that an immediate retry cannot fix.
+func isTransientIOErr(err error) bool {
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}
 
 func (o StoreOptions) compactAt() int64 {
 	if o.CompactAtWALBytes <= 0 {
@@ -100,6 +183,20 @@ func (o StoreOptions) keep() int {
 	return o.KeepSnapshots
 }
 
+func (o StoreOptions) probeEvery() time.Duration {
+	if o.ProbeInterval <= 0 {
+		return time.Second
+	}
+	return o.ProbeInterval
+}
+
+func (o StoreOptions) recoverAfter() int {
+	if o.RecoverAfter <= 0 {
+		return 3
+	}
+	return o.RecoverAfter
+}
+
 func (s *Store) logf(format string, args ...interface{}) {
 	if s.opts.Logger != nil {
 		s.opts.Logger.Printf("store: "+format, args...)
@@ -113,21 +210,47 @@ func (s *Store) snapPath(epoch uint64) string {
 }
 
 // snapshotEpochs lists the epochs of the snapshot files present in dir,
-// ascending.
-func snapshotEpochs(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+// ascending. Names are matched strictly — quarantined files
+// (snap-N.gsnp.quarantine) and temp files never parse as live snapshots.
+func snapshotEpochs(fsys faultfs.FS, dir string) ([]uint64, error) {
+	ents, err := faultfs.Or(fsys).ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var out []uint64
 	for _, ent := range ents {
-		var epoch uint64
-		if n, err := fmt.Sscanf(ent.Name(), "snap-%d.gsnp", &epoch); n == 1 && err == nil {
-			out = append(out, epoch)
+		name := ent.Name()
+		const pre, suf = "snap-", ".gsnp"
+		if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+			continue
 		}
+		mid := name[len(pre) : len(name)-len(suf)]
+		if mid == "" {
+			continue
+		}
+		epoch, perr := strconv.ParseUint(mid, 10, 64)
+		if perr != nil {
+			continue
+		}
+		out = append(out, epoch)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
+}
+
+// quarantine renames a corrupt snapshot aside as <name>.quarantine —
+// evidence is preserved for forensics, never deleted — so recovery, pruning
+// and future scrubs stop considering it.
+func (s *Store) quarantine(path string, cause error) {
+	qpath := path + ".quarantine"
+	if err := s.fs.Rename(path, qpath); err != nil {
+		s.logf("quarantining %s: %v", filepath.Base(path), err)
+		return
+	}
+	s.stMu.Lock()
+	s.quar = append(s.quar, filepath.Base(qpath))
+	s.stMu.Unlock()
+	s.logf("quarantined %s: %v", filepath.Base(path), cause)
 }
 
 // OpenStore opens (creating if needed) the persistent store at dir and
@@ -135,29 +258,47 @@ func snapshotEpochs(dir string) ([]uint64, error) {
 // tail on top. The returned store owns the snapshot mappings and the WAL
 // handle; Close it after the engine is no longer serving.
 func OpenStore(dir string, opts StoreOptions) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := faultfs.Or(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts}
+	s := &Store{dir: dir, opts: opts, fs: fsys, closed: make(chan struct{})}
 
-	epochs, err := snapshotEpochs(dir)
+	epochs, err := snapshotEpochs(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	// Newest loadable snapshot wins; unreadable ones (torn writes are
-	// impossible — snapshots rename into place — but disks rot) fall back a
-	// generation rather than failing the store.
+	// Newest verifiable snapshot wins. Every candidate is scrubbed in full
+	// before adoption — the open-time scrub — and a corrupt one (torn writes
+	// are impossible, snapshots rename into place, but disks rot) is
+	// quarantined rather than deleted, then recovery falls back a generation.
+	// The WAL retains every batch past the oldest retained snapshot, so the
+	// fallback replays a longer tail and lands on the same state.
 	for i := len(epochs) - 1; i >= 0; i-- {
 		path := s.snapPath(epochs[i])
-		snap, err := core.OpenSnapshot(path)
-		if err != nil {
-			s.logf("snapshot %s unloadable: %v (falling back)", path, err)
+		if err := core.ScrubSnapshotFile(fsys, path); err != nil {
+			// Quarantine only proven corruption. An I/O error reading the file
+			// says nothing about the bytes at rest — renaming a possibly-healthy
+			// newest generation aside on a flaky read would itself lose data, so
+			// that fails the open instead.
+			if !errors.Is(err, core.ErrCorruptSnapshot) {
+				return nil, fmt.Errorf("goalrec: scrubbing snapshot %s: %w", filepath.Base(path), err)
+			}
+			s.scrubFails.Add(1)
+			s.quarantine(path, err)
+			s.logf("snapshot %s failed its open-time scrub: %v (falling back)", filepath.Base(path), err)
 			continue
+		}
+		snap, err := core.OpenSnapshotFS(fsys, path)
+		if err != nil {
+			// The scrub just proved the bytes sound, so this is environmental
+			// (open/stat/mmap), not corruption.
+			return nil, fmt.Errorf("goalrec: mapping snapshot %s: %w", filepath.Base(path), err)
 		}
 		vocab := snap.Vocabulary()
 		if vocab == nil {
-			snap.Close()
-			s.logf("snapshot %s has no vocabulary (falling back)", path)
+			_ = snap.Close()
+			s.logf("snapshot %s has no vocabulary (falling back)", filepath.Base(path))
 			continue
 		}
 		s.engine = newEngineAdopting(&Library{lib: snap.Library(), vocab: vocab})
@@ -176,7 +317,7 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	// bit-identically — including append/delete interleavings.
 	base := s.engine.Epoch()
 	replayed := 0
-	validSize, err := wal.Replay(s.walPath(), func(payload []byte) error {
+	validSize, err := wal.ReplayFS(fsys, s.walPath(), func(payload []byte) error {
 		if len(payload) == 0 {
 			return fmt.Errorf("goalrec: empty WAL record after epoch %d", s.engine.Epoch())
 		}
@@ -227,7 +368,7 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 		s.logf("replayed %d WAL batches on top of epoch %d, resuming at epoch %d", replayed, base, s.engine.Epoch())
 	}
 
-	w, err := wal.OpenWriter(s.walPath(), validSize, opts.SyncWAL)
+	w, err := wal.OpenWriterFS(fsys, s.walPath(), validSize, opts.SyncWAL)
 	if err != nil {
 		s.closeMaps()
 		return nil, err
@@ -235,6 +376,10 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	s.w = w
 	s.engine.setJournal(s)
 	s.users.setJournal(s)
+	if opts.ScrubInterval > 0 {
+		s.bgWG.Add(1)
+		go s.scrubLoop()
+	}
 	return s, nil
 }
 
@@ -247,18 +392,156 @@ func (s *Store) Engine() *Engine { return s.engine }
 // stays open; restart replays them so histories come back bit-identically.
 func (s *Store) Users() *UserStore { return s.users }
 
-// Err returns the sticky journal failure, or nil while the store is healthy.
+// Err returns the storage error the store is degraded on, or nil while it is
+// healthy. Unlike the pre-degraded-mode behavior this is not sticky: the
+// background write probe clears it once the log proves writable again.
 func (s *Store) Err() error {
-	if p := s.failed.Load(); p != nil {
-		return *p
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	if s.readOnly {
+		return s.readOnlyErrLocked()
 	}
 	return nil
 }
 
-func (s *Store) fail(err error) error {
-	e := err
-	s.failed.CompareAndSwap(nil, &e)
-	return s.Err()
+// Status reports the store's persistence health for /readyz and /v1/metrics.
+func (s *Store) Status() StorageStatus {
+	s.stMu.Lock()
+	st := StorageStatus{
+		Mode:        StorageHealthy,
+		Quarantined: append([]string(nil), s.quar...),
+	}
+	if s.readOnly {
+		st.Mode = StorageReadOnly
+		if s.lastErr != nil {
+			st.LastError = s.lastErr.Error()
+		}
+	}
+	s.stMu.Unlock()
+	st.PruneFailures = s.pruneFailures.Load()
+	st.Degradations = s.degradations.Load()
+	st.Recoveries = s.recoveries.Load()
+	st.ScrubPasses = s.scrubPasses.Load()
+	st.ScrubFailures = s.scrubFails.Load()
+	st.WALTears = s.walTears.Load()
+	return st
+}
+
+func (s *Store) readOnlyErrLocked() error {
+	if s.lastErr != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, s.lastErr)
+	}
+	return ErrReadOnly
+}
+
+// degrade flips the store into read-only mode on a persistent storage error
+// and starts the recovery probe. It returns the error writers surface, which
+// wraps ErrReadOnly.
+func (s *Store) degrade(err error) error {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	if !s.readOnly {
+		s.readOnly = true
+		s.degradations.Add(1)
+		s.logf("storage degraded, serving read-only: %v", err)
+	}
+	s.lastErr = err
+	s.healStreak = 0
+	if !s.probing {
+		s.probing = true
+		s.bgWG.Add(1)
+		go s.probeLoop()
+	}
+	return fmt.Errorf("%w: %w", ErrReadOnly, err)
+}
+
+// probeLoop is the degraded store's probation: every ProbeInterval it runs a
+// write probe against the log, and RecoverAfter consecutive clean probes end
+// the read-only mode. It exits on recovery or store close.
+func (s *Store) probeLoop() {
+	defer s.bgWG.Done()
+	t := time.NewTicker(s.opts.probeEvery())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+		}
+		if s.probeOnce() {
+			return
+		}
+	}
+}
+
+// probeOnce runs one write probe — wal.Writer.Recover, a truncate-to-acked
+// plus fsync, which both tests the device and discards anything a failed
+// append tore — and reports whether probation just ended in recovery.
+func (s *Store) probeOnce() bool {
+	s.mu.Lock()
+	err := s.w.Recover()
+	if err != nil && errors.Is(err, os.ErrClosed) {
+		// The writer lost its handle — a log rotation closed the old log and
+		// could not open its successor. The sealed log is intact on disk;
+		// reattach at its replayed size and probe that instead.
+		if size, rerr := wal.ReplayFS(s.fs, s.walPath(), func([]byte) error { return nil }); rerr == nil {
+			if w, oerr := wal.OpenWriterFS(s.fs, s.walPath(), size, s.opts.SyncWAL); oerr == nil {
+				s.w = w
+				err = s.w.Recover()
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.stMu.Lock()
+	if err != nil {
+		s.healStreak = 0
+		s.lastErr = err
+		s.stMu.Unlock()
+		return false
+	}
+	s.healStreak++
+	if s.healStreak < s.opts.recoverAfter() {
+		s.stMu.Unlock()
+		return false
+	}
+	s.readOnly = false
+	s.lastErr = nil
+	s.probing = false
+	s.recoveries.Add(1)
+	s.stMu.Unlock()
+	s.logf("storage recovered after %d clean write probes; writes resume", s.opts.recoverAfter())
+	// A compaction right after recovery re-persists everything the degraded
+	// window could not — most importantly a swap whose snapshot write failed,
+	// which has no WAL record to replay — and rewrites the log cleanly.
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		if err := s.Compact(); err != nil {
+			s.logf("post-recovery compaction: %v", err)
+		}
+	}()
+	return true
+}
+
+// appendLocked runs one WAL append under s.mu with the store's fault policy:
+// transient errors retry in place with a short backoff; an error that
+// survives the retries is persistent and degrades the store.
+func (s *Store) appendLocked(payload []byte, what string) error {
+	var err error
+	for attempt := 0; attempt <= transientRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(transientBackoff << (attempt - 1))
+		}
+		// A failed append never advances the writer, so a retry overwrites
+		// whatever torn prefix the previous attempt left.
+		if err = s.w.Append(payload); err == nil {
+			return nil
+		}
+		if !isTransientIOErr(err) {
+			break
+		}
+	}
+	return s.degrade(fmt.Errorf("%s: %w", what, err))
 }
 
 // logBatch implements engineJournal: append-before-apply under the engine's
@@ -270,8 +553,8 @@ func (s *Store) logBatch(epoch uint64, impls []Implementation) error {
 	payload := encodeBatch(epoch, impls)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.w.Append(payload); err != nil {
-		return s.fail(fmt.Errorf("appending %d implementations at epoch %d: %w", len(impls), epoch, err))
+	if err := s.appendLocked(payload, fmt.Sprintf("appending %d implementations at epoch %d", len(impls), epoch)); err != nil {
+		return err
 	}
 	s.walEpoch = epoch
 	s.maybeCompactLocked()
@@ -309,19 +592,21 @@ func (s *Store) logUserRecord(payload []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.w.Append(payload); err != nil {
-		return s.fail(fmt.Errorf("appending user record: %w", err))
+	if err := s.appendLocked(payload, "appending user record"); err != nil {
+		return err
 	}
 	s.maybeCompactLocked()
 	return nil
 }
 
 // logSwap implements engineJournal: a swap makes the whole log stale, so the
-// new epoch is persisted as a snapshot right away.
+// new epoch is persisted as a snapshot right away. A swap has no WAL record,
+// so a failed snapshot write degrades the store — the post-recovery
+// compaction then persists the swapped state.
 func (s *Store) logSwap(lib *Library) {
 	if err := s.snapshotAndReset(lib); err != nil {
 		s.logf("persisting swapped epoch %d failed: %v", lib.Epoch(), err)
-		_ = s.fail(fmt.Errorf("persisting swapped epoch %d: %w", lib.Epoch(), err))
+		_ = s.degrade(fmt.Errorf("persisting swapped epoch %d: %w", lib.Epoch(), err))
 	}
 }
 
@@ -345,15 +630,25 @@ func (s *Store) compact() {
 }
 
 // snapshotAndReset writes lib as a snapshot file, then truncates the WAL
-// back to just the records the snapshot does not cover (usually none; a
-// concurrent ingest may have appended past lib's epoch, and those records
-// are preserved by re-appending them to the fresh log).
+// back to the records the retained snapshots cannot cover. Batches are kept
+// all the way back to the oldest snapshot generation that survives pruning —
+// not just past the new snapshot's epoch — so if a scrub later quarantines
+// the newest snapshot, recovery falls back a generation and replays the
+// longer tail to the exact same state. User records are always carried:
+// snapshots hold only the library.
 func (s *Store) snapshotAndReset(lib *Library) error {
 	epoch := lib.Epoch()
+	if epoch == 0 {
+		// Nothing has ever been published. An epoch-0 snapshot is worse than
+		// none: adopting one on restart would stamp the lineage at epoch 1
+		// (Swap publishes, and epochs never move backwards), silently
+		// desynchronizing the epoch from the number of ingested batches.
+		return nil
+	}
 	path := s.snapPath(epoch)
 	// The expensive write happens outside s.mu so ingests keep flowing; the
 	// file renames into place atomically.
-	if err := core.WriteSnapshotFile(path, lib.lib, lib.vocab, core.SnapshotOptions{CompressPostings: s.opts.CompressPostings}); err != nil {
+	if err := core.WriteSnapshotFileFS(s.fs, path, lib.lib, lib.vocab, core.SnapshotOptions{CompressPostings: s.opts.CompressPostings}); err != nil {
 		return err
 	}
 
@@ -362,18 +657,30 @@ func (s *Store) snapshotAndReset(lib *Library) error {
 	if epoch < s.snapLow {
 		return nil // a newer snapshot already landed; keep its log
 	}
-	// Carry forward what the snapshot does not cover: ingest batches beyond
-	// its epoch, and every user record — snapshots hold only the library, so
-	// user appends/deletes stay in the log (in order) until they are replayed
-	// by the next open.
+	// The WAL retention floor: the oldest snapshot generation pruning will
+	// retain. Every batch beyond it stays in the log.
+	floor := epoch
+	if eps, err := snapshotEpochs(s.fs, s.dir); err == nil {
+		kept := 0
+		for i := len(eps) - 1; i >= 0; i-- {
+			if eps[i] > epoch {
+				continue
+			}
+			kept++
+			if kept > s.opts.keep() {
+				break
+			}
+			floor = eps[i]
+		}
+	}
 	var tail [][]byte
-	if _, err := wal.Replay(s.walPath(), func(payload []byte) error {
+	if _, err := wal.ReplayFS(s.fs, s.walPath(), func(payload []byte) error {
 		if len(payload) == 0 {
 			return nil
 		}
 		switch payload[0] {
 		case walKindBatch:
-			if e, _, err := decodeBatch(payload); err == nil && e > epoch {
+			if e, _, err := decodeBatch(payload); err == nil && e > floor {
 				tail = append(tail, append([]byte(nil), payload...))
 			}
 		case walKindUserAppend, walKindUserDelete:
@@ -383,20 +690,53 @@ func (s *Store) snapshotAndReset(lib *Library) error {
 	}); err != nil {
 		return err
 	}
-	if err := s.w.Close(); err != nil {
-		return err
-	}
-	w, err := wal.OpenWriter(s.walPath(), 0, s.opts.SyncWAL) // 0: rewrite from scratch
+	// Rotate the log through a sidecar: the successor is built in full as
+	// ingest.wal.next and renamed over the live log only once it is sealed.
+	// A fault — or a crash — anywhere while carrying the tail leaves the old
+	// log untouched, so a failed compaction never costs an acked record.
+	next := s.walPath() + ".next"
+	nw, err := wal.OpenWriterFS(s.fs, next, 0, s.opts.SyncWAL)
 	if err != nil {
 		return err
 	}
 	for _, payload := range tail {
-		if err := w.Append(payload); err != nil {
-			s.w = w
-			return s.fail(fmt.Errorf("carrying WAL tail past epoch %d: %w", epoch, err))
+		if err := nw.Append(payload); err != nil {
+			_ = nw.Close()
+			_ = s.fs.Remove(next)
+			return fmt.Errorf("carrying WAL tail past epoch %d: %w", floor, err)
 		}
 	}
+	if err := nw.Close(); err != nil {
+		_ = s.fs.Remove(next)
+		return err
+	}
+	nwSize := nw.Size()
+	// Commit point. The old log's sync state no longer matters — every record
+	// that must survive is sealed in the successor — so its close error is
+	// logged, not fatal.
+	if err := s.w.Close(); err != nil {
+		s.logf("closing WAL before rotation: %v", err)
+	}
+	if err := s.fs.Rename(next, s.walPath()); err != nil {
+		_ = s.fs.Remove(next)
+		// The old log is still in place; reattach to it or degrade.
+		ow, oerr := wal.OpenWriterFS(s.fs, s.walPath(), s.w.Size(), s.opts.SyncWAL)
+		if oerr != nil {
+			return s.degrade(fmt.Errorf("reopening WAL after failed rotation: %w", oerr))
+		}
+		s.w = ow
+		return err
+	}
+	w, err := wal.OpenWriterFS(s.fs, s.walPath(), nwSize, s.opts.SyncWAL)
+	if err != nil {
+		// The rotated log is sealed on disk but unappendable — recovery will
+		// reopen it; until then no new write may be acked.
+		return s.degrade(fmt.Errorf("reopening rotated WAL: %w", err))
+	}
 	s.w = w
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		s.logf("syncing %s after WAL rotation: %v", s.dir, err)
+	}
 	s.walFloor = w.Size()
 	s.snapLow = epoch
 	s.pruneSnapshotsLocked(epoch)
@@ -404,10 +744,13 @@ func (s *Store) snapshotAndReset(lib *Library) error {
 }
 
 // pruneSnapshotsLocked deletes snapshot generations beyond KeepSnapshots,
-// never touching the newest.
+// never touching the newest. A failed prune is counted, not fatal: the file
+// still lists, so the next compaction retries it.
 func (s *Store) pruneSnapshotsLocked(newest uint64) {
-	epochs, err := snapshotEpochs(s.dir)
+	epochs, err := snapshotEpochs(s.fs, s.dir)
 	if err != nil {
+		s.pruneFailures.Add(1)
+		s.logf("listing snapshots for pruning: %v", err)
 		return
 	}
 	keep := s.opts.keep()
@@ -418,9 +761,90 @@ func (s *Store) pruneSnapshotsLocked(newest uint64) {
 		}
 		kept++
 		if kept > keep {
-			_ = os.Remove(s.snapPath(epochs[i]))
+			if err := s.fs.Remove(s.snapPath(epochs[i])); err != nil {
+				s.pruneFailures.Add(1)
+				s.logf("pruning snapshot epoch %d: %v", epochs[i], err)
+			}
 		}
 	}
+}
+
+// scrubLoop runs the periodic scrubber until the store closes.
+func (s *Store) scrubLoop() {
+	defer s.bgWG.Done()
+	t := time.NewTicker(s.opts.ScrubInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+		}
+		if err := s.Scrub(); err != nil {
+			s.logf("scrub: %v", err)
+		}
+	}
+}
+
+// Scrub re-verifies every snapshot's whole-file checksum and the WAL's frame
+// CRCs, now, synchronously. Corrupt snapshots are quarantined (renamed to
+// *.quarantine, preserving the evidence) and a compaction is kicked to
+// restore full snapshot coverage; a WAL that no longer replays to its acked
+// size is counted as torn and likewise compacted away, rewriting the log
+// from live state. It returns the first corruption found, nil for a clean
+// pass. OpenStore runs the snapshot half of this automatically; the periodic
+// loop behind StoreOptions.ScrubInterval runs all of it.
+func (s *Store) Scrub() error {
+	var firstErr error
+	epochs, err := snapshotEpochs(s.fs, s.dir)
+	if err != nil {
+		return err
+	}
+	quarantined := false
+	for _, e := range epochs {
+		path := s.snapPath(e)
+		if err := core.ScrubSnapshotFile(s.fs, path); err != nil {
+			s.scrubFails.Add(1)
+			// Only proven corruption moves the file aside; an I/O error while
+			// reading is reported but leaves the (possibly healthy) snapshot
+			// where it is for the next pass.
+			if errors.Is(err, core.ErrCorruptSnapshot) {
+				s.quarantine(path, err)
+				quarantined = true
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("snapshot %s: %w", filepath.Base(path), err)
+			}
+		}
+	}
+	// The WAL scrub holds s.mu so no append moves the acked size under the
+	// replay; every intact frame re-verifies its CRC on the way through.
+	s.mu.Lock()
+	acked := s.w.Size()
+	size, werr := wal.ReplayFS(s.fs, s.walPath(), func([]byte) error { return nil })
+	s.mu.Unlock()
+	if werr == nil && size < acked {
+		werr = fmt.Errorf("goalrec: WAL replays to %d of %d acked bytes (mid-log corruption)", size, acked)
+		s.walTears.Add(1)
+	}
+	if werr != nil {
+		s.scrubFails.Add(1)
+		if firstErr == nil {
+			firstErr = werr
+		}
+	}
+	if quarantined || werr != nil {
+		// Restore coverage: a fresh snapshot of the live epoch and a clean
+		// log rewrite. Best effort — a degraded disk fails it, and the next
+		// scrub or recovery retries.
+		if cerr := s.Compact(); cerr != nil {
+			s.logf("post-scrub compaction: %v", cerr)
+		}
+	}
+	if firstErr == nil {
+		s.scrubPasses.Add(1)
+	}
+	return firstErr
 }
 
 // Close detaches the store from its engine, syncs and closes the WAL, and
@@ -429,6 +853,8 @@ func (s *Store) pruneSnapshotsLocked(newest uint64) {
 // after readers can no longer reach mapped snapshots.
 func (s *Store) Close() error {
 	s.engine.setJournal(nil)
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.bgWG.Wait()
 	s.compactWG.Wait()
 	s.mu.Lock()
 	err := s.w.Close()

@@ -1,0 +1,375 @@
+package goalrec
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"goalrec/internal/faultfs"
+)
+
+// probeFast are store options tuned so degraded-mode tests converge quickly.
+func probeFast(fsys faultfs.FS) StoreOptions {
+	return StoreOptions{
+		FS:            fsys,
+		ProbeInterval: 5 * time.Millisecond,
+		RecoverAfter:  2,
+	}
+}
+
+func waitForMode(t *testing.T, s *Store, mode string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Status().Mode == mode {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("store never reached mode %q (now %q, last error %q)",
+		mode, s.Status().Mode, s.Status().LastError)
+}
+
+// TestStoreDegradedReadOnlyAndRecovery is the full degraded-mode arc: a full
+// disk rejects an ingest with ErrReadOnly (wrapped in ErrJournal), reads keep
+// serving bit-identical rankings, and once space returns the write probe
+// lifts the mode on its own and ingest resumes.
+func TestStoreDegradedReadOnlyAndRecovery(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	s, err := OpenStore(t.TempDir(), probeFast(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Engine()
+	storeIngest(t, e, 0, 30)
+	epoch, n := e.Epoch(), e.Len()
+	want := storeRankings(t, e)
+
+	inj.SetWriteBudget(0) // the disk is full
+	_, err = e.AddImplementations([]Implementation{{Goal: "g", Actions: []string{"a"}}})
+	if !errors.Is(err, ErrJournal) || !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ingest on a full disk = %v, want ErrJournal wrapping ErrReadOnly", err)
+	}
+	if e.Epoch() != epoch || e.Len() != n {
+		t.Fatal("rejected ingest mutated the published library")
+	}
+	st := s.Status()
+	if st.Mode != StorageReadOnly || st.LastError == "" || st.Degradations != 1 {
+		t.Fatalf("status after degrade = %+v", st)
+	}
+	// Reads are untouched in read-only mode.
+	if got := storeRankings(t, e); !reflect.DeepEqual(got, want) {
+		t.Fatal("rankings changed while degraded")
+	}
+	// Writes stay rejected without touching the device.
+	if _, err := s.Users().Append("u1", []string{"act-1"}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("user append while degraded = %v, want ErrReadOnly", err)
+	}
+
+	inj.SetWriteBudget(-1) // space returns
+	waitForMode(t, s, StorageHealthy)
+	st = s.Status()
+	if st.Recoveries != 1 || st.LastError != "" {
+		t.Fatalf("status after recovery = %+v", st)
+	}
+	storeIngest(t, e, 100, 5)
+	if e.Epoch() != epoch+1 {
+		t.Fatalf("epoch after recovery ingest = %d, want %d", e.Epoch(), epoch+1)
+	}
+
+	// And nothing acknowledged is lost across a restart.
+	wantEpoch, wantLen := e.Epoch(), e.Len()
+	want = storeRankings(t, e)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(s.dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Engine().Epoch() != wantEpoch || s2.Engine().Len() != wantLen {
+		t.Fatalf("restart after recovery: epoch %d len %d, want %d/%d",
+			s2.Engine().Epoch(), s2.Engine().Len(), wantEpoch, wantLen)
+	}
+	if got := storeRankings(t, s2.Engine()); !reflect.DeepEqual(got, want) {
+		t.Fatal("rankings changed across restart")
+	}
+}
+
+// TestStoreWriteFaultTable drives every write-path fault class the ISSUE
+// names — ENOSPC on append, fsync failure with -wal-sync, fsync failure on
+// compaction's snapshot, ENOSPC on the WAL rewrite — and asserts the store
+// lands in read-only mode without panicking or corrupting published state.
+func TestStoreWriteFaultTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		sync    bool
+		arm     func(inj *faultfs.Injector)
+		trip    func(t *testing.T, s *Store) error
+		degrade bool
+	}{
+		{
+			name: "append-enospc",
+			arm: func(inj *faultfs.Injector) {
+				inj.Fail(faultfs.Rule{Op: faultfs.OpWriteAt, Path: "wal", Err: faultfs.ENOSPC})
+			},
+			trip: func(t *testing.T, s *Store) error {
+				_, err := s.Engine().AddImplementations([]Implementation{{Goal: "g", Actions: []string{"a"}}})
+				return err
+			},
+			degrade: true,
+		},
+		{
+			name: "append-fsync-eio",
+			sync: true,
+			arm:  func(inj *faultfs.Injector) { inj.Fail(faultfs.Rule{Op: faultfs.OpSync, Path: "wal", Err: faultfs.EIO}) },
+			trip: func(t *testing.T, s *Store) error {
+				_, err := s.Engine().AddImplementations([]Implementation{{Goal: "g", Actions: []string{"a"}}})
+				return err
+			},
+			degrade: true,
+		},
+		{
+			name: "user-append-enospc",
+			arm: func(inj *faultfs.Injector) {
+				inj.Fail(faultfs.Rule{Op: faultfs.OpWriteAt, Path: "wal", Err: faultfs.ENOSPC})
+			},
+			trip: func(t *testing.T, s *Store) error {
+				_, err := s.Users().Append("u", []string{"act-1"})
+				return err
+			},
+			degrade: true,
+		},
+		{
+			name: "compaction-snapshot-enospc",
+			arm: func(inj *faultfs.Injector) {
+				inj.Fail(faultfs.Rule{Op: faultfs.OpWrite, Path: ".snap-", Err: faultfs.ENOSPC})
+			},
+			trip: func(t *testing.T, s *Store) error {
+				// Compaction failure alone is not fatal — the WAL still holds
+				// everything — so it must NOT degrade the store.
+				if err := s.Compact(); err == nil {
+					t.Fatal("compaction with failing snapshot write succeeded")
+				}
+				return nil
+			},
+			degrade: false,
+		},
+		{
+			name: "wal-rewrite-enospc",
+			arm: func(inj *faultfs.Injector) {
+				// The fresh log after compaction: fail its header write.
+				inj.Fail(faultfs.Rule{Op: faultfs.OpTruncate, Path: "wal", Err: faultfs.ENOSPC})
+			},
+			trip: func(t *testing.T, s *Store) error {
+				if err := s.Compact(); err == nil {
+					t.Fatal("compaction with failing WAL rewrite succeeded")
+				}
+				return nil
+			},
+			degrade: false,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := faultfs.NewInjector(nil)
+			opts := probeFast(inj)
+			opts.SyncWAL = tc.sync
+			s, err := OpenStore(t.TempDir(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			storeIngest(t, s.Engine(), 0, 20)
+			want := storeRankings(t, s.Engine())
+
+			tc.arm(inj)
+			if err := tc.trip(t, s); tc.degrade && !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("tripping fault = %v, want ErrReadOnly", err)
+			}
+			if got, wantMode := s.Status().Mode, StorageHealthy; tc.degrade {
+				if got != StorageReadOnly {
+					t.Fatalf("mode = %q, want read_only", got)
+				}
+			} else if got != wantMode {
+				t.Fatalf("mode = %q, want healthy", got)
+			}
+			if got := storeRankings(t, s.Engine()); !reflect.DeepEqual(got, want) {
+				t.Fatal("published rankings changed under the fault")
+			}
+			inj.ClearRules()
+		})
+	}
+}
+
+// TestStoreTransientAppendErrorRetriesInPlace: an EINTR-class hiccup is
+// absorbed by the bounded retry — the ingest succeeds and the store never
+// leaves healthy mode.
+func TestStoreTransientAppendErrorRetriesInPlace(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	s, err := OpenStore(t.TempDir(), probeFast(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	storeIngest(t, s.Engine(), 0, 5)
+
+	inj.Fail(faultfs.Rule{Op: faultfs.OpWriteAt, Path: "wal", Err: faultfs.EINTR, Once: true})
+	storeIngest(t, s.Engine(), 5, 5)
+	if st := s.Status(); st.Mode != StorageHealthy || st.Degradations != 0 {
+		t.Fatalf("transient error degraded the store: %+v", st)
+	}
+}
+
+// TestStoreQuarantinesCorruptNewestSnapshot: corrupt the newest snapshot's
+// body at rest; reopening must quarantine it (file preserved under
+// *.quarantine), fall back to the previous snapshot plus the longer WAL
+// tail, and serve bit-identical rankings.
+func TestStoreQuarantinesCorruptNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{KeepSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeIngest(t, s.Engine(), 0, 30)
+	if err := s.Compact(); err != nil { // snapshot generation 1
+		t.Fatal(err)
+	}
+	storeIngest(t, s.Engine(), 30, 20)
+	if err := s.Compact(); err != nil { // snapshot generation 2
+		t.Fatal(err)
+	}
+	storeIngest(t, s.Engine(), 50, 7) // a WAL tail past the newest snapshot
+	wantEpoch, wantLen := s.Engine().Epoch(), s.Engine().Len()
+	want := storeRankings(t, s.Engine())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := snapshotEpochs(nil, dir)
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("want 2 snapshot generations, have %v (%v)", snaps, err)
+	}
+	newest := filepath.Join(dir, fmt.Sprintf("snap-%016d.gsnp", snaps[1]))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20 // silent body corruption: header CRC still valid
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, StoreOptions{KeepSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Engine().Epoch() != wantEpoch || s2.Engine().Len() != wantLen {
+		t.Fatalf("fallback recovery: epoch %d len %d, want %d/%d",
+			s2.Engine().Epoch(), s2.Engine().Len(), wantEpoch, wantLen)
+	}
+	if got := storeRankings(t, s2.Engine()); !reflect.DeepEqual(got, want) {
+		t.Fatal("rankings differ after falling back past the corrupt snapshot")
+	}
+	// Evidence preserved, not deleted.
+	if _, err := os.Stat(newest + ".quarantine"); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(newest); !os.IsNotExist(err) {
+		t.Fatalf("corrupt snapshot still present under its live name: %v", err)
+	}
+	st := s2.Status()
+	if len(st.Quarantined) != 1 || !strings.HasSuffix(st.Quarantined[0], ".quarantine") || st.ScrubFailures == 0 {
+		t.Fatalf("status after quarantine = %+v", st)
+	}
+}
+
+// TestStoreScrubFindsAtRestCorruption: the periodic scrubber quarantines a
+// snapshot corrupted while the store is running and compacts a replacement.
+func TestStoreScrubFindsAtRestCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	storeIngest(t, s.Engine(), 0, 25)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Scrub(); err != nil {
+		t.Fatalf("scrub of a clean store: %v", err)
+	}
+	if st := s.Status(); st.ScrubPasses != 1 {
+		t.Fatalf("clean scrub not counted: %+v", st)
+	}
+
+	snaps, _ := snapshotEpochs(nil, dir)
+	path := filepath.Join(dir, fmt.Sprintf("snap-%016d.gsnp", snaps[len(snaps)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x08
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Scrub(); err == nil {
+		t.Fatal("scrub missed at-rest corruption")
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("scrubber did not quarantine: %v", err)
+	}
+	// The post-scrub compaction restored snapshot coverage at the live epoch.
+	snaps, err = snapshotEpochs(nil, dir)
+	if err != nil || len(snaps) == 0 || snaps[len(snaps)-1] != s.Engine().Epoch() {
+		t.Fatalf("coverage not restored: snapshots %v (err %v), engine epoch %d",
+			snaps, err, s.Engine().Epoch())
+	}
+}
+
+// TestStorePruneFailuresCountedAndRetried: failed prunes land in the metric
+// and the file is retried — and removed — by the next compaction.
+func TestStorePruneFailuresCountedAndRetried(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	opts := probeFast(inj)
+	opts.KeepSnapshots = 1
+	s, err := OpenStore(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	storeIngest(t, s.Engine(), 0, 10)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	inj.Fail(faultfs.Rule{Op: faultfs.OpRemove, Path: ".gsnp", Err: faultfs.EIO})
+	storeIngest(t, s.Engine(), 10, 10)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Status(); st.PruneFailures == 0 {
+		t.Fatalf("failed prune not counted: %+v", st)
+	}
+	if snaps, _ := snapshotEpochs(inj, s.dir); len(snaps) != 2 {
+		t.Fatalf("unpruned snapshot vanished anyway: %v", snaps)
+	}
+
+	inj.ClearRules()
+	storeIngest(t, s.Engine(), 20, 10)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if snaps, _ := snapshotEpochs(inj, s.dir); len(snaps) != 1 {
+		t.Fatalf("prune retry did not catch up: %v", snaps)
+	}
+}

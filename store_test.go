@@ -100,7 +100,7 @@ func TestStoreCompaction(t *testing.T) {
 			if err := s.Compact(); err != nil {
 				t.Fatal(err)
 			}
-			snaps, err := snapshotEpochs(dir)
+			snaps, err := snapshotEpochs(nil, dir)
 			if err != nil || len(snaps) != 1 || snaps[0] != e.Epoch() {
 				t.Fatalf("snapshots after compaction: %v (err %v), want [%d]", snaps, err, e.Epoch())
 			}
@@ -256,7 +256,7 @@ func TestStorePrunesOldSnapshots(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	snaps, err := snapshotEpochs(dir)
+	snaps, err := snapshotEpochs(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestStoreAutoCompacts(t *testing.T) {
 	if err := s.Close(); err != nil { // Close waits for no one; compaction may or may not have landed
 		t.Fatal(err)
 	}
-	snaps, err := snapshotEpochs(dir)
+	snaps, err := snapshotEpochs(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

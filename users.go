@@ -145,7 +145,7 @@ func (us *UserStore) appendLocked(u *userstore.User, actions []string) (int, err
 	}
 	if us.journal != nil {
 		if err := us.journal.logUserAppend(u.ID, added); err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrJournal, err)
+			return 0, fmt.Errorf("%w: %w", ErrJournal, err)
 		}
 	}
 	u.AppendNames(added)
@@ -195,7 +195,7 @@ func (us *UserStore) Delete(id string) error {
 	}
 	if us.journal != nil {
 		if err := us.journal.logUserDelete(id); err != nil {
-			return fmt.Errorf("%w: %v", ErrJournal, err)
+			return fmt.Errorf("%w: %w", ErrJournal, err)
 		}
 	}
 	if !us.users.Delete(id) {
