@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench benchdiff microbench vet fmt lint errlint cover experiments soak restart-replay torture clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json
+.PHONY: all build test race bench benchdiff microbench vet fmt lint errlint cover experiments soak restart-replay torture clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json
 
 all: vet test build
 
@@ -13,7 +13,7 @@ test:
 race:
 	go test -race ./...
 
-bench: BENCH_PR8.json
+bench: BENCH_PR9.json
 
 # Figure 7 sweep at the README's reference configuration; the JSON feeds the
 # README performance table. BENCH_PR1.json is the pre-kernel baseline the
@@ -68,10 +68,20 @@ BENCH_PR8.json:
 		-pruning -impact-ordering -cold-start -user-append \
 		-bench-json BENCH_PR8.json
 
+# BENCH_PR9.json adds the paged-serving cells: Zipf-skewed posting-row scans
+# raw vs block-compressed, cold vs served through the shared decoded-block
+# cache (block-cache/*), with per-cell cache counters.
+BENCH_PR9.json:
+	go run ./cmd/experiments -skip-datasets \
+		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
+		-scaling-queries 200 \
+		-pruning -impact-ordering -cold-start -user-append -block-cache \
+		-bench-json BENCH_PR9.json
+
 # Per-cell latency deltas between the previous stack and the current one;
 # exits non-zero on any >15% regression (the CI gate).
 benchdiff:
-	go run ./scripts/benchdiff BENCH_PR7.json BENCH_PR8.json
+	go run ./scripts/benchdiff BENCH_PR8.json BENCH_PR9.json
 
 microbench:
 	go test -run=XXX -bench=. -benchmem .

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"goalrec/internal/core"
 	"goalrec/internal/experiments"
 	"goalrec/internal/strategy"
 )
@@ -71,6 +72,7 @@ func run() error {
 	impactOrdering := flag.Bool("impact-ordering", false, "impact-order each swept library before timing")
 	coldStart := flag.Bool("cold-start", false, "also measure cold start (legacy decode+rebuild vs mmap snapshot open) at the sweep sizes")
 	userAppend := flag.Bool("user-append", false, "also measure append+recommend with a materialized counter view vs a from-scratch scan at the sweep sizes")
+	blockCache := flag.Bool("block-cache", false, "also measure posting-row scans raw vs compressed, cold vs block-cached, at the sweep sizes")
 	flag.Parse()
 
 	sizes, err := parseSizes(*scalingSizes)
@@ -187,6 +189,18 @@ func run() error {
 			}
 			points = append(points, ua...)
 		}
+		if *blockCache {
+			bc, err := experiments.BlockCacheScan(experiments.BlockCacheConfig{
+				Sizes: sizes, Actions: *scalingActions, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := emit(experiments.BlockCacheTable(bc)); err != nil {
+				return err
+			}
+			points = append(points, bc...)
+		}
 		if *benchJSON != "" {
 			if err := writeBenchJSON(*benchJSON, points); err != nil {
 				return err
@@ -207,6 +221,9 @@ type benchPoint struct {
 	// restart-cost numbers are addressable by name in the bench JSON.
 	ColdStartMS float64                      `json:"cold_start_ms,omitempty"`
 	Pruning     *strategy.PruneStatsSnapshot `json:"pruning,omitempty"`
+	// Cache carries the decoded-block cache counters for the block-cache/*
+	// cells that ran with a cache enabled.
+	Cache *core.BlockCacheStats `json:"cache,omitempty"`
 }
 
 // benchFile is the stamped envelope written since PR 5. Earlier bench files
@@ -236,6 +253,7 @@ func writeBenchJSON(path string, points []experiments.ScalabilityPoint) error {
 			Connectivity:    p.Connectivity,
 			MeanLatencyMS:   float64(p.MeanLatency) / float64(time.Millisecond),
 			Pruning:         p.Prune,
+			Cache:           p.Cache,
 		}
 		if strings.HasPrefix(p.Method, "cold-start/") {
 			rows[i].ColdStartMS = rows[i].MeanLatencyMS

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -79,6 +80,67 @@ func TestRunRejectsBadUsage(t *testing.T) {
 		{"verify"},
 		{"convert", "only-one-arg"},
 		{"convert", "-format", "yaml", "a", "b"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// diff + materialize round-trip through the CLI: the delta must rebuild the
+// new snapshot bit for bit, and inspect must understand the delta file.
+func TestDiffMaterializeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	writeSnap := func(name string, n int) string {
+		t.Helper()
+		b := goalrec.NewBuilder()
+		for i := 0; i < n; i++ {
+			if err := b.AddImplementation(fmt.Sprintf("goal-%d", i%9),
+				fmt.Sprintf("act-%d", i%13), fmt.Sprintf("act-%d", (i*5)%17)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		path := filepath.Join(dir, name)
+		if err := b.Build().SaveSnapshotFile(path, true); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := writeSnap("base.gsnp", 80)
+	newPath := writeSnap("new.gsnp", 120)
+
+	deltaPath := filepath.Join(dir, "new.gsnpd")
+	if err := run([]string{"diff", newPath, basePath, deltaPath}); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if err := run([]string{"inspect", deltaPath}); err != nil {
+		t.Fatalf("inspect delta: %v", err)
+	}
+
+	outPath := filepath.Join(dir, "rebuilt.gsnp")
+	if err := run([]string{"materialize", deltaPath, basePath, outPath}); err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	want, err := os.ReadFile(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("materialized snapshot differs from the original (%d vs %d bytes)", len(got), len(want))
+	}
+	if err := run([]string{"verify", outPath}); err != nil {
+		t.Fatalf("verify rebuilt: %v", err)
+	}
+
+	// Usage errors for the new subcommands.
+	for _, args := range [][]string{
+		{"diff", "a", "b"},
+		{"materialize", "a", "b"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) accepted", args)

@@ -38,7 +38,17 @@
 // -snapshot-compress writes snapshots with block-compressed postings;
 // -scrub-interval re-verifies snapshot checksums and WAL frame CRCs
 // periodically, quarantining corrupt snapshots (renamed to *.quarantine,
-// never deleted) and falling back a generation.
+// never deleted) and falling back a generation. -snapshot-diff makes
+// compaction write incremental diffs (*.gsnpd) against the last full
+// snapshot, with a periodic full bounding the chain; recovery materializes
+// base+diff losslessly and falls back to the base if a diff rots.
+//
+// Serving larger-than-RAM libraries: -block-cache-bytes sizes the shared
+// decoded-block cache that holds hot decompressed posting rows (64 MiB by
+// default; counters in /v1/metrics under "block_cache"), -madvise toggles
+// the paging hints applied to snapshot mappings, and -snapshot-warm faults
+// the recovered snapshot into the page cache up front when predictable
+// first-query latency matters more than startup time.
 //
 // Storage faults degrade the store instead of killing it: a persistent
 // write failure flips it read-only — ingests and user writes answer 503
@@ -104,6 +114,10 @@ func run() error {
 	scrubInterval := flag.Duration("scrub-interval", 0, "re-verify snapshot checksums and WAL CRCs at this interval, quarantining corrupt snapshots; 0 disables the periodic scrub (needs -snapshot-dir; the open-time scrub always runs)")
 	userCapacity := flag.Int("user-capacity", 0, "max tracked users in the per-user store; 0 selects the default")
 	userViews := flag.Int("user-views", 0, "max concurrently materialized per-user counter views; 0 selects the default")
+	blockCacheBytes := flag.Int64("block-cache-bytes", 64<<20, "byte budget of the shared decoded-block cache serving compressed posting rows; 0 disables it")
+	madvise := flag.Bool("madvise", true, "apply paging hints (MADV_RANDOM/WILLNEED) when snapshots open; no-op off Linux")
+	snapshotDiff := flag.Bool("snapshot-diff", false, "compact into incremental snapshot diffs against the last full snapshot, with periodic fulls (needs -snapshot-dir)")
+	snapshotWarm := flag.Bool("snapshot-warm", false, "fault the recovered snapshot fully into the page cache at startup instead of demand paging (needs -snapshot-dir)")
 	flag.Parse()
 	if *libPath == "" && *snapshotDir == "" {
 		return errors.New("one of -library or -snapshot-dir is required")
@@ -111,6 +125,8 @@ func run() error {
 	if *watch > 0 && *libPath == "" {
 		return errors.New("-watch needs -library")
 	}
+	goalrec.SetBlockCacheBytes(*blockCacheBytes)
+	goalrec.SetSnapshotMadvise(*madvise)
 
 	// loadLib is the single load path — initial load, /v1/reload and the
 	// -watch loop all apply the same layout policy.
@@ -157,6 +173,8 @@ func run() error {
 			SyncWAL:           *walSync,
 			CompactAtWALBytes: *compactWALBytes,
 			CompressPostings:  *snapshotCompress,
+			SnapshotDiff:      *snapshotDiff,
+			WarmSnapshot:      *snapshotWarm,
 			ScrubInterval:     *scrubInterval,
 			Logger:            logger,
 			Users:             userOpts,

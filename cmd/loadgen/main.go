@@ -62,6 +62,7 @@ type config struct {
 	duration    time.Duration // > 0 switches from request-count to wall-clock mode
 	activityLen int
 	seed        uint64
+	zipf        float64 // > 0 samples actions Zipf-skewed with this exponent
 	overload    bool
 	batch       int // > 1 sends /v1/recommend/batch with this many activities per request
 	users       int // > 0 targets the per-user endpoints, spread over this many users
@@ -79,6 +80,7 @@ func run() error {
 	duration := flag.Duration("duration", 0, "run for this long instead of a fixed request count (cycles the sampled requests)")
 	activityLen := flag.Int("activity-len", 3, "actions per sampled query")
 	seed := flag.Uint64("seed", 1, "sampling seed")
+	zipf := flag.Float64("zipf", 0, "sample actions Zipf-skewed with this exponent (0 = uniform); skew concentrates queries on hot actions, the cache-friendly real-traffic shape")
 	overload := flag.Bool("overload", false, "expect shedding: 503/504 responses are reported, not failures")
 	batch := flag.Int("batch", 1, "activities per request; > 1 targets /v1/recommend/batch")
 	users := flag.Int("users", 0, "target the per-user endpoints, alternating appends and recommends over this many users (0 disables)")
@@ -99,6 +101,7 @@ func run() error {
 		duration:    *duration,
 		activityLen: *activityLen,
 		seed:        *seed,
+		zipf:        *zipf,
 		overload:    *overload,
 		batch:       *batch,
 		users:       *users,
@@ -126,13 +129,23 @@ func runLoad(cfg config) error {
 	if cfg.duration > 0 && nActivities < 256 {
 		nActivities = 256
 	}
+	var zipf *xrand.Zipf
+	if cfg.zipf > 0 {
+		zipf = xrand.NewZipf(rng, len(actions), cfg.zipf)
+	}
 	sample := func() []string {
 		n := cfg.activityLen
 		if n > len(actions) {
 			n = len(actions)
 		}
+		var idxs []int32
+		if zipf != nil {
+			idxs = zipf.SampleDistinct(n)
+		} else {
+			idxs = rng.SampleInt32(int32(len(actions)), n)
+		}
 		activity := make([]string, 0, n)
-		for _, idx := range rng.SampleInt32(int32(len(actions)), n) {
+		for _, idx := range idxs {
 			activity = append(activity, actions[idx])
 		}
 		return activity
@@ -275,9 +288,13 @@ func runLoad(cfg config) error {
 	}
 	fmt.Fprintf(cfg.out, "requests: %d  ok: %d  shed(503): %d  deadline(504): %d  not_found(404): %d  other: %d  errors: %d\n",
 		len(results), len(latencies), shed, timedOut, notFound, unexpected, errors)
-	fmt.Fprintf(cfg.out, "elapsed: %v  throughput: %.1f req/s  recommendations: %.1f activities/s\n",
+	dist := "uniform"
+	if cfg.zipf > 0 {
+		dist = fmt.Sprintf("zipf(%.2f)", cfg.zipf)
+	}
+	fmt.Fprintf(cfg.out, "elapsed: %v  throughput: %.1f req/s  recommendations: %.1f activities/s  sampling: %s\n",
 		elapsed.Round(time.Millisecond), float64(len(results))/elapsed.Seconds(),
-		float64(okActivities)/elapsed.Seconds())
+		float64(okActivities)/elapsed.Seconds(), dist)
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		pct := func(p float64) time.Duration {

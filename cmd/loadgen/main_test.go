@@ -149,3 +149,26 @@ func TestRunLoadDurationMode(t *testing.T) {
 		t.Fatalf("duration mode ran for %v", elapsed)
 	}
 }
+
+// TestRunLoadZipfSampling runs with a Zipf exponent and checks the summary
+// reports the skewed sampling mode while every request still succeeds.
+func TestRunLoadZipfSampling(t *testing.T) {
+	lib := loadTestLibrary(t)
+	ts := httptest.NewServer(server.New(lib, nil))
+	defer ts.Close()
+	var out bytes.Buffer
+	err := runLoad(config{
+		url: ts.URL, strategy: "breadth", k: 5,
+		concurrency: 4, requests: 50, activityLen: 2, seed: 1,
+		zipf: 1.1, lib: lib, out: &out,
+	})
+	if err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: 50") {
+		t.Errorf("summary missing ok count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "sampling: zipf(1.10)") {
+		t.Errorf("summary missing zipf sampling mode:\n%s", out.String())
+	}
+}

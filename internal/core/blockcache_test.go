@@ -1,0 +1,311 @@
+package core
+
+import (
+	"bytes"
+
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// withBlockCache points the process cache at a fresh instance for one test
+// and disables it again afterwards (the package default).
+func withBlockCache(t testing.TB, budget int64) {
+	t.Helper()
+	SetBlockCacheBytes(budget)
+	t.Cleanup(func() { SetBlockCacheBytes(0) })
+}
+
+// compressedTestLibrary round-trips a synthetic library through a compressed
+// in-memory snapshot image.
+func compressedTestLibrary(t testing.TB, nImpl, nAct int, seed int64) *Library {
+	t.Helper()
+	lib := snapTestLibrary(t, nImpl, nAct, seed)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, lib, nil, SnapshotOptions{CompressPostings: true}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	s, err := OpenSnapshotBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("OpenSnapshotBytes: %v", err)
+	}
+	return s.Library()
+}
+
+// oracleRows decodes every posting row with the cache disabled.
+func oracleRows(lib *Library) [][]ImplID {
+	rows := make([][]ImplID, lib.NumActions())
+	for a := range rows {
+		var row []ImplID
+		row, _ = lib.PostingRow(ActionID(a), nil)
+		rows[a] = append([]ImplID(nil), row...)
+	}
+	return rows
+}
+
+// TestBlockCacheBitIdentical drives PostingRow, PostingRowRange and the
+// cursor over a compressed library with the cache enabled, repeatedly (so
+// the doorkeeper admits and hits serve from cache), and asserts every result
+// matches the cache-off oracle.
+func TestBlockCacheBitIdentical(t *testing.T) {
+	lib := compressedTestLibrary(t, 4000, 50, 7)
+	want := oracleRows(lib)
+	withBlockCache(t, 1<<20)
+	var buf []ImplID
+	for pass := 0; pass < 4; pass++ {
+		for a := 0; a < lib.NumActions(); a++ {
+			var row []ImplID
+			row, buf = lib.PostingRow(ActionID(a), buf)
+			if !equalRows(row, want[a]) {
+				t.Fatalf("pass %d: PostingRow(%d) diverged", pass, a)
+			}
+			if n := len(want[a]); n > 2 {
+				lo, hi := want[a][n/4], want[a][3*n/4]
+				row, buf = lib.PostingRowRange(ActionID(a), lo, hi, buf)
+				if !equalRows(row, subRange(want[a], lo, hi)) {
+					t.Fatalf("pass %d: PostingRowRange(%d) diverged", pass, a)
+				}
+			}
+			cur := lib.PostingRowCursor(ActionID(a))
+			for i := 0; i < cur.Len(); i += 17 {
+				if got := cur.At(i); got != want[a][i] {
+					t.Fatalf("pass %d: cursor At(%d,%d) = %d, want %d", pass, a, i, got, want[a][i])
+				}
+			}
+		}
+	}
+	st := BlockCacheMetrics()
+	if st.Hits == 0 || st.Admitted == 0 {
+		t.Fatalf("cache never engaged: %+v", st)
+	}
+}
+
+func equalRows(a, b []ImplID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBlockCacheEvictionBounded hammers a cache whose budget holds only a
+// small fraction of the decoded blocks and asserts the resident bytes stay
+// within budget while evictions make room. Run under -race in CI.
+func TestBlockCacheEvictionBounded(t *testing.T) {
+	lib := compressedTestLibrary(t, 20000, 30, 13)
+	const budget = 32 << 10
+	withBlockCache(t, budget)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var buf []ImplID
+			for i := 0; i < 3000; i++ {
+				a := ActionID(rng.Intn(lib.NumActions()))
+				_, buf = lib.PostingRow(a, buf)
+				if st := BlockCacheMetrics(); st.Bytes > st.BudgetBytes {
+					t.Errorf("cache bytes %d exceed budget %d", st.Bytes, st.BudgetBytes)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := BlockCacheMetrics()
+	if st.Evicted == 0 {
+		t.Fatalf("no evictions under pressure: %+v", st)
+	}
+	if st.Bytes > st.BudgetBytes {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, st.BudgetBytes)
+	}
+}
+
+// TestBlockCacheConcurrentEpochSwap has readers pinned to distinct library
+// generations while new generations open, warm up and close concurrently —
+// the ingest/epoch-swap pattern. Every read must match its own generation's
+// oracle: a block served for one source id must never surface another's
+// content. Run under -race in CI.
+func TestBlockCacheConcurrentEpochSwap(t *testing.T) {
+	withBlockCache(t, 256<<10)
+	const gens = 3
+	libs := make([]*Library, gens)
+	oracles := make([][][]ImplID, gens)
+	for g := 0; g < gens; g++ {
+		libs[g] = compressedTestLibrary(t, 3000, 40, int64(100+g))
+		oracles[g] = oracleRows(libs[g])
+	}
+	stop := make(chan struct{})
+	var readers, churn sync.WaitGroup
+	for g := 0; g < gens; g++ {
+		for w := 0; w < 2; w++ {
+			readers.Add(1)
+			go func(g int, seed int64) {
+				defer readers.Done()
+				rng := rand.New(rand.NewSource(seed))
+				var buf []ImplID
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					a := ActionID(rng.Intn(libs[g].NumActions()))
+					var row []ImplID
+					row, buf = libs[g].PostingRow(a, buf)
+					if !equalRows(row, oracles[g][a]) {
+						t.Errorf("gen %d: row %d diverged under concurrent swaps", g, a)
+						return
+					}
+				}
+			}(g, int64(g*10+w))
+		}
+	}
+	// Churn: open new generations (fresh source ids flooding the cache),
+	// read through them, close them again — the cache purges on close.
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; i < 6; i++ {
+			lib := snapTestLibrary(t, 2000, 35, int64(1000+i))
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, lib, nil, SnapshotOptions{CompressPostings: true}); err != nil {
+				t.Errorf("WriteSnapshot: %v", err)
+				return
+			}
+			s, err := OpenSnapshotBytes(buf.Bytes())
+			if err != nil {
+				t.Errorf("OpenSnapshotBytes: %v", err)
+				return
+			}
+			var rb []ImplID
+			for a := 0; a < s.Library().NumActions(); a++ {
+				_, rb = s.Library().PostingRow(ActionID(a), rb)
+			}
+			if err := s.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+				return
+			}
+		}
+	}()
+	churn.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+// FuzzBlockCache derives a budget and an access pattern from the fuzzed
+// seeds and checks cached reads against the cache-off oracle, including
+// overlay-extended (post-ingest) generations that share the base blob.
+func FuzzBlockCache(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint8(3))
+	f.Add(int64(99), uint16(1), uint8(1))
+	f.Add(int64(-7), uint16(512), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, budgetKB uint16, extra uint8) {
+		lib := compressedTestLibrary(t, 500+int(extra)*37, 2+int(extra%19), seed)
+		want := oracleRows(lib)
+		withBlockCache(t, int64(budgetKB%1024+1)<<10)
+		rng := rand.New(rand.NewSource(seed))
+		var buf []ImplID
+		for i := 0; i < 400; i++ {
+			a := ActionID(rng.Intn(lib.NumActions()))
+			switch rng.Intn(3) {
+			case 0:
+				var row []ImplID
+				row, buf = lib.PostingRow(a, buf)
+				if !equalRows(row, want[a]) {
+					t.Fatalf("PostingRow(%d) diverged", a)
+				}
+			case 1:
+				n := len(want[a])
+				if n == 0 {
+					continue
+				}
+				lo, hi := want[a][rng.Intn(n)], ImplID(rng.Intn(600))
+				var row []ImplID
+				row, buf = lib.PostingRowRange(a, lo, hi, buf)
+				if !equalRows(row, subRange(want[a], lo, hi)) {
+					t.Fatalf("PostingRowRange(%d,%d,%d) diverged", a, lo, hi)
+				}
+			case 2:
+				cur := lib.PostingRowCursor(a)
+				for j := 0; j < cur.Len(); j += 1 + rng.Intn(40) {
+					if got := cur.At(j); got != want[a][j] {
+						t.Fatalf("cursor At(%d,%d) = %d, want %d", a, j, got, want[a][j])
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestDecodeRowAppendAllocs pins the satellite fix: with a pre-sized pooled
+// buffer and the cache disabled, a full-row decode performs zero allocations
+// (slices.Grow reserves the row once instead of growing per block).
+func TestDecodeRowAppendAllocs(t *testing.T) {
+	lib := compressedTestLibrary(t, 30000, 8, 3)
+	// Hottest action: the longest row, spanning many blocks.
+	var a ActionID
+	for i := 0; i < lib.NumActions(); i++ {
+		if lib.ActionDegree(ActionID(i)) > lib.ActionDegree(a) {
+			a = ActionID(i)
+		}
+	}
+	if lib.ActionDegree(a) < 4*PostingBlockEntries {
+		t.Fatalf("test row too short: %d", lib.ActionDegree(a))
+	}
+	buf := make([]ImplID, 0, lib.ActionDegree(a))
+	allocs := testing.AllocsPerRun(20, func() {
+		_, buf = lib.PostingRow(a, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("PostingRow allocated %.1f times per decode, want 0", allocs)
+	}
+}
+
+// BenchmarkDecodeRowAppend reports the per-decode allocation count (asserted
+// at zero by TestDecodeRowAppendAllocs) and the decode throughput.
+func BenchmarkDecodeRowAppend(b *testing.B) {
+	lib := compressedTestLibrary(b, 30000, 8, 3)
+	var a ActionID
+	for i := 0; i < lib.NumActions(); i++ {
+		if lib.ActionDegree(ActionID(i)) > lib.ActionDegree(a) {
+			a = ActionID(i)
+		}
+	}
+	buf := make([]ImplID, 0, lib.ActionDegree(a))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, buf = lib.PostingRow(a, buf)
+	}
+}
+
+// BenchmarkPostingRowCached contrasts cold (cache off) and warm (cache on,
+// primed) full-row reads.
+func BenchmarkPostingRowCached(b *testing.B) {
+	lib := compressedTestLibrary(b, 30000, 16, 5)
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			if mode == "warm" {
+				withBlockCache(b, 64<<20)
+				var buf []ImplID
+				for pass := 0; pass < 2; pass++ {
+					for a := 0; a < lib.NumActions(); a++ {
+						_, buf = lib.PostingRow(ActionID(a), buf)
+					}
+				}
+			}
+			var buf []ImplID
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, buf = lib.PostingRow(ActionID(i%lib.NumActions()), buf)
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+//go:build linux
+
+package core
+
+import "syscall"
+
+// madviseSpan applies the advice class to data[off:off+n], rounded outward to
+// page boundaries and clamped to the mapping. The mapping base is page-
+// aligned (syscall.Mmap), so the rounded span is a valid madvise target.
+// Hints are best-effort: errors (e.g. on a heap-backed test image) are
+// deliberately ignored.
+func madviseSpan(data []byte, off, n uint64, advice int) {
+	if n == 0 || off >= uint64(len(data)) {
+		return
+	}
+	end := off + n
+	if end > uint64(len(data)) || end < off {
+		end = uint64(len(data))
+	}
+	page := uint64(syscall.Getpagesize())
+	off -= off % page
+	if rem := end % page; rem != 0 {
+		if e := end + (page - rem); e <= uint64(len(data)) {
+			end = e
+		} else {
+			end = uint64(len(data))
+		}
+	}
+	if off >= end {
+		return
+	}
+	a := syscall.MADV_NORMAL
+	switch advice {
+	case adviseRandom:
+		a = syscall.MADV_RANDOM
+	case adviseWillNeed:
+		a = syscall.MADV_WILLNEED
+	}
+	_ = syscall.Madvise(data[off:end], a)
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package core
+
+// madviseSpan is a no-op off Linux: paging hints are an optimization, not a
+// correctness requirement, and non-Linux mmapFile fallbacks may hand back
+// heap buffers where madvise would be meaningless.
+func madviseSpan(data []byte, off, n uint64, advice int) {}

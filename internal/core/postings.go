@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // This file is the access surface over block-compressed A-GI postings. A
 // snapshot opened with compressed postings keeps actOff (row lengths) and the
@@ -16,6 +19,7 @@ import "sort"
 // g (indexed exactly like blkLast), so a block decodes independently given
 // the previous block's Last value.
 type compressedPostings struct {
+	id      uint64   // process-unique source id for the block cache; 0 = uncacheable
 	blobOff []uint64 // per global block, len total blocks + 1
 	blob    []byte
 }
@@ -40,10 +44,16 @@ func blockLen(n, j int) int {
 func (l *Library) decodeRowAppend(a ActionID, dst []ImplID) []ImplID {
 	n := int(l.actOff[a+1] - l.actOff[a])
 	bLo, bHi := int(l.blkOff[a]), int(l.blkOff[a+1])
+	dst = slices.Grow(dst, n)
 	prev := ImplID(-1)
+	bc := activeBlockCache()
 	for g := bLo; g < bHi; g++ {
-		blob := l.cp.blob[l.cp.blobOff[g]:l.cp.blobOff[g+1]]
-		dst = decodeBlockAppend(blob, prev, blockLen(n, g-bLo), dst)
+		if blk := l.cachedBlock(bc, g, prev, blockLen(n, g-bLo)); blk != nil {
+			dst = append(dst, blk...)
+		} else {
+			blob := l.cp.blob[l.cp.blobOff[g]:l.cp.blobOff[g+1]]
+			dst = decodeBlockAppend(blob, prev, blockLen(n, g-bLo), dst)
+		}
 		prev = l.blkLast[g]
 	}
 	return dst
@@ -107,6 +117,13 @@ func (l *Library) PostingRowRange(a ActionID, lo, hi ImplID, buf []ImplID) (row,
 	// First block that can contain an id ≥ lo.
 	j := sort.Search(len(last), func(i int) bool { return last[i] >= lo })
 	buf = buf[:0]
+	if rem := (len(last) - j) * PostingBlockEntries; rem > 0 {
+		if rem > n {
+			rem = n
+		}
+		buf = slices.Grow(buf, rem)
+	}
+	bc := activeBlockCache()
 	for ; j < len(last); j++ {
 		prev := ImplID(-1)
 		if j > 0 {
@@ -114,6 +131,10 @@ func (l *Library) PostingRowRange(a ActionID, lo, hi ImplID, buf []ImplID) (row,
 		}
 		if prev+1 >= hi {
 			break // block's smallest id (> prev) is already ≥ hi
+		}
+		if blk := l.cachedBlock(bc, bLo+j, prev, blockLen(n, j)); blk != nil {
+			buf = append(buf, blk...)
+			continue
 		}
 		blob := l.cp.blob[l.cp.blobOff[bLo+j]:l.cp.blobOff[bLo+j+1]]
 		buf = decodeBlockAppend(blob, prev, blockLen(n, j), buf)
@@ -133,8 +154,9 @@ type PostingRowCursor struct {
 	last []ImplID // block Last views of the row (compressed only)
 	base int      // global block index of the row's block 0
 	n    int      // row length
-	cur  int      // local block index held in buf, -1 when none
-	buf  []ImplID
+	cur  int      // local block index held in view, -1 when none
+	view []ImplID // current decoded block: buf, or a shared cache entry
+	buf  []ImplID // cursor-owned decode scratch
 }
 
 // PostingRowCursor returns a cursor over the posting row of action a.
@@ -158,9 +180,15 @@ func (c *PostingRowCursor) ensure(j int) {
 	if j > 0 {
 		prev = c.last[j-1]
 	}
+	if blk := c.l.cachedBlock(activeBlockCache(), c.base+j, prev, blockLen(c.n, j)); blk != nil {
+		c.view = blk
+		c.cur = j
+		return
+	}
 	cp := c.l.cp
 	blob := cp.blob[cp.blobOff[c.base+j]:cp.blobOff[c.base+j+1]]
 	c.buf = decodeBlockAppend(blob, prev, blockLen(c.n, j), c.buf[:0])
+	c.view = c.buf
 	c.cur = j
 }
 
@@ -171,7 +199,7 @@ func (c *PostingRowCursor) At(i int) ImplID {
 	}
 	j := i / PostingBlockEntries
 	c.ensure(j)
-	return c.buf[i-j*PostingBlockEntries]
+	return c.view[i-j*PostingBlockEntries]
 }
 
 // AtLeast reports row[i] >= t. For compressed rows it answers from the block
@@ -196,7 +224,7 @@ func (c *PostingRowCursor) AtLeast(i int, t ImplID) bool {
 		}
 	}
 	c.ensure(j)
-	return c.buf[i-j*PostingBlockEntries] >= t
+	return c.view[i-j*PostingBlockEntries] >= t
 }
 
 // Slice returns row[lo:hi] as a view. For compressed rows [lo, hi) must fall
@@ -212,7 +240,7 @@ func (c *PostingRowCursor) Slice(lo, hi int) []ImplID {
 	j := lo / PostingBlockEntries
 	c.ensure(j)
 	off := j * PostingBlockEntries
-	return c.buf[lo-off : hi-off]
+	return c.view[lo-off : hi-off]
 }
 
 // Search returns the first index in [lo, hi) with row[index] >= t, or hi if
@@ -240,10 +268,10 @@ func (c *PostingRowCursor) Search(lo, hi int, t ImplID) int {
 	if off > s {
 		s = off
 	}
-	if end := off + len(c.buf); end < e {
+	if end := off + len(c.view); end < e {
 		e = end
 	}
-	idx := s + sort.Search(e-s, func(k int) bool { return c.buf[s-off+k] >= t })
+	idx := s + sort.Search(e-s, func(k int) bool { return c.view[s-off+k] >= t })
 	if idx == e && e < hi {
 		// Every entry of block j below hi is < t; by choice of j the match
 		// (if any) is in this block, so none exists in [lo, hi).

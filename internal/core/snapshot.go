@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"unsafe"
 
 	"goalrec/internal/faultfs"
@@ -229,13 +230,44 @@ func packNames(names []string) ([]uint64, []byte) {
 	return off, blob
 }
 
-// WriteSnapshot writes l (and optionally its vocabulary) to w in the
-// zero-copy snapshot format. Every index row is read through the accessor
-// surface, so flat, extended (overlay) and snapshot-loaded libraries all
-// serialize to the same canonical flat layout — which is also what lets WAL
-// compaction rewrite a live mmap-backed library without flattening it in
-// memory first.
-func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOptions) error {
+// snapPlan is one snapshot's section plan — the ordered sections plus the
+// header dimensions — shared by the full-snapshot writer (WriteSnapshot) and
+// the delta writer (WriteSnapshotDiff) so both serialize the exact same
+// canonical payload bytes.
+type snapPlan struct {
+	secs       []snapSection
+	flags      uint32
+	nImpl      int
+	nAct       int
+	nGoal      int
+	nSlots     int
+	epoch      uint64
+	maxImplLen int
+}
+
+// headerBytes renders the fixed 64-byte header for the given container
+// version, leaving the trailing CRC field zero for the caller to stamp.
+func (p *snapPlan) headerBytes(version uint32) []byte {
+	hdr := make([]byte, snapHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:], snapshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint32(hdr[8:], p.flags)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(p.secs)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(p.nImpl))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(p.nAct))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(p.nGoal))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(p.nSlots))
+	binary.LittleEndian.PutUint64(hdr[48:], p.epoch)
+	binary.LittleEndian.PutUint32(hdr[56:], uint32(p.maxImplLen))
+	return hdr
+}
+
+// planSnapshot derives the flat section plan of l (and optionally its
+// vocabulary). Every index row is read through the accessor surface, so
+// flat, extended (overlay) and snapshot-loaded libraries all plan the same
+// canonical flat layout — which is also what lets WAL compaction rewrite a
+// live mmap-backed library without flattening it in memory first.
+func planSnapshot(l *Library, vocab *Vocabulary, opts SnapshotOptions) (*snapPlan, error) {
 	nImpl := l.NumImplementations()
 	nAct, nGoal := l.numActions, l.numGoals
 	nSlots := len(l.implActs)
@@ -252,7 +284,7 @@ func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOpti
 		nAG += uint64(l.GoalDegree(ActionID(a)))
 	}
 	if int(actOff[nAct]) != nSlots {
-		return fmt.Errorf("core: inconsistent library: %d postings for %d slots", actOff[nAct], nSlots)
+		return nil, fmt.Errorf("core: inconsistent library: %d postings for %d slots", actOff[nAct], nSlots)
 	}
 	nBlk := uint64(blkOff[nAct])
 	goalOff := make([]int32, nGoal+1)
@@ -266,7 +298,7 @@ func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOpti
 		nGA += uint64(l.GoalActionCount(GoalID(g)))
 	}
 	if int(goalOff[nGoal]) != nImpl {
-		return fmt.Errorf("core: inconsistent library: %d goal postings for %d implementations", goalOff[nGoal], nImpl)
+		return nil, fmt.Errorf("core: inconsistent library: %d goal postings for %d implementations", goalOff[nGoal], nImpl)
 	}
 
 	flags := uint32(0)
@@ -410,6 +442,21 @@ func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOpti
 			snapSection{id: secVocGoalStr, elem: 1, count: uint64(len(goalNameBlob)), emit: func(sw *snapWriter) { sw.write(goalNameBlob) }},
 		)
 	}
+	return &snapPlan{
+		secs: secs, flags: flags,
+		nImpl: nImpl, nAct: nAct, nGoal: nGoal, nSlots: nSlots,
+		epoch: l.epoch, maxImplLen: int(l.maxImplLen),
+	}, nil
+}
+
+// WriteSnapshot writes l (and optionally its vocabulary) to w in the
+// zero-copy snapshot format.
+func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOptions) error {
+	p, err := planSnapshot(l, vocab, opts)
+	if err != nil {
+		return err
+	}
+	secs := p.secs
 
 	// Assign aligned offsets.
 	off := alignUp(uint64(snapHeaderSize + snapSectSize*len(secs)))
@@ -419,17 +466,7 @@ func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOpti
 	}
 
 	// Header + table, CRC-stamped.
-	hdr := make([]byte, snapHeaderSize)
-	binary.LittleEndian.PutUint32(hdr[0:], snapshotMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], snapshotVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], flags)
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(secs)))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(nImpl))
-	binary.LittleEndian.PutUint64(hdr[24:], uint64(nAct))
-	binary.LittleEndian.PutUint64(hdr[32:], uint64(nGoal))
-	binary.LittleEndian.PutUint64(hdr[40:], uint64(nSlots))
-	binary.LittleEndian.PutUint64(hdr[48:], l.epoch)
-	binary.LittleEndian.PutUint32(hdr[56:], uint32(l.maxImplLen))
+	hdr := p.headerBytes(snapshotVersion)
 	table := make([]byte, snapSectSize*len(secs))
 	for i, s := range secs {
 		e := table[snapSectSize*i:]
@@ -468,14 +505,27 @@ func WriteSnapshot(w io.Writer, l *Library, vocab *Vocabulary, opts SnapshotOpti
 // writer sealed it with. It returns ErrNoChecksum for a (pre-footer) image
 // without one — the caller then falls back to structural verification.
 func VerifySnapshotChecksum(data []byte) error {
-	secs, _, err := snapshotSections(data)
-	if err != nil {
-		return err
-	}
 	var end uint64
-	for _, s := range secs {
-		if e := s.off + s.count*uint64(s.elem); e > end {
-			end = e
+	if IsSnapshotDelta(data) {
+		dsecs, _, _, err := parseDelta(data)
+		if err != nil {
+			return err
+		}
+		end = uint64(snapHeaderSize + snapDeltaPreSize + snapDeltaSectSize*len(dsecs))
+		for _, d := range dsecs {
+			if e := d.off + d.inlineLen(); e > end {
+				end = e
+			}
+		}
+	} else {
+		secs, _, err := snapshotSections(data)
+		if err != nil {
+			return err
+		}
+		for _, s := range secs {
+			if e := s.off + s.count*uint64(s.elem); e > end {
+				end = e
+			}
 		}
 	}
 	if end+snapFooterSize > uint64(len(data)) {
@@ -595,7 +645,11 @@ func filepathDir(path string) string {
 type Snapshot struct {
 	lib   *Library
 	vocab *Vocabulary
+	data  []byte // the full image (mapping or heap buffer)
 	unmap func() error
+	// adviseWG tracks the asynchronous madvise pass OpenSnapshot launches;
+	// Close waits for it before unmapping so the hints never race the unmap.
+	adviseWG sync.WaitGroup
 }
 
 // Library returns the snapshot's library. Its index arrays alias the mapping
@@ -609,9 +663,15 @@ func (s *Snapshot) Vocabulary() *Vocabulary { return s.vocab }
 // Close releases the mapping. The snapshot's Library (and every library
 // extended from it) must not be used afterwards.
 func (s *Snapshot) Close() error {
+	if s.lib != nil && s.lib.cp != nil && s.lib.cp.id != 0 {
+		if c := activeBlockCache(); c != nil {
+			c.purgeSrc(s.lib.cp.id)
+		}
+	}
 	if s.unmap == nil {
 		return nil
 	}
+	s.adviseWG.Wait()
 	u := s.unmap
 	s.unmap = nil
 	return u()
@@ -645,6 +705,7 @@ func OpenSnapshotFS(fsys faultfs.FS, path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("core: snapshot %s: %w", path, err)
 	}
 	s.unmap = unmap
+	s.adviseAsync()
 	return s, nil
 }
 
@@ -823,6 +884,7 @@ func OpenSnapshotBytes(data []byte) (*Snapshot, error) {
 			return nil, fmt.Errorf("missing section %d", secPostBlob)
 		}
 		cp := &compressedPostings{
+			id:      blockCacheSrcSeq.Add(1),
 			blobOff: u64View(pb, int(nBlk+1)),
 			blob:    data[blobSec.off : blobSec.off+blobSec.count],
 		}
@@ -855,7 +917,7 @@ func OpenSnapshotBytes(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("goal offsets span [%d, %d] over %d implementations", lib.goalOff[0], lib.goalOff[nGoal], nImpl)
 	}
 
-	snap := &Snapshot{lib: lib}
+	snap := &Snapshot{lib: lib, data: data}
 	if flags&snapFlagVocab != 0 {
 		actNames, err := unpackNames(secs, data, secVocActOff, secVocActStr)
 		if err != nil {

@@ -68,3 +68,37 @@ func BenchmarkColdStart(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkOpenSnapshotAdvise isolates what the open-time paging hints cost:
+// the same mmap open with the per-section madvise calls enabled vs disabled.
+// The hint budget must stay in the noise of an open — the eager page-in of
+// large spans belongs to the optional Warmup, not here.
+func BenchmarkOpenSnapshotAdvise(b *testing.B) {
+	const size = 250_000
+	r := rand.New(rand.NewSource(int64(size)))
+	lib := randomLibrary(r, size, 10_000, size/8)
+	snapPath := filepath.Join(b.TempDir(), "lib.gsnp")
+	if err := WriteSnapshotFile(snapPath, lib, nil, SnapshotOptions{CompressPostings: true}); err != nil {
+		b.Fatal(err)
+	}
+	for _, on := range []bool{false, true} {
+		b.Run(fmt.Sprintf("madvise=%t", on), func(b *testing.B) {
+			SetSnapshotMadvise(on)
+			defer SetSnapshotMadvise(true)
+			// Close (which syncs the async hint pass) stays outside the
+			// timer: the cell of record is time-to-serviceable, as in the
+			// cold-start experiment.
+			for i := 0; i < b.N; i++ {
+				snap, err := OpenSnapshot(snapPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := snap.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

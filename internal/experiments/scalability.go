@@ -19,6 +19,9 @@ type ScalabilityPoint struct {
 	// Prune carries this cell's pruning counters when the sweep ran with
 	// Pruning; nil otherwise.
 	Prune *strategy.PruneStatsSnapshot
+	// Cache carries the decoded-block cache counters for the block-cache/*
+	// cells that ran with a cache enabled; nil otherwise.
+	Cache *core.BlockCacheStats
 }
 
 // ScalabilityConfig parameterizes the Figure 7 sweep.

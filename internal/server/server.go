@@ -556,9 +556,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			storage = append(storage, '}')
 		}
 	}
-	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"pruning\": {\"enabled\": %t, \"counters\": %s}, \"users\": {\"enabled\": %t, \"counters\": %s}, \"storage\": %s, \"reload_failure_streak\": %d}\n",
+	cacheStats := goalrec.BlockCacheMetrics()
+	cache := []byte("{}")
+	if b, err := json.Marshal(cacheStats); err == nil {
+		cache = b
+	}
+	fmt.Fprintf(w, "{\"epoch\": %d, \"requests\": %s, \"errors\": %s, \"lifecycle\": %s, \"pruning\": {\"enabled\": %t, \"counters\": %s}, \"users\": {\"enabled\": %t, \"counters\": %s}, \"storage\": %s, \"block_cache\": {\"enabled\": %t, \"counters\": %s}, \"reload_failure_streak\": %d}\n",
 		s.bundle().lib.Epoch(), s.requests.String(), s.errors.String(),
-		s.lifecycle.String(), s.pruneStats != nil, prune, s.users != nil, users, storage, s.reloadStreak.Load())
+		s.lifecycle.String(), s.pruneStats != nil, prune, s.users != nil, users, storage,
+		cacheStats.BudgetBytes > 0, cache, s.reloadStreak.Load())
 }
 
 // recommendRequest is the /v1/recommend body.

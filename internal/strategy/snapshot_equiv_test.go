@@ -97,6 +97,24 @@ func checkSnapshotEquiv(t *testing.T, lib *core.Library, h []core.ActionID, k in
 					compress, v.name, k, h, got, want)
 			}
 		}
+
+		// The same rankings must hold with the shared decoded-block cache
+		// enabled. Two passes: the first lets the doorkeeper admit the hot
+		// blocks, the second serves from cache — both must stay bit-identical
+		// to the cache-off builder ranking.
+		core.SetBlockCacheBytes(4 << 20)
+		t.Cleanup(func() { core.SetBlockCacheBytes(0) })
+		for pass := 0; pass < 2; pass++ {
+			for _, v := range variants {
+				want := v.mk(lib).Recommend(h, k)
+				got := v.mk(mlib).Recommend(h, k)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("compress=%v cached pass %d %s: ranking diverged (k=%d, h=%v):\ngot  %v\nwant %v",
+						compress, pass, v.name, k, h, got, want)
+				}
+			}
+		}
+		core.SetBlockCacheBytes(0)
 	}
 }
 

@@ -1,0 +1,28 @@
+package goalrec
+
+import "goalrec/internal/core"
+
+// BlockCacheStats are the counters of the process-wide decoded-block cache
+// serving block-compressed posting rows. The JSON field names are stable and
+// surface verbatim in goalrecd's /v1/metrics.
+type BlockCacheStats = core.BlockCacheStats
+
+// SetBlockCacheBytes sizes the process-wide decoded-block cache shared by
+// every compressed snapshot-backed library: decoded posting blocks are
+// admitted by touch frequency and evicted LRU within the byte budget, so a
+// larger-than-RAM library serves hot rows without re-decoding them per
+// query. n <= 0 disables the cache (the default) and releases its memory.
+// Raw (uncompressed) posting rows are served zero-copy from the mapping and
+// never enter the cache.
+func SetBlockCacheBytes(n int64) { core.SetBlockCacheBytes(n) }
+
+// BlockCacheMetrics returns the decoded-block cache counters. All zero when
+// the cache is disabled.
+func BlockCacheMetrics() BlockCacheStats { return core.BlockCacheMetrics() }
+
+// SetSnapshotMadvise toggles the paging hints applied when snapshots open:
+// MADV_RANDOM on the sections queries touch point-wise (posting rows, name
+// blobs) and MADV_WILLNEED on the small always-hot offset tables. Enabled by
+// default; a no-op off Linux. Disabling is an escape hatch for workloads
+// that scan snapshots sequentially.
+func SetSnapshotMadvise(on bool) { core.SetSnapshotMadvise(on) }

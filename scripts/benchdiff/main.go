@@ -18,10 +18,16 @@ import (
 	"strings"
 )
 
+type cacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
 type point struct {
-	Method          string  `json:"method"`
-	Implementations int     `json:"implementations"`
-	MeanLatencyMS   float64 `json:"mean_latency_ms"`
+	Method          string      `json:"method"`
+	Implementations int         `json:"implementations"`
+	MeanLatencyMS   float64     `json:"mean_latency_ms"`
+	Cache           *cacheStats `json:"cache,omitempty"`
 }
 
 type stampedFile struct {
@@ -138,6 +144,9 @@ func report(w *os.File, oldPts, newPts []point, oldLabel, newLabel string, thres
 	for _, l := range userSpeedups(newPts) {
 		fmt.Fprintf(w, "  %s\n", l)
 	}
+	for _, l := range cacheSummaries(newPts) {
+		fmt.Fprintf(w, "  %s\n", l)
+	}
 	if len(rows) == 0 {
 		return fmt.Errorf("no comparable cells between the two files")
 	}
@@ -151,6 +160,36 @@ func report(w *os.File, oldPts, newPts []point, oldLabel, newLabel string, thres
 // (strategy, size) with both a user-scan/ and a user-append/ cell, the
 // materialization speedup. Informational — the regression gate above already
 // covers the cells individually once both files carry them.
+// cacheSummaries reports the new file's block-cache cells: hit rate per
+// cached cell and the cold-to-warm speedup per size. Informational — the
+// per-cell regression gate covers the latencies once both files carry them.
+func cacheSummaries(pts []point) []string {
+	cold := make(map[int]float64)
+	for _, p := range pts {
+		if p.Method == "block-cache/cold" {
+			cold[p.Implementations] = p.MeanLatencyMS
+		}
+	}
+	var out []string
+	for _, p := range pts {
+		if !strings.HasPrefix(p.Method, "block-cache/") || p.Cache == nil {
+			continue
+		}
+		total := p.Cache.Hits + p.Cache.Misses
+		if total == 0 {
+			continue
+		}
+		line := fmt.Sprintf("cache %-25s %5.1f%% hit rate", fmt.Sprintf("%s@%d", strings.TrimPrefix(p.Method, "block-cache/"), p.Implementations),
+			100*float64(p.Cache.Hits)/float64(total))
+		if c, ok := cold[p.Implementations]; ok && p.MeanLatencyMS > 0 {
+			line += fmt.Sprintf("  %6.1fx vs cold", c/p.MeanLatencyMS)
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func userSpeedups(pts []point) []string {
 	scan := make(map[string]float64)
 	for _, p := range pts {

@@ -12,7 +12,17 @@
 #     view materialization, eviction and the -watch reload loop.
 #
 # Tunables (env): SOAK_DURATION (default 30s), SOAK_USER_DURATION (default
-# 15s), SOAK_USERS (default 200), SOAK_LIBRARY, SOAK_ADDR.
+# 15s), SOAK_RESTART_DURATION (default 10s), SOAK_USERS (default 200),
+# SOAK_LIBRARY, SOAK_ADDR.
+#
+# Memory-capped mode: SOAK_SNAPSHOT=1 runs the daemon over a durable store
+# with block-compressed snapshots and a small compaction threshold, then —
+# after the overload phases — restarts it on the compacted store so serving
+# recovers from the memory-mapped compressed snapshot and recommends decode
+# posting blocks through the shared cache. SOAK_BLOCK_CACHE_BYTES sizes that
+# cache (use a small value plus GOMEMLIMIT to soak the larger-than-RAM
+# serving path); the restarted phase asserts the block_cache counters moved
+# in /v1/metrics.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,28 +56,47 @@ if [ ! -f "$LIB" ]; then
     }' >"$LIB"
 fi
 
+STORE_FLAGS=()
+if [ -n "${SOAK_SNAPSHOT:-}" ]; then
+    # The seed swap journals the whole library, so a small threshold makes
+    # the store compact into a compressed snapshot almost immediately.
+    STORE_FLAGS+=(-snapshot-dir "$TMP/store" -snapshot-compress -compact-wal-bytes 1048576)
+fi
+if [ -n "${SOAK_BLOCK_CACHE_BYTES:-}" ]; then
+    STORE_FLAGS+=(-block-cache-bytes "$SOAK_BLOCK_CACHE_BYTES")
+fi
+
 echo "soak: building race-instrumented goalrecd and loadgen"
 go build -race -o "$TMP/goalrecd" ./cmd/goalrecd
 go build -o "$TMP/loadgen" ./cmd/loadgen
 
-"$TMP/goalrecd" -library "$LIB" -addr "$ADDR" -quiet \
-    -max-inflight 2 -admission-wait 200us -request-timeout 250ms \
-    -watch 100ms 2>"$TMP/goalrecd.log" &
-DAEMON_PID=$!
-
-ready=""
-for _ in $(seq 1 100); do
-    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
-        ready=1
-        break
-    fi
-    sleep 0.1
-done
-if [ -z "$ready" ]; then
+start_daemon() {
+    "$TMP/goalrecd" -library "$LIB" -addr "$ADDR" -quiet \
+        -max-inflight 2 -admission-wait 200us -request-timeout 250ms \
+        -watch 100ms ${STORE_FLAGS[@]+"${STORE_FLAGS[@]}"} 2>>"$TMP/goalrecd.log" &
+    DAEMON_PID=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
     echo "soak: daemon never became ready" >&2
     cat "$TMP/goalrecd.log" >&2
     exit 1
-fi
+}
+
+stop_daemon() {
+    kill -TERM "$DAEMON_PID"
+    if ! wait "$DAEMON_PID"; then
+        echo "soak: daemon exited uncleanly (race detected or unclean shutdown)" >&2
+        cat "$TMP/goalrecd.log" >&2
+        exit 1
+    fi
+    DAEMON_PID=""
+}
+
+start_daemon
 
 echo "soak: overloading for $DURATION"
 "$TMP/loadgen" -url "http://$ADDR" -library "$LIB" -overload \
@@ -78,15 +107,46 @@ echo "soak: user-store phase for $USER_DURATION (append/recommend over $USERS us
     -concurrency 16 -duration "$USER_DURATION" -strategy breadth -users "$USERS"
 
 echo "soak: final metrics"
-curl -fsS "http://$ADDR/v1/metrics"
+METRICS="$(curl -fsS "http://$ADDR/v1/metrics")"
+echo "$METRICS"
+
+if [ -n "${SOAK_SNAPSHOT:-}" ]; then
+    # Wait for the background compaction so the restart recovers from the
+    # compressed snapshot rather than replaying the whole WAL.
+    compacted=""
+    for _ in $(seq 1 100); do
+        if ls "$TMP/store"/snap-*.gsnp >/dev/null 2>&1; then
+            compacted=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "$compacted" ]; then
+        echo "soak: store never compacted into a snapshot" >&2
+        cat "$TMP/goalrecd.log" >&2
+        exit 1
+    fi
+    stop_daemon
+    echo "soak: restarting on the compacted store (mmap snapshot + block cache)"
+    start_daemon
+    "$TMP/loadgen" -url "http://$ADDR" -library "$LIB" -overload \
+        -concurrency 16 -duration "${SOAK_RESTART_DURATION:-10s}" -strategy breadth
+    METRICS="$(curl -fsS "http://$ADDR/v1/metrics")"
+    echo "$METRICS"
+    if [ -n "${SOAK_BLOCK_CACHE_BYTES:-}" ]; then
+        if ! echo "$METRICS" | grep -q '"block_cache": {"enabled": true'; then
+            echo "soak: block cache enabled but not reported in metrics" >&2
+            exit 1
+        fi
+        # Serving now decodes posting blocks from the mapped compressed
+        # snapshot: the cache counters must have moved.
+        if echo "$METRICS" | grep -q '"block_cache": {"enabled": true, "counters": {"hits":0,"misses":0,'; then
+            echo "soak: block cache enabled but never touched by serving" >&2
+            exit 1
+        fi
+    fi
+fi
 
 echo "soak: sending SIGTERM"
-kill -TERM "$DAEMON_PID"
-if ! wait "$DAEMON_PID"; then
-    status=$?
-    echo "soak: daemon exited with status $status (race detected or unclean shutdown)" >&2
-    cat "$TMP/goalrecd.log" >&2
-    exit 1
-fi
-DAEMON_PID=""
+stop_daemon
 echo "soak: clean shutdown, PASS"

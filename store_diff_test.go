@@ -1,0 +1,179 @@
+package goalrec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// artifactKinds renders the on-disk snapshot generations compactly, e.g.
+// "full@3 delta@5 full@7", for shape assertions.
+func artifactKinds(t *testing.T, dir string) string {
+	t.Helper()
+	arts, err := snapshotArtifacts(nil, dir)
+	if err != nil {
+		t.Fatalf("snapshotArtifacts: %v", err)
+	}
+	out := ""
+	for i, a := range arts {
+		if i > 0 {
+			out += " "
+		}
+		kind := "full"
+		if a.delta {
+			kind = "delta"
+		}
+		out += fmt.Sprintf("%s@%d", kind, a.epoch)
+	}
+	return out
+}
+
+// TestStoreSnapshotDiffLifecycle drives compactions with SnapshotDiff on and
+// asserts the artifact cadence — first a full (no base exists), then deltas
+// until MaxDiffChain is reached, then the next full — and that restarting
+// from a delta-topped directory reproduces the exact engine state.
+func TestStoreSnapshotDiffLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{SnapshotDiff: true, MaxDiffChain: 2, CompressPostings: true}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Engine()
+	var epochs []uint64
+	for i := 0; i < 4; i++ {
+		storeIngest(t, e, i*50, 50)
+		if err := s.Compact(); err != nil {
+			t.Fatalf("compact %d: %v", i, err)
+		}
+		epochs = append(epochs, e.Epoch())
+	}
+	// Chain cap 2 wrote full, delta, delta, full; pruning (keep 2) then
+	// dropped the middle delta but pinned the first full, which is still the
+	// chain base of the retained delta.
+	want := fmt.Sprintf("full@%d delta@%d full@%d", epochs[0], epochs[2], epochs[3])
+	if got := artifactKinds(t, dir); got != want {
+		t.Fatalf("artifacts after 4 compactions: %q, want %q", got, want)
+	}
+
+	// Land one more delta so the directory is delta-topped, then restart.
+	storeIngest(t, e, 200, 50)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got, wantTop := artifactKinds(t, dir), fmt.Sprintf("full@%d delta@%d", epochs[3], e.Epoch()); got != wantTop {
+		t.Fatalf("artifacts after delta compaction: %q, want %q", got, wantTop)
+	}
+	storeIngest(t, e, 250, 10) // a WAL tail on top of the delta
+	wantEpoch, wantLen := e.Epoch(), e.Len()
+	wantRank := storeRankings(t, e)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	e2 := s2.Engine()
+	if e2.Epoch() != wantEpoch || e2.Len() != wantLen {
+		t.Fatalf("restart from delta: epoch/len = %d/%d, want %d/%d", e2.Epoch(), e2.Len(), wantEpoch, wantLen)
+	}
+	if got := storeRankings(t, e2); !reflect.DeepEqual(got, wantRank) {
+		t.Fatal("rankings changed across delta restart")
+	}
+	// The recovered engine keeps ingesting and compacting.
+	storeIngest(t, e2, 260, 5)
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreSnapshotDiffCorruptDeltaFallsBack rots the newest delta at rest;
+// reopening must quarantine it and land on the full base plus the retained
+// WAL tail — bit-identical state, one generation further back.
+func TestStoreSnapshotDiffCorruptDeltaFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{SnapshotDiff: true, MaxDiffChain: 4}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Engine()
+	storeIngest(t, e, 0, 60)
+	if err := s.Compact(); err != nil { // full
+		t.Fatal(err)
+	}
+	storeIngest(t, e, 60, 40)
+	if err := s.Compact(); err != nil { // delta on the full
+		t.Fatal(err)
+	}
+	deltaFile := filepath.Join(dir, fmt.Sprintf("snap-%016d.gsnpd", e.Epoch()))
+	if _, err := os.Stat(deltaFile); err != nil {
+		t.Fatalf("delta artifact missing: %v", err)
+	}
+	wantEpoch, wantLen := e.Epoch(), e.Len()
+	wantRank := storeRankings(t, e)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(deltaFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(deltaFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(deltaFile + ".quarantine"); err != nil {
+		t.Fatalf("corrupt delta not quarantined: %v", err)
+	}
+	e2 := s2.Engine()
+	if e2.Epoch() != wantEpoch || e2.Len() != wantLen {
+		t.Fatalf("fallback recovery: epoch/len = %d/%d, want %d/%d", e2.Epoch(), e2.Len(), wantEpoch, wantLen)
+	}
+	if got := storeRankings(t, e2); !reflect.DeepEqual(got, wantRank) {
+		t.Fatal("rankings changed after delta quarantine fallback")
+	}
+	st := s2.Status()
+	if len(st.Quarantined) == 0 {
+		t.Fatalf("quarantine not reported in status: %+v", st)
+	}
+}
+
+// TestStoreSnapshotDiffPruningKeepsBases checks that a full snapshot needed
+// as the base of a retained delta outlives the keep window, and is dropped
+// once no retained delta references it.
+func TestStoreSnapshotDiffPruningKeepsBases(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{SnapshotDiff: true, MaxDiffChain: 1, KeepSnapshots: 2}
+	s, err := OpenStore(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.Engine()
+	var epochs []uint64
+	for i := 0; i < 5; i++ { // full, delta, full, delta, full
+		storeIngest(t, e, i*40, 40)
+		if err := s.Compact(); err != nil {
+			t.Fatalf("compact %d: %v", i, err)
+		}
+		epochs = append(epochs, e.Epoch())
+	}
+	// Keep window holds {full@4, delta@3}; delta@3 pins full@2 beyond it.
+	want := fmt.Sprintf("full@%d delta@%d full@%d", epochs[2], epochs[3], epochs[4])
+	if got := artifactKinds(t, dir); got != want {
+		t.Fatalf("artifacts after 5 compactions: %q, want %q", got, want)
+	}
+}
