@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench benchdiff microbench vet fmt lint errlint cover experiments soak restart-replay torture clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json
+.PHONY: all build test race bench benchdiff microbench vet fmt lint errlint cover experiments soak cluster restart-replay torture clean BENCH_PR1.json BENCH_PR4.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR8.json BENCH_PR9.json BENCH_PR10.json
 
 all: vet test build
 
@@ -13,7 +13,7 @@ test:
 race:
 	go test -race ./...
 
-bench: BENCH_PR9.json
+bench: BENCH_PR10.json
 
 # Figure 7 sweep at the README's reference configuration; the JSON feeds the
 # README performance table. BENCH_PR1.json is the pre-kernel baseline the
@@ -78,10 +78,21 @@ BENCH_PR9.json:
 		-pruning -impact-ordering -cold-start -user-append -block-cache \
 		-bench-json BENCH_PR9.json
 
+# BENCH_PR10.json adds the sharded-serving cells (cluster/*): scatter-gather
+# throughput of the same strategies on in-process shard clusters of 1, 2 and
+# 4 workers, at the first sweep size.
+BENCH_PR10.json:
+	go run ./cmd/experiments -skip-datasets \
+		-scaling-sizes 250000,1000000 -scaling-actions 10000 -seed 1 \
+		-scaling-queries 200 \
+		-pruning -impact-ordering -cold-start -user-append -block-cache \
+		-cluster \
+		-bench-json BENCH_PR10.json
+
 # Per-cell latency deltas between the previous stack and the current one;
 # exits non-zero on any >15% regression (the CI gate).
 benchdiff:
-	go run ./scripts/benchdiff BENCH_PR8.json BENCH_PR9.json
+	go run ./scripts/benchdiff BENCH_PR9.json BENCH_PR10.json
 
 microbench:
 	go test -run=XXX -bench=. -benchmem .
@@ -112,6 +123,13 @@ cover:
 # every response to be 200/503/504 plus a clean SIGTERM shutdown.
 soak:
 	./scripts/soak.sh
+
+# Race-instrumented 3-worker scatter-gather cluster next to a single-node
+# reference: bit-identical rankings, distributed loadgen, SIGKILL a worker
+# (degraded serving + bit-identical resume after restart), and a cluster-wide
+# two-phase snapshot swap under load.
+cluster:
+	./scripts/cluster.sh
 
 # Ingest into a race-instrumented goalrecd with a durable store, SIGTERM it,
 # restart on the same directory, and require the epoch and exact rankings to

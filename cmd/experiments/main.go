@@ -73,6 +73,8 @@ func run() error {
 	coldStart := flag.Bool("cold-start", false, "also measure cold start (legacy decode+rebuild vs mmap snapshot open) at the sweep sizes")
 	userAppend := flag.Bool("user-append", false, "also measure append+recommend with a materialized counter view vs a from-scratch scan at the sweep sizes")
 	blockCache := flag.Bool("block-cache", false, "also measure posting-row scans raw vs compressed, cold vs block-cached, at the sweep sizes")
+	clusterBench := flag.Bool("cluster", false, "also measure scatter-gather throughput on in-process shard clusters of growing worker count (first sweep size)")
+	clusterWorkers := flag.String("cluster-workers", "1,2,4", "comma-separated worker counts for the -cluster sweep")
 	flag.Parse()
 
 	sizes, err := parseSizes(*scalingSizes)
@@ -200,6 +202,23 @@ func run() error {
 				return err
 			}
 			points = append(points, bc...)
+		}
+		if *clusterBench {
+			workerCounts, err := parseSizes(*clusterWorkers)
+			if err != nil {
+				return fmt.Errorf("-cluster-workers: %w", err)
+			}
+			cp, err := experiments.ClusterScaling(experiments.ClusterConfig{
+				Size: sizes[0], Actions: *scalingActions, Seed: *seed,
+				Workers: workerCounts, Queries: *scalingQueries,
+			})
+			if err != nil {
+				return err
+			}
+			if err := emit(experiments.ClusterTable(cp)); err != nil {
+				return err
+			}
+			points = append(points, cp...)
 		}
 		if *benchJSON != "" {
 			if err := writeBenchJSON(*benchJSON, points); err != nil {

@@ -78,6 +78,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -86,6 +87,7 @@ import (
 	"time"
 
 	"goalrec"
+	"goalrec/internal/cluster"
 	"goalrec/internal/server"
 )
 
@@ -118,7 +120,40 @@ func run() error {
 	madvise := flag.Bool("madvise", true, "apply paging hints (MADV_RANDOM/WILLNEED) when snapshots open; no-op off Linux")
 	snapshotDiff := flag.Bool("snapshot-diff", false, "compact into incremental snapshot diffs against the last full snapshot, with periodic fulls (needs -snapshot-dir)")
 	snapshotWarm := flag.Bool("snapshot-warm", false, "fault the recovered snapshot fully into the page cache at startup instead of demand paging (needs -snapshot-dir)")
+	role := flag.String("role", "", `cluster role: "" (single node), "coordinator" (scatter-gather front end over -peers) or "worker" (shard server on -cluster-addr)`)
+	clusterAddr := flag.String("cluster-addr", "", "cluster comms listen address (worker role)")
+	peersFlag := flag.String("peers", "", "comma-separated worker comms addresses (coordinator role)")
+	shardRange := flag.String("shard-range", "0:-1", `implementation range "lo:hi" this worker serves; hi -1 means "to the end of the library" (worker role)`)
+	partialFailure := flag.String("partial-failure", "degraded", `coordinator policy when a shard cannot answer: "degraded" (serve the reachable shards, flagged) or "fail" (fail the query)`)
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "coordinator-to-worker heartbeat interval")
+	scatterTimeout := flag.Duration("scatter-timeout", 0, "per-scatter deadline on worker round-trips (0 disables; coordinator role)")
 	flag.Parse()
+	if *role == "coordinator" {
+		// The coordinator never scans, so it has no store; it needs only a
+		// full copy of the artifact for name resolution.
+		if *libPath == "" {
+			return errors.New("-role coordinator needs -library")
+		}
+		policy, err := cluster.ParsePartialFailurePolicy(*partialFailure)
+		if err != nil {
+			return err
+		}
+		return runCoordinator(coordinatorOptions{
+			addr:           *addr,
+			libPath:        *libPath,
+			peers:          splitPeers(*peersFlag),
+			policy:         policy,
+			heartbeat:      *heartbeat,
+			scatterTimeout: *scatterTimeout,
+			impactOrdering: *impactOrdering,
+		})
+	}
+	if *role != "" && *role != "worker" {
+		return fmt.Errorf("unknown -role %q (want \"\", \"coordinator\" or \"worker\")", *role)
+	}
+	if *role == "worker" && *clusterAddr == "" {
+		return errors.New("-role worker needs -cluster-addr")
+	}
 	if *libPath == "" && *snapshotDir == "" {
 		return errors.New("one of -library or -snapshot-dir is required")
 	}
@@ -167,6 +202,7 @@ func run() error {
 
 	var api *server.Server
 	var store *goalrec.Store
+	var engine *goalrec.Engine
 	if *snapshotDir != "" {
 		var err error
 		store, err = goalrec.OpenStore(*snapshotDir, goalrec.StoreOptions{
@@ -182,7 +218,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		engine := store.Engine()
+		engine = store.Engine()
 		logger.Printf("recovered store %s at epoch %d: %s", *snapshotDir, engine.Epoch(), engine.Snapshot().Stats())
 		// -library seeds an empty store only; a recovered lineage wins over
 		// the seed file so restarts never roll acknowledged ingests back.
@@ -210,9 +246,34 @@ func run() error {
 			return err
 		}
 		logger.Printf("loaded library: %s", lib.Stats())
-		engine := goalrec.NewEngineFromLibrary(lib)
+		engine = goalrec.NewEngineFromLibrary(lib)
 		opts = append(opts, server.WithUserStore(goalrec.NewUserStore(engine, userOpts)))
 		api = server.NewFromEngine(engine, reqLogger, opts...)
+	}
+
+	// In the worker role the daemon additionally serves its shard over the
+	// cluster comms protocol — same engine, same epochs, so the node keeps
+	// its full single-node HTTP surface (handy for debugging a shard
+	// directly) while answering coordinator scatters.
+	var clusterWorker *cluster.Worker
+	if *role == "worker" {
+		lo, hi, err := parseShardRange(*shardRange)
+		if err != nil {
+			return err
+		}
+		wcfg := cluster.WorkerConfig{Lo: lo, Hi: hi, Pruning: *pruning, Logger: logger}
+		if *libPath != "" {
+			wcfg.Reload = func() (*goalrec.Library, error) { return loadLib(*libPath) }
+		}
+		clusterWorker = cluster.NewWorker(engine, wcfg)
+		ln, err := net.Listen("tcp", *clusterAddr)
+		if err != nil {
+			return fmt.Errorf("cluster listener: %w", err)
+		}
+		go func() {
+			logger.Printf("cluster worker serving [%d, %d) on %s", lo, hi, *clusterAddr)
+			clusterWorker.Serve(ln)
+		}()
 	}
 
 	srv := &http.Server{
@@ -284,6 +345,9 @@ func run() error {
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
+		if clusterWorker != nil {
+			clusterWorker.Close()
+		}
 		stopWatch()
 		<-watchDone
 		closeStore()
@@ -293,6 +357,9 @@ func run() error {
 		// routing here while in-flight requests finish.
 		api.SetDraining(true)
 		logger.Printf("received %v, draining and shutting down", sig)
+		if clusterWorker != nil {
+			clusterWorker.Close()
+		}
 		stopWatch()
 		<-watchDone
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

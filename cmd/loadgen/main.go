@@ -84,6 +84,14 @@ func run() error {
 	overload := flag.Bool("overload", false, "expect shedding: 503/504 responses are reported, not failures")
 	batch := flag.Int("batch", 1, "activities per request; > 1 targets /v1/recommend/batch")
 	users := flag.Int("users", 0, "target the per-user endpoints, alternating appends and recommends over this many users (0 disables)")
+	serveAddr := flag.String("serve", "", "run as a distributed loadgen worker, serving run requests on this address instead of generating load")
+	workersFlag := flag.String("workers", "", "comma-separated -serve worker addresses to fan the run out over (empty generates locally)")
+	sweep := flag.Bool("sweep", false, "run a benchmark grid over -strategies/-ks/-batches/-zipfs instead of a single configuration")
+	strategiesGrid := flag.String("strategies", "breadth,focus-cmp,focus-cl,best-match", "strategy grid for -sweep")
+	ksGrid := flag.String("ks", "10", "k grid for -sweep")
+	batchesGrid := flag.String("batches", "1", "batch-size grid for -sweep")
+	zipfsGrid := flag.String("zipfs", "0", "zipf-exponent grid for -sweep")
+	benchJSON := flag.String("bench-json", "", "write one bench-JSON cell per -sweep grid point to this file")
 	flag.Parse()
 	if *libPath == "" {
 		return fmt.Errorf("-library is required")
@@ -92,7 +100,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	return runLoad(config{
+	if *serveAddr != "" {
+		return serveLoadWorker(*serveAddr, lib)
+	}
+	cfg := config{
 		url:         *url,
 		strategy:    *strategyName,
 		k:           *k,
@@ -107,13 +118,76 @@ func run() error {
 		users:       *users,
 		lib:         lib,
 		out:         os.Stdout,
-	})
+	}
+	workers := splitList(*workersFlag)
+	if *sweep {
+		grids := sweepGrids{strategies: splitList(*strategiesGrid)}
+		if grids.ks, err = parseInts(*ksGrid); err != nil {
+			return err
+		}
+		if grids.batches, err = parseInts(*batchesGrid); err != nil {
+			return err
+		}
+		if grids.zipfs, err = parseFloats(*zipfsGrid); err != nil {
+			return err
+		}
+		return runSweep(cfg, grids, workers, *benchJSON)
+	}
+	if len(workers) > 0 {
+		stats, err := executeDistributed(cfg, workers)
+		if err != nil {
+			return err
+		}
+		return reportStats(cfg, stats)
+	}
+	return runLoad(cfg)
+}
+
+// loadStats is the outcome of one load run, JSON-serializable so remote
+// loadgen workers can report theirs back for merging.
+type loadStats struct {
+	Requests    int       `json:"requests"`
+	OK          int       `json:"ok"`
+	Shed        int       `json:"shed"`
+	TimedOut    int       `json:"timed_out"`
+	NotFound    int       `json:"not_found"`
+	Unexpected  int       `json:"unexpected"`
+	Errors      int       `json:"errors"`
+	OKItems     int       `json:"ok_items"` // activities scored by OK responses
+	ElapsedMs   float64   `json:"elapsed_ms"`
+	LatenciesMs []float64 `json:"latencies_ms"` // OK-response latencies, unsorted
+}
+
+// merge folds another run's stats in. Elapsed is the max, not the sum: the
+// runs were concurrent, so throughput = total work / longest wall clock.
+func (s *loadStats) merge(o loadStats) {
+	s.Requests += o.Requests
+	s.OK += o.OK
+	s.Shed += o.Shed
+	s.TimedOut += o.TimedOut
+	s.NotFound += o.NotFound
+	s.Unexpected += o.Unexpected
+	s.Errors += o.Errors
+	s.OKItems += o.OKItems
+	if o.ElapsedMs > s.ElapsedMs {
+		s.ElapsedMs = o.ElapsedMs
+	}
+	s.LatenciesMs = append(s.LatenciesMs, o.LatenciesMs...)
 }
 
 func runLoad(cfg config) error {
+	stats, err := executeLoad(cfg)
+	if err != nil {
+		return err
+	}
+	return reportStats(cfg, stats)
+}
+
+// executeLoad generates and sends the requests, returning the raw outcome.
+func executeLoad(cfg config) (loadStats, error) {
 	actions := cfg.lib.Actions()
 	if len(actions) == 0 {
-		return fmt.Errorf("library has no actions")
+		return loadStats{}, fmt.Errorf("library has no actions")
 	}
 
 	// Pre-build the request bodies deterministically. In batch mode the same
@@ -167,7 +241,7 @@ func runLoad(cfg config) error {
 			if i%2 == 0 {
 				body, err := json.Marshal(map[string]interface{}{"actions": sample()})
 				if err != nil {
-					return err
+					return loadStats{}, err
 				}
 				reqs = append(reqs, reqSpec{"POST", "/v1/users/" + id + "/actions", body, 1})
 			} else {
@@ -180,7 +254,7 @@ func runLoad(cfg config) error {
 				"activity": sample(), "strategy": cfg.strategy, "k": cfg.k,
 			})
 			if err != nil {
-				return err
+				return loadStats{}, err
 			}
 			reqs = append(reqs, reqSpec{"POST", "/v1/recommend", body, 1})
 		}
@@ -198,7 +272,7 @@ func runLoad(cfg config) error {
 				"activities": activities, "strategy": cfg.strategy, "k": cfg.k,
 			})
 			if err != nil {
-				return err
+				return loadStats{}, err
 			}
 			reqs = append(reqs, reqSpec{"POST", "/v1/recommend/batch", body, n})
 			done += n
@@ -266,49 +340,60 @@ func runLoad(cfg config) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var latencies []time.Duration
-	errors, shed, timedOut, notFound, unexpected, okActivities := 0, 0, 0, 0, 0, 0
+	stats := loadStats{ElapsedMs: float64(elapsed) / float64(time.Millisecond)}
 	for _, r := range results {
+		stats.Requests++
 		switch {
 		case r.err != nil:
-			errors++
+			stats.Errors++
 		case r.status == http.StatusOK:
-			latencies = append(latencies, r.latency)
-			okActivities += r.items
+			stats.OK++
+			stats.OKItems += r.items
+			stats.LatenciesMs = append(stats.LatenciesMs, float64(r.latency)/float64(time.Millisecond))
 		case r.status == http.StatusServiceUnavailable:
-			shed++
+			stats.Shed++
 		case r.status == http.StatusGatewayTimeout:
-			timedOut++
+			stats.TimedOut++
 		case r.status == http.StatusNotFound && cfg.users > 0:
 			// A recommend raced the user's first append; expected in user mode.
-			notFound++
+			stats.NotFound++
 		default:
-			unexpected++
+			stats.Unexpected++
 		}
 	}
+	return stats, nil
+}
+
+// reportStats prints a run's summary and applies the failure policy:
+// transport errors and unexpected statuses always fail; shed/deadline
+// responses fail unless -overload declared them expected.
+func reportStats(cfg config, stats loadStats) error {
 	fmt.Fprintf(cfg.out, "requests: %d  ok: %d  shed(503): %d  deadline(504): %d  not_found(404): %d  other: %d  errors: %d\n",
-		len(results), len(latencies), shed, timedOut, notFound, unexpected, errors)
+		stats.Requests, stats.OK, stats.Shed, stats.TimedOut, stats.NotFound, stats.Unexpected, stats.Errors)
 	dist := "uniform"
 	if cfg.zipf > 0 {
 		dist = fmt.Sprintf("zipf(%.2f)", cfg.zipf)
 	}
+	elapsedSec := stats.ElapsedMs / 1000
 	fmt.Fprintf(cfg.out, "elapsed: %v  throughput: %.1f req/s  recommendations: %.1f activities/s  sampling: %s\n",
-		elapsed.Round(time.Millisecond), float64(len(results))/elapsed.Seconds(),
-		float64(okActivities)/elapsed.Seconds(), dist)
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		(time.Duration(stats.ElapsedMs * float64(time.Millisecond))).Round(time.Millisecond),
+		float64(stats.Requests)/elapsedSec, float64(stats.OKItems)/elapsedSec, dist)
+	if len(stats.LatenciesMs) > 0 {
+		latencies := append([]float64(nil), stats.LatenciesMs...)
+		sort.Float64s(latencies)
 		pct := func(p float64) time.Duration {
 			i := int(p * float64(len(latencies)-1))
-			return latencies[i]
+			return time.Duration(latencies[i] * float64(time.Millisecond))
 		}
 		fmt.Fprintf(cfg.out, "latency: p50=%v p90=%v p95=%v p99=%v max=%v\n",
-			pct(0.50), pct(0.90), pct(0.95), pct(0.99), latencies[len(latencies)-1])
+			pct(0.50), pct(0.90), pct(0.95), pct(0.99),
+			time.Duration(latencies[len(latencies)-1]*float64(time.Millisecond)))
 	}
-	if errors > 0 || unexpected > 0 {
-		return fmt.Errorf("%d transport errors, %d unexpected statuses", errors, unexpected)
+	if stats.Errors > 0 || stats.Unexpected > 0 {
+		return fmt.Errorf("%d transport errors, %d unexpected statuses", stats.Errors, stats.Unexpected)
 	}
-	if !cfg.overload && (shed > 0 || timedOut > 0) {
-		return fmt.Errorf("%d shed, %d deadline-exceeded responses (run with -overload to expect shedding)", shed, timedOut)
+	if !cfg.overload && (stats.Shed > 0 || stats.TimedOut > 0) {
+		return fmt.Errorf("%d shed, %d deadline-exceeded responses (run with -overload to expect shedding)", stats.Shed, stats.TimedOut)
 	}
 	return nil
 }

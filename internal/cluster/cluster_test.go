@@ -1,0 +1,534 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"goalrec"
+	"goalrec/internal/server"
+)
+
+// clusterTestLibrary builds a deterministic random library with heavy score
+// ties (small goal/action spaces, many implementations) so shard boundaries
+// routinely cut through equal-score runs — the case the merge tie-break
+// order must get right.
+func clusterTestLibrary(seed int64, impls int) *goalrec.Library {
+	r := rand.New(rand.NewSource(seed))
+	b := goalrec.NewBuilder()
+	const nActions, nGoals = 40, 12
+	for i := 0; i < impls; i++ {
+		goal := fmt.Sprintf("g%d", r.Intn(nGoals))
+		n := 1 + r.Intn(5)
+		seen := make(map[int]bool, n)
+		actions := make([]string, 0, n)
+		for len(actions) < n {
+			a := r.Intn(nActions)
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			actions = append(actions, fmt.Sprintf("a%d", a))
+		}
+		if err := b.AddImplementation(goal, actions...); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// testWorker is one running shard worker plus the handles the tests use to
+// kill and resurrect it.
+type testWorker struct {
+	worker *Worker
+	ln     net.Listener
+	addr   string
+	engine *goalrec.Engine
+	cfg    WorkerConfig
+}
+
+func (tw *testWorker) kill() {
+	tw.worker.Close()
+	tw.ln.Close()
+}
+
+// revive restarts a killed worker on its original address with its original
+// engine — the "worker restarted from its own snapshot+WAL" case.
+func (tw *testWorker) revive(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", tw.addr)
+	if err != nil {
+		t.Fatalf("re-listening on %s: %v", tw.addr, err)
+	}
+	tw.ln = ln
+	tw.worker = NewWorker(tw.engine, tw.cfg)
+	go tw.worker.Serve(ln)
+	t.Cleanup(tw.worker.Close)
+}
+
+// startWorkers launches parts workers over lib, splitting the library into
+// contiguous ranges with the last shard open-ended (Hi == -1).
+func startWorkers(t *testing.T, lib *goalrec.Library, parts int, pruning bool,
+	reload func() (*goalrec.Library, error)) []*testWorker {
+	t.Helper()
+	n := lib.NumImplementations()
+	per := (n + parts - 1) / parts
+	workers := make([]*testWorker, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * per
+		hi := lo + per
+		if i == parts-1 {
+			hi = -1
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw := &testWorker{
+			ln:     ln,
+			addr:   ln.Addr().String(),
+			engine: goalrec.NewEngineFromLibrary(lib),
+			cfg:    WorkerConfig{Lo: lo, Hi: hi, Pruning: pruning, Reload: reload},
+		}
+		tw.worker = NewWorker(tw.engine, tw.cfg)
+		go tw.worker.Serve(ln)
+		t.Cleanup(func() { tw.worker.Close(); tw.ln.Close() })
+		workers[i] = tw
+	}
+	return workers
+}
+
+func workerAddrs(workers []*testWorker) []string {
+	addrs := make([]string, len(workers))
+	for i, tw := range workers {
+		addrs[i] = tw.addr
+	}
+	return addrs
+}
+
+func startCoordinator(t *testing.T, lib *goalrec.Library, workers []*testWorker, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	cfg.Peers = workerAddrs(workers)
+	co := NewCoordinator(goalrec.NewEngineFromLibrary(lib), cfg)
+	t.Cleanup(co.Close)
+	return co
+}
+
+func postBody(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestClusterHTTPBitIdenticalToSingleNode is the topology oracle: the same
+// request posted to a single-node server and to a 3-shard cluster must come
+// back byte-for-byte identical (both engines start their lineage at epoch 1,
+// so even the epoch field agrees), for every strategy, with worker pruning
+// both off and on.
+func TestClusterHTTPBitIdenticalToSingleNode(t *testing.T) {
+	lib := clusterTestLibrary(1, 60)
+	single := httptest.NewServer(server.New(lib, nil))
+	defer single.Close()
+
+	bodies := []string{
+		`{"activity": ["a1", "a5", "a9"], "strategy": "focus-cmp", "k": 5}`,
+		`{"activity": ["a1", "a5", "a9"], "strategy": "focus-cmp", "k": 1}`,
+		`{"activity": ["a1", "a5", "a9"], "strategy": "focus-cmp", "k": 200}`,
+		`{"activity": ["a3"], "strategy": "focus-cl", "k": 7}`,
+		`{"activity": ["a1", "a5", "a9"], "strategy": "focus-cl", "k": 40}`,
+		`{"activity": ["a1", "a5", "a9"], "strategy": "breadth", "k": 10}`,
+		`{"activity": ["a1", "a5", "a9"], "strategy": "breadth-count", "k": 15}`,
+		`{"activity": ["a1", "a5", "a9"], "strategy": "breadth-union", "k": 15}`,
+		`{"activity": ["a2", "a7"], "strategy": "best-match", "k": 8}`,
+		`{"activity": ["a2", "a7"], "strategy": "best-match", "metric": "jaccard", "k": 8}`,
+		`{"activity": ["a2", "a7"], "strategy": "best-match", "metric": "euclidean", "k": 8}`,
+		`{"activity": ["a2", "a7"], "strategy": "best-match", "metric": "manhattan", "k": 8}`,
+		`{"activity": ["a4", "a11", "a19", "a23"]}`, // default strategy + k
+		// Unknown actions: reported, deduplicated, sorted — identically.
+		`{"activity": ["a1", "zzz", "a5", "zzz", "aaa"], "strategy": "focus-cmp", "k": 5}`,
+		`{"activity": ["nope", "really-not"], "strategy": "breadth", "k": 5}`,
+		// Validation errors must match too.
+		`{"activity": [], "strategy": "breadth"}`,
+		`{"activity": ["a1"], "k": 2000}`,
+		`{"activity": ["a1"], "strategy": "no-such-strategy"}`,
+		`{"activity": ["a1"], "strategy": "best-match", "metric": "hamming"}`,
+	}
+	batchBodies := []string{
+		`{"activities": [["a1", "a5"], ["a2"], ["a9", "zzz"]], "strategy": "focus-cmp", "k": 4}`,
+		`{"activities": [["a1", "a5"], [], ["a9"]], "strategy": "breadth", "k": 6}`,
+		`{"activities": [["a2", "a7"], ["a3"]], "strategy": "best-match", "metric": "jaccard", "k": 5}`,
+		`{"activities": [], "strategy": "breadth"}`,
+	}
+
+	for _, pruning := range []bool{false, true} {
+		t.Run(fmt.Sprintf("pruning=%v", pruning), func(t *testing.T) {
+			workers := startWorkers(t, lib, 3, pruning, nil)
+			co := startCoordinator(t, lib, workers, CoordinatorConfig{})
+			cluster := httptest.NewServer(NewHTTPHandler(co))
+			defer cluster.Close()
+
+			for _, body := range bodies {
+				sCode, sBody := postBody(t, single.URL+"/v1/recommend", body)
+				cCode, cBody := postBody(t, cluster.URL+"/v1/recommend", body)
+				if sCode != cCode {
+					t.Errorf("status mismatch for %s: single %d, cluster %d (%s)", body, sCode, cCode, cBody)
+					continue
+				}
+				if !bytes.Equal(sBody, cBody) {
+					t.Errorf("body mismatch for %s:\n single: %s\ncluster: %s", body, sBody, cBody)
+				}
+			}
+			for _, body := range batchBodies {
+				sCode, sBody := postBody(t, single.URL+"/v1/recommend/batch", body)
+				cCode, cBody := postBody(t, cluster.URL+"/v1/recommend/batch", body)
+				if sCode != cCode {
+					t.Errorf("batch status mismatch for %s: single %d, cluster %d (%s)", body, sCode, cCode, cBody)
+					continue
+				}
+				if !bytes.Equal(sBody, cBody) {
+					t.Errorf("batch body mismatch for %s:\n single: %s\ncluster: %s", body, sBody, cBody)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterTwoPhaseSwap drives /v1/reload through both outcomes: a clean
+// prepare-commit that lands every node on epoch 2 serving the new artifact,
+// and an aborted swap (one worker's reload fails) that leaves every node on
+// the old epoch serving the old artifact.
+func TestClusterTwoPhaseSwap(t *testing.T) {
+	lib1 := clusterTestLibrary(1, 40)
+	lib2 := clusterTestLibrary(2, 55)
+
+	var failPrepare atomic.Bool
+	var failWorker atomic.Int32 // which worker index fails prepare
+	reloadFor := func(idx int32) func() (*goalrec.Library, error) {
+		return func() (*goalrec.Library, error) {
+			if failPrepare.Load() && failWorker.Load() == idx {
+				return nil, fmt.Errorf("synthetic reload failure")
+			}
+			return lib2, nil
+		}
+	}
+	// Build the 3 workers directly so each gets its own indexed reload func.
+	var workers []*testWorker
+	n := lib1.NumImplementations()
+	per := (n + 2) / 3
+	for i := 0; i < 3; i++ {
+		lo, hi := i*per, (i+1)*per
+		if i == 2 {
+			hi = -1
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw := &testWorker{
+			ln:     ln,
+			addr:   ln.Addr().String(),
+			engine: goalrec.NewEngineFromLibrary(lib1),
+			cfg:    WorkerConfig{Lo: lo, Hi: hi, Pruning: true, Reload: reloadFor(int32(i))},
+		}
+		tw.worker = NewWorker(tw.engine, tw.cfg)
+		go tw.worker.Serve(ln)
+		t.Cleanup(func() { tw.worker.Close(); tw.ln.Close() })
+		workers = append(workers, tw)
+	}
+	co := startCoordinator(t, lib1, workers, CoordinatorConfig{
+		Reload: func() (*goalrec.Library, error) { return lib2, nil },
+	})
+	cluster := httptest.NewServer(NewHTTPHandler(co))
+	defer cluster.Close()
+
+	// Abort path first: worker 1's reload fails, the swap must roll back.
+	failPrepare.Store(true)
+	failWorker.Store(1)
+	code, body := postBody(t, cluster.URL+"/v1/reload", `{}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("reload with failing worker: got %d (%s), want 500", code, body)
+	}
+	if co.Epoch() != 1 {
+		t.Fatalf("coordinator epoch after aborted swap: got %d, want 1", co.Epoch())
+	}
+	for i, tw := range workers {
+		if e := tw.engine.Epoch(); e != 1 {
+			t.Fatalf("worker %d epoch after aborted swap: got %d, want 1", i, e)
+		}
+	}
+	if got := co.Metrics().Snapshot(0).Swaps.Aborted; got < 1 {
+		t.Fatalf("swaps.aborted after aborted swap: got %d, want >= 1", got)
+	}
+
+	// The cluster still serves lib1, identically to a single node on lib1.
+	single1 := httptest.NewServer(server.New(lib1, nil))
+	defer single1.Close()
+	query := `{"activity": ["a1", "a5", "a9"], "strategy": "focus-cmp", "k": 5}`
+	_, sBody := postBody(t, single1.URL+"/v1/recommend", query)
+	_, cBody := postBody(t, cluster.URL+"/v1/recommend", query)
+	if !bytes.Equal(sBody, cBody) {
+		t.Fatalf("post-abort mismatch:\n single: %s\ncluster: %s", sBody, cBody)
+	}
+
+	// Clean path: everyone reloads lib2 and commits to epoch 2 in lockstep.
+	failPrepare.Store(false)
+	code, body = postBody(t, cluster.URL+"/v1/reload", `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("reload: got %d (%s), want 200", code, body)
+	}
+	var rr struct {
+		Epoch           uint64 `json:"epoch"`
+		Implementations int    `json:"implementations"`
+	}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Epoch != 2 || rr.Implementations != lib2.NumImplementations() {
+		t.Fatalf("reload reply: got epoch %d / %d impls, want 2 / %d", rr.Epoch, rr.Implementations, lib2.NumImplementations())
+	}
+	for i, tw := range workers {
+		if e := tw.engine.Epoch(); e != 2 {
+			t.Fatalf("worker %d epoch after swap: got %d, want 2", i, e)
+		}
+	}
+	if got := co.Metrics().Snapshot(0).Swaps.Committed; got != 1 {
+		t.Fatalf("swaps.committed: got %d, want 1", got)
+	}
+
+	// A single node that swapped lib1 -> lib2 is also at epoch 2 with lib2,
+	// so responses must again be byte-identical.
+	single2 := server.New(lib1, nil)
+	single2.Swap(lib2)
+	ts2 := httptest.NewServer(single2)
+	defer ts2.Close()
+	for _, q := range []string{
+		`{"activity": ["a1", "a5", "a9"], "strategy": "focus-cmp", "k": 5}`,
+		`{"activity": ["a1", "a5", "a9"], "strategy": "breadth", "k": 10}`,
+		`{"activity": ["a2", "a7"], "strategy": "best-match", "k": 8}`,
+	} {
+		_, sBody := postBody(t, ts2.URL+"/v1/recommend", q)
+		_, cBody := postBody(t, cluster.URL+"/v1/recommend", q)
+		if !bytes.Equal(sBody, cBody) {
+			t.Fatalf("post-swap mismatch for %s:\n single: %s\ncluster: %s", q, sBody, cBody)
+		}
+	}
+}
+
+// TestClusterPartialFailurePolicies kills a worker mid-cluster and checks
+// both policies: Degraded serves a flagged merge of the surviving shards
+// and FailClosed fails the query; after the worker rejoins on its original
+// address, responses are bit-identical to the pre-failure ones again.
+func TestClusterPartialFailurePolicies(t *testing.T) {
+	lib := clusterTestLibrary(3, 45)
+	workers := startWorkers(t, lib, 3, true, nil)
+	co := startCoordinator(t, lib, workers, CoordinatorConfig{PartialFailure: Degraded})
+	coFail := startCoordinator(t, lib, workers, CoordinatorConfig{PartialFailure: FailClosed})
+	cluster := httptest.NewServer(NewHTTPHandler(co))
+	defer cluster.Close()
+
+	ctx := context.Background()
+	activity := []string{"a1", "a5", "a9"}
+	query := `{"activity": ["a1", "a5", "a9"], "strategy": "breadth", "k": 10}`
+
+	// Healthy baseline, both coordinators.
+	_, healthy := postBody(t, cluster.URL+"/v1/recommend", query)
+	if strings.Contains(string(healthy), "degraded") {
+		t.Fatalf("healthy response flagged degraded: %s", healthy)
+	}
+	if _, err := coFail.Recommend(ctx, "breadth", "", activity, 10); err != nil {
+		t.Fatalf("fail-closed coordinator on healthy cluster: %v", err)
+	}
+
+	// Kill the middle shard.
+	workers[1].kill()
+
+	res, err := co.Recommend(ctx, "breadth", "", activity, 10)
+	if err != nil {
+		t.Fatalf("degraded policy should serve through a dead shard: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("response with a dead shard not flagged degraded")
+	}
+	snap := co.Metrics().Snapshot(co.Connected())
+	if snap.PartialFailures < 1 || snap.DegradedResponses < 1 {
+		t.Fatalf("metrics after degraded query: partial_failures=%d degraded_responses=%d, want >= 1 each",
+			snap.PartialFailures, snap.DegradedResponses)
+	}
+	// The HTTP response carries the degraded flag.
+	code, dBody := postBody(t, cluster.URL+"/v1/recommend", query)
+	if code != http.StatusOK || !strings.Contains(string(dBody), `"degraded":true`) {
+		t.Fatalf("degraded HTTP response: code %d body %s", code, dBody)
+	}
+
+	// Fail-closed refuses.
+	if _, err := coFail.Recommend(ctx, "breadth", "", activity, 10); err == nil {
+		t.Fatal("fail-closed policy served through a dead shard")
+	} else if !strings.Contains(err.Error(), "shards failed") {
+		t.Fatalf("fail-closed error: %v", err)
+	}
+
+	// Every strategy degrades, not just breadth (Focus and the two-round
+	// Best Match path have their own gather code).
+	for _, strat := range []string{"focus-cmp", "focus-cl", "best-match"} {
+		res, err := co.Recommend(ctx, strat, "", activity, 5)
+		if err != nil {
+			t.Fatalf("degraded %s: %v", strat, err)
+		}
+		if !res.Degraded {
+			t.Fatalf("degraded %s: response not flagged", strat)
+		}
+	}
+
+	// Rejoin: same address, same engine — and the ranking snaps back to the
+	// exact healthy bytes.
+	workers[1].revive(t)
+	deadline := time.Now().Add(5 * time.Second)
+	var rejoined []byte
+	for {
+		code, rejoined = postBody(t, cluster.URL+"/v1/recommend", query)
+		if code == http.StatusOK && bytes.Equal(rejoined, healthy) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("post-rejoin response never matched healthy baseline:\nhealthy: %s\n  after: %s", healthy, rejoined)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := coFail.Recommend(ctx, "breadth", "", activity, 10); err != nil {
+		t.Fatalf("fail-closed coordinator after rejoin: %v", err)
+	}
+}
+
+// TestClusterEpochSkewRefused pins the consistency guard: if one worker
+// serves a different epoch than the others (here: a unilateral swap behind
+// the coordinator's back), the merge is refused rather than silently mixing
+// library states.
+func TestClusterEpochSkewRefused(t *testing.T) {
+	lib := clusterTestLibrary(5, 30)
+	workers := startWorkers(t, lib, 3, false, nil)
+	co := startCoordinator(t, lib, workers, CoordinatorConfig{})
+
+	// Same artifact (vocab checksum unchanged), different epoch.
+	workers[0].engine.Swap(lib)
+
+	_, err := co.Recommend(context.Background(), "breadth", "", []string{"a1", "a5"}, 5)
+	if err == nil || !strings.Contains(err.Error(), "epoch skew") {
+		t.Fatalf("skewed cluster: got err %v, want epoch skew refusal", err)
+	}
+	if got := co.Metrics().Snapshot(0).FailedQueries; got < 1 {
+		t.Fatalf("failed_queries after skew: got %d, want >= 1", got)
+	}
+}
+
+// TestClusterVocabMismatchRejected pins the registration guard: a worker
+// serving a different artifact never gets queries.
+func TestClusterVocabMismatchRejected(t *testing.T) {
+	lib := clusterTestLibrary(6, 20)
+	other := clusterTestLibrary(7, 20) // different names -> different checksum
+	workers := startWorkers(t, other, 1, false, nil)
+	co := startCoordinator(t, lib, workers, CoordinatorConfig{PartialFailure: FailClosed})
+
+	_, err := co.Recommend(context.Background(), "breadth", "", []string{"a1"}, 5)
+	if err == nil || !strings.Contains(err.Error(), "different artifact") {
+		t.Fatalf("vocab mismatch: got err %v, want artifact rejection", err)
+	}
+}
+
+// TestClusterCoverageValidation pins the range-tiling guard: shards that
+// leave a gap in the implementation space are refused at query time.
+func TestClusterCoverageValidation(t *testing.T) {
+	lib := clusterTestLibrary(8, 30)
+	// Two workers covering [0, 10) and [20, end) — a gap at [10, 20).
+	var workers []*testWorker
+	for _, r := range [][2]int{{0, 10}, {20, -1}} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw := &testWorker{
+			ln:     ln,
+			addr:   ln.Addr().String(),
+			engine: goalrec.NewEngineFromLibrary(lib),
+			cfg:    WorkerConfig{Lo: r[0], Hi: r[1]},
+		}
+		tw.worker = NewWorker(tw.engine, tw.cfg)
+		go tw.worker.Serve(ln)
+		t.Cleanup(func() { tw.worker.Close(); tw.ln.Close() })
+		workers = append(workers, tw)
+	}
+	co := startCoordinator(t, lib, workers, CoordinatorConfig{})
+	_, err := co.Recommend(context.Background(), "breadth", "", []string{"a1"}, 5)
+	if err == nil || !strings.Contains(err.Error(), "tile") {
+		t.Fatalf("gapped ranges: got err %v, want tiling refusal", err)
+	}
+}
+
+// TestClusterMetricsEndpoint sanity-checks the "cluster" block in
+// /v1/metrics: present, well-formed, with the histogram populated after a
+// few queries.
+func TestClusterMetricsEndpoint(t *testing.T) {
+	lib := clusterTestLibrary(9, 30)
+	workers := startWorkers(t, lib, 2, true, nil)
+	co := startCoordinator(t, lib, workers, CoordinatorConfig{})
+	cluster := httptest.NewServer(NewHTTPHandler(co))
+	defer cluster.Close()
+
+	for i := 0; i < 3; i++ {
+		postBody(t, cluster.URL+"/v1/recommend", `{"activity": ["a1", "a5"], "strategy": "focus-cmp", "k": 5}`)
+	}
+	resp, err := http.Get(cluster.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var m struct {
+		Epoch   uint64 `json:"epoch"`
+		Cluster struct {
+			Workers         int   `json:"workers"`
+			Connected       int   `json:"connected"`
+			Scatters        int64 `json:"scatters"`
+			FanoutLatencyMs []struct {
+				Le    string `json:"le"`
+				Count int64  `json:"count"`
+			} `json:"fanout_latency_ms"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics not valid JSON: %v\n%s", err, raw)
+	}
+	if m.Cluster.Workers != 2 || m.Cluster.Connected != 2 {
+		t.Fatalf("cluster block workers/connected: %+v", m.Cluster)
+	}
+	if m.Cluster.Scatters < 3 {
+		t.Fatalf("scatters: got %d, want >= 3", m.Cluster.Scatters)
+	}
+	var histTotal int64
+	for _, b := range m.Cluster.FanoutLatencyMs {
+		histTotal += b.Count
+	}
+	if histTotal < 6 { // 3 queries x 2 workers
+		t.Fatalf("fan-out histogram total: got %d, want >= 6", histTotal)
+	}
+	if last := m.Cluster.FanoutLatencyMs[len(m.Cluster.FanoutLatencyMs)-1].Le; last != "inf" {
+		t.Fatalf("last histogram bound: got %q, want inf", last)
+	}
+}

@@ -1,0 +1,158 @@
+package comms
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 4096)}
+	for _, p := range payloads {
+		f := Frame{Type: TypeApp + 3, RequestID: 0xdeadbeefcafe, Payload: p}
+		enc, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		if got.Type != f.Type || got.RequestID != f.RequestID || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+		}
+	}
+}
+
+func TestFrameTypedErrors(t *testing.T) {
+	enc, err := AppendFrame(nil, Frame{Type: TypeApp, RequestID: 7, Payload: []byte("hello")})
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeFrame(enc[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xff
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[4] = Version + 1
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0x01
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt crc: got %v", err)
+	}
+	bad = append([]byte(nil), enc...)
+	bad[20] ^= 0x40 // payload byte
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt payload: got %v", err)
+	}
+	if _, err := AppendFrame(nil, Frame{Payload: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: got %v", err)
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	var wire []byte
+	want := []Frame{
+		{Type: TypeApp, RequestID: 1, Payload: []byte("a")},
+		{Type: TypeApp + 1, RequestID: 2, Payload: nil},
+		{Type: TypeApp + 2, RequestID: 3, Payload: bytes.Repeat([]byte{9}, 1000)},
+	}
+	for _, f := range want {
+		var err error
+		wire, err = AppendFrame(wire, f)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+	r := bytes.NewReader(wire)
+	var buf []byte
+	for i, w := range want {
+		f, nb, err := ReadFrame(r, buf)
+		buf = nb
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != w.Type || f.RequestID != w.RequestID || !bytes.Equal(f.Payload, w.Payload) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if _, _, err := ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+	// EOF inside a frame is truncation, not a clean end.
+	r2 := bytes.NewReader(wire[:len(wire)-3])
+	f, buf2, err := ReadFrame(r2, nil)
+	_ = f
+	for err == nil {
+		f, buf2, err = ReadFrame(r2, buf2)
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-frame EOF: got %v, want ErrTruncated", err)
+	}
+}
+
+// FuzzFrameRoundTrip drives the codec both ways: decoding arbitrary bytes
+// must never panic and must fail only with the package's typed errors, and
+// any frame the fuzzer describes must encode and decode back to itself.
+func FuzzFrameRoundTrip(f *testing.F) {
+	seed, _ := AppendFrame(nil, Frame{Type: TypeApp, RequestID: 42, Payload: []byte("seed")})
+	f.Add(seed, uint8(TypeApp), uint64(1), []byte("payload"))
+	f.Add([]byte{}, uint8(0), uint64(0), []byte{})
+	f.Add(seed[:10], uint8(255), uint64(1<<63), bytes.Repeat([]byte{7}, 100))
+	f.Fuzz(func(t *testing.T, raw []byte, typ uint8, id uint64, payload []byte) {
+		// Arbitrary bytes: no panic, typed error or clean decode.
+		if fr, n, err := DecodeFrame(raw); err == nil {
+			if n <= 0 || n > len(raw) {
+				t.Fatalf("decode consumed %d of %d", n, len(raw))
+			}
+			reenc, err := AppendFrame(nil, fr)
+			if err != nil {
+				t.Fatalf("re-encode of decoded frame: %v", err)
+			}
+			if !bytes.Equal(reenc, raw[:n]) {
+				t.Fatalf("decode/encode not an identity")
+			}
+		} else if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+			!errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) &&
+			!errors.Is(err, ErrTooLarge) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+
+		// Described frame: encode → decode is the identity.
+		want := Frame{Type: typ, RequestID: id, Payload: payload}
+		enc, err := AppendFrame(nil, want)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("DecodeFrame of valid frame: %v", err)
+		}
+		if n != len(enc) || got.Type != want.Type || got.RequestID != want.RequestID ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip mismatch")
+		}
+		// Every strict prefix of a valid frame is a truncation.
+		for _, cut := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+			if cut >= len(enc) {
+				continue
+			}
+			if _, _, err := DecodeFrame(enc[:cut]); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("prefix %d: got %v, want ErrTruncated", cut, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"goalrec/internal/xrand"
+)
+
+func partitionTestLibrary(t *testing.T, nImpl int) *Library {
+	t.Helper()
+	rng := xrand.New(41)
+	b := NewBuilder(nImpl, 4)
+	for i := 0; i < nImpl; i++ {
+		n := 1 + rng.Intn(6)
+		acts := make([]ActionID, n)
+		for j := range acts {
+			acts[j] = ActionID(rng.Intn(40))
+		}
+		if _, err := b.Add(GoalID(rng.Intn(12)), acts); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return b.Build()
+}
+
+func TestPartitionRangePreservesIDSpaces(t *testing.T) {
+	lib := partitionTestLibrary(t, 200)
+	for _, r := range [][2]int{{0, 200}, {0, 70}, {70, 140}, {140, 200}, {50, 50}} {
+		lo, hi := r[0], r[1]
+		sub, err := PartitionRange(lib, lo, hi)
+		if err != nil {
+			t.Fatalf("PartitionRange(%d, %d): %v", lo, hi, err)
+		}
+		if sub.NumActions() != lib.NumActions() || sub.NumGoals() != lib.NumGoals() {
+			t.Fatalf("partition [%d,%d) shrank id spaces: %d/%d actions, %d/%d goals",
+				lo, hi, sub.NumActions(), lib.NumActions(), sub.NumGoals(), lib.NumGoals())
+		}
+		if sub.NumImplementations() != hi-lo {
+			t.Fatalf("partition [%d,%d) has %d impls", lo, hi, sub.NumImplementations())
+		}
+		if sub.Epoch() != lib.Epoch() {
+			t.Fatalf("partition epoch %d, parent %d", sub.Epoch(), lib.Epoch())
+		}
+	}
+}
+
+func TestPartitionRangeImplsMatchParent(t *testing.T) {
+	lib := partitionTestLibrary(t, 200)
+	lo, hi := 37, 158
+	sub, err := PartitionRange(lib, lo, hi)
+	if err != nil {
+		t.Fatalf("PartitionRange: %v", err)
+	}
+	for p := 0; p < sub.NumImplementations(); p++ {
+		gp := ImplID(lo + p)
+		if sub.Goal(ImplID(p)) != lib.Goal(gp) {
+			t.Fatalf("impl %d: goal %d, parent %d", p, sub.Goal(ImplID(p)), lib.Goal(gp))
+		}
+		got, want := sub.Actions(ImplID(p)), lib.Actions(gp)
+		if len(got) != len(want) {
+			t.Fatalf("impl %d: %d actions, parent %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("impl %d action %d: %d, parent %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// The shard posting rows must be exactly the parent rows filtered to the
+// range and rebased — that alignment is what lets a worker's local impl-id
+// tie-break order agree with the global order after adding lo back.
+func TestPartitionRangePostingsAreFilteredParentRows(t *testing.T) {
+	lib := partitionTestLibrary(t, 200)
+	lo, hi := 61, 144
+	sub, err := PartitionRange(lib, lo, hi)
+	if err != nil {
+		t.Fatalf("PartitionRange: %v", err)
+	}
+	for a := ActionID(0); int(a) < lib.NumActions(); a++ {
+		var want []ImplID
+		for _, p := range lib.ImplsOfAction(a) {
+			if int(p) >= lo && int(p) < hi {
+				want = append(want, p-ImplID(lo))
+			}
+		}
+		got := sub.ImplsOfAction(a)
+		if len(got) != len(want) {
+			t.Fatalf("action %d: %d postings, want %d", a, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("action %d posting %d: impl %d, want %d", a, i, got[i], want[i])
+			}
+		}
+	}
+	for g := GoalID(0); int(g) < lib.NumGoals(); g++ {
+		var want []ImplID
+		for _, p := range lib.ImplsOfGoal(g) {
+			if int(p) >= lo && int(p) < hi {
+				want = append(want, p-ImplID(lo))
+			}
+		}
+		got := sub.ImplsOfGoal(g)
+		if len(got) != len(want) {
+			t.Fatalf("goal %d: %d postings, want %d", g, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("goal %d posting %d: impl %d, want %d", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPartitionRangeBounds(t *testing.T) {
+	lib := partitionTestLibrary(t, 10)
+	for _, r := range [][2]int{{-1, 5}, {5, 3}, {0, 11}} {
+		if _, err := PartitionRange(lib, r[0], r[1]); err == nil {
+			t.Fatalf("PartitionRange(%d, %d) succeeded", r[0], r[1])
+		}
+	}
+}

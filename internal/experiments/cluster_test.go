@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterScaling runs a tiny sweep end to end: real TCP shard workers,
+// real scatter-gather, one cell per (workers, strategy).
+func TestClusterScaling(t *testing.T) {
+	points, err := ClusterScaling(ClusterConfig{
+		Size: 400, Actions: 120, Workers: []int{1, 3},
+		Queries: 12, Concurrency: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*4 {
+		t.Fatalf("got %d points, want 8 (2 worker counts x 4 strategies)", len(points))
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		seen[p.Method] = true
+		if !strings.HasPrefix(p.Method, "cluster/") {
+			t.Errorf("method %q not under cluster/", p.Method)
+		}
+		if p.MeanLatency <= 0 {
+			t.Errorf("%s: non-positive latency %v", p.Method, p.MeanLatency)
+		}
+		if p.Implementations != 400 {
+			t.Errorf("%s: implementations = %d", p.Method, p.Implementations)
+		}
+	}
+	for _, want := range []string{
+		"cluster/focus-cmp/workers=1", "cluster/best-match/workers=3",
+	} {
+		if !seen[want] {
+			t.Errorf("missing cell %q; got %v", want, seen)
+		}
+	}
+	if rows := len(ClusterTable(points).Rows); rows != 8 {
+		t.Errorf("table has %d rows, want 8", rows)
+	}
+}

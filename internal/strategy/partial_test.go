@@ -1,0 +1,257 @@
+package strategy
+
+import (
+	"context"
+	"testing"
+
+	"goalrec/internal/core"
+	"goalrec/internal/vectorspace"
+	"goalrec/internal/xrand"
+)
+
+// partialTestLibrary builds a deterministic random library dense enough for
+// heavy tie layers (few distinct scores across many implementations).
+func partialTestLibrary(t testing.TB, seed uint64, nImpl, nAct, nGoal, maxLen int) *core.Library {
+	t.Helper()
+	rng := xrand.New(seed)
+	b := core.NewBuilder(nImpl, 4)
+	for i := 0; i < nImpl; i++ {
+		n := 1 + rng.Intn(maxLen)
+		acts := make([]core.ActionID, n)
+		for j := range acts {
+			acts[j] = core.ActionID(rng.Intn(nAct))
+		}
+		if _, err := b.Add(core.GoalID(rng.Intn(nGoal)), acts); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	return b.Build()
+}
+
+// splitRanges cuts [0, n) into parts contiguous ranges.
+func splitRanges(n, parts int) [][2]int {
+	out := make([][2]int, 0, parts)
+	chunk := (n + parts - 1) / parts
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+func partitionAll(t testing.TB, lib *core.Library, ranges [][2]int) []*core.Library {
+	t.Helper()
+	out := make([]*core.Library, len(ranges))
+	for i, r := range ranges {
+		sub, err := core.PartitionRange(lib, r[0], r[1])
+		if err != nil {
+			t.Fatalf("PartitionRange(%d, %d): %v", r[0], r[1], err)
+		}
+		out[i] = sub
+	}
+	return out
+}
+
+func assertSameRanking(t testing.TB, label string, got, want []ScoredAction) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i].Action != want[i].Action || got[i].Score != want[i].Score {
+			t.Fatalf("%s: rank %d: got {%d %v}, want {%d %v}", label, i,
+				got[i].Action, got[i].Score, want[i].Action, want[i].Score)
+		}
+	}
+}
+
+// TestFocusGatherMergeMatchesSingleNode is the strategy-level oracle: for
+// both measures, pruning off and on, and several shard counts, the merged
+// per-shard emission lists must be bit-identical to the single-node walk.
+func TestFocusGatherMergeMatchesSingleNode(t *testing.T) {
+	lib := partialTestLibrary(t, 101, 600, 40, 15, 6)
+	activities := [][]core.ActionID{{0, 3, 7}, {1}, {5, 9, 12, 20, 33}, {39}}
+	for _, measure := range []FocusMeasure{Completeness, Closeness} {
+		single := NewFocus(lib, measure)
+		for _, pruned := range []bool{false, true} {
+			for _, parts := range []int{1, 2, 3} {
+				ranges := splitRanges(lib.NumImplementations(), parts)
+				subs := partitionAll(t, lib, ranges)
+				shards := make([]*Focus, len(subs))
+				for i, sub := range subs {
+					shards[i] = NewFocus(sub, measure)
+					if pruned {
+						shards[i].EnablePruning(nil)
+					}
+				}
+				for _, activity := range activities {
+					for _, k := range []int{1, 3, 10, 50} {
+						want := single.Recommend(activity, k)
+						lists := make([][]FocusEmission, len(shards))
+						for i, f := range shards {
+							var err error
+							lists[i], err = f.TopEmissions(context.Background(), activity, k, int64(ranges[i][0]), nil)
+							if err != nil {
+								t.Fatalf("TopEmissions: %v", err)
+							}
+						}
+						got := MergeFocusEmissions(lists, k)
+						assertSameRanking(t, measure.String(), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFocusGatherMergeUnderInjectedFloor injects the floor a completed
+// shard would broadcast into the remaining shards' scans and checks the
+// merge stays exact — the cross-node floor soundness pin.
+func TestFocusGatherMergeUnderInjectedFloor(t *testing.T) {
+	lib := partialTestLibrary(t, 77, 800, 35, 12, 6)
+	activity := []core.ActionID{2, 6, 11, 19}
+	const k = 8
+	for _, measure := range []FocusMeasure{Completeness, Closeness} {
+		single := NewFocus(lib, measure)
+		want := single.Recommend(activity, k)
+
+		ranges := splitRanges(lib.NumImplementations(), 3)
+		subs := partitionAll(t, lib, ranges)
+		lists := make([][]FocusEmission, len(subs))
+
+		// Shard 0 completes unconstrained; its k-th emission seeds the share
+		// every later shard scans under, mimicking the coordinator broadcast.
+		share := NewFocusFloorShare()
+		for i, sub := range subs {
+			f := NewFocus(sub, measure)
+			f.EnablePruning(nil)
+			f.SetConcurrency(2, 1) // force the sharded pruned path even on small shards
+			var s *FocusFloorShare
+			if i > 0 {
+				s = share
+			}
+			list, err := f.TopEmissions(context.Background(), activity, k, int64(ranges[i][0]), s)
+			if err != nil {
+				t.Fatalf("TopEmissions: %v", err)
+			}
+			lists[i] = list
+			if len(list) == k {
+				FloorFromEmission(share, measure, list[k-1])
+			}
+		}
+		got := MergeFocusEmissions(lists, k)
+		assertSameRanking(t, "floor/"+measure.String(), got, want)
+	}
+}
+
+// TestMergeFocusEmissionsTieBreakAtCutoff pins the gather-merge order
+// against the documented total order — score descending, fewer missing
+// first, then global implementation id, then action id — with equal-score
+// ties straddling the k cutoff across shard boundaries.
+func TestMergeFocusEmissionsTieBreakAtCutoff(t *testing.T) {
+	// Two shards, every emission at the same score. Shard boundaries fall
+	// between impl 10 (shard A) and impls 11/12 (shard B).
+	shardA := []FocusEmission{
+		{Action: 5, Score: 0.5, Missing: 2, Impl: 10, ImplLen: 4},
+		{Action: 7, Score: 0.5, Missing: 2, Impl: 10, ImplLen: 4},
+	}
+	shardB := []FocusEmission{
+		{Action: 3, Score: 0.5, Missing: 2, Impl: 11, ImplLen: 4},
+		// Duplicate of action 5 with a worse (higher) impl id: the merge
+		// must keep shard A's emission.
+		{Action: 5, Score: 0.5, Missing: 2, Impl: 11, ImplLen: 4},
+		// Same score but more missing: ranks after every missing=2 entry.
+		{Action: 1, Score: 0.5, Missing: 3, Impl: 12, ImplLen: 5},
+	}
+
+	got := MergeFocusEmissions([][]FocusEmission{shardA, shardB}, 3)
+	want := []ScoredAction{
+		{Action: 5, Score: 0.5}, // impl 10, action 5
+		{Action: 7, Score: 0.5}, // impl 10, action 7
+		{Action: 3, Score: 0.5}, // impl 11, action 3
+	}
+	assertSameRanking(t, "cutoff", got, want)
+
+	// Widen to k=4: the missing=3 emission is exactly at the new cutoff.
+	got = MergeFocusEmissions([][]FocusEmission{shardA, shardB}, 4)
+	want = append(want, ScoredAction{Action: 1, Score: 0.5})
+	assertSameRanking(t, "cutoff+1", got, want)
+
+	// Equal score and missing, distinct impls: lower global impl id wins
+	// regardless of which shard list it arrived in.
+	first := MergeFocusEmissions([][]FocusEmission{
+		{{Action: 9, Score: 1, Missing: 1, Impl: 40, ImplLen: 2}},
+		{{Action: 2, Score: 1, Missing: 1, Impl: 39, ImplLen: 2}},
+	}, 1)
+	assertSameRanking(t, "impl-order", first, []ScoredAction{{Action: 2, Score: 1}})
+}
+
+func TestBreadthGatherMergeMatchesSingleNode(t *testing.T) {
+	lib := partialTestLibrary(t, 55, 500, 30, 10, 5)
+	activities := [][]core.ActionID{{0, 4}, {2, 8, 14}, {29}}
+	for _, w := range []BreadthWeighting{Overlap, Count, Union} {
+		single := NewBreadthWeighted(lib, w)
+		for _, parts := range []int{1, 2, 3} {
+			ranges := splitRanges(lib.NumImplementations(), parts)
+			subs := partitionAll(t, lib, ranges)
+			for _, activity := range activities {
+				parts := make([]*BreadthPartial, len(subs))
+				for i, sub := range subs {
+					var err error
+					parts[i], err = NewBreadthWeighted(sub, w).ShardPartial(context.Background(), activity)
+					if err != nil {
+						t.Fatalf("ShardPartial: %v", err)
+					}
+				}
+				for _, k := range []int{1, 5, 25, -1} {
+					want := single.Recommend(activity, k)
+					got := MergeBreadthPartials(parts, k)
+					assertSameRanking(t, w.String(), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBestMatchGatherMergeMatchesSingleNode(t *testing.T) {
+	lib := partialTestLibrary(t, 91, 400, 25, 14, 5)
+	activities := [][]core.ActionID{{0, 3}, {7, 12, 18}, {24}}
+	for _, metric := range []vectorspace.Metric{vectorspace.Cosine, vectorspace.Euclidean, vectorspace.JaccardDist} {
+		single := NewBestMatchMetric(lib, metric)
+		for _, parts := range []int{1, 2, 3} {
+			ranges := splitRanges(lib.NumImplementations(), parts)
+			subs := partitionAll(t, lib, ranges)
+			shards := make([]*BestMatch, len(subs))
+			for i, sub := range subs {
+				shards[i] = NewBestMatchMetric(sub, metric)
+			}
+			for _, activity := range activities {
+				surveys := make([]*BestMatchSurvey, len(shards))
+				for i, bm := range shards {
+					var err error
+					surveys[i], err = bm.ShardSurvey(context.Background(), activity)
+					if err != nil {
+						t.Fatalf("ShardSurvey: %v", err)
+					}
+				}
+				candidates, goalSpace, profile := MergeBestMatchSurveys(surveys)
+				vectors := make([]*BestMatchVectors, len(shards))
+				for i, bm := range shards {
+					var err error
+					vectors[i], err = bm.ShardVectors(context.Background(), candidates, goalSpace)
+					if err != nil {
+						t.Fatalf("ShardVectors: %v", err)
+					}
+				}
+				for _, k := range []int{1, 5, 20, -1} {
+					want := single.Recommend(activity, k)
+					got := MergeBestMatchVectors(metric, candidates, goalSpace, profile, vectors, k)
+					assertSameRanking(t, metric.String(), got, want)
+				}
+			}
+		}
+	}
+}

@@ -152,30 +152,32 @@ type focusFloor struct {
 	cl  atomic.Uint64
 }
 
-func (g *focusFloor) publishCmp(c, n int64) {
+// publishCmp and publishCl report whether the call actually tightened the
+// floor; the cross-node share counts tightenings for the scatter metrics.
+func (g *focusFloor) publishCmp(c, n int64) bool {
 	packed := uint64(c)<<32 | uint64(n)
 	for {
 		cur := g.cmp.Load()
 		if cur != 0 {
 			cc, cn := int64(cur>>32), int64(cur&0xffffffff)
 			if c*cn <= cc*n {
-				return // current floor is at least as tight
+				return false // current floor is at least as tight
 			}
 		}
 		if g.cmp.CompareAndSwap(cur, packed) {
-			return
+			return true
 		}
 	}
 }
 
-func (g *focusFloor) publishCl(missing int64) {
+func (g *focusFloor) publishCl(missing int64) bool {
 	for {
 		cur := g.cl.Load()
 		if cur != 0 && int64(cur) <= missing {
-			return
+			return false
 		}
 		if g.cl.CompareAndSwap(cur, uint64(missing)) {
-			return
+			return true
 		}
 	}
 }
@@ -212,7 +214,7 @@ func (f *Focus) recommendPruned(ctx context.Context, h []core.ActionID, stream, 
 	}
 
 	for m := k; ; m *= 4 {
-		merged, prunedAny, err := f.prunedPass(ctx, h, workers, m, s)
+		merged, prunedAny, err := f.prunedPass(ctx, h, workers, m, s, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -261,7 +263,13 @@ func (f *Focus) recommendPruned(ctx context.Context, h []core.ActionID, stream, 
 // concatenated shard heaps plus whether anything was pruned (a block skip or
 // a heap eviction/rejection — i.e. whether any scored or skippable
 // implementation was left out of the merge).
-func (f *Focus) prunedPass(ctx context.Context, h []core.ActionID, workers, m int, s *focusScratch) ([]rankedImpl, bool, error) {
+//
+// ext, when non-nil, is an externally injected floor (the cross-node
+// broadcast): it is adopted alongside the pass-local floor but never
+// published to. It must bound the global k-th emission key independently of
+// m — unlike the pass-local floor, which is only valid within its own pass
+// and is created fresh here each call.
+func (f *Focus) prunedPass(ctx context.Context, h []core.ActionID, workers, m int, s *focusScratch, ext *focusFloor) ([]rankedImpl, bool, error) {
 	numImpls := f.lib.NumImplementations()
 	s.shards(workers)
 	ranked := s.shardRanked(workers)
@@ -271,7 +279,7 @@ func (f *Focus) prunedPass(ctx context.Context, h []core.ActionID, workers, m in
 	var firstErr error
 	if workers == 1 {
 		tick := newTicker(ctx)
-		prunedBy[0], firstErr = f.prunedShardScan(h, 0, core.ImplID(numImpls), m, s, 0, &gf, &tick)
+		prunedBy[0], firstErr = f.prunedShardScan(h, 0, core.ImplID(numImpls), m, s, 0, &gf, ext, &tick)
 	} else {
 		chunk := (numImpls + workers - 1) / workers
 		errs := make([]error, workers)
@@ -289,7 +297,7 @@ func (f *Focus) prunedPass(ctx context.Context, h []core.ActionID, workers, m in
 			go func(w int, lo, hi core.ImplID) {
 				defer wg.Done()
 				tick := newTicker(ctx)
-				prunedBy[w], errs[w] = f.prunedShardScan(h, lo, hi, m, s, w, &gf, &tick)
+				prunedBy[w], errs[w] = f.prunedShardScan(h, lo, hi, m, s, w, &gf, ext, &tick)
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -332,7 +340,7 @@ func (f *Focus) prunedPass(ctx context.Context, h []core.ActionID, workers, m in
 // subset of true-score-dominating entries, hence a lower bound on the global
 // m-th best; strict inequality keeps tie layers unpruned.
 func (f *Focus) prunedShardScan(h []core.ActionID, lo, hi core.ImplID, m int,
-	s *focusScratch, shard int, gf *focusFloor, tick *ticker) (bool, error) {
+	s *focusScratch, shard int, gf, ext *focusFloor, tick *ticker) (bool, error) {
 
 	lib := f.lib
 	closeness := f.measure == Closeness
@@ -369,20 +377,32 @@ func (f *Focus) prunedShardScan(h []core.ActionID, lo, hi core.ImplID, m int,
 	// Effective floor, ints only; a zero denominator/missing means unset.
 	var fC, fN, fMiss int64
 
-	adoptGlobal := func() {
-		if closeness {
-			if g := gf.cl.Load(); g != 0 {
-				if miss := int64(g); fMiss == 0 || miss < fMiss {
-					fMiss = miss
-				}
+	adoptCl := func(g uint64) {
+		if g != 0 {
+			if miss := int64(g); fMiss == 0 || miss < fMiss {
+				fMiss = miss
 			}
-			return
 		}
-		if packed := gf.cmp.Load(); packed != 0 {
+	}
+	adoptCmp := func(packed uint64) {
+		if packed != 0 {
 			c, n := int64(packed>>32), int64(packed&0xffffffff)
 			if fN == 0 || c*fN > fC*n {
 				fC, fN = c, n
 			}
+		}
+	}
+	adoptGlobal := func() {
+		if closeness {
+			adoptCl(gf.cl.Load())
+			if ext != nil {
+				adoptCl(ext.cl.Load())
+			}
+			return
+		}
+		adoptCmp(gf.cmp.Load())
+		if ext != nil {
+			adoptCmp(ext.cmp.Load())
 		}
 	}
 	publishRoot := func() {

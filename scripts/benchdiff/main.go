@@ -4,9 +4,13 @@
 //	go run ./scripts/benchdiff BENCH_PR4.json BENCH_PR5.json
 //
 // A cell whose latency regressed by more than -threshold percent (default
-// 15) is flagged and makes the command exit non-zero, so `make benchdiff`
-// works as a CI gate. Both the legacy bare-array shape (BENCH_PR1/PR4) and
-// the stamped {git_commit, date, points} envelope are accepted.
+// 15) AND by more than -min-delta-ms absolute (default 0.05ms) is flagged
+// and makes the command exit non-zero, so `make benchdiff` works as a CI
+// gate. The absolute floor exists because the sweep's fastest cells sit in
+// the tens of microseconds, where run-to-run scheduler jitter alone swings
+// ±50% — a relative-only gate on those cells measures the machine, not the
+// change. Both the legacy bare-array shape (BENCH_PR1/PR4) and the stamped
+// {git_commit, date, points} envelope are accepted.
 package main
 
 import (
@@ -101,9 +105,10 @@ func diff(oldPts, newPts []point) (rows []row, onlyOld, onlyNew []string) {
 
 func main() {
 	threshold := flag.Float64("threshold", 15, "flag latency regressions above this percentage and exit non-zero")
+	minDelta := flag.Float64("min-delta-ms", 0.05, "ignore regressions smaller than this many milliseconds absolute (noise floor for microsecond-scale cells)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-delta-ms ms] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldPts, oldLabel, err := readBench(flag.Arg(0))
@@ -112,7 +117,7 @@ func main() {
 		var newLabel string
 		newPts, newLabel, err = readBench(flag.Arg(1))
 		if err == nil {
-			err = report(os.Stdout, oldPts, newPts, oldLabel, newLabel, *threshold)
+			err = report(os.Stdout, oldPts, newPts, oldLabel, newLabel, *threshold, *minDelta)
 		}
 	}
 	if err != nil {
@@ -122,14 +127,14 @@ func main() {
 }
 
 // report prints the comparison and returns an error when any cell regressed
-// beyond the threshold.
-func report(w *os.File, oldPts, newPts []point, oldLabel, newLabel string, threshold float64) error {
+// beyond the relative threshold and the absolute noise floor.
+func report(w *os.File, oldPts, newPts []point, oldLabel, newLabel string, threshold, minDelta float64) error {
 	rows, onlyOld, onlyNew := diff(oldPts, newPts)
 	fmt.Fprintf(w, "benchdiff: %s -> %s\n", oldLabel, newLabel)
 	var regressed []string
 	for _, r := range rows {
 		mark := ""
-		if r.deltaPct > threshold {
+		if r.deltaPct > threshold && r.newMS-r.oldMS > minDelta {
 			mark = "  REGRESSION"
 			regressed = append(regressed, r.name)
 		}

@@ -100,13 +100,20 @@ func TestReportThreshold(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer devnull.Close()
-	if err := report(devnull, oldPts, slower, "a", "b", 15); err == nil {
+	if err := report(devnull, oldPts, slower, "a", "b", 15, 0.05); err == nil {
 		t.Fatal("30% regression passed a 15% threshold")
 	}
-	if err := report(devnull, oldPts, slower, "a", "b", 50); err != nil {
+	if err := report(devnull, oldPts, slower, "a", "b", 50, 0.05); err != nil {
 		t.Fatalf("30%% regression failed a 50%% threshold: %v", err)
 	}
-	if err := report(devnull, oldPts, nil, "a", "b", 15); err == nil {
+	if err := report(devnull, oldPts, nil, "a", "b", 15, 0.05); err == nil {
 		t.Fatal("empty comparison passed")
+	}
+	// A 30% regression below the absolute noise floor must not trip the gate:
+	// microsecond-scale cells jitter far beyond the relative threshold.
+	tinyOld := []point{{Method: "m", Implementations: 1, MeanLatencyMS: 0.010}}
+	tinyNew := []point{{Method: "m", Implementations: 1, MeanLatencyMS: 0.013}}
+	if err := report(devnull, tinyOld, tinyNew, "a", "b", 15, 0.05); err != nil {
+		t.Fatalf("3µs absolute regression tripped the 0.05ms noise floor: %v", err)
 	}
 }
